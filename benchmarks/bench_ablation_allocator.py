@@ -1,0 +1,44 @@
+"""Ablation: greedy vs. sequential routing allocation (Section 3.1).
+
+UGAL and UGAL-S differ *only* in the allocator, so the pair isolates
+the design choice behind Figure 5's transients: the greedy allocator
+lets every input of a routing cycle pile onto the same short queue;
+the sequential allocator updates the queue estimate between decisions.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.core import UGAL, UGALSequential
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.traffic import adversarial
+
+
+def run_ablation():
+    rows = []
+    for batch in (1, 2, 4, 8):
+        greedy = Simulator(
+            FlattenedButterfly(BENCH_SCALE.fb_k, 2), UGAL(), adversarial(),
+            SimulationConfig(seed=1),
+        ).run_batch(batch).normalized_latency
+        sequential = Simulator(
+            FlattenedButterfly(BENCH_SCALE.fb_k, 2), UGALSequential(),
+            adversarial(), SimulationConfig(seed=1),
+        ).run_batch(batch).normalized_latency
+        rows.append((batch, greedy, sequential))
+    return rows
+
+
+def test_ablation_allocator(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print()
+    print(f"{'batch':>6} {'greedy (UGAL)':>14} {'sequential (UGAL-S)':>20}")
+    for batch, greedy, sequential in rows:
+        print(f"{batch:>6} {greedy:>14.2f} {sequential:>20.2f}")
+    # The sequential allocator wins on transient (small-batch) loads.
+    small = rows[0]
+    assert small[2] <= small[1]
+    # And the advantage fades as batches grow and steady-state
+    # throughput dominates.
+    large = rows[-1]
+    assert abs(large[1] - large[2]) < 0.25 * large[1]

@@ -1,0 +1,56 @@
+"""Ablation: the Section 4.2 cable-length heuristics vs. explicit
+cabinet placement.
+
+The census prices global flattened-butterfly cables at ``E/3`` (and
+Clos cables at ``E/4``).  This ablation places every cabinet on the
+floor (Figure 8(c)'s axis-aligned layout and a naive row-major one)
+and measures real Manhattan cable lengths, showing
+
+* the E/3 heuristic is essentially exact for 3-dimensional machines
+  under the Figure 8(c) placement,
+* it is optimistic for 2-dimensional machines, whose single global
+  dimension spans both floor axes, and
+* the axis-aligned placement beats naive placement at scale.
+"""
+
+from conftest import run_once
+
+from repro.cost import (
+    PackagingModel,
+    measure_flattened_butterfly,
+    measure_folded_clos,
+)
+
+SIZES = (1024, 4096, 16384, 65536)
+
+
+def run_ablation():
+    packaging = PackagingModel()
+    rows = []
+    for n in SIZES:
+        heuristic = packaging.edge_length(n) / 3.0
+        fig8 = measure_flattened_butterfly(n, packaging, placement="fig8")
+        naive = measure_flattened_butterfly(n, packaging, placement="row-major")
+        clos = measure_folded_clos(n, packaging)
+        rows.append((n, heuristic, fig8.mean_cable_m, naive.mean_cable_m,
+                     packaging.edge_length(n) / 4.0, clos.mean_cable_m))
+    return rows
+
+
+def test_ablation_layout(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print()
+    print(f"{'N':>6} {'E/3':>7} {'fig8':>7} {'naive':>7} {'E/4':>7} {'clos meas':>9}")
+    for n, heuristic, fig8, naive, clos_h, clos_m in rows:
+        print(f"{n:>6} {heuristic:>7.2f} {fig8:>7.2f} {naive:>7.2f} "
+              f"{clos_h:>7.2f} {clos_m:>9.2f}")
+    by_n = {row[0]: row for row in rows}
+    # 3-dimensional machines: E/3 within 15% of the placed measurement.
+    for n in (16384, 65536):
+        _, heuristic, fig8, naive, _, _ = by_n[n]
+        assert abs(fig8 - heuristic) / heuristic < 0.15
+        # Axis-aligned placement beats naive placement at scale.
+        assert fig8 < naive
+    # 2-dimensional machine: the heuristic is optimistic.
+    _, heuristic, fig8, _, _, _ = by_n[4096]
+    assert fig8 > heuristic

@@ -1,0 +1,15 @@
+"""Figure 1 benchmark: the butterfly-to-flattened construction."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_construction
+
+
+def test_fig01_construction(benchmark):
+    result = run_once(benchmark, lambda: fig01_construction.run("ci"))
+    for title in ("channel accounting, 4-ary 2-fly",
+                  "channel accounting, 2-ary 4-fly"):
+        by_name = dict(result.table(title).rows)
+        assert by_name["construction matches"] == "True"
+    print()
+    print(result.to_text())

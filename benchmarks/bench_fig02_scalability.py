@@ -1,0 +1,14 @@
+"""Figure 2 benchmark: scalability table generation."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_scalability
+
+
+def test_fig02_scalability(benchmark):
+    result = run_once(benchmark, lambda: fig02_scalability.run("ci"))
+    table = result.tables[0]
+    row = next(r for r in table.rows if r[0] == 61)
+    assert row[3] == 65536  # k'=61, n'=3 -> 64K (paper anchor)
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Figure 3 benchmark: flattened butterfly vs generalized hypercube
+economics."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_ghc
+
+
+def test_fig03_ghc(benchmark):
+    result = run_once(benchmark, lambda: fig03_ghc.run("ci"))
+    cost = result.table("cost comparison")
+    fb_cost, ghc_cost = (row[1] for row in cost.rows)
+    # Concentration makes the flattened butterfly drastically cheaper.
+    assert ghc_cost > 5 * fb_cost
+    print()
+    print(result.to_text())

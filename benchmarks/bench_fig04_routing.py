@@ -1,0 +1,24 @@
+"""Figure 4 benchmark: the five routing algorithms on UR and worst-case
+traffic — the paper's central routing result."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig04_routing
+
+
+def test_fig04_routing(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: fig04_routing.run(bench_scale))
+    k = bench_scale.fb_k
+    ur = dict(result.table("saturation throughput, UR traffic").rows)
+    wc = dict(result.table("saturation throughput, WC traffic").rows)
+    # Figure 4(a): all but VAL ~100%; VAL ~50%.
+    assert ur["MIN AD"] > 0.85
+    assert ur["CLOS AD"] > 0.85
+    assert 0.4 < ur["VAL"] < 0.6
+    # Figure 4(b): MIN collapses to 1/k; non-minimal ~50%.
+    assert wc["MIN AD"] == pytest.approx(1 / k, abs=0.02)
+    for name in ("VAL", "UGAL", "UGAL-S", "CLOS AD"):
+        assert wc[name] > 0.4
+    print()
+    print(result.to_text())

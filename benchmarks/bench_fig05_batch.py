@@ -1,0 +1,21 @@
+"""Figure 5 benchmark: dynamic response / transient load imbalance."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_batch
+
+
+def test_fig05_batch(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: fig05_batch.run(bench_scale))
+    table = result.tables[0]
+    headers = list(table.headers)
+    small = table.rows[0]
+    # Greedy UGAL suffers transient imbalance at small batches; the
+    # sequential allocator fixes it and CLOS AD is best overall.
+    assert small[headers.index("UGAL-S")] <= small[headers.index("UGAL")]
+    assert small[headers.index("CLOS AD")] <= small[headers.index("UGAL-S")]
+    large = table.rows[-1]
+    # Asymptotes approach the inverse throughputs.
+    assert large[headers.index("MIN AD")] > 2.5 * large[headers.index("CLOS AD")]
+    print()
+    print(result.to_text())

@@ -1,0 +1,28 @@
+"""Figure 6 (and Table 1) benchmark: topology comparison at equal
+bisection bandwidth."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig06_topologies
+
+
+def test_fig06_topologies(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: fig06_topologies.run(bench_scale))
+    k = bench_scale.fb_k
+    ur = dict(result.table("saturation throughput, UR traffic").rows)
+    wc = dict(result.table("saturation throughput, WC traffic").rows)
+    # Figure 6(a): equal-bisection folded Clos ~50%, the rest ~100%.
+    assert ur["folded Clos"] < 0.7 < ur["FB (CLOS AD)"]
+    assert ur["butterfly"] > 0.85
+    assert ur["hypercube"] > 0.85
+    # Figure 6(b): butterfly == minimally routed FB ~ 1/k; the
+    # adaptive FB and the Clos both reach ~50%; the equal-bisection
+    # hypercube ~50%.
+    assert wc["butterfly"] == pytest.approx(wc["FB (MIN)"], abs=0.02)
+    assert wc["butterfly"] == pytest.approx(1 / k, abs=0.02)
+    assert wc["FB (CLOS AD)"] == pytest.approx(0.5, abs=0.05)
+    assert wc["folded Clos"] == pytest.approx(0.5, abs=0.08)
+    assert wc["hypercube"] == pytest.approx(0.5, abs=0.08)
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Figure 7 benchmark: cable cost fits and the repeatered model."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig07_cable_cost
+
+
+def test_fig07_cable_cost(benchmark):
+    result = run_once(benchmark, lambda: fig07_cable_cost.run("ci"))
+    model = result.table("(b) repeatered cable model ($ per signal)")
+    by_length = {row[0]: row for row in model.rows}
+    assert by_length[2][2] == pytest.approx(5.34)  # Table 2 anchor
+    assert by_length[6][1] == 0 and by_length[7][1] == 1  # 6 m repeater step
+    print()
+    print(result.to_text())

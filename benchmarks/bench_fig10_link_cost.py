@@ -1,0 +1,24 @@
+"""Figure 10 benchmark: link-cost share and average cable length."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_link_cost
+
+
+def test_fig10_link_cost(benchmark):
+    result = run_once(benchmark, lambda: fig10_link_cost.run("ci"))
+    fraction = result.tables[0]
+    headers = list(fraction.headers)
+    last = fraction.rows[-1]  # N = 64K
+    # Links dominate cost (~80%) except for the router-heavy hypercube.
+    assert last[headers.index("FB")] > 0.7
+    assert last[headers.index("folded Clos")] > 0.7
+    assert last[headers.index("hypercube")] < 0.6
+    lengths = result.tables[1]
+    headers = list(lengths.headers)
+    last = lengths.rows[-1]
+    # FB cables are the longest, hypercube cables the shortest.
+    assert last[headers.index("FB")] > last[headers.index("folded Clos")]
+    assert last[headers.index("folded Clos")] > last[headers.index("hypercube")]
+    print()
+    print(result.to_text())

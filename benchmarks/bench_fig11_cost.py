@@ -1,0 +1,22 @@
+"""Figure 11 benchmark: cost per node of the four topologies."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_cost
+
+
+def test_fig11_cost(benchmark):
+    result = run_once(benchmark, lambda: fig11_cost.run("ci"))
+    cost = result.tables[0]
+    headers = list(cost.headers)
+    for row in cost.rows:
+        n = row[0]
+        fb = row[headers.index("FB")]
+        clos = row[headers.index("folded Clos")]
+        cube = row[headers.index("hypercube")]
+        # Paper: FB 35-53% cheaper than Clos (generous reproduction
+        # band), hypercube the most expensive topology.
+        assert 0.20 <= 1 - fb / clos <= 0.70, f"N={n}"
+        assert cube > clos
+    print()
+    print(result.to_text())

@@ -1,0 +1,20 @@
+"""Figure 12 benchmark: fixed-N design study under VAL and MIN AD."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_design
+
+
+def test_fig12_design(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: fig12_design.run(bench_scale))
+    val = result.table("(a) VAL on UR traffic")
+    throughputs = val.column("saturation throughput")
+    # VAL delivers ~50% of capacity for every configuration.
+    assert all(0.35 < t < 0.6 for t in throughputs)
+    # Latency grows as dimensionality grows (radix shrinks).
+    latencies = val.column("low-load latency")
+    assert latencies == sorted(latencies)
+    min_ad = result.table("(b) MIN AD on UR traffic (64 flits per PC)")
+    assert all(t > 0.8 for t in min_ad.column("saturation throughput"))
+    print()
+    print(result.to_text())

@@ -1,0 +1,20 @@
+"""Figure 13 benchmark: cost of N=4K flattened butterflies vs n'."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_cost_vs_n
+
+
+def test_fig13_cost_vs_n(benchmark):
+    result = run_once(benchmark, lambda: fig13_cost_vs_n.run("ci"))
+    table = result.tables[0]
+    costs = table.column("cost per node ($)")
+    # The lowest dimensionality is cheapest and cost rises with n'.
+    assert costs == sorted(costs)
+    # Paper bands: ~+45% at n'=2 and ~+300% at n'=5 (generous).
+    assert 1.2 <= costs[1] / costs[0] <= 2.2
+    n_primes = table.column("n'")
+    idx5 = n_primes.index(5)
+    assert 2.5 <= costs[idx5] / costs[0] <= 5.5
+    print()
+    print(result.to_text())

@@ -1,0 +1,28 @@
+"""Figure 15 benchmark: power comparison of the four topologies."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_power
+
+
+def test_fig15_power(benchmark):
+    result = run_once(benchmark, lambda: fig15_power.run("ci"))
+    table = result.tables[0]
+    headers = list(table.headers)
+    by_n = {row[0]: row for row in table.rows}
+    # Hypercube always the most power-hungry.
+    for row in table.rows:
+        for name in ("FB", "butterfly", "folded Clos"):
+            assert row[headers.index("hypercube")] > row[headers.index(name)]
+    # FB <= conventional butterfly at 1K (dedicated local SerDes).
+    row_1k = by_n[1024]
+    assert row_1k[headers.index("FB")] <= row_1k[headers.index("butterfly")]
+    # Large saving vs Clos at 4K; smaller once FB needs 3 dimensions.
+    def saving(n):
+        row = by_n[n]
+        return 1 - row[headers.index("FB")] / row[headers.index("folded Clos")]
+
+    assert saving(4096) > 0.35
+    assert saving(16384) < saving(4096)
+    print()
+    print(result.to_text())

@@ -1,0 +1,15 @@
+"""Tables 2/3/5 benchmark: model constants audit."""
+
+from conftest import run_once
+
+from repro.experiments import table02_constants
+
+
+def test_table02_constants(benchmark):
+    result = run_once(benchmark, lambda: table02_constants.run("ci"))
+    text = result.to_text()
+    for anchor in ("$390", "$90", "$300", "$1.95", "$220.00", "40 W",
+                   "200 mW", "160 mW", "40 mW"):
+        assert anchor in text
+    print()
+    print(text)

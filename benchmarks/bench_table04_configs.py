@@ -1,0 +1,15 @@
+"""Table 4 benchmark: N=4K configuration table."""
+
+from conftest import run_once
+
+from repro.experiments import table04_configs
+
+
+def test_table04_configs(benchmark):
+    result = run_once(benchmark, lambda: table04_configs.run("ci"))
+    assert "matches the paper exactly" in result.to_text()
+    rows = {tuple(r) for r in result.tables[0].rows}
+    assert (64, 2, 127, 1) in rows
+    assert (16, 3, 46, 2) in rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,45 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper via
+its experiment harness and asserts the headline shape, so the
+benchmark run doubles as an end-to-end verification pass.  Simulation
+benchmarks default to a reduced scale (see DESIGN.md section 6); set
+``REPRO_FULL=1`` to run the paper's exact configurations.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.experiments.common import Scale
+
+# Reduced-but-meaningful scale for benchmarked simulations: an 8-ary
+# 2-flat (N=64) with windows long enough for stable saturation
+# measurements.
+BENCH_SCALE = Scale(
+    name="bench",
+    fb_k=8,
+    loads=(0.2, 0.4, 0.6, 0.8, 1.0),
+    warmup=400,
+    measure=400,
+    drain_max=4000,
+    batch_sizes=(1, 4, 16, 64),
+    design_study_n=256,
+)
+
+
+@pytest.fixture
+def bench_scale():
+    if os.environ.get("REPRO_FULL") == "1":
+        from repro.experiments.common import PAPER_SCALE
+
+        return PAPER_SCALE
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

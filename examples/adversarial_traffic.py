@@ -1,0 +1,90 @@
+"""Adversarial traffic: why the flattened butterfly needs non-minimal
+global adaptive routing.
+
+Reproduces the paper's worst-case scenario (Section 2.2/3.2): every
+node attached to router R_i sends to a random node attached to router
+R_{i+1}.  Under minimal routing all of that traffic fights over the
+single channel (R_i, R_{i+1}) and throughput collapses to 1/k; CLOS AD
+misroutes a fraction of the traffic through intermediate routers and
+restores 50% throughput — matching a folded Clos at roughly half the
+cost.
+
+Run with::
+
+    python examples/adversarial_traffic.py
+"""
+
+from repro import (
+    ClosAD,
+    DimensionOrder,
+    FlattenedButterfly,
+    MinimalAdaptive,
+    SimulationConfig,
+    Simulator,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+from repro.traffic import adversarial
+
+K = 8  # 8-ary 2-flat: N = 64, 8 routers of radix 15
+
+
+def saturation(algorithm) -> float:
+    simulator = Simulator(
+        FlattenedButterfly(K, 2),
+        algorithm,
+        adversarial(),
+        SimulationConfig(seed=7),
+    )
+    return simulator.measure_saturation_throughput(warmup=1000, measure=1000)
+
+
+def batch_response(algorithm, batch: int) -> float:
+    simulator = Simulator(
+        FlattenedButterfly(K, 2),
+        algorithm,
+        adversarial(),
+        SimulationConfig(seed=7),
+    )
+    return simulator.run_batch(batch).normalized_latency
+
+
+def main() -> None:
+    print(f"Worst-case traffic on an {K}-ary 2-flat (N={K * K})")
+    print("=" * 56)
+    print()
+    print("Saturation throughput (fraction of injection bandwidth):")
+    algorithms = [
+        ("MIN (dimension order)", DimensionOrder()),
+        ("MIN AD", MinimalAdaptive()),
+        ("VAL", Valiant()),
+        ("UGAL", UGAL()),
+        ("UGAL-S", UGALSequential()),
+        ("CLOS AD", ClosAD()),
+    ]
+    for name, algorithm in algorithms:
+        thr = saturation(algorithm)
+        bar = "#" * round(thr * 40)
+        print(f"  {name:<22} {thr:5.3f}  {bar}")
+    print()
+    print(f"Minimal routing is pinned at 1/k = {1 / K:.3f}; every")
+    print("non-minimal algorithm load-balances to ~0.5 (the maximum for")
+    print("this pattern, which must cross the channel bisection twice).")
+    print()
+
+    print("Transient load imbalance (Figure 5): time to deliver a batch,")
+    print("normalized to batch size — smaller is better:")
+    print(f"  {'batch':>6} {'UGAL':>7} {'UGAL-S':>7} {'CLOS AD':>8}")
+    for batch in (1, 4, 16, 64):
+        row = [batch_response(cls(), batch) for cls in (UGAL, UGALSequential, ClosAD)]
+        print(f"  {batch:>6} {row[0]:>7.2f} {row[1]:>7.2f} {row[2]:>8.2f}")
+    print()
+    print("UGAL's greedy allocator lets every input pile onto the same")
+    print("short queue before the state updates; the sequential allocator")
+    print("(UGAL-S) removes that, and CLOS AD also removes the imbalance")
+    print("across intermediate routers by picking them adaptively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: build a flattened butterfly, route traffic, measure.
+
+Builds the 8-ary 2-flat (a scaled-down version of the paper's 32-ary
+2-flat), inspects its structure, and runs the CLOS AD routing algorithm
+under uniform-random traffic across a range of offered loads.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ClosAD, FlattenedButterfly, SimulationConfig, Simulator, UniformRandom
+
+
+def main() -> None:
+    # --- Topology ------------------------------------------------------
+    # A k-ary n-flat: k terminals per router, n-1 dimensions of
+    # complete-graph connections (Section 2 of the paper).
+    topology = FlattenedButterfly(8, 2)
+    print(f"topology:        {topology.name}")
+    print(f"terminals:       {topology.num_terminals}")
+    print(f"routers:         {topology.num_routers}")
+    print(f"router radix k': {topology.router_radix}")
+    print(f"diameter:        {topology.diameter()} inter-router hop(s)")
+    print(f"channels:        {len(topology.channels)} unidirectional")
+    print()
+
+    # Path diversity (Section 2.2): i! minimal routes when i digits
+    # differ.
+    a, b = 0, topology.num_routers - 1
+    print(
+        f"minimal routes between router {a} and router {b}: "
+        f"{topology.num_minimal_routes(a, b)}"
+    )
+    print()
+
+    # --- Simulation ----------------------------------------------------
+    # CLOS AD: the paper's best routing algorithm — adaptive choice of
+    # the middle stage with a sequential allocator (Section 3.1).
+    print(f"{'load':>6} {'avg latency':>12} {'throughput':>11} {'avg hops':>9}")
+    for load in (0.1, 0.3, 0.5, 0.7, 0.9):
+        simulator = Simulator(
+            FlattenedButterfly(8, 2),
+            ClosAD(),
+            UniformRandom(),
+            SimulationConfig(seed=42),
+        )
+        result = simulator.run_open_loop(
+            load, warmup=500, measure=500, drain_max=20_000
+        )
+        print(
+            f"{load:>6.1f} {result.latency.mean:>12.2f} "
+            f"{result.accepted_throughput:>11.3f} {result.mean_hops:>9.2f}"
+        )
+    print()
+    print("All of the offered load is accepted right up to saturation —")
+    print("on benign traffic the flattened butterfly behaves like a")
+    print("butterfly at half the cost of a folded Clos.")
+
+
+if __name__ == "__main__":
+    main()

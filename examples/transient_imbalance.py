@@ -1,0 +1,73 @@
+"""Watching Figure 5's transient load imbalance happen.
+
+Traces the queue of the *minimal* channel (R0 -> R1 under the
+worst-case pattern) cycle by cycle while a small batch drains, for
+each routing algorithm.  With the greedy allocator (UGAL), every input
+of a routing cycle sees the same short queue and piles onto it; the
+sequential allocator (UGAL-S) spreads within the cycle; CLOS AD also
+spreads across intermediate routers.  The printed sparklines are the
+mechanism behind the paper's Figure 5.
+
+Run with::
+
+    python examples/transient_imbalance.py
+"""
+
+from repro import (
+    ClosAD,
+    FlattenedButterfly,
+    SimulationConfig,
+    Simulator,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+from repro.network import QueueTrace
+from repro.traffic import adversarial
+
+K = 8
+BATCH = 4
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values, peak):
+    scale = max(peak, 1)
+    return "".join(BARS[min(len(BARS) - 1, v * (len(BARS) - 1) // scale)] for v in values)
+
+
+def main() -> None:
+    fb = FlattenedButterfly(K, 2)
+    hot = fb.channel_to(0, 1, 1)       # the minimal channel R0 -> R1
+    cold = fb.channel_to(0, 1, 5)      # one non-minimal alternative
+
+    print(f"Worst-case batch of {BATCH} packets/node on an {K}-ary 2-flat.")
+    print("Occupancy of the minimal channel (top) and one non-minimal")
+    print("channel (bottom), one character per cycle:")
+    print()
+    global_peak = 0
+    runs = []
+    for cls in (UGAL, UGALSequential, ClosAD, Valiant):
+        sim = Simulator(
+            FlattenedButterfly(K, 2), cls(), adversarial(),
+            SimulationConfig(seed=1),
+        )
+        trace = QueueTrace([hot, cold])
+        sim.attach_tracer(trace)
+        sim.run_batch(BATCH)
+        runs.append((cls.name, trace))
+        global_peak = max(global_peak, trace.peak(hot))
+
+    for name, trace in runs:
+        hot_series = trace.series[hot.index]
+        cold_series = trace.series[cold.index]
+        print(f"{name:<8} peak={trace.peak(hot):>3}  |{sparkline(hot_series, global_peak)}|")
+        print(f"{'':<8} peak={trace.peak(cold):>3}  |{sparkline(cold_series, global_peak)}|")
+        print()
+
+    print("UGAL's greedy allocator spikes the minimal queue hardest; the")
+    print("sequential allocator flattens the spike, and CLOS AD keeps both")
+    print("queues low by spreading across every intermediate adaptively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Closed-form analysis: scalability (Figure 2, Table 4, Section 5.1)
+and capacity (footnote 3)."""
+
+from .capacity import bisection_channels, capacity, ideal_throughput
+from .channel_load import (
+    adversarial_matrix,
+    channel_loads,
+    fb_dimension_order,
+    fb_valiant,
+    butterfly_destination_tag,
+    hypercube_ecube,
+    ideal_saturation_throughput,
+    max_channel_load,
+    uniform_matrix,
+)
+from .wire_delay import WireDelayModel
+from .scaling import (
+    FlatConfig,
+    PackagedFlatConfig,
+    butterfly_stages,
+    effective_radix,
+    fixed_radix_config,
+    folded_clos_levels,
+    max_nodes,
+    packaged_config,
+    table4_configs,
+)
+
+__all__ = [
+    "adversarial_matrix",
+    "channel_loads",
+    "fb_dimension_order",
+    "fb_valiant",
+    "butterfly_destination_tag",
+    "hypercube_ecube",
+    "ideal_saturation_throughput",
+    "max_channel_load",
+    "uniform_matrix",
+    "WireDelayModel",
+    "bisection_channels",
+    "capacity",
+    "ideal_throughput",
+    "FlatConfig",
+    "PackagedFlatConfig",
+    "butterfly_stages",
+    "effective_radix",
+    "fixed_radix_config",
+    "folded_clos_levels",
+    "max_nodes",
+    "packaged_config",
+    "table4_configs",
+]

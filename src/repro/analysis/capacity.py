@@ -1,0 +1,67 @@
+"""Network capacity math (footnote 3 of the paper).
+
+The capacity of a network — its ideal throughput under uniform random
+traffic, as a fraction of terminal injection bandwidth — is ``2B/N``
+for bisection-limited topologies, where ``B`` is the bisection
+bandwidth in unidirectional channels and ``N`` the number of
+terminals.  For the flattened butterfly, as for the butterfly,
+``B = N/2`` and the capacity is 1.  VAL's two random phases double
+channel load, halving throughput to 0.5 on any pattern.
+
+:func:`capacity` computes the uniform-random capacity channel-limit by
+channel-limit (injection, ejection, and per-dimension channel loads)
+rather than only through the bisection, so concentration-free
+topologies like the hypercube (whose channels would support twice the
+injection bandwidth) come out correctly capped at 1.
+"""
+
+from __future__ import annotations
+
+from ..topologies.base import Topology
+from ..topologies.butterfly import Butterfly
+from ..topologies.folded_clos import FoldedClos
+from ..topologies.hyperx import HyperX
+
+
+def ideal_throughput(bisection_channels_uni: int, num_terminals: int) -> float:
+    """Capacity = 2B/N, with B in unidirectional channels."""
+    if num_terminals < 1:
+        raise ValueError(f"num_terminals must be >= 1, got {num_terminals}")
+    if bisection_channels_uni < 0:
+        raise ValueError(f"negative bisection {bisection_channels_uni}")
+    return 2.0 * bisection_channels_uni / num_terminals
+
+
+def bisection_channels(topology: Topology) -> int:
+    """Unidirectional channels crossing a balanced terminal bisection."""
+    if isinstance(topology, HyperX):
+        return 2 * topology.bisection_channels()
+    if isinstance(topology, Butterfly):
+        # Halving the terminal groups of a k-ary n-fly cuts half the
+        # channels of the first column (unidirectional network).
+        return topology.num_terminals // 2
+    if isinstance(topology, FoldedClos):
+        # All leaf-spine links of one leaf half cross the cut.
+        return topology.num_leaves * topology.num_spines
+    raise TypeError(f"no bisection rule for {type(topology).__name__}")
+
+
+def capacity(topology: Topology) -> float:
+    """Ideal uniform-random throughput (flits/terminal/cycle) with
+    unit-bandwidth channels, capped at the unit injection bandwidth."""
+    if isinstance(topology, HyperX):
+        # Dimension-d channel load per unit offered load is c / m_d;
+        # the tightest dimension limits throughput.
+        c = topology.concentration
+        channel_limit = min(m / c for m in topology.dims)
+        return min(1.0, channel_limit)
+    if isinstance(topology, Butterfly):
+        # One minimal path per pair; every column carries each packet
+        # once, so channel load equals offered load.
+        return 1.0
+    if isinstance(topology, FoldedClos):
+        # Leaf uplink bandwidth is 1/taper of terminal bandwidth; the
+        # vanishing fraction of leaf-local traffic is ignored, as in
+        # the paper's "50% throughput" statement.
+        return min(1.0, 1.0 / topology.taper)
+    raise TypeError(f"no capacity rule for {type(topology).__name__}")

@@ -1,0 +1,161 @@
+"""Analytical channel loads and ideal throughput.
+
+For an *oblivious* routing algorithm the expected load on every
+channel is computable exactly: sum, over source/destination pairs,
+the traffic rate times the probability the route crosses the channel.
+Ideal (saturation) throughput is then the reciprocal of the maximum
+channel load per unit offered load [Dally & Towles, ch. 3].
+
+This module enumerates routes for the library's oblivious algorithms —
+dimension-order on the flattened butterfly, Valiant, the butterfly's
+destination-tag route, e-cube on the hypercube — and provides the
+traffic matrices of the paper's two patterns.  The test suite uses it
+to cross-validate the cycle-accurate simulator: theory says MIN on the
+worst-case pattern loads the (R_i, R_i+1) channel k times, hence 1/k
+throughput; the simulator must agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from ..topologies.base import Topology
+from ..topologies.butterfly import Butterfly
+from ..topologies.hypercube import Hypercube
+from ..topologies.hyperx import HyperX
+
+# A route enumerator yields (channel_index, probability) pairs for one
+# terminal pair; probabilities along any single path sum once per
+# traversed channel.
+RouteEnumerator = Callable[[Topology, int, int], Iterable[Tuple[int, float]]]
+
+# A traffic matrix yields (src, dst, rate) with rate in flits per cycle
+# per terminal summing to 1 per source.
+TrafficMatrix = Iterable[Tuple[int, int, float]]
+
+
+# ----------------------------------------------------------------------
+# Traffic matrices (per-source rates sum to 1)
+# ----------------------------------------------------------------------
+def uniform_matrix(topology: Topology) -> TrafficMatrix:
+    """Uniform random: every other terminal equally likely."""
+    n = topology.num_terminals
+    rate = 1.0 / (n - 1)
+    for src in range(n):
+        for dst in range(n):
+            if dst != src:
+                yield src, dst, rate
+
+
+def adversarial_matrix(topology: Topology) -> TrafficMatrix:
+    """The paper's worst case: router group g to random terminals of
+    group g+1."""
+    groups: Dict[int, List[int]] = defaultdict(list)
+    order: List[int] = []
+    for t in range(topology.num_terminals):
+        router = topology.injection_router(t)
+        if router not in groups:
+            order.append(router)
+        groups[router].append(t)
+    for g, router in enumerate(order):
+        nxt = groups[order[(g + 1) % len(order)]]
+        rate = 1.0 / len(nxt)
+        for src in groups[router]:
+            for dst in nxt:
+                yield src, dst, rate
+
+
+# ----------------------------------------------------------------------
+# Route enumerators
+# ----------------------------------------------------------------------
+def fb_dimension_order(topology: HyperX, src: int, dst: int):
+    """Minimal dimension-order route on a flattened butterfly."""
+    current = topology.injection_router(src)
+    target = topology.ejection_router(dst)
+    for d in range(1, topology.num_dims + 1):
+        want = topology.coord_digit(target, d)
+        if topology.coord_digit(current, d) != want:
+            channel = topology.channel_to(current, d, want)
+            yield channel.index, 1.0
+            current = channel.dst
+
+
+def fb_valiant(topology: HyperX, src: int, dst: int):
+    """Valiant: dimension order to a uniform intermediate router, then
+    dimension order to the destination."""
+    share = 1.0 / topology.num_routers
+    target = topology.ejection_router(dst)
+    start = topology.injection_router(src)
+    for intermediate in range(topology.num_routers):
+        current = start
+        for d in range(1, topology.num_dims + 1):
+            want = topology.coord_digit(intermediate, d)
+            if topology.coord_digit(current, d) != want:
+                channel = topology.channel_to(current, d, want)
+                yield channel.index, share
+                current = channel.dst
+        for d in range(1, topology.num_dims + 1):
+            want = topology.coord_digit(target, d)
+            if topology.coord_digit(current, d) != want:
+                channel = topology.channel_to(current, d, want)
+                yield channel.index, share
+                current = channel.dst
+
+
+def butterfly_destination_tag(topology: Butterfly, src: int, dst: int):
+    """The butterfly's unique destination-tag route."""
+    current = topology.injection_router(src)
+    for _ in range(topology.n - 1):
+        channel = topology.destination_tag_next(current, dst)
+        yield channel.index, 1.0
+        current = channel.dst
+
+
+def hypercube_ecube(topology: Hypercube, src: int, dst: int):
+    """e-cube: fix address bits lowest-first."""
+    current = topology.injection_router(src)
+    target = topology.ejection_router(dst)
+    while current != target:
+        channel = topology.ecube_next(current, target)
+        yield channel.index, 1.0
+        current = channel.dst
+
+
+# ----------------------------------------------------------------------
+# Load computation
+# ----------------------------------------------------------------------
+def channel_loads(
+    topology: Topology,
+    enumerate_route: RouteEnumerator,
+    matrix: TrafficMatrix,
+) -> Dict[int, float]:
+    """Expected flits per cycle on each channel at unit offered load."""
+    loads: Dict[int, float] = defaultdict(float)
+    for src, dst, rate in matrix:
+        for channel_index, probability in enumerate_route(topology, src, dst):
+            loads[channel_index] += rate * probability
+    return dict(loads)
+
+
+def max_channel_load(
+    topology: Topology,
+    enumerate_route: RouteEnumerator,
+    matrix: TrafficMatrix,
+) -> float:
+    """Load of the busiest channel at unit offered load."""
+    loads = channel_loads(topology, enumerate_route, matrix)
+    return max(loads.values()) if loads else 0.0
+
+
+def ideal_saturation_throughput(
+    topology: Topology,
+    enumerate_route: RouteEnumerator,
+    matrix: TrafficMatrix,
+) -> float:
+    """Saturation throughput implied by the busiest channel, capped at
+    unit injection/ejection bandwidth."""
+    worst = max_channel_load(topology, enumerate_route, matrix)
+    if worst <= 0:
+        return 1.0
+    return min(1.0, 1.0 / worst)

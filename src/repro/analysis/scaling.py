@@ -1,0 +1,232 @@
+"""Closed-form scalability math (Figure 2, Table 4, Section 5.1.2).
+
+A k-ary n-flat has ``N = k**n`` terminals, ``n' = n - 1`` dimensions,
+and router radix ``k' = n(k - 1) + 1``.  Given a router radix budget,
+the paper selects the *smallest* dimensionality that meets the scaling
+requirement, since Section 5.1.1 shows the lowest dimensionality gives
+both the highest performance and the lowest cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FlatConfig:
+    """One flattened-butterfly design point."""
+
+    k: int
+    n: int
+
+    @property
+    def n_prime(self) -> int:
+        """Number of inter-router dimensions."""
+        return self.n - 1
+
+    @property
+    def k_prime(self) -> int:
+        """Router radix k' = n(k-1) + 1."""
+        return self.n * (self.k - 1) + 1
+
+    @property
+    def num_terminals(self) -> int:
+        return self.k**self.n
+
+    @property
+    def num_routers(self) -> int:
+        return self.k ** (self.n - 1)
+
+
+def max_nodes(k_prime: int, n_prime: int) -> int:
+    """Largest network a radix-``k_prime`` router supports with
+    ``n_prime`` dimensions (Figure 2's y-axis).
+
+    Inverts ``k' = n(k-1)+1``: ``k = (k'-1)/n + 1`` (floored), and
+    ``N = k**n``.
+    """
+    if k_prime < 2:
+        raise ValueError(f"k' must be >= 2, got {k_prime}")
+    if n_prime < 1:
+        raise ValueError(f"n' must be >= 1, got {n_prime}")
+    n = n_prime + 1
+    k = (k_prime - 1) // n + 1
+    if k < 2:
+        return 0
+    return k**n
+
+
+def table4_configs(num_terminals: int = 4096) -> List[FlatConfig]:
+    """All (k, n) with ``k**n == num_terminals`` and k >= 2 — the rows
+    of Table 4 when ``num_terminals`` is 4K."""
+    configs = []
+    for n in range(2, num_terminals.bit_length() + 1):
+        k = round(num_terminals ** (1.0 / n))
+        for candidate in (k - 1, k, k + 1):
+            if candidate >= 2 and candidate**n == num_terminals:
+                configs.append(FlatConfig(candidate, n))
+                break
+    return configs
+
+
+def fixed_radix_config(num_terminals: int, radix: int) -> FlatConfig:
+    """Smallest-dimensionality design with radix-``radix`` routers
+    (Section 5.1.2): the least n' with
+    ``floor(radix / (n'+1)) ** (n'+1) >= N``."""
+    if num_terminals < 2:
+        raise ValueError(f"num_terminals must be >= 2, got {num_terminals}")
+    for n_prime in range(1, radix):
+        k = radix // (n_prime + 1)
+        if k < 2:
+            break
+        if k ** (n_prime + 1) >= num_terminals:
+            return FlatConfig(k, n_prime + 1)
+    raise ValueError(f"radix-{radix} routers cannot reach {num_terminals} terminals")
+
+
+def effective_radix(radix: int, n_prime: int) -> int:
+    """k' actually used when radix-``radix`` routers implement an
+    n'-dimensional flattened butterfly (Section 5.1.2):
+    ``k' = (floor(radix/(n'+1)) - 1)(n'+1) + 1``."""
+    k = radix // (n_prime + 1)
+    if k < 2:
+        raise ValueError(f"radix {radix} too small for {n_prime} dimensions")
+    return (k - 1) * (n_prime + 1) + 1
+
+
+def _pow2_floor(x: int) -> int:
+    if x < 1:
+        raise ValueError(f"need a positive value, got {x}")
+    return 1 << (x.bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class PackagedFlatConfig:
+    """A power-of-two-friendly flattened-butterfly configuration used
+    by the cost sweeps (matching the paper's concrete designs: 32-ary
+    2-flat at 1K, 16-ary 3-flat at 4K, 16-ary 4-flat at 64K).
+
+    ``multiplicity[d]`` parallel channels connect each router pair of
+    dimension ``d+1``.  Partially populated dimensions use redundant
+    channels (Figure 14(a)'s extra-port organization) so every
+    dimension keeps unit capacity: channel load in dimension d under
+    uniform traffic is ``c / (m_d * mult_d) <= 1``.
+    """
+
+    concentration: int
+    dims: Tuple[int, ...]
+    multiplicity: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.multiplicity:
+            object.__setattr__(self, "multiplicity", (1,) * len(self.dims))
+        if len(self.multiplicity) != len(self.dims):
+            raise ValueError("multiplicity must match dims")
+
+    @property
+    def num_terminals(self) -> int:
+        return self.concentration * math.prod(self.dims)
+
+    @property
+    def num_routers(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def n_prime(self) -> int:
+        return len(self.dims)
+
+    @property
+    def router_radix(self) -> int:
+        return self.concentration + sum(
+            (m - 1) * mult for m, mult in zip(self.dims, self.multiplicity)
+        )
+
+    @property
+    def capacity(self) -> float:
+        """Uniform-random capacity: limited by the tightest dimension."""
+        return min(
+            m * mult / self.concentration
+            for m, mult in zip(self.dims, self.multiplicity)
+        )
+
+
+def packaged_config(num_terminals: int, radix: int = 64) -> PackagedFlatConfig:
+    """Concrete flattened butterfly for a power-of-two node count.
+
+    Picks the smallest dimensionality n' for which some power-of-two
+    concentration and extents fit the radix budget
+    (``c + sum(m_i - 1) <= radix``), preferring the largest feasible
+    concentration and balancing the extents.  Extents are ordered
+    smallest-first so dimension 1 — the locally packaged one — spans
+    the fewest cabinets.
+
+    Reproduces the paper's concrete designs: the 32-ary 2-flat at 1K
+    (k' = 63), the 16-ary 3-flat at 4K (k' = 46, Table 4), a
+    two-dimensional network up to 8K (driving the Figure 15 power
+    step), and the 16-ary 4-flat at 64K (k' = 61, Figure 8).
+    """
+    if num_terminals < 2 or num_terminals & (num_terminals - 1):
+        raise ValueError(
+            f"num_terminals must be a power of two >= 2, got {num_terminals}"
+        )
+    if num_terminals == 2:
+        return PackagedFlatConfig(1, (2,))
+    total_bits = num_terminals.bit_length() - 1
+    max_c_bits = max(0, _pow2_floor(radix).bit_length() - 1)
+    for n_prime in range(1, total_bits + 1):
+        for c_bits in range(min(max_c_bits, total_bits - n_prime), -1, -1):
+            remaining = total_bits - c_bits
+            if remaining < n_prime:
+                continue
+            # Fill dimensions k-first, as the paper packages them
+            # (Figure 8: dimension-1 subsystems of c*k nodes are fully
+            # populated; the top dimension absorbs the remainder).
+            bits = [c_bits] * n_prime
+            excess = remaining - c_bits * n_prime
+            if excess > 0:
+                bits[-1] += excess
+            else:
+                i = n_prime - 1
+                while excess < 0 and i >= 0:
+                    take = min(bits[i] - 1, -excess)
+                    bits[i] -= take
+                    excess += take
+                    i -= 1
+                if excess < 0:
+                    continue
+            extents = [1 << b for b in bits]
+            c = 1 << c_bits
+            # Full-bisection constraint: uniform-random channel load in
+            # dimension d is c / (m_d * mult_d), so an under-populated
+            # dimension gets redundant parallel channels (Figure 14(a))
+            # until it matches the concentration.
+            mult = tuple(max(1, -(-c // m)) for m in extents)
+            ports = c + sum((m - 1) * x for m, x in zip(extents, mult))
+            if ports <= radix:
+                return PackagedFlatConfig(c, tuple(extents), mult)
+    raise ValueError(f"radix-{radix} routers cannot reach {num_terminals} terminals")
+
+
+def butterfly_stages(num_terminals: int, radix: int = 64) -> int:
+    """Stages of a conventional butterfly built from routers with
+    ``radix`` inputs and ``radix`` outputs (the paper's "radix-64"
+    unidirectional router, pin-comparable to a radix-64 bidirectional
+    one)."""
+    if num_terminals < 2:
+        raise ValueError(f"num_terminals must be >= 2, got {num_terminals}")
+    return max(1, math.ceil(math.log(num_terminals, radix)))
+
+
+def folded_clos_levels(num_terminals: int, radix: int = 64) -> int:
+    """Physical levels of a folded Clos from radix-``radix`` routers:
+    the smallest L with ``(radix/2)**L >= N``.  Matches the paper's
+    step from a 2-level (3-stage) to a 3-level network between 1K and
+    2K nodes with radix-64 routers."""
+    if num_terminals < 2:
+        raise ValueError(f"num_terminals must be >= 2, got {num_terminals}")
+    half = radix // 2
+    if half < 2:
+        raise ValueError(f"radix {radix} too small for a folded Clos")
+    return max(1, math.ceil(math.log(num_terminals, half)))

@@ -1,0 +1,94 @@
+"""Wire-delay (time-of-flight) analysis — Section 5.2 of the paper.
+
+Longer average cables do not imply longer latency: time of flight
+depends on the *physical* distance a packet covers, not on hop count.
+A direct network packaged with minimal Manhattan distance (the
+flattened butterfly, torus, hypercube) covers approximately the
+Manhattan distance between source and destination cabinets regardless
+of how many routers it passes through.  An indirect network (folded
+Clos, conventional butterfly) must detour through middle-stage
+cabinets: for traffic between nearby cabinets the folded Clos incurs
+roughly twice the global wire delay, while the flattened butterfly
+rides its dimension-1 locality.
+
+The model places cabinets on the square floor plan of
+:class:`repro.cost.packaging.PackagingModel` and integrates expected
+Manhattan distances; propagation speed defaults to 5 ns/m (~0.66 c in
+copper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cost.packaging import PackagingModel
+
+NS_PER_METER_DEFAULT = 5.0
+
+
+@dataclass(frozen=True)
+class WireDelayModel:
+    """Time-of-flight estimates over the cabinet floor plan."""
+
+    packaging: PackagingModel = field(default_factory=PackagingModel)
+    ns_per_meter: float = NS_PER_METER_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.ns_per_meter <= 0:
+            raise ValueError(f"ns_per_meter must be positive, got {self.ns_per_meter}")
+
+    # ------------------------------------------------------------------
+    def flight_time_ns(self, distance_m: float) -> float:
+        """Time of flight over ``distance_m`` of cable."""
+        if distance_m < 0:
+            raise ValueError(f"negative distance {distance_m}")
+        return distance_m * self.ns_per_meter
+
+    def mean_pair_distance(self, num_nodes: int) -> float:
+        """Expected Manhattan distance between two uniformly random
+        points of the E x E floor: 2/3 E."""
+        return 2.0 / 3.0 * self.packaging.edge_length(num_nodes)
+
+    def center_distance(self, num_nodes: int) -> float:
+        """Expected Manhattan distance from a uniform point to the
+        central router cabinet: E/2."""
+        return self.packaging.edge_length(num_nodes) / 2.0
+
+    # ------------------------------------------------------------------
+    # Per-topology physical route length under uniform traffic
+    # ------------------------------------------------------------------
+    def direct_route_m(self, num_nodes: int) -> float:
+        """Physical distance of a minimally packaged direct route
+        (flattened butterfly, hypercube): the source-destination
+        Manhattan distance itself."""
+        return self.mean_pair_distance(num_nodes)
+
+    def folded_clos_route_m(self, num_nodes: int) -> float:
+        """Physical distance through the folded Clos: out to the central
+        router cabinet and back, regardless of how close the endpoints
+        are."""
+        return 2.0 * self.center_distance(num_nodes)
+
+    def adjacent_traffic_route_m(self, num_nodes: int) -> tuple:
+        """(direct, folded Clos) physical distance for traffic between
+        adjacent cabinet groups — the worst-case pattern's locality.
+
+        The direct network covers roughly one cabinet pitch; the folded
+        Clos still makes the full round trip to the middle stage.
+        """
+        pitch = self.packaging.cabinet_footprint_m[0] + self.packaging.short_cable_m
+        return pitch, 2.0 * self.center_distance(num_nodes)
+
+    # ------------------------------------------------------------------
+    def uniform_flight_ratio(self, num_nodes: int) -> float:
+        """Folded-Clos over direct time of flight on uniform traffic
+        (~1.5: E vs 2E/3)."""
+        return self.folded_clos_route_m(num_nodes) / self.direct_route_m(num_nodes)
+
+    def local_flight_ratio(self, num_nodes: int) -> float:
+        """Folded-Clos over direct time of flight for adjacent-cabinet
+        (worst-case-pattern) traffic — the paper's '2x global wire
+        delay' observation, which grows with machine size."""
+        direct, clos = self.adjacent_traffic_route_m(num_nodes)
+        return clos / direct

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: the flattened butterfly topology
+and its routing algorithms."""
+
+from . import address
+from .flattened_butterfly import FlattenedButterfly, flattened_butterfly_for_size
+from .routing import (
+    ClosAD,
+    DimensionOrder,
+    MinimalAdaptive,
+    RoutingAlgorithm,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+
+__all__ = [
+    "address",
+    "FlattenedButterfly",
+    "flattened_butterfly_for_size",
+    "ClosAD",
+    "DimensionOrder",
+    "MinimalAdaptive",
+    "RoutingAlgorithm",
+    "UGAL",
+    "UGALSequential",
+    "Valiant",
+]

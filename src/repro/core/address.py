@@ -1,0 +1,106 @@
+"""Mixed-radix node and router addresses.
+
+The flattened butterfly (and the conventional butterfly it is derived
+from) labels each of the ``N = k**n`` nodes with an ``n``-digit radix-k
+address ``a_{n-1}, ..., a_0``.  Digit 0 (the rightmost digit) selects the
+terminal attached to a router; digits 1..n-1 select the router coordinate
+in dimensions 1..n-1 of the k-ary n-flat (Section 2.2 of the paper).
+
+This module provides the small amount of digit arithmetic the rest of
+the library relies on.  Addresses are plain tuples of ints, most
+significant digit first, so they print the way the paper writes them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Address = Tuple[int, ...]
+
+
+def to_digits(value: int, radix: int, width: int) -> Address:
+    """Convert ``value`` to a ``width``-digit radix-``radix`` address.
+
+    The most significant digit comes first, matching the paper's
+    ``a_{n-1}, ..., a_0`` notation.
+
+    >>> to_digits(10, 2, 4)
+    (1, 0, 1, 0)
+    """
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not 0 <= value < radix**width:
+        raise ValueError(
+            f"value {value} out of range for {width} radix-{radix} digits"
+        )
+    digits: List[int] = []
+    for _ in range(width):
+        digits.append(value % radix)
+        value //= radix
+    return tuple(reversed(digits))
+
+
+def from_digits(digits: Sequence[int], radix: int) -> int:
+    """Convert a most-significant-first digit sequence back to an int.
+
+    >>> from_digits((1, 0, 1, 0), 2)
+    10
+    """
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    value = 0
+    for digit in digits:
+        if not 0 <= digit < radix:
+            raise ValueError(f"digit {digit} out of range for radix {radix}")
+        value = value * radix + digit
+    return value
+
+
+def digit(value: int, radix: int, position: int) -> int:
+    """Return digit ``position`` of ``value`` (position 0 is rightmost).
+
+    >>> digit(10, 2, 1)
+    1
+    """
+    if position < 0:
+        raise ValueError(f"position must be >= 0, got {position}")
+    return (value // radix**position) % radix
+
+
+def set_digit(value: int, radix: int, position: int, new_digit: int) -> int:
+    """Return ``value`` with digit ``position`` replaced by ``new_digit``.
+
+    >>> set_digit(10, 2, 0, 1)
+    11
+    """
+    if not 0 <= new_digit < radix:
+        raise ValueError(f"digit {new_digit} out of range for radix {radix}")
+    old = digit(value, radix, position)
+    return value + (new_digit - old) * radix**position
+
+
+def differing_digits(a: int, b: int, radix: int, width: int) -> List[int]:
+    """Positions (0 = rightmost) at which ``a`` and ``b`` differ.
+
+    The length of the returned list restricted to positions >= 1 is the
+    minimal inter-router hop count between nodes ``a`` and ``b`` in a
+    flattened butterfly (Section 2.2).
+    """
+    positions = []
+    for pos in range(width):
+        if digit(a, radix, pos) != digit(b, radix, pos):
+            positions.append(pos)
+    return positions
+
+
+def hamming_distance(a: int, b: int, radix: int, width: int) -> int:
+    """Number of digit positions at which ``a`` and ``b`` differ."""
+    return len(differing_digits(a, b, radix, width))
+
+
+def all_addresses(radix: int, width: int) -> Iterable[Address]:
+    """Yield every ``width``-digit radix-``radix`` address in order."""
+    for value in range(radix**width):
+        yield to_digits(value, radix, width)

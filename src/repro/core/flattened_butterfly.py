@@ -1,0 +1,99 @@
+"""The flattened butterfly topology (Section 2 of the paper).
+
+A *k-ary n-flat* is obtained from a k-ary n-fly butterfly by combining
+the ``n`` routers in each row into one router of radix
+``k' = n(k-1) + 1``.  The result is a direct network of ``N/k`` routers,
+each concentrating ``k`` terminals, connected by a complete graph in
+each of ``n' = n - 1`` dimensions (Equation 1).
+
+Structurally this is a member of the complete-connection family
+implemented by :class:`repro.topologies.hyperx.HyperX`; this class
+specializes it to the paper's parameterization and adds the Figure 14
+variants:
+
+* ``dims`` may be overridden (e.g. one dimension of extent ``k + 1``
+  reproduces Figure 14(b)'s expanded-scalability organization), and
+* ``multiplicity`` adds parallel channels per dimension (Figure 14(a)'s
+  redundant channels).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..topologies.hyperx import HyperX
+
+
+class FlattenedButterfly(HyperX):
+    """A flattened butterfly (k-ary n-flat) network.
+
+    Args:
+        k: terminals per router of the standard k-ary n-flat.
+        n: number of butterfly stages the network is flattened from;
+            the flattened network has ``n' = n - 1`` dimensions.
+        concentration: override the terminals per router (defaults to
+            ``k``).
+        dims: override the per-dimension router extents (defaults to
+            ``(k,) * (n - 1)``).
+        multiplicity: parallel channels per dimension (default 1).
+
+    Either ``(k, n)`` or ``(concentration, dims)`` must be given.
+
+    >>> fb = FlattenedButterfly(32, 2)   # the paper's 32-ary 2-flat
+    >>> fb.num_terminals, fb.num_routers, fb.router_radix
+    (1024, 32, 63)
+    """
+
+    def __init__(
+        self,
+        k: Optional[int] = None,
+        n: Optional[int] = None,
+        *,
+        concentration: Optional[int] = None,
+        dims: Optional[Sequence[int]] = None,
+        multiplicity: Optional[Sequence[int]] = None,
+    ) -> None:
+        if dims is None or concentration is None:
+            if k is None or n is None:
+                raise ValueError("provide either (k, n) or (concentration, dims)")
+            if k < 2:
+                raise ValueError(f"k must be >= 2, got {k}")
+            if n < 2:
+                raise ValueError(f"n must be >= 2, got {n}")
+            concentration = k if concentration is None else concentration
+            dims = tuple(dims) if dims is not None else (k,) * (n - 1)
+        else:
+            dims = tuple(dims)
+        self.k = k if k is not None else concentration
+        super().__init__(concentration=concentration, dims=dims, multiplicity=multiplicity)
+
+    @property
+    def name(self) -> str:
+        if self.concentration == self.k and self.dims == (self.k,) * self.num_dims:
+            return f"{self.k}-ary {self.num_dims + 1}-flat"
+        return f"FlattenedButterfly(c={self.concentration}, dims={self.dims})"
+
+
+def flattened_butterfly_for_size(
+    num_terminals: int, max_radix: int
+) -> FlattenedButterfly:
+    """Smallest-dimensionality flattened butterfly reaching
+    ``num_terminals`` nodes with routers of at most ``max_radix`` ports
+    (Section 5.1.2).
+
+    Chooses the smallest ``n'`` with
+    ``floor(k / (n' + 1)) ** (n' + 1) >= N`` and builds the network with
+    ``k = floor(max_radix / (n' + 1))`` terminals per router, giving an
+    effective radix ``k' = (k - 1)(n' + 1) + 1 <= max_radix``.
+    """
+    if num_terminals < 2:
+        raise ValueError(f"num_terminals must be >= 2, got {num_terminals}")
+    for n_prime in range(1, max_radix):
+        k = max_radix // (n_prime + 1)
+        if k < 2:
+            break
+        if k ** (n_prime + 1) >= num_terminals:
+            return FlattenedButterfly(k, n_prime + 1)
+    raise ValueError(
+        f"radix-{max_radix} routers cannot reach {num_terminals} terminals"
+    )

@@ -1,0 +1,21 @@
+"""Routing algorithms for the flattened butterfly (Section 3.1)."""
+
+from .base import RoutingAlgorithm
+from .clos_ad import ClosAD
+from .dor import DimensionOrder, dor_next_channel, first_differing_dim
+from .min_adaptive import MinimalAdaptive, pick_min_cost
+from .ugal import UGAL, UGALSequential
+from .valiant import Valiant
+
+__all__ = [
+    "RoutingAlgorithm",
+    "ClosAD",
+    "DimensionOrder",
+    "MinimalAdaptive",
+    "UGAL",
+    "UGALSequential",
+    "Valiant",
+    "dor_next_channel",
+    "first_differing_dim",
+    "pick_min_cost",
+]

@@ -1,0 +1,65 @@
+"""Routing-algorithm interface.
+
+A routing algorithm is consulted once per packet per router, when the
+packet's head flit reaches the front of an input virtual channel.  It
+returns the output port and output VC the packet commits to at that
+router; the decision is then locked until the packet's tail flit has
+left (wormhole routing).
+
+Adaptive algorithms estimate output queue lengths through
+:class:`repro.network.router.RouterEngine` helpers, which expose the
+credit-count view of downstream occupancy described in Section 3.1 of
+the paper, plus the pending commitments governed by the greedy or
+sequential allocator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...network.packet import Packet
+    from ...network.router import RouterEngine
+    from ...network.simulator import Simulator
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class for all routing algorithms.
+
+    Attributes:
+        name: short display name used in experiment output.
+        num_vcs: virtual channels per physical channel the algorithm
+            requires for deadlock freedom.
+        sequential: whether the router should use a sequential
+            allocator (UGAL-S, CLOS AD) instead of a greedy one.
+    """
+
+    name: str = "routing"
+    num_vcs: int = 1
+    sequential: bool = False
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Bind the algorithm to a simulator (topology, RNG).
+
+        Called once before simulation; override to validate the
+        topology type and cache lookups.
+        """
+        self.simulator = simulator
+        self.topology = simulator.topology
+        self.rng = simulator.route_rng
+
+    def on_packet_created(self, packet: "Packet") -> None:
+        """Hook invoked when a packet enters its source queue.
+
+        Oblivious algorithms (e.g. Valiant) pick their intermediate
+        node here.
+        """
+
+    @abc.abstractmethod
+    def route(self, engine: "RouterEngine", packet: "Packet") -> Tuple[int, int]:
+        """Choose ``(output_port, output_vc)`` for ``packet`` at the
+        router driven by ``engine``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} vcs={self.num_vcs}>"

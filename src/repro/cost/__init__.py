@@ -1,0 +1,53 @@
+"""Packaging-aware network cost model (Section 4)."""
+
+from .cables import INFINIBAND_12X, INFINIBAND_4X, CableCostModel, InfinibandFit
+from .census import (
+    LinkGroup,
+    Locality,
+    Medium,
+    NetworkCensus,
+    RouterGroup,
+    butterfly_census,
+    flattened_butterfly_census,
+    folded_clos_census,
+    generalized_hypercube_census,
+    hypercube_census,
+    torus_census,
+)
+from .layout import (
+    FloorPlan,
+    MeasuredLengths,
+    heuristic_vs_measured,
+    measure_flattened_butterfly,
+    measure_folded_clos,
+)
+from .model import CostBreakdown, CostParameters, price_census
+from .packaging import GlobalCableLengths, PackagingModel
+
+__all__ = [
+    "INFINIBAND_12X",
+    "INFINIBAND_4X",
+    "CableCostModel",
+    "InfinibandFit",
+    "LinkGroup",
+    "Locality",
+    "Medium",
+    "NetworkCensus",
+    "RouterGroup",
+    "butterfly_census",
+    "flattened_butterfly_census",
+    "folded_clos_census",
+    "generalized_hypercube_census",
+    "hypercube_census",
+    "torus_census",
+    "FloorPlan",
+    "MeasuredLengths",
+    "heuristic_vs_measured",
+    "measure_flattened_butterfly",
+    "measure_folded_clos",
+    "CostBreakdown",
+    "CostParameters",
+    "price_census",
+    "GlobalCableLengths",
+    "PackagingModel",
+]

@@ -1,0 +1,594 @@
+"""Per-topology link and router censuses (Section 4.2/4.3).
+
+A census enumerates, in closed form, every router and every
+unidirectional channel of a packaged network, tagging each link group
+with its medium (backplane trace vs. electrical cable), its physical
+length, and its packaging locality.  The cost model prices a census
+(Table 2 / Figure 7); the power model assigns SerDes classes to it
+(Table 5).
+
+Locality rule (shared by all direct topologies, matching the paper's
+Figure 8 packaging): a dimension-``d`` connection spans a subsystem of
+``span = concentration * m_1 * ... * m_d`` nodes.
+
+* routers within one cabinet connect over the backplane;
+* a subsystem of at most two cabinets uses very short (~2 m) cables
+  (the paper's dimension-1 case: 256 nodes = one cabinet pair);
+* larger subsystems use global cables of average length
+  ``edge(span)/3`` plus the 2 m overhead, which for the top dimension
+  reproduces the paper's ``L_avg = E/3``.
+
+Validated anchors from the paper (Section 4.3): a 1K-node flattened
+butterfly has 31 x 32 = 992 inter-router channels where the
+corresponding 2-level folded Clos has 2048 and the conventional
+butterfly 1024.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.scaling import (
+    PackagedFlatConfig,
+    butterfly_stages,
+    folded_clos_levels,
+    packaged_config,
+)
+from .packaging import PackagingModel
+
+
+class Medium(Enum):
+    """Physical realization of a link."""
+
+    BACKPLANE = "backplane"
+    CABLE = "cable"
+
+
+class Locality(Enum):
+    """Packaging role of a link — what kind of SerDes can drive it."""
+
+    TERMINAL = "terminal"  # processor <-> router, always local
+    LOCAL = "local"  # inter-router, within a cabinet (pair)
+    GLOBAL = "global"  # inter-router, across the machine floor
+
+
+@dataclass(frozen=True)
+class LinkGroup:
+    """A set of identical unidirectional channels."""
+
+    description: str
+    channels: int
+    medium: Medium
+    locality: Locality
+    length_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channels < 0:
+            raise ValueError(f"negative channel count in {self.description}")
+        if self.length_m < 0:
+            raise ValueError(f"negative length in {self.description}")
+
+
+@dataclass(frozen=True)
+class RouterGroup:
+    """A set of identical routers.
+
+    ``attachments`` counts unidirectional channel endpoints (a
+    bidirectional port contributes two), which is the pin measure used
+    to scale silicon cost and switch power.
+    """
+
+    description: str
+    count: int
+    attachments: int
+
+
+@dataclass(frozen=True)
+class NetworkCensus:
+    """Everything the cost and power models need to know about one
+    packaged network."""
+
+    name: str
+    num_terminals: int
+    routers: Tuple[RouterGroup, ...]
+    links: Tuple[LinkGroup, ...]
+    # Direct topologies can dedicate short-reach SerDes to local links
+    # (Section 5.3); indirect ones cannot.
+    direct: bool
+
+    def total_routers(self) -> int:
+        return sum(group.count for group in self.routers)
+
+    def total_channels(self) -> int:
+        return sum(group.channels for group in self.links)
+
+    def inter_router_channels(self) -> int:
+        return sum(
+            group.channels
+            for group in self.links
+            if group.locality is not Locality.TERMINAL
+        )
+
+    def average_cable_length(self, include_local: bool = False) -> float:
+        """Mean length over global cables (Figure 10(b)'s L_avg).
+
+        Dimension-1 short cables within a cabinet pair are excluded by
+        default, as in the paper's L_avg, which describes the global
+        cables; pass ``include_local=True`` to average every cable.
+        """
+        total = 0.0
+        count = 0
+        for group in self.links:
+            if group.medium is not Medium.CABLE:
+                continue
+            if group.locality is Locality.TERMINAL:
+                continue
+            if group.locality is Locality.LOCAL and not include_local:
+                continue
+            total += group.length_m * group.channels
+            count += group.channels
+        return total / count if count else 0.0
+
+    def average_link_length(self, backplane_m: float = 0.5) -> float:
+        """Mean physical length over *all* inter-router links, counting
+        backplane traces at a nominal in-cabinet run of ``backplane_m``
+        meters.  This is the all-links average that falls as a
+        fixed-size flattened butterfly gains dimensions (Figure 13's
+        line plot): more of its links live in small, locally packaged
+        dimensions."""
+        total = 0.0
+        count = 0
+        for group in self.links:
+            if group.locality is Locality.TERMINAL:
+                continue
+            length = (
+                backplane_m if group.medium is Medium.BACKPLANE else group.length_m
+            )
+            total += length * group.channels
+            count += group.channels
+        return total / count if count else 0.0
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _terminal_links(num_terminals: int) -> LinkGroup:
+    """Processor-router links: one bidirectional link (two channels)
+    per node, over the backplane.  Identical for every topology — the
+    paper notes these account for ~40% of cost at small N and are not
+    reduced by the flattened butterfly."""
+    return LinkGroup(
+        description="terminal",
+        channels=2 * num_terminals,
+        medium=Medium.BACKPLANE,
+        locality=Locality.TERMINAL,
+    )
+
+
+def _dimension_links(
+    description: str,
+    channels: int,
+    span_nodes: int,
+    group_extent: int,
+    node_gap: int,
+    packaging: PackagingModel,
+    machine_nodes: int,
+) -> List[LinkGroup]:
+    """Classify the channels of one dimension by packaging locality.
+
+    Args:
+        channels: unidirectional channels in the dimension.
+        span_nodes: nodes spanned by one connected group.
+        group_extent: routers in one connected group (the dimension
+            extent).
+        node_gap: nodes between consecutive routers of the group (the
+            dimension's stride in node index).
+        machine_nodes: total nodes of the machine.  Global dimensions
+            are laid out across the full floor (Figure 8(c) maps
+            dimension 2 across columns and dimension 3 across rows), so
+            their cables average ``edge(machine)/3`` regardless of
+            subsystem size.
+    """
+    per_cabinet = max(0, packaging.nodes_per_cabinet // max(node_gap, 1))
+    if span_nodes <= packaging.nodes_per_cabinet:
+        return [
+            LinkGroup(
+                description=f"{description} (backplane)",
+                channels=channels,
+                medium=Medium.BACKPLANE,
+                locality=Locality.LOCAL,
+            )
+        ]
+    # Fraction of ordered router pairs that stay inside one cabinet.
+    if per_cabinet >= 2 and group_extent >= 2:
+        in_cab = min(per_cabinet, group_extent)
+        intra_fraction = (in_cab - 1) / (group_extent - 1)
+    else:
+        intra_fraction = 0.0
+    intra = round(channels * intra_fraction)
+    inter = channels - intra
+    groups: List[LinkGroup] = []
+    if intra:
+        groups.append(
+            LinkGroup(
+                description=f"{description} (backplane)",
+                channels=intra,
+                medium=Medium.BACKPLANE,
+                locality=Locality.LOCAL,
+            )
+        )
+    if not inter:
+        return groups
+    if span_nodes <= 2 * packaging.nodes_per_cabinet:
+        # A cabinet pair: very short cables, no vertical-run overhead.
+        groups.append(
+            LinkGroup(
+                description=f"{description} (short cable)",
+                channels=inter,
+                medium=Medium.CABLE,
+                locality=Locality.LOCAL,
+                length_m=packaging.short_cable_m,
+            )
+        )
+    else:
+        edge = packaging.edge_length(machine_nodes)
+        length = packaging.with_overhead(max(edge / 3.0, packaging.short_cable_m))
+        groups.append(
+            LinkGroup(
+                description=f"{description} (global cable)",
+                channels=inter,
+                medium=Medium.CABLE,
+                locality=Locality.GLOBAL,
+                length_m=length,
+            )
+        )
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Topology censuses
+# ----------------------------------------------------------------------
+def flattened_butterfly_census(
+    num_terminals: int,
+    radix: int = 64,
+    packaging: Optional[PackagingModel] = None,
+    config: Optional[PackagedFlatConfig] = None,
+) -> NetworkCensus:
+    """Census of a packaged flattened butterfly.
+
+    The configuration defaults to :func:`repro.analysis.scaling.
+    packaged_config` — the paper's concrete designs (32-ary 2-flat at
+    1K, 16-ary 4-flat towards 64K).
+    """
+    packaging = packaging or PackagingModel()
+    cfg = config or packaged_config(num_terminals, radix)
+    if cfg.num_terminals != num_terminals:
+        raise ValueError(
+            f"config covers {cfg.num_terminals} terminals, asked for {num_terminals}"
+        )
+    routers = RouterGroup(
+        description="flattened-butterfly router",
+        count=cfg.num_routers,
+        attachments=2 * cfg.router_radix,
+    )
+    links: List[LinkGroup] = [_terminal_links(num_terminals)]
+    gap = cfg.concentration
+    span = cfg.concentration
+    for d, (extent, mult) in enumerate(zip(cfg.dims, cfg.multiplicity), start=1):
+        span *= extent
+        channels = cfg.num_routers * (extent - 1) * mult
+        links.extend(
+            _dimension_links(
+                description=f"dimension {d}",
+                channels=channels,
+                span_nodes=span,
+                group_extent=extent,
+                node_gap=gap,
+                packaging=packaging,
+                machine_nodes=num_terminals,
+            )
+        )
+        gap *= extent
+    return NetworkCensus(
+        name=f"flattened butterfly (c={cfg.concentration}, dims={cfg.dims})",
+        num_terminals=num_terminals,
+        routers=(routers,),
+        links=tuple(links),
+        direct=True,
+    )
+
+
+def butterfly_census(
+    num_terminals: int,
+    radix: int = 64,
+    packaging: Optional[PackagingModel] = None,
+) -> NetworkCensus:
+    """Census of a conventional butterfly with ``radix``-input /
+    ``radix``-output routers (pin-comparable to a radix-``radix``
+    bidirectional router; with radix 64 it scales to 4K nodes in two
+    stages, as in Section 4.3).
+
+    Column ``j`` of inter-rank wiring inherits the locality of the
+    flattened-butterfly dimension it would be flattened into — the
+    paper notes the butterfly's ``L_max``/``L_avg`` equal the flattened
+    butterfly's because the channels are the same.
+    """
+    packaging = packaging or PackagingModel()
+    stages = butterfly_stages(num_terminals, radix)
+    positions = max(1, num_terminals // radix)
+    routers = RouterGroup(
+        description="butterfly router",
+        count=stages * positions,
+        attachments=2 * min(radix, num_terminals),
+    )
+    links: List[LinkGroup] = [_terminal_links(num_terminals)]
+    # Column j (1-based) varies position digit stages-1-j; the last
+    # column connects consecutive router groups and is the one the
+    # flattened butterfly packages locally.  Express each column by the
+    # node span of its connected groups, exactly as a flattened
+    # dimension.
+    for column in range(1, stages):
+        varied_digit = stages - 1 - column
+        pos_stride = radix**varied_digit
+        extent = max(2, min(radix, -(-positions // pos_stride)))
+        node_gap = pos_stride * radix
+        span = min(num_terminals, node_gap * extent)
+        links.extend(
+            _dimension_links(
+                description=f"column {column}",
+                channels=num_terminals,
+                span_nodes=span,
+                group_extent=extent,
+                node_gap=node_gap,
+                packaging=packaging,
+                machine_nodes=num_terminals,
+            )
+        )
+    return NetworkCensus(
+        name=f"{radix}-ary {stages}-fly butterfly",
+        num_terminals=num_terminals,
+        routers=(routers,),
+        links=tuple(links),
+        direct=False,
+    )
+
+
+def folded_clos_census(
+    num_terminals: int,
+    radix: int = 64,
+    packaging: Optional[PackagingModel] = None,
+) -> NetworkCensus:
+    """Census of a non-blocking folded Clos from radix-``radix``
+    routers: ``L`` levels with ``2N`` channels per level boundary, all
+    routed to central router cabinets (``L_avg = E/4``, Figure 9(a))."""
+    packaging = packaging or PackagingModel()
+    levels = folded_clos_levels(num_terminals, radix)
+    half = radix // 2
+    router_groups: List[RouterGroup] = []
+    if levels == 1:
+        router_groups.append(
+            RouterGroup("clos single router", 1, 2 * num_terminals)
+        )
+    else:
+        router_groups.append(
+            RouterGroup(
+                description="clos leaf/middle router",
+                count=(levels - 1) * math.ceil(num_terminals / half),
+                attachments=2 * radix,
+            )
+        )
+        router_groups.append(
+            RouterGroup(
+                description="clos top router",
+                count=math.ceil(num_terminals / radix),
+                attachments=2 * radix,
+            )
+        )
+    links: List[LinkGroup] = [_terminal_links(num_terminals)]
+    if levels > 1:
+        channels = 2 * num_terminals * (levels - 1)
+        if num_terminals <= packaging.nodes_per_cabinet:
+            links.append(
+                LinkGroup(
+                    description="clos up/down links (backplane)",
+                    channels=channels,
+                    medium=Medium.BACKPLANE,
+                    locality=Locality.LOCAL,
+                )
+            )
+        elif num_terminals <= 2 * packaging.nodes_per_cabinet:
+            links.append(
+                LinkGroup(
+                    description="clos up/down links (short cable)",
+                    channels=channels,
+                    medium=Medium.CABLE,
+                    locality=Locality.LOCAL,
+                    length_m=packaging.short_cable_m,
+                )
+            )
+        else:
+            lengths = packaging.folded_clos_lengths(num_terminals)
+            links.append(
+                LinkGroup(
+                    description="clos up/down links (global cable)",
+                    channels=channels,
+                    medium=Medium.CABLE,
+                    locality=Locality.GLOBAL,
+                    length_m=packaging.with_overhead(
+                        max(lengths.l_avg, packaging.short_cable_m)
+                    ),
+                )
+            )
+    return NetworkCensus(
+        name=f"{levels}-level folded Clos (radix {radix})",
+        num_terminals=num_terminals,
+        routers=tuple(router_groups),
+        links=tuple(links),
+        direct=False,
+    )
+
+
+def hypercube_census(
+    num_terminals: int,
+    packaging: Optional[PackagingModel] = None,
+) -> NetworkCensus:
+    """Census of a binary hypercube: one router (and terminal) per
+    node, one bidirectional link per dimension.  Dimensions within a
+    cabinet are backplane traces; the rest are cables with the
+    geometric length series of Figure 9(b)."""
+    packaging = packaging or PackagingModel()
+    if num_terminals & (num_terminals - 1):
+        raise ValueError(f"hypercube size must be a power of two, got {num_terminals}")
+    n = num_terminals.bit_length() - 1
+    routers = RouterGroup(
+        description="hypercube router",
+        count=num_terminals,
+        attachments=2 * (n + 1),
+    )
+    links: List[LinkGroup] = [_terminal_links(num_terminals)]
+    in_cabinet_dims = min(n, max(0, packaging.nodes_per_cabinet.bit_length() - 1))
+    if in_cabinet_dims:
+        links.append(
+            LinkGroup(
+                description="hypercube in-cabinet dims",
+                channels=num_terminals * in_cabinet_dims,
+                medium=Medium.BACKPLANE,
+                locality=Locality.LOCAL,
+            )
+        )
+    edge = packaging.edge_length(num_terminals)
+    for d in range(in_cabinet_dims, n):
+        span = 1 << (d + 1)
+        if span <= 2 * packaging.nodes_per_cabinet:
+            links.append(
+                LinkGroup(
+                    description=f"hypercube dim {d} (cabinet pair)",
+                    channels=num_terminals,
+                    medium=Medium.CABLE,
+                    locality=Locality.LOCAL,
+                    length_m=packaging.short_cable_m,
+                )
+            )
+            continue
+        # Geometric length series of Figure 9(b): the top dimension
+        # spans E/2, the next E/4, and so on.
+        length = max(edge / 2.0 ** (n - d), packaging.short_cable_m)
+        links.append(
+            LinkGroup(
+                description=f"hypercube dim {d} (global cable)",
+                channels=num_terminals,
+                medium=Medium.CABLE,
+                locality=Locality.GLOBAL,
+                length_m=packaging.with_overhead(length),
+            )
+        )
+    return NetworkCensus(
+        name=f"{n}-cube",
+        num_terminals=num_terminals,
+        routers=(routers,),
+        links=tuple(links),
+        direct=True,
+    )
+
+
+def torus_census(
+    dims: Sequence[int],
+    packaging: Optional[PackagingModel] = None,
+) -> NetworkCensus:
+    """Census of a k-ary n-cube torus (the low-radix baseline of the
+    paper's introduction).
+
+    A production torus is *folded*, interleaving each ring so that
+    every link — including the wraparound — spans at most two cabinet
+    pitches: rings whose stride keeps neighbors inside a cabinet are
+    backplane traces, everything else is a short (~2 m) cable.  Cheap
+    links are the torus's whole cost story; its weakness is hop count
+    and unused pin bandwidth, which the performance comparison shows.
+    """
+    packaging = packaging or PackagingModel()
+    dims = tuple(dims)
+    if not dims or any(k < 2 for k in dims):
+        raise ValueError(f"invalid torus dims {dims}")
+    num_routers = math.prod(dims)
+    ports = 1 + sum(2 if k > 2 else 1 for k in dims)
+    routers = RouterGroup(
+        description="torus router",
+        count=num_routers,
+        attachments=2 * ports,
+    )
+    links: List[LinkGroup] = [_terminal_links(num_routers)]
+    stride = 1
+    for d, extent in enumerate(dims, start=1):
+        channels = num_routers * (2 if extent > 2 else 1)
+        # Folded placement: neighbors sit 2*stride nodes apart.
+        if 2 * stride * 2 <= packaging.nodes_per_cabinet:
+            links.append(
+                LinkGroup(
+                    description=f"torus dim {d} (backplane)",
+                    channels=channels,
+                    medium=Medium.BACKPLANE,
+                    locality=Locality.LOCAL,
+                )
+            )
+        else:
+            links.append(
+                LinkGroup(
+                    description=f"torus dim {d} (short cable)",
+                    channels=channels,
+                    medium=Medium.CABLE,
+                    locality=Locality.LOCAL,
+                    length_m=packaging.short_cable_m,
+                )
+            )
+        stride *= extent
+    return NetworkCensus(
+        name=f"Torus{dims}",
+        num_terminals=num_routers,
+        routers=(routers,),
+        links=tuple(links),
+        direct=True,
+    )
+
+
+def generalized_hypercube_census(
+    dims: Sequence[int],
+    packaging: Optional[PackagingModel] = None,
+) -> NetworkCensus:
+    """Census of an ``(m_1, ..., m_n)`` generalized hypercube: the
+    flattened-butterfly structure with concentration 1 (Figure 3's
+    comparison)."""
+    packaging = packaging or PackagingModel()
+    dims = tuple(dims)
+    num_routers = math.prod(dims)
+    routers = RouterGroup(
+        description="GHC router",
+        count=num_routers,
+        attachments=2 * (1 + sum(m - 1 for m in dims)),
+    )
+    links: List[LinkGroup] = [_terminal_links(num_routers)]
+    gap = 1
+    span = 1
+    for d, extent in enumerate(dims, start=1):
+        span *= extent
+        links.extend(
+            _dimension_links(
+                description=f"GHC dimension {d}",
+                channels=num_routers * (extent - 1),
+                span_nodes=span,
+                group_extent=extent,
+                node_gap=gap,
+                packaging=packaging,
+                machine_nodes=num_routers,
+            )
+        )
+        gap *= extent
+    return NetworkCensus(
+        name=f"GHC{dims}",
+        num_terminals=num_routers,
+        routers=(routers,),
+        links=tuple(links),
+        direct=True,
+    )

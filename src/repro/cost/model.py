@@ -1,0 +1,116 @@
+"""The network cost model (Section 4.1, Table 2).
+
+Network cost is the sum of router cost and link cost:
+
+* **Routers** — $300 of amortized development (a ~$6M NRE over 20k
+  parts) plus $90 of silicon per full radix-64 router (MPR cost model
+  for a 0.13um 17x17mm die).  Following the paper's footnote 10, the
+  silicon (pin-limited) component scales with the router's channel
+  attachments relative to the radix-64 baseline; the development
+  charge is per part.
+* **Links** — priced per differential signal by medium and length
+  (:class:`repro.cost.cables.CableCostModel`); each unidirectional
+  channel carries ``pairs_per_port`` signals (3 in Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .cables import CableCostModel
+from .census import Locality, LinkGroup, Medium, NetworkCensus, RouterGroup
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Table 2 / Table 3 constants."""
+
+    router_silicon: float = 90.0
+    router_development_total: float = 6.0e6
+    router_parts_amortized: int = 20_000
+    base_radix: int = 64
+    pairs_per_port: int = 3
+    cables: CableCostModel = field(default_factory=CableCostModel)
+
+    @property
+    def router_development(self) -> float:
+        """Amortized development (NRE) cost per router part (~$300)."""
+        return self.router_development_total / self.router_parts_amortized
+
+    @property
+    def full_router_cost(self) -> float:
+        """Cost of one full radix-64 router (~$390, Table 2)."""
+        return self.router_development + self.router_silicon
+
+    def router_cost(self, attachments: int) -> float:
+        """Cost of a router with ``attachments`` unidirectional channel
+        endpoints (a full radix-64 bidirectional router has 128)."""
+        if attachments < 2:
+            raise ValueError(f"attachments must be >= 2, got {attachments}")
+        pin_scale = attachments / (2 * self.base_radix)
+        return self.router_development + self.router_silicon * pin_scale
+
+    def signal_cost(self, medium: Medium, length_m: float) -> float:
+        """Cost of one differential signal on the given medium."""
+        if medium is Medium.BACKPLANE:
+            return self.cables.backplane_cost()
+        return self.cables.electrical_cost(length_m)
+
+    def channel_cost(self, medium: Medium, length_m: float) -> float:
+        """Cost of one unidirectional channel (``pairs_per_port``
+        signals)."""
+        return self.pairs_per_port * self.signal_cost(medium, length_m)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Priced census."""
+
+    name: str
+    num_terminals: int
+    router_cost: float
+    terminal_link_cost: float
+    local_link_cost: float
+    global_link_cost: float
+
+    @property
+    def link_cost(self) -> float:
+        return self.terminal_link_cost + self.local_link_cost + self.global_link_cost
+
+    @property
+    def total(self) -> float:
+        return self.router_cost + self.link_cost
+
+    @property
+    def cost_per_node(self) -> float:
+        return self.total / self.num_terminals
+
+    @property
+    def link_fraction(self) -> float:
+        """Link share of total network cost (Figure 10(a)'s y-axis)."""
+        return self.link_cost / self.total if self.total else 0.0
+
+
+def price_census(
+    census: NetworkCensus, params: Optional[CostParameters] = None
+) -> CostBreakdown:
+    """Price a :class:`NetworkCensus` under ``params``."""
+    params = params or CostParameters()
+    router_cost = sum(
+        group.count * params.router_cost(group.attachments)
+        for group in census.routers
+    )
+    by_locality: Dict[Locality, float] = {loc: 0.0 for loc in Locality}
+    for group in census.links:
+        by_locality[group.locality] += group.channels * params.channel_cost(
+            group.medium, group.length_m
+        )
+    return CostBreakdown(
+        name=census.name,
+        num_terminals=census.num_terminals,
+        router_cost=router_cost,
+        terminal_link_cost=by_locality[Locality.TERMINAL],
+        local_link_cost=by_locality[Locality.LOCAL],
+        global_link_cost=by_locality[Locality.GLOBAL],
+    )

@@ -1,0 +1,117 @@
+"""Packaging model: cabinets, floor plan, and cable lengths
+(Section 4.2, Table 3).
+
+Systems pack 128 nodes per cabinet (as in the Cray BlackWidow) on a
+two-dimensional machine-room floor of node density D = 75 nodes/m²
+(the cabinet footprint with doubled depth for aisle spacing).  The
+edge of the cabinet layout is ``E = sqrt(N / D)``; every real cable
+additionally carries 2 m of overhead (1 m of vertical run at each
+end).
+
+Per-topology cable lengths (Figures 8 and 9):
+
+* flattened butterfly & conventional butterfly — the longest global
+  cable spans one edge, ``L_max ~= E``; global connections average
+  ``L_avg ~= E / 3``.  Dimension-1 (or last-column) connections stay
+  inside a cabinet pair: backplane or very short (~2 m) cables.
+* folded Clos — cables run to a central router cabinet:
+  ``L_max ~= E / 2`` and ``L_avg ~= E / 4``.
+* hypercube — per-dimension cable lengths form a geometric series
+  E/2, E/4, ..., giving ``L_avg ~= (E - 1) / log2(E)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PackagingModel:
+    """Floor-plan constants (Table 3 defaults)."""
+
+    nodes_per_cabinet: int = 128
+    cabinet_footprint_m: tuple = (0.57, 1.44)
+    density_nodes_per_m2: float = 75.0
+    cable_overhead_m: float = 2.0
+    short_cable_m: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_cabinet < 1:
+            raise ValueError(
+                f"nodes_per_cabinet must be >= 1, got {self.nodes_per_cabinet}"
+            )
+        if self.density_nodes_per_m2 <= 0:
+            raise ValueError(
+                f"density must be positive, got {self.density_nodes_per_m2}"
+            )
+
+    # ------------------------------------------------------------------
+    def num_cabinets(self, num_nodes: int) -> int:
+        """Cabinets needed for ``num_nodes`` nodes."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        return math.ceil(num_nodes / self.nodes_per_cabinet)
+
+    def edge_length(self, num_nodes: int) -> float:
+        """Edge E (meters) of the square cabinet layout:
+        ``E = sqrt(N / D)``."""
+        return math.sqrt(num_nodes / self.density_nodes_per_m2)
+
+    def with_overhead(self, length_m: float) -> float:
+        """Add the 2 m vertical-run overhead to a cable length."""
+        return length_m + self.cable_overhead_m
+
+    # ------------------------------------------------------------------
+    # Per-topology global cable lengths (before overhead)
+    # ------------------------------------------------------------------
+    def flattened_butterfly_lengths(self, num_nodes: int) -> "GlobalCableLengths":
+        """Global (dimension >= 2) cable lengths in a flattened
+        butterfly; same for the conventional butterfly, whose channels
+        the flattened butterfly inherits."""
+        edge = self.edge_length(num_nodes)
+        return GlobalCableLengths(l_max=edge, l_avg=edge / 3.0)
+
+    butterfly_lengths = flattened_butterfly_lengths
+
+    def folded_clos_lengths(self, num_nodes: int) -> "GlobalCableLengths":
+        """Cables route to a central router cabinet (Figure 9(a))."""
+        edge = self.edge_length(num_nodes)
+        return GlobalCableLengths(l_max=edge / 2.0, l_avg=edge / 4.0)
+
+    def hypercube_dim_lengths(self, num_nodes: int) -> List[float]:
+        """Cable length of each global hypercube dimension (those that
+        leave a cabinet), longest first: E/2, E/4, ... (Figure 9(b)).
+
+        Lengths are clamped below at the short-cable length; dimensions
+        inside a cabinet are not included (they are backplane traces).
+        """
+        if num_nodes & (num_nodes - 1):
+            raise ValueError(f"hypercube size must be a power of two, got {num_nodes}")
+        edge = self.edge_length(num_nodes)
+        total_dims = num_nodes.bit_length() - 1
+        in_cabinet_dims = min(
+            total_dims, max(0, self.nodes_per_cabinet.bit_length() - 1)
+        )
+        lengths = []
+        for i in range(total_dims - in_cabinet_dims):
+            lengths.append(max(edge / 2.0 ** (i + 1), self.short_cable_m))
+        return lengths
+
+    def hypercube_avg_length(self, num_nodes: int) -> float:
+        """Mean global cable length; approximately
+        ``(E - 1) / log2(E)`` per the paper."""
+        lengths = self.hypercube_dim_lengths(num_nodes)
+        if not lengths:
+            return 0.0
+        return sum(lengths) / len(lengths)
+
+
+@dataclass(frozen=True)
+class GlobalCableLengths:
+    """Maximum and average global cable length (before the 2 m
+    overhead)."""
+
+    l_max: float
+    l_avg: float

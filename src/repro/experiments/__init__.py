@@ -1,0 +1,59 @@
+"""One experiment harness per paper figure/table.
+
+Each module exposes ``run(scale="ci"|"paper") -> ExperimentResult``;
+:data:`ALL_EXPERIMENTS` maps experiment ids to their modules.  Run one
+from the command line with ``python -m repro.experiments <id>``.
+"""
+
+from . import (
+    ext_layout,
+    ext_packet_size,
+    ext_patterns,
+    ext_torus,
+    ext_wire_delay,
+    fig01_construction,
+    fig02_scalability,
+    fig03_ghc,
+    fig04_routing,
+    fig05_batch,
+    fig06_topologies,
+    fig07_cable_cost,
+    fig10_link_cost,
+    fig11_cost,
+    fig12_design,
+    fig13_cost_vs_n,
+    fig15_power,
+    table02_constants,
+    table04_configs,
+)
+from .common import ExperimentResult, Scale, Table, resolve_scale
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_construction,
+    "fig02": fig02_scalability,
+    "fig03": fig03_ghc,
+    "fig04": fig04_routing,
+    "fig05": fig05_batch,
+    "fig06": fig06_topologies,
+    "fig07": fig07_cable_cost,
+    "fig10": fig10_link_cost,
+    "fig11": fig11_cost,
+    "fig12": fig12_design,
+    "fig13": fig13_cost_vs_n,
+    "fig15": fig15_power,
+    "table02": table02_constants,
+    "table04": table04_configs,
+    "ext_torus": ext_torus,
+    "ext_layout": ext_layout,
+    "ext_patterns": ext_patterns,
+    "ext_packet_size": ext_packet_size,
+    "ext_wire_delay": ext_wire_delay,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "Scale",
+    "Table",
+    "resolve_scale",
+]

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+Examples::
+
+    python -m repro.experiments fig04            # CI scale
+    python -m repro.experiments fig04 --scale paper
+    python -m repro.experiments all              # every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure/table of the flattened-butterfly paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment id (fig04 = Figure 4, table04 = Table 4, ...)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["ci", "paper"],
+        default=None,
+        help="simulation scale (default: ci, or paper when REPRO_FULL=1)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each result table as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name].run(args.scale)
+        print(result.to_text())
+        if args.csv:
+            for path in result.write_csv(args.csv):
+                print(f"[wrote {path}]")
+        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

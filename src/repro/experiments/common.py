@@ -1,0 +1,278 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Each experiment module exposes ``run(scale="ci") -> ExperimentResult``.
+``scale="ci"`` uses a scaled-down network (the paper's qualitative
+claims are radix-invariant) so the whole suite runs in minutes of pure
+Python; ``scale="paper"`` uses the paper's exact configurations
+(32-ary 2-flat, N = 1024, radix-63 routers) and the paper's longer
+measurement windows.  Setting the environment variable ``REPRO_FULL=1``
+makes ``resolve_scale`` default to paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..network import SimulationConfig, Simulator
+from ..network.stats import OpenLoopResult
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Simulation sizing for one scale tier."""
+
+    name: str
+    fb_k: int  # k of the k-ary 2-flat used in routing studies
+    loads: Tuple[float, ...]
+    warmup: int
+    measure: int
+    drain_max: int
+    batch_sizes: Tuple[int, ...]
+    design_study_n: int  # N for the Table 4 / Figure 12 design study
+    seeds: Tuple[int, ...] = (1,)
+
+
+CI_SCALE = Scale(
+    name="ci",
+    fb_k=8,
+    loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    warmup=500,
+    measure=500,
+    drain_max=6_000,
+    batch_sizes=(1, 2, 4, 8, 16, 32, 64),
+    design_study_n=256,
+)
+
+PAPER_SCALE = Scale(
+    name="paper",
+    fb_k=32,
+    loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    warmup=3000,
+    measure=3000,
+    drain_max=100_000,
+    batch_sizes=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    design_study_n=4096,
+)
+
+SCALES = {"ci": CI_SCALE, "paper": PAPER_SCALE}
+
+
+def resolve_scale(scale) -> Scale:
+    """Map a scale name (or Scale) to a :class:`Scale`, honouring
+    ``REPRO_FULL=1``."""
+    if isinstance(scale, Scale):
+        return scale
+    if scale is None:
+        scale = "paper" if os.environ.get("REPRO_FULL") == "1" else "ci"
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+
+
+@dataclass
+class Table:
+    """A printable result table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[object]:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header row first), for feeding
+        the tables to external plotting tools."""
+        import csv
+        import io
+
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(row)
+        return out.getvalue()
+
+    def to_text(self) -> str:
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                if math.isinf(cell):
+                    return "inf"
+                if math.isnan(cell):
+                    return "-"
+                return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+            return str(cell)
+
+        grid = [list(map(str, self.headers))] + [
+            [fmt(c) for c in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in grid) for i in range(len(self.headers))]
+        lines = [self.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(grid[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in grid[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment: str
+    description: str
+    scale: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self, title: str) -> Table:
+        for table in self.tables:
+            if table.title == title:
+                return table
+        raise KeyError(f"no table titled {title!r} in {self.experiment}")
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment}: {self.description} (scale={self.scale}) =="]
+        for table in self.tables:
+            parts.append(table.to_text())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def write_csv(self, directory) -> List[str]:
+        """Write one CSV per table into ``directory``; returns the
+        paths written.  File names are derived from the experiment id
+        and a slug of each table title."""
+        import os
+        import re
+
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for table in self.tables:
+            slug = re.sub(r"[^a-z0-9]+", "-", table.title.lower()).strip("-")[:60]
+            path = os.path.join(directory, f"{self.experiment}_{slug}.csv")
+            with open(path, "w") as handle:
+                handle.write(table.to_csv())
+            paths.append(path)
+        return paths
+
+
+def latency_load_curve(
+    make_simulator: Callable[[], Simulator],
+    loads: Sequence[float],
+    warmup: int,
+    measure: int,
+    drain_max: int,
+    stop_after_saturation: bool = True,
+) -> List[OpenLoopResult]:
+    """Run an offered-load sweep, one fresh simulator per point."""
+    results: List[OpenLoopResult] = []
+    for load in loads:
+        sim = make_simulator()
+        result = sim.run_open_loop(
+            load, warmup=warmup, measure=measure, drain_max=drain_max
+        )
+        results.append(result)
+        if stop_after_saturation and result.saturated:
+            break
+    return results
+
+
+def saturation_throughput(
+    make_simulator: Callable[[], Simulator], warmup: int, measure: int
+) -> float:
+    """Accepted throughput at offered load 1.0."""
+    return make_simulator().measure_saturation_throughput(warmup, measure)
+
+
+def find_saturation_load(
+    make_simulator: Callable[[float], Simulator],
+    warmup: int,
+    measure: int,
+    drain_max: int,
+    latency_bound: float = 4.0,
+    precision: float = 0.02,
+) -> float:
+    """Binary-search the offered load at which the network saturates.
+
+    A load point counts as saturated when the run's labeled packets
+    fail to drain, or when mean latency exceeds ``latency_bound`` times
+    the zero-load latency (measured at load 0.05).  ``make_simulator``
+    receives the load so a fresh simulator is built per probe.
+
+    Returns the highest non-saturated load found, to within
+    ``precision``.
+    """
+    if not 0 < precision < 0.5:
+        raise ValueError(f"precision must be in (0, 0.5), got {precision}")
+    baseline = make_simulator(0.05).run_open_loop(
+        0.05, warmup=warmup, measure=measure, drain_max=drain_max
+    )
+    threshold = max(baseline.latency.mean, 1.0) * latency_bound
+
+    def saturated(load: float) -> bool:
+        result = make_simulator(load).run_open_loop(
+            load, warmup=warmup, measure=measure, drain_max=drain_max
+        )
+        return result.saturated or result.latency.mean > threshold
+
+    low, high = 0.05, 1.0
+    if not saturated(1.0):
+        return 1.0
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if saturated(mid):
+            high = mid
+        else:
+            low = mid
+    return low
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Mean and spread of a metric over independent seeds."""
+
+    mean: float
+    std: float
+    samples: Tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+
+def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> Replicated:
+    """Run ``metric(seed)`` over ``seeds`` and summarize.
+
+    Use for confidence in simulation results, e.g.::
+
+        replicate(
+            lambda seed: Simulator(
+                FlattenedButterfly(8, 2), ClosAD(), adversarial(),
+                SimulationConfig(seed=seed),
+            ).measure_saturation_throughput(500, 500),
+            seeds=range(1, 6),
+        )
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples = tuple(metric(seed) for seed in seeds)
+    mean = sum(samples) / len(samples)
+    if len(samples) > 1:
+        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return Replicated(mean=mean, std=std, samples=samples)

@@ -1,0 +1,53 @@
+"""Extension — Section 5.2's wire-delay argument as numbers.
+
+The paper argues (without a figure) that the flattened butterfly's
+longer cables do not cost latency: time of flight follows physical
+distance, and a minimally packaged direct network covers only the
+source-destination Manhattan distance while an indirect network makes
+a round trip through the middle-stage cabinets.
+"""
+
+from __future__ import annotations
+
+from ..analysis import WireDelayModel
+from .common import ExperimentResult, Table, resolve_scale
+
+SIZES = (1024, 4096, 16384, 65536)
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    model = WireDelayModel()
+    table = Table(
+        title="time of flight (ns)",
+        headers=[
+            "N", "direct, uniform", "folded Clos, uniform",
+            "direct, adjacent", "folded Clos, adjacent", "adjacent penalty",
+        ],
+    )
+    for n in SIZES:
+        direct_u = model.flight_time_ns(model.direct_route_m(n))
+        clos_u = model.flight_time_ns(model.folded_clos_route_m(n))
+        direct_l, clos_l = model.adjacent_traffic_route_m(n)
+        table.add(
+            n, direct_u, clos_u,
+            model.flight_time_ns(direct_l), model.flight_time_ns(clos_l),
+            f"{model.local_flight_ratio(n):.1f}x",
+        )
+    result = ExperimentResult(
+        experiment="ext_wire_delay",
+        description="Extension: Section 5.2 wire-delay (time-of-flight) analysis",
+        scale=scale.name,
+        tables=[table],
+    )
+    result.notes.append(
+        "uniform traffic: the Clos round trip covers 1.5x the direct "
+        "Manhattan distance; for adjacent-cabinet (worst-case pattern) "
+        "traffic the penalty grows with machine size — the paper's '2x "
+        "global wire delay' observation"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,40 @@
+"""Figure 2 — network size scalability as radix and dimension vary.
+
+Plots N (the largest network a radix-k' router can build) against k'
+for n' = 1..4.  The paper's headline points: low-radix routers
+(k' < 16) build only very small networks; with k' = 61, three
+dimensions already reach 64K nodes.
+"""
+
+from __future__ import annotations
+
+from ..analysis.scaling import max_nodes
+from .common import ExperimentResult, Table, resolve_scale
+
+RADICES = (8, 16, 24, 32, 40, 48, 61, 64, 80, 96, 128)
+DIMENSIONS = (1, 2, 3, 4)
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    table = Table(
+        title="Network size N reachable by radix-k' routers",
+        headers=["k'"] + [f"n'={n}" for n in DIMENSIONS],
+    )
+    for k_prime in RADICES:
+        table.add(k_prime, *(max_nodes(k_prime, n) for n in DIMENSIONS))
+    result = ExperimentResult(
+        experiment="fig02",
+        description="Figure 2: scalability of the flattened butterfly",
+        scale=scale.name,
+        tables=[table],
+    )
+    result.notes.append(
+        f"paper anchor: k'=61, n'=3 scales to 64K nodes "
+        f"(measured {max_nodes(61, 3)})"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

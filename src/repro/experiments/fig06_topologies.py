@@ -1,0 +1,139 @@
+"""Figure 6 (and Table 1) — topology comparison at equal bisection.
+
+Latency vs. offered load and saturation throughput for the flattened
+butterfly (CLOS AD), the conventional butterfly (destination-based
+routing), the folded Clos (adaptive sequential routing, bisection
+matched by tapering the leaf uplinks), and the hypercube (e-cube) —
+all at the same node count, unit-bandwidth channels, and constant
+total buffering per port.
+
+Expected shape: on UR everything but the folded Clos reaches ~100%
+(the equal-bisection Clos spends half its bandwidth on load balancing
+and reaches 50%); on WC the butterfly collapses to ~1/k — identical to
+a minimally routed flattened butterfly — while the others reach ~50%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from ..core import ClosAD, DimensionOrder
+from ..core.flattened_butterfly import FlattenedButterfly
+from ..network import SimulationConfig, Simulator
+from ..topologies import (
+    Butterfly,
+    DestinationTag,
+    ECube,
+    FoldedClos,
+    FoldedClosAdaptive,
+    Hypercube,
+)
+from ..traffic import UniformRandom, adversarial
+from .common import (
+    ExperimentResult,
+    Table,
+    latency_load_curve,
+    resolve_scale,
+    saturation_throughput,
+)
+
+
+def topology_suite(k: int) -> Dict[str, Callable[[], Simulator]]:
+    """Simulator factories for the four topologies at N = k**2, plus a
+    minimally routed flattened butterfly for the paper's 'identical to
+    the butterfly' observation.  Returns name -> factory-of-factory so
+    each call builds a fresh simulator."""
+    num_terminals = k * k
+    n_cube = int(math.log2(num_terminals))
+    if 2**n_cube != num_terminals:
+        raise ValueError(f"N={num_terminals} must be a power of two")
+
+    def factories(pattern_factory):
+        return {
+            "FB (CLOS AD)": lambda: Simulator(
+                FlattenedButterfly(k, 2), ClosAD(), pattern_factory(),
+                SimulationConfig(),
+            ),
+            "FB (MIN)": lambda: Simulator(
+                FlattenedButterfly(k, 2), DimensionOrder(), pattern_factory(),
+                SimulationConfig(),
+            ),
+            "butterfly": lambda: Simulator(
+                Butterfly(k, 2), DestinationTag(), pattern_factory(),
+                SimulationConfig(),
+            ),
+            "folded Clos": lambda: Simulator(
+                FoldedClos(num_terminals, k, taper=2), FoldedClosAdaptive(),
+                pattern_factory(), SimulationConfig(),
+            ),
+            # The hypercube's natural bisection is twice the flattened
+            # butterfly's; holding bisection constant halves its
+            # channel bandwidth (channel_period=2).
+            "hypercube": lambda: Simulator(
+                Hypercube(n_cube), ECube(), pattern_factory(),
+                SimulationConfig(channel_period=2),
+            ),
+        }
+
+    return factories
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    k = scale.fb_k
+    result = ExperimentResult(
+        experiment="fig06",
+        description=f"Figure 6: topology comparison at N={k * k}",
+        scale=scale.name,
+    )
+    suite = topology_suite(k)
+    for pattern_name, pattern_factory in (
+        ("UR", UniformRandom),
+        ("WC", adversarial),
+    ):
+        factories = suite(pattern_factory)
+        latency = Table(
+            title=f"({'a' if pattern_name == 'UR' else 'b'}) "
+            f"latency vs offered load, {pattern_name} traffic",
+            headers=["load"] + list(factories),
+        )
+        curves = {
+            name: latency_load_curve(
+                make, scale.loads, scale.warmup, scale.measure, scale.drain_max
+            )
+            for name, make in factories.items()
+        }
+        for i, load in enumerate(scale.loads):
+            row = [load]
+            for name in factories:
+                curve = curves[name]
+                if i < len(curve) and not curve[i].saturated:
+                    row.append(curve[i].latency.mean)
+                else:
+                    row.append(float("inf"))
+            latency.add(*row)
+        result.tables.append(latency)
+
+        throughput = Table(
+            title=f"saturation throughput, {pattern_name} traffic",
+            headers=["topology", "accepted throughput"],
+        )
+        for name, make in factories.items():
+            throughput.add(
+                name, saturation_throughput(make, scale.warmup, scale.measure)
+            )
+        result.tables.append(throughput)
+    result.notes.append(
+        "Table 1 routing: FB=CLOS AD (2 VCs), butterfly=destination-based "
+        "(1 VC), folded Clos=adaptive sequential (1 VC), hypercube=e-cube (1 VC)"
+    )
+    result.notes.append(
+        f"paper anchors: UR — folded Clos 50%, others 100%; WC — butterfly "
+        f"~1/{k}, identical to FB (MIN); others ~50%"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,48 @@
+"""Figure 7 — cable cost data and the repeatered cable model.
+
+(a) cost per differential signal of Infiniband 4x and 12x cables vs.
+length (straight-line fits: overhead = connectors/shielding/assembly,
+slope = copper); (b) the Infiniband-12x-based model with repeaters
+inserted every 6 m, producing a step of about one connector overhead
+at each repeater.
+"""
+
+from __future__ import annotations
+
+from ..cost.cables import INFINIBAND_12X, INFINIBAND_4X, CableCostModel
+from .common import ExperimentResult, Table, resolve_scale
+
+LENGTHS = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 18, 20, 24, 30)
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    cables = CableCostModel()
+    fits = Table(
+        title="(a) cable cost per signal vs length ($)",
+        headers=["length (m)", INFINIBAND_4X.name, INFINIBAND_12X.name],
+    )
+    model = Table(
+        title="(b) repeatered cable model ($ per signal)",
+        headers=["length (m)", "repeaters", "cost"],
+    )
+    for length in LENGTHS:
+        fits.add(length, INFINIBAND_4X.cost(length), INFINIBAND_12X.cost(length))
+        model.add(
+            length, cables.repeaters_needed(length), cables.electrical_cost(length)
+        )
+    result = ExperimentResult(
+        experiment="fig07",
+        description="Figure 7: cable cost data and repeater model",
+        scale=resolve_scale(scale).name,
+        tables=[fits, model],
+    )
+    result.notes.append(
+        f"anchor: a 2 m cable costs ${cables.electrical_cost(2.0):.2f}/signal "
+        f"(paper: $5.34); backplane ${cables.backplane_cost():.2f} (paper: $1.95)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,67 @@
+"""Figure 10 — (a) link share of network cost and (b) average cable
+length, as network size grows.
+
+Paper anchors: link cost approaches ~80% of network cost for the
+flattened butterfly, conventional butterfly and folded Clos (~60% for
+the hypercube beyond 4K, whose many routers dominate at small N); at
+large N the flattened butterfly's average cable is ~22% longer than
+the folded Clos's and ~54% longer than the hypercube's.
+"""
+
+from __future__ import annotations
+
+from ..cost import (
+    butterfly_census,
+    flattened_butterfly_census,
+    folded_clos_census,
+    hypercube_census,
+    price_census,
+)
+from .common import ExperimentResult, Table, resolve_scale
+
+SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+CENSUSES = {
+    "FB": flattened_butterfly_census,
+    "butterfly": butterfly_census,
+    "folded Clos": folded_clos_census,
+    "hypercube": hypercube_census,
+}
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    fraction = Table(
+        title="(a) link cost / total network cost",
+        headers=["N"] + list(CENSUSES),
+    )
+    lengths = Table(
+        title="(b) average cable length (m, incl. 2 m overhead)",
+        headers=["N"] + list(CENSUSES),
+    )
+    for n in SIZES:
+        censuses = {name: make(n) for name, make in CENSUSES.items()}
+        fraction.add(
+            n, *(price_census(c).link_fraction for c in censuses.values())
+        )
+        lengths.add(n, *(c.average_cable_length() for c in censuses.values()))
+    result = ExperimentResult(
+        experiment="fig10",
+        description="Figure 10: link cost share and average cable length",
+        scale=scale.name,
+        tables=[fraction, lengths],
+    )
+    big = {name: make(65536) for name, make in CENSUSES.items()}
+    fb_len = big["FB"].average_cable_length()
+    result.notes.append(
+        "at N=64K, FB cable length is "
+        f"{fb_len / big['folded Clos'].average_cable_length() - 1:+.0%} vs the "
+        f"folded Clos and "
+        f"{fb_len / big['hypercube'].average_cable_length() - 1:+.0%} vs the "
+        "hypercube (paper: +22% and +54%)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,65 @@
+"""Figure 11 — cost per node of the four topologies vs. network size.
+
+Paper anchors: the butterfly is generally the lowest-cost network and
+the hypercube and folded Clos the highest; the flattened butterfly
+costs 35-53% less than the folded Clos (35-38% below 1K, ~53% at 4K,
+40-45% at 16-32K); the folded Clos steps up when it gains a level
+(1K -> 2K with radix-64 routers) and the flattened butterfly steps,
+more gently, when it gains a dimension.
+"""
+
+from __future__ import annotations
+
+from ..cost import (
+    butterfly_census,
+    flattened_butterfly_census,
+    folded_clos_census,
+    hypercube_census,
+    price_census,
+)
+from .common import ExperimentResult, Table, resolve_scale
+from .fig10_link_cost import CENSUSES, SIZES
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    cost = Table(
+        title="cost per node ($)",
+        headers=["N"] + list(CENSUSES) + ["FB saving vs Clos"],
+    )
+    breakdown = Table(
+        title="flattened butterfly cost breakdown ($/node)",
+        headers=["N", "routers", "terminal links", "local links", "global links"],
+    )
+    for n in SIZES:
+        priced = {name: price_census(make(n)) for name, make in CENSUSES.items()}
+        saving = 1.0 - priced["FB"].cost_per_node / priced["folded Clos"].cost_per_node
+        cost.add(
+            n,
+            *(p.cost_per_node for p in priced.values()),
+            f"{saving:.0%}",
+        )
+        fb = priced["FB"]
+        breakdown.add(
+            n,
+            fb.router_cost / n,
+            fb.terminal_link_cost / n,
+            fb.local_link_cost / n,
+            fb.global_link_cost / n,
+        )
+    result = ExperimentResult(
+        experiment="fig11",
+        description="Figure 11: topology cost comparison",
+        scale=scale.name,
+        tables=[cost, breakdown],
+    )
+    result.notes.append(
+        "paper anchors: FB 35-38% below Clos for N<1K, ~53% at 4K, "
+        "40-45% at 16-32K; Clos steps at 1K->2K, FB adds a dimension there too "
+        "but with a smaller step"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,108 @@
+"""Figure 12 (and Table 4) — fixed-N design study.
+
+For a fixed node count, every (k, n) with k**n = N is a valid
+flattened butterfly; the paper compares them under VAL (Figure 12(a))
+and MIN AD with 64 flits of storage per physical channel
+(Figure 12(b)).
+
+Paper anchors: with VAL every configuration reaches 50% of capacity
+(constant bisection) while latency grows as k' shrinks (higher
+diameter); with MIN AD the per-VC buffer shrinks as n' grows (VCs
+proportional to n'), costing ~20% throughput from n'=1 to n'=5.  The
+highest-radix, lowest-dimensionality design wins.
+"""
+
+from __future__ import annotations
+
+from ..analysis.scaling import table4_configs
+from ..core import MinimalAdaptive, Valiant
+from ..core.flattened_butterfly import FlattenedButterfly
+from ..network import SimulationConfig, Simulator
+from ..traffic import UniformRandom
+from .common import ExperimentResult, Table, resolve_scale
+
+MIN_AD_BUFFER_PER_PORT = 64  # paper: 64 flit buffers per PC in Fig 12(b)
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    configs = [
+        cfg for cfg in table4_configs(scale.design_study_n) if cfg.n_prime <= 8
+    ]
+    result = ExperimentResult(
+        experiment="fig12",
+        description=(
+            f"Figure 12: N={scale.design_study_n} flattened-butterfly "
+            "design points (Table 4 configurations)"
+        ),
+        scale=scale.name,
+    )
+
+    config_table = Table(
+        title="Table 4: configurations",
+        headers=["k", "n", "k'", "n'", "routers"],
+    )
+    for cfg in configs:
+        config_table.add(cfg.k, cfg.n, cfg.k_prime, cfg.n_prime, cfg.num_routers)
+    result.tables.append(config_table)
+
+    val = Table(
+        title="(a) VAL on UR traffic",
+        headers=["config", "low-load latency", "saturation throughput"],
+    )
+    min_ad = Table(
+        title="(b) MIN AD on UR traffic (64 flits per PC)",
+        headers=["config", "low-load latency", "saturation throughput"],
+    )
+    for cfg in configs:
+        label = f"{cfg.k}-ary {cfg.n}-flat"
+        sim = Simulator(
+            FlattenedButterfly(cfg.k, cfg.n),
+            Valiant(),
+            UniformRandom(),
+            SimulationConfig(),
+        )
+        low = sim.run_open_loop(
+            0.1, warmup=scale.warmup, measure=scale.measure,
+            drain_max=scale.drain_max,
+        )
+        sat = Simulator(
+            FlattenedButterfly(cfg.k, cfg.n),
+            Valiant(),
+            UniformRandom(),
+            SimulationConfig(),
+        ).measure_saturation_throughput(scale.warmup, scale.measure)
+        val.add(label, low.latency.mean, sat)
+
+        config = SimulationConfig(buffer_per_port=MIN_AD_BUFFER_PER_PORT)
+        low = Simulator(
+            FlattenedButterfly(cfg.k, cfg.n), MinimalAdaptive(),
+            UniformRandom(), config,
+        ).run_open_loop(
+            0.1, warmup=scale.warmup, measure=scale.measure,
+            drain_max=scale.drain_max,
+        )
+        sat = Simulator(
+            FlattenedButterfly(cfg.k, cfg.n), MinimalAdaptive(),
+            UniformRandom(), config,
+        ).measure_saturation_throughput(scale.warmup, scale.measure)
+        min_ad.add(label, low.latency.mean, sat)
+    result.tables.append(val)
+    result.tables.append(min_ad)
+    result.notes.append(
+        "paper anchors: VAL throughput ~50% for every config, latency rises "
+        "as n' grows; MIN AD throughput degrades ~20% from the lowest to the "
+        "highest dimensionality as the per-VC buffer shrinks"
+    )
+    result.notes.append(
+        "known deviation: the MIN AD throughput degradation does not appear "
+        "under this simulator's sufficient-speedup router — its wire stage "
+        "round-robins across VCs, so a shallow per-VC buffer is hidden as "
+        "long as several VCs are active; the paper's deeper router pipeline "
+        "makes per-VC depth binding"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

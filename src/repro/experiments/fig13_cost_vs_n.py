@@ -1,0 +1,65 @@
+"""Figure 13 — cost of N=4K flattened butterflies as n' grows.
+
+Prices each Table 4 configuration with the Section 4 cost model.  The
+average cable length falls as n' grows (smaller subsystems per
+dimension), but the extra links and routers more than offset it.
+
+Paper anchors: cost per node rises ~45% from n'=1 to n'=2 and ~300%
+from n'=1 to n'=5 — the highest-radix, lowest-dimensionality design is
+cheapest.
+"""
+
+from __future__ import annotations
+
+from ..analysis.scaling import PackagedFlatConfig, table4_configs
+from ..cost import flattened_butterfly_census, price_census
+from .common import ExperimentResult, Table, resolve_scale
+
+DESIGN_N = 4096  # the cost model is analytic; always match the paper
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    configs = [cfg for cfg in table4_configs(DESIGN_N) if cfg.n_prime <= 11]
+    table = Table(
+        title=f"cost of N={DESIGN_N} flattened butterflies vs n'",
+        headers=[
+            "config", "k'", "n'", "cost per node ($)",
+            "avg cable length (m)", "vs n'=1",
+        ],
+    )
+    base_cost = None
+    for cfg in configs:
+        census = flattened_butterfly_census(
+            DESIGN_N,
+            config=PackagedFlatConfig(cfg.k, (cfg.k,) * cfg.n_prime),
+        )
+        priced = price_census(census)
+        if base_cost is None:
+            base_cost = priced.cost_per_node
+        table.add(
+            f"{cfg.k}-ary {cfg.n}-flat",
+            cfg.k_prime,
+            cfg.n_prime,
+            priced.cost_per_node,
+            # All-links average: higher-n' designs package more of their
+            # (smaller) dimensions locally, which is what drags the
+            # paper's average cable length down as n' grows.
+            census.average_link_length(),
+            f"{priced.cost_per_node / base_cost - 1:+.0%}",
+        )
+    result = ExperimentResult(
+        experiment="fig13",
+        description="Figure 13: cost of N=4K flattened butterflies vs dimensionality",
+        scale=scale.name,
+        tables=[table],
+    )
+    result.notes.append(
+        "paper anchors: +45% from n'=1 to n'=2, +300% from n'=1 to n'=5; "
+        "average cable length falls as n' increases"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

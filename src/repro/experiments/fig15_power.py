@@ -1,0 +1,47 @@
+"""Figure 15 — power comparison of the four topologies.
+
+Power per node vs. network size, using Table 5's SerDes and switch
+numbers.  Paper anchors: the hypercube consumes the most power and the
+butterflies the least; at 1K the flattened butterfly beats even the
+conventional butterfly by driving its local dimension-1 links with
+dedicated short-reach SerDes; between 4K and 8K the flattened
+butterfly (2 dimensions) saves ~48% vs. the folded Clos (3 stages);
+above 8K the flattened butterfly needs 3 dimensions and the saving
+shrinks (paper: ~20%).
+"""
+
+from __future__ import annotations
+
+from ..power import power_census
+from .common import ExperimentResult, Table, resolve_scale
+from .fig10_link_cost import CENSUSES, SIZES
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    table = Table(
+        title="power per node (W)",
+        headers=["N"] + list(CENSUSES) + ["FB saving vs Clos"],
+    )
+    for n in SIZES:
+        powered = {name: power_census(make(n)) for name, make in CENSUSES.items()}
+        saving = (
+            1.0 - powered["FB"].watts_per_node / powered["folded Clos"].watts_per_node
+        )
+        table.add(n, *(p.watts_per_node for p in powered.values()), f"{saving:.0%}")
+    result = ExperimentResult(
+        experiment="fig15",
+        description="Figure 15: topology power comparison",
+        scale=scale.name,
+        tables=[table],
+    )
+    result.notes.append(
+        "paper anchors: hypercube highest; FB <= conventional butterfly at 1K "
+        "(dedicated local SerDes); ~48% saving vs Clos at 4K-8K, shrinking "
+        "once the FB needs 3 dimensions (paper: ~20% above 8K)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

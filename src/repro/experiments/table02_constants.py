@@ -1,0 +1,70 @@
+"""Tables 2, 3, and 5 — model constants.
+
+Prints every constant the cost and power models use, next to the value
+the paper reports, so a reader can audit the reproduction inputs.
+"""
+
+from __future__ import annotations
+
+from ..cost import CableCostModel, CostParameters, PackagingModel
+from ..power import PowerParameters
+from .common import ExperimentResult, Table, resolve_scale
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    params = CostParameters()
+    packaging = PackagingModel()
+    power = PowerParameters()
+    cables = params.cables
+
+    cost = Table(
+        title="Table 2: cost breakdown",
+        headers=["component", "model value", "paper value"],
+    )
+    cost.add("router", f"${params.full_router_cost:.0f}", "$390")
+    cost.add("router chip", f"${params.router_silicon:.0f}", "$90")
+    cost.add("development (amortized)", f"${params.router_development:.0f}", "$300")
+    cost.add("backplane ($/signal)", f"${cables.backplane_per_signal:.2f}", "$1.95")
+    cost.add(
+        "electrical ($/signal)",
+        f"${cables.cable_overhead:.2f} + ${cables.cable_per_meter:.2f}/m",
+        "$3.72 + $0.81 l",
+    )
+    cost.add("optical ($/signal)", f"${cables.optical_per_signal:.2f}", "$220.00")
+
+    pack = Table(
+        title="Table 3: technology and packaging assumptions",
+        headers=["parameter", "model value", "paper value"],
+    )
+    pack.add("radix", params.base_radix, 64)
+    pack.add("pairs per port", params.pairs_per_port, 3)
+    pack.add("nodes per cabinet", packaging.nodes_per_cabinet, 128)
+    pack.add(
+        "cabinet footprint",
+        f"{packaging.cabinet_footprint_m[0]}m x {packaging.cabinet_footprint_m[1]}m",
+        "0.57m x 1.44m",
+    )
+    pack.add("density (nodes/m^2)", packaging.density_nodes_per_m2, 75)
+    pack.add("cable overhead (m)", packaging.cable_overhead_m, 2)
+    pack.add("repeater spacing (m)", cables.repeater_spacing_m, 6)
+
+    pwr = Table(
+        title="Table 5: power consumption",
+        headers=["component", "model value", "paper value"],
+    )
+    pwr.add("P_switch", f"{power.switch_full_router_w:.0f} W", "40 W")
+    pwr.add("P_link_gg", f"{power.link_global_w * 1000:.0f} mW", "200 mW")
+    pwr.add("P_link_gl", f"{power.link_local_global_serdes_w * 1000:.0f} mW", "160 mW")
+    pwr.add("P_link_ll", f"{power.link_local_dedicated_w * 1000:.0f} mW", "40 mW")
+
+    return ExperimentResult(
+        experiment="table02",
+        description="Tables 2/3/5: model constants",
+        scale=scale.name,
+        tables=[cost, pack, pwr],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,38 @@
+"""Table 4 — (k, n) and the corresponding (k', n') for a 4K network."""
+
+from __future__ import annotations
+
+from ..analysis.scaling import table4_configs
+from .common import ExperimentResult, Table, resolve_scale
+
+# The rows exactly as printed in the paper.  Note the last row prints
+# k' = 12, but the paper's own formula k' = n(k-1)+1 gives 13 for
+# k=2, n=12 — an apparent typo; we follow the formula.
+PAPER_ROWS = ((64, 2, 127, 1), (16, 3, 46, 2), (8, 4, 29, 3), (4, 6, 19, 5),
+              (2, 12, 13, 11))
+
+
+def run(scale=None) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    table = Table(
+        title="Table 4: N=4K flattened-butterfly parameters",
+        headers=["k", "n", "k'", "n'"],
+    )
+    for cfg in table4_configs(4096):
+        table.add(cfg.k, cfg.n, cfg.k_prime, cfg.n_prime)
+    result = ExperimentResult(
+        experiment="table04",
+        description="Table 4: k/n vs k'/n' for N=4K",
+        scale=scale.name,
+        tables=[table],
+    )
+    ours = {tuple(row) for row in table.rows}
+    missing = [row for row in PAPER_ROWS if row not in ours]
+    result.notes.append(
+        "matches the paper exactly" if not missing else f"missing rows: {missing}"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

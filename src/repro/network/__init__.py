@@ -1,0 +1,38 @@
+"""Cycle-accurate flit-level network simulator (Section 3.2's
+methodology)."""
+
+from .allocators import Allocator, GreedyAllocator, SequentialAllocator, make_allocator
+from .config import SimulationConfig
+from .injection import BatchInjection, BernoulliInjection, InjectionProcess
+from .packet import Flit, Packet
+from .simulator import Simulator
+from .stats import BatchResult, LatencySummary, OpenLoopResult
+from .trace import (
+    ChannelLoadTrace,
+    PacketJourneyTrace,
+    QueueTrace,
+    ThroughputTrace,
+    Tracer,
+)
+
+__all__ = [
+    "Allocator",
+    "GreedyAllocator",
+    "SequentialAllocator",
+    "make_allocator",
+    "SimulationConfig",
+    "BatchInjection",
+    "BernoulliInjection",
+    "InjectionProcess",
+    "Flit",
+    "Packet",
+    "Simulator",
+    "BatchResult",
+    "LatencySummary",
+    "OpenLoopResult",
+    "ChannelLoadTrace",
+    "PacketJourneyTrace",
+    "QueueTrace",
+    "ThroughputTrace",
+    "Tracer",
+]

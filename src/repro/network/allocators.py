@@ -1,0 +1,81 @@
+"""Routing allocators: greedy vs. sequential (Section 3.1).
+
+The paper distinguishes two ways a router turns per-input routing
+decisions into queue-state updates within one routing cycle:
+
+* **Greedy** — "all inputs make their routing decisions in parallel and
+  then, the queuing state is updated en mass."  Every input sees the
+  same (stale) queue estimates; when the minimal queue is short, all
+  inputs pile onto it, causing the transient load imbalance of
+  Figure 5.
+* **Sequential** — "each input makes its routing decision in sequence
+  and updates the queuing state before the next input makes its
+  decision," eliminating that source of imbalance (UGAL-S, CLOS AD).
+
+The allocator controls *when* the pending-flit debit of each decision
+becomes visible; the debit itself lives in
+:class:`repro.network.buffers.OutPort.pending`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+
+class Allocator(abc.ABC):
+    """Policy for applying routing-decision debits within a cycle."""
+
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def begin_cycle(self) -> None:
+        """Reset per-cycle state before a router's routing phase."""
+
+    @abc.abstractmethod
+    def record(self, out_port, vc: int, flits: int) -> None:
+        """Account a decision committing ``flits`` flits to ``(out_port, vc)``."""
+
+    @abc.abstractmethod
+    def end_cycle(self) -> None:
+        """Apply any deferred debits after all inputs have decided."""
+
+
+class SequentialAllocator(Allocator):
+    """Debits become visible immediately, decision by decision."""
+
+    name = "sequential"
+
+    def begin_cycle(self) -> None:
+        pass
+
+    def record(self, out_port, vc: int, flits: int) -> None:
+        out_port.pending[vc] += flits
+
+    def end_cycle(self) -> None:
+        pass
+
+
+class GreedyAllocator(Allocator):
+    """Debits of a routing cycle are applied en masse at its end."""
+
+    name = "greedy"
+
+    def __init__(self) -> None:
+        self._deferred: List[Tuple[object, int, int]] = []
+
+    def begin_cycle(self) -> None:
+        self._deferred.clear()
+
+    def record(self, out_port, vc: int, flits: int) -> None:
+        self._deferred.append((out_port, vc, flits))
+
+    def end_cycle(self) -> None:
+        for out_port, vc, flits in self._deferred:
+            out_port.pending[vc] += flits
+        self._deferred.clear()
+
+
+def make_allocator(sequential: bool) -> Allocator:
+    """Build the allocator a routing algorithm asks for."""
+    return SequentialAllocator() if sequential else GreedyAllocator()

@@ -1,0 +1,72 @@
+"""Channel pipelines: flits one way, credits the other.
+
+A :class:`ChannelPipe` models one unidirectional inter-router channel
+with a fixed flit latency and bandwidth of one flit per cycle (the
+switch allocator enforces the bandwidth by granting each output port at
+most once per cycle), plus the reverse credit path used by credit-based
+flow control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from .packet import Flit
+
+
+class ChannelPipe:
+    """In-flight flits and credits of one channel.
+
+    Attributes:
+        index: the topology channel index this pipe realizes.
+        src_router / dst_router: endpoints.
+        src_port: output-port index at the source router.
+        dst_in_port: input-port index at the destination router.
+    """
+
+    __slots__ = (
+        "index",
+        "src_router",
+        "dst_router",
+        "src_port",
+        "dst_in_port",
+        "flits",
+        "credits",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        src_router: int,
+        dst_router: int,
+        src_port: int,
+        dst_in_port: int,
+    ) -> None:
+        self.index = index
+        self.src_router = src_router
+        self.dst_router = dst_router
+        self.src_port = src_port
+        self.dst_in_port = dst_in_port
+        # (arrival_cycle, flit/vc) with monotonically non-decreasing
+        # arrival cycles, so delivery pops from the left only.
+        self.flits: Deque[Tuple[int, Flit, int]] = deque()
+        self.credits: Deque[Tuple[int, int]] = deque()
+
+    def push_flit(self, flit: Flit, vc: int, arrival: int) -> None:
+        """Place ``flit`` on the wire, due at ``arrival``."""
+        self.flits.append((arrival, flit, vc))
+
+    def push_credit(self, vc: int, arrival: int) -> None:
+        """Send a credit for ``vc`` back upstream, due at ``arrival``."""
+        self.credits.append((arrival, vc))
+
+    def busy(self) -> bool:
+        """Whether anything is still in flight on this pipe."""
+        return bool(self.flits) or bool(self.credits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ChannelPipe {self.index} {self.src_router}->{self.dst_router} "
+            f"flits={len(self.flits)} credits={len(self.credits)}>"
+        )

@@ -1,0 +1,91 @@
+"""Simulation configuration.
+
+Defaults follow Section 3.2 of the paper: single-cycle input-queued
+routers, 32 flits of buffering per port (divided evenly among the
+routing algorithm's virtual channels), single-flit packets, and
+Bernoulli packet injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the cycle-accurate simulator.
+
+    Attributes:
+        buffer_per_port: total flit buffering per input port, divided
+            evenly among the virtual channels (the paper holds this
+            product constant when comparing VC counts).
+        packet_size: flits per packet.
+        channel_latency: cycles a flit spends on an inter-router
+            channel.
+        credit_latency: cycles for a credit to return upstream.
+        injection_queue_capacity: flit capacity of the injection-port
+            buffer inside the router (the terminal-side source queue is
+            unbounded, per the open-loop methodology).
+        speedup: switch speedup — sub-iterations of the switch
+            allocator per cycle.  ``None`` (default) means "sufficient
+            speedup" as in the paper: sub-iterations repeat until no
+            flit can move, so the router is never the bottleneck.
+        staging_depth: per-VC output staging FIFO depth that decouples
+            the sped-up switch from the one-flit-per-cycle channel.
+        channel_period: cycles per flit on inter-router channels.  The
+            default 1 is a full-bandwidth channel; 2 models a
+            half-bandwidth channel, which is how the paper's
+            equal-bisection hypercube is configured (its natural
+            bisection is twice the flattened butterfly's).
+        seed: base RNG seed; every stochastic component derives its own
+            stream from it, so runs are reproducible.
+    """
+
+    buffer_per_port: int = 32
+    packet_size: int = 1
+    channel_latency: int = 1
+    credit_latency: int = 1
+    injection_queue_capacity: int = 4
+    speedup: Optional[int] = None
+    staging_depth: int = 32
+    channel_period: int = 1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.buffer_per_port < 1:
+            raise ValueError(f"buffer_per_port must be >= 1, got {self.buffer_per_port}")
+        if self.packet_size < 1:
+            raise ValueError(f"packet_size must be >= 1, got {self.packet_size}")
+        if self.channel_latency < 1:
+            raise ValueError(f"channel_latency must be >= 1, got {self.channel_latency}")
+        if self.credit_latency < 1:
+            raise ValueError(f"credit_latency must be >= 1, got {self.credit_latency}")
+        if self.injection_queue_capacity < 1:
+            raise ValueError(
+                f"injection_queue_capacity must be >= 1, "
+                f"got {self.injection_queue_capacity}"
+            )
+        if self.speedup is not None and self.speedup < 1:
+            raise ValueError(f"speedup must be >= 1 or None, got {self.speedup}")
+        if self.staging_depth < 1:
+            raise ValueError(f"staging_depth must be >= 1, got {self.staging_depth}")
+        if self.channel_period < 1:
+            raise ValueError(f"channel_period must be >= 1, got {self.channel_period}")
+
+    def vc_depth(self, num_vcs: int) -> int:
+        """Flit depth of each VC buffer given the algorithm's VC count."""
+        if num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+        depth = self.buffer_per_port // num_vcs
+        if depth < 1:
+            raise ValueError(
+                f"buffer_per_port={self.buffer_per_port} cannot hold even one "
+                f"flit in each of {num_vcs} VCs"
+            )
+        if depth < self.packet_size:
+            raise ValueError(
+                f"VC depth {depth} smaller than packet size {self.packet_size}; "
+                f"a packet must fit in a single VC buffer"
+            )
+        return depth

@@ -1,0 +1,113 @@
+"""Packet-injection processes.
+
+Open-loop experiments use a Bernoulli process per terminal, as in the
+paper ("Packets are injected using a Bernoulli process", Section 3.2).
+The dynamic-response experiment of Figure 5 instead delivers a fixed
+batch of packets per terminal at time zero and measures drain time.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Dict, List, Tuple
+
+
+class InjectionProcess(abc.ABC):
+    """Decides, per cycle, which terminals create how many packets."""
+
+    @abc.abstractmethod
+    def start(self, num_terminals: int, packet_size: int, rng: random.Random) -> None:
+        """Reset state for a fresh simulation."""
+
+    @abc.abstractmethod
+    def injections(self, now: int) -> List[Tuple[int, int]]:
+        """``(terminal, packet_count)`` pairs for cycle ``now``."""
+
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """True when no further packets will ever be injected."""
+
+
+class BernoulliInjection(InjectionProcess):
+    """Each terminal independently injects a packet with probability
+    ``load / packet_size`` per cycle, giving an offered load of
+    ``load`` flits per node per cycle.
+
+    Implemented by sampling geometric inter-injection gaps into a
+    calendar, so per-cycle work is proportional to the number of
+    injections rather than the number of terminals.
+    """
+
+    def __init__(self, load: float) -> None:
+        if not 0.0 < load <= 1.0:
+            raise ValueError(f"offered load must be in (0, 1], got {load}")
+        self.load = load
+        self._calendar: Dict[int, List[int]] = {}
+        self._stopped = False
+
+    def start(self, num_terminals: int, packet_size: int, rng: random.Random) -> None:
+        rate = self.load / packet_size
+        if rate > 1.0:
+            raise ValueError(
+                f"load {self.load} with packet size {packet_size} exceeds one "
+                f"packet per cycle per terminal"
+            )
+        self._rate = rate
+        self._rng = rng
+        self._calendar = {}
+        self._stopped = False
+        self._log_q = math.log1p(-rate) if rate < 1.0 else None
+        for terminal in range(num_terminals):
+            self._schedule(terminal, -1)
+
+    def _schedule(self, terminal: int, now: int) -> None:
+        if self._log_q is None:  # rate == 1.0: inject every cycle
+            gap = 1
+        else:
+            u = self._rng.random()
+            gap = 1 + int(math.log(1.0 - u) / self._log_q)
+        self._calendar.setdefault(now + gap, []).append(terminal)
+
+    def stop(self) -> None:
+        """Stop generating new packets (used while draining)."""
+        self._stopped = True
+        self._calendar.clear()
+
+    def injections(self, now: int) -> List[Tuple[int, int]]:
+        if self._stopped:
+            return []
+        terminals = self._calendar.pop(now, None)
+        if not terminals:
+            return []
+        for terminal in terminals:
+            self._schedule(terminal, now)
+        return [(terminal, 1) for terminal in terminals]
+
+    def exhausted(self) -> bool:
+        return self._stopped
+
+
+class BatchInjection(InjectionProcess):
+    """Every terminal receives ``batch_size`` packets at cycle zero
+    (Figure 5's dynamic-response workload)."""
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._done = False
+
+    def start(self, num_terminals: int, packet_size: int, rng: random.Random) -> None:
+        self._num_terminals = num_terminals
+        self._done = False
+
+    def injections(self, now: int) -> List[Tuple[int, int]]:
+        if self._done or now != 0:
+            return []
+        self._done = True
+        return [(t, self.batch_size) for t in range(self._num_terminals)]
+
+    def exhausted(self) -> bool:
+        return self._done

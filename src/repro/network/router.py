@@ -1,0 +1,303 @@
+"""The input-queued virtual-channel router engine.
+
+Implements the single-cycle router of Section 3.2: per-input VC
+buffers, credit-based flow control, per-packet routing decisions made
+under a greedy or sequential allocator, per-output switch arbitration,
+and switch speedup.
+
+Each cycle consists of one or more *switch sub-iterations* (the
+speedup): in each, every output port accepts at most one flit from the
+head of a requesting input VC into its per-VC output staging FIFO, and
+newly exposed heads are routed between sub-iterations.  Afterwards the
+*wire phase* moves at most one staged flit per channel onto the wire
+(the channel is the serialization point).  With unbounded speedup the
+router is never the bottleneck, which is the paper's stated
+configuration ("we use input-queued routers but provide sufficient
+switch speedup").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .buffers import (
+    CHANNEL_INPUT,
+    CHANNEL_PORT,
+    EJECTION_PORT,
+    INJECTION_INPUT,
+    InputVC,
+    OutPort,
+)
+from .packet import Flit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topologies.base import Channel
+    from .simulator import Simulator
+
+
+class RouterEngine:
+    """Cycle-by-cycle state of one router."""
+
+    __slots__ = (
+        "sim",
+        "router_id",
+        "in_ports",
+        "in_port_kind",
+        "in_port_source",
+        "out_ports",
+        "_port_of_channel",
+        "_ej_port_of_terminal",
+        "active",
+        "_staged_ports",
+        "_rr_offset",
+        "_num_invcs",
+    )
+
+    def __init__(self, sim: "Simulator", router_id: int) -> None:
+        self.sim = sim
+        self.router_id = router_id
+        # Input ports: per port, a list of InputVC (channel inputs get
+        # the algorithm's VC count; injection inputs are single-FIFO).
+        self.in_ports: List[List[InputVC]] = []
+        self.in_port_kind: List[int] = []
+        # For channel inputs: the feeding channel index (credit return
+        # path); for injection inputs: the terminal id.
+        self.in_port_source: List[int] = []
+        self.out_ports: List[OutPort] = []
+        self._port_of_channel: Dict[int, int] = {}
+        self._ej_port_of_terminal: Dict[int, int] = {}
+        # Ordered set of non-empty input VCs.
+        self.active: Dict[InputVC, None] = {}
+        # Ordered set of output ports with staged flits.
+        self._staged_ports: Dict[OutPort, None] = {}
+        self._rr_offset = 0
+        self._num_invcs = 0
+
+    # ------------------------------------------------------------------
+    # Construction (called by the Simulator)
+    # ------------------------------------------------------------------
+    def add_channel_input(self, channel_index: int, num_vcs: int, depth: int) -> int:
+        port = len(self.in_ports)
+        vcs = [InputVC(port, vc, depth, self._num_invcs + vc) for vc in range(num_vcs)]
+        self._num_invcs += num_vcs
+        self.in_ports.append(vcs)
+        self.in_port_kind.append(CHANNEL_INPUT)
+        self.in_port_source.append(channel_index)
+        return port
+
+    def add_injection_input(self, terminal: int, depth: int) -> int:
+        port = len(self.in_ports)
+        self.in_ports.append([InputVC(port, 0, depth, self._num_invcs)])
+        self._num_invcs += 1
+        self.in_port_kind.append(INJECTION_INPUT)
+        self.in_port_source.append(terminal)
+        return port
+
+    def add_channel_output(
+        self, channel_index: int, num_vcs: int, vc_depth: int, staging_depth: int
+    ) -> int:
+        port = len(self.out_ports)
+        self.out_ports.append(
+            OutPort(
+                port,
+                CHANNEL_PORT,
+                num_vcs,
+                vc_depth,
+                staging_depth,
+                channel_index=channel_index,
+            )
+        )
+        self._port_of_channel[channel_index] = port
+        return port
+
+    def add_ejection_output(self, terminal: int, num_vcs: int, staging_depth: int) -> int:
+        port = len(self.out_ports)
+        self.out_ports.append(
+            OutPort(port, EJECTION_PORT, num_vcs, 0, staging_depth, terminal=terminal)
+        )
+        self._ej_port_of_terminal[terminal] = port
+        return port
+
+    # ------------------------------------------------------------------
+    # Lookup helpers for routing algorithms
+    # ------------------------------------------------------------------
+    def port_for_channel(self, channel: "Channel") -> int:
+        """Output-port index realizing ``channel`` (which must leave
+        this router)."""
+        return self._port_of_channel[channel.index]
+
+    def ejection_port(self, terminal: int) -> int:
+        """Output-port index of the ejection port serving ``terminal``."""
+        return self._ej_port_of_terminal[terminal]
+
+    def channel_occupancy(self, channel: "Channel") -> int:
+        """Estimated queue length (all VCs) of the output channel."""
+        return self.out_ports[self._port_of_channel[channel.index]].occupancy()
+
+    def port_occupancy(self, port: int) -> int:
+        """Estimated queue length (all VCs) of output ``port``."""
+        return self.out_ports[port].occupancy()
+
+    # ------------------------------------------------------------------
+    # Per-cycle phases
+    # ------------------------------------------------------------------
+    def deliver(self, in_port: int, vc: int, flit: Flit) -> None:
+        """Accept a flit arriving from a channel (or injection)."""
+        invc = self.in_ports[in_port][vc]
+        if len(invc.fifo) >= invc.depth:
+            raise AssertionError(
+                f"buffer overflow at router {self.router_id} port {in_port} vc {vc}: "
+                f"credit protocol violated"
+            )
+        invc.fifo.append(flit)
+        self.active[invc] = None
+
+    def routing_phase(self, now: int) -> None:
+        """Make routing decisions for head flits that need one."""
+        pending = [invc for invc in self.active if invc.route_port is None]
+        if not pending:
+            return
+        num_in = len(self.in_ports)
+        offset = self._rr_offset
+        self._rr_offset = (offset + 1) % max(num_in, 1)
+        if len(pending) > 1:
+            pending.sort(key=lambda v: ((v.in_port - offset) % num_in, v.vc))
+        allocator = self.sim.allocator
+        algorithm = self.sim.algorithm
+        allocator.begin_cycle()
+        for invc in pending:
+            head = invc.fifo[0]
+            packet = head.packet
+            port, vc = algorithm.route(self, packet)
+            out = self.out_ports[port]
+            if not 0 <= vc < out.num_vcs:
+                raise AssertionError(
+                    f"{algorithm.name} chose vc {vc} outside 0..{out.num_vcs - 1}"
+                )
+            invc.route_port = port
+            invc.route_vc = vc
+            allocator.record(out, vc, packet.size)
+        allocator.end_cycle()
+
+    def switch_subiter(self, now: int) -> bool:
+        """One speedup sub-iteration: every output port accepts at most
+        one flit from a requesting input head into its staging FIFO.
+        Returns whether any flit moved."""
+        if not self.active:
+            return False
+        requests: Dict[int, List[InputVC]] = {}
+        for invc in self.active:
+            port = invc.route_port
+            if port is None:
+                continue
+            requests.setdefault(port, []).append(invc)
+        if not requests:
+            return False
+        moved = False
+        total = self._num_invcs
+        for port, candidates in requests.items():
+            out = self.out_ports[port]
+            owner = out.owner
+            staging = out.staging
+            depth = out.staging_depth
+            sendable = []
+            for invc in candidates:
+                vc = invc.route_vc
+                if len(staging[vc]) >= depth:
+                    continue
+                holder = owner[vc]
+                flit = invc.fifo[0]
+                if flit.is_head:
+                    if holder is not None:
+                        continue
+                elif holder is not flit.packet:
+                    continue
+                sendable.append(invc)
+            if not sendable:
+                continue
+            if len(sendable) == 1:
+                winner = sendable[0]
+            else:
+                pointer = out.rr_pointer
+                winner = min(sendable, key=lambda v: (v.order - pointer) % total)
+            out.rr_pointer = (winner.order + 1) % total
+            self._switch_flit(winner, out)
+            moved = True
+        return moved
+
+    def _switch_flit(self, invc: InputVC, out: OutPort) -> None:
+        """Move one flit from an input VC into output staging."""
+        flit = invc.fifo.popleft()
+        vc = invc.route_vc
+        out.pending[vc] -= 1
+        if flit.is_head:
+            out.owner[vc] = flit.packet
+        if flit.is_tail:
+            out.owner[vc] = None
+            invc.route_port = None
+            invc.route_vc = None
+        out.staging[vc].append(flit)
+        self._staged_ports[out] = None
+        # Return a credit upstream for the freed input-buffer slot.
+        if self.in_port_kind[invc.in_port] == CHANNEL_INPUT:
+            sim = self.sim
+            feed = sim.pipes[self.in_port_source[invc.in_port]]
+            feed.push_credit(invc.vc, sim.now + sim.config.credit_latency)
+            sim.activate_pipe(feed)
+        if not invc.fifo:
+            del self.active[invc]
+
+    def wire_phase(self, now: int) -> None:
+        """Move at most one staged flit per output port onto the wire
+        (or into the ejection sink)."""
+        if not self._staged_ports:
+            return
+        sim = self.sim
+        period = sim.config.channel_period
+        done = []
+        for out in self._staged_ports:
+            staging = out.staging
+            num_vcs = out.num_vcs
+            credits = out.credits
+            sent = False
+            if out.kind == CHANNEL_PORT and now < out.next_free:
+                continue
+            start = out.wire_pointer
+            for i in range(num_vcs):
+                vc = (start + i) % num_vcs
+                queue = staging[vc]
+                if not queue or credits[vc] <= 0:
+                    continue
+                flit = queue.popleft()
+                out.wire_pointer = (vc + 1) % num_vcs
+                if out.kind == CHANNEL_PORT:
+                    credits[vc] -= 1
+                    out.next_free = now + period
+                    if flit.is_head:
+                        flit.packet.hops += 1
+                    pipe = sim.pipes[out.channel_index]
+                    pipe.push_flit(flit, vc, now + sim.config.channel_latency)
+                    sim.activate_pipe(pipe)
+                else:
+                    sim.on_flit_ejected(flit, now)
+                sent = True
+                break
+            if not any(staging[vc] for vc in range(num_vcs)):
+                done.append(out)
+            elif not sent:
+                # Staged flits exist but no VC had credits this cycle;
+                # keep the port active for later cycles.
+                pass
+        for out in done:
+            del self._staged_ports[out]
+
+    def staged_flits(self) -> int:
+        """Flits currently staged at this router's output ports."""
+        return sum(out.staged_flits() for out in self.out_ports)
+
+    def quiescent(self) -> bool:
+        """True when no flits are buffered or staged at this router."""
+        return not self.active and not self._staged_ports
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RouterEngine {self.router_id} active={len(self.active)}>"

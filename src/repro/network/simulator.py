@@ -1,0 +1,373 @@
+"""The cycle-accurate network simulator.
+
+Ties together topology, routing algorithm, traffic pattern, and
+injection process, and advances the network one cycle at a time:
+
+1. deliver flits and credits that complete their channel traversal,
+2. create new packets (injection process + traffic pattern) and move
+   source-queue flits into injection buffers (one flit per cycle per
+   terminal, matching unit terminal bandwidth),
+3. routing phase at every router (greedy or sequential allocator),
+4. switch phase at every router (one flit per output channel per
+   cycle).
+
+Runs are fully deterministic given ``SimulationConfig.seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.routing.base import RoutingAlgorithm
+from ..topologies.base import Topology
+from ..traffic.patterns import TrafficPattern
+from .allocators import make_allocator
+from .channel import ChannelPipe
+from .config import SimulationConfig
+from .injection import BatchInjection, BernoulliInjection, InjectionProcess
+from .packet import Flit, Packet
+from .router import RouterEngine
+from .stats import BatchResult, LatencySummary, MeasurementWindow, OpenLoopResult
+
+
+class Simulator:
+    """A single simulation instance.
+
+    Build one per (topology, routing algorithm, traffic pattern,
+    config) combination; run methods may be invoked once per instance
+    (construct a fresh simulator for each measurement point).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: RoutingAlgorithm,
+        pattern: TrafficPattern,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.pattern = pattern
+        self.config = config or SimulationConfig()
+        self.allocator = make_allocator(algorithm.sequential)
+
+        seed = self.config.seed
+        self.traffic_rng = random.Random(seed * 2654435761 % (2**31) + 1)
+        self.route_rng = random.Random(seed * 2654435761 % (2**31) + 2)
+        self.injection_rng = random.Random(seed * 2654435761 % (2**31) + 3)
+
+        self.pattern.bind(topology)
+        self.algorithm.attach(self)
+
+        self.now = 0
+        self.packets_created = 0
+        self.packets_delivered = 0
+        self.flits_ejected = 0
+        self.in_flight = 0
+
+        self._build()
+        self._window: Optional[MeasurementWindow] = None
+        self._tracers: List = []
+        self._consumed = False
+
+    def _consume(self) -> None:
+        """Mark this instance as used by a run method.
+
+        Each simulator carries warm state (buffers, RNG positions,
+        statistics) from its run; measuring twice on one instance
+        would silently mix them, so run methods are single-use.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "this Simulator has already executed a run; build a fresh "
+                "Simulator for each measurement"
+            )
+        self._consumed = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        topo = self.topology
+        cfg = self.config
+        num_vcs = self.algorithm.num_vcs
+        vc_depth = cfg.vc_depth(num_vcs)
+
+        self.engines: List[RouterEngine] = [
+            RouterEngine(self, r) for r in range(topo.num_routers)
+        ]
+        # Output side first so channel pipes know their source port.
+        src_port: Dict[int, int] = {}
+        for r, engine in enumerate(self.engines):
+            for channel in topo.out_channels(r):
+                src_port[channel.index] = engine.add_channel_output(
+                    channel.index, num_vcs, vc_depth, cfg.staging_depth
+                )
+            for terminal in topo.ejecting_terminals(r):
+                engine.add_ejection_output(terminal, num_vcs, cfg.staging_depth)
+        # Input side.
+        dst_in_port: Dict[int, int] = {}
+        self._injection_port: Dict[int, Tuple[int, int]] = {}
+        for r, engine in enumerate(self.engines):
+            for channel in topo.in_channels(r):
+                dst_in_port[channel.index] = engine.add_channel_input(
+                    channel.index, num_vcs, vc_depth
+                )
+            for terminal in topo.injecting_terminals(r):
+                port = engine.add_injection_input(
+                    terminal, cfg.injection_queue_capacity
+                )
+                self._injection_port[terminal] = (r, port)
+
+        self.pipes: List[ChannelPipe] = [
+            ChannelPipe(
+                channel.index,
+                channel.src,
+                channel.dst,
+                src_port[channel.index],
+                dst_in_port[channel.index],
+            )
+            for channel in topo.channels
+        ]
+        self._active_pipes: Dict[ChannelPipe, None] = {}
+        # Source queues: (packet, next_flit_index) per terminal.
+        self._sources: List[Deque[Packet]] = [
+            deque() for _ in range(topo.num_terminals)
+        ]
+        self._source_cursor: List[int] = [0] * topo.num_terminals
+        self._active_sources: Dict[int, None] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks used by RouterEngine
+    # ------------------------------------------------------------------
+    def activate_pipe(self, pipe: ChannelPipe) -> None:
+        self._active_pipes[pipe] = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Register a :class:`repro.network.trace.Tracer` to observe
+        every subsequent cycle."""
+        tracer.attach(self)
+        self._tracers.append(tracer)
+
+    def on_flit_ejected(self, flit: Flit, now: int) -> None:
+        self.flits_ejected += 1
+        if self._window is not None:
+            self._window.record_ejected_flit(now)
+        if flit.is_tail:
+            packet = flit.packet
+            packet.time_ejected = now
+            self.packets_delivered += 1
+            self.in_flight -= 1
+            if self._window is not None:
+                self._window.record_delivery(packet)
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+    def _deliver(self, now: int) -> None:
+        done = []
+        for pipe in self._active_pipes:
+            flits = pipe.flits
+            engine = self.engines[pipe.dst_router]
+            while flits and flits[0][0] <= now:
+                _, flit, vc = flits.popleft()
+                engine.deliver(pipe.dst_in_port, vc, flit)
+            credits = pipe.credits
+            if credits:
+                out = self.engines[pipe.src_router].out_ports[pipe.src_port]
+                while credits and credits[0][0] <= now:
+                    _, vc = credits.popleft()
+                    out.credits[vc] += 1
+            if not flits and not credits:
+                done.append(pipe)
+        for pipe in done:
+            del self._active_pipes[pipe]
+
+    def _create_packet(self, terminal: int, now: int) -> Packet:
+        dst = self.pattern.destination(terminal, self.traffic_rng)
+        packet = Packet(
+            pid=self.packets_created,
+            src=terminal,
+            dst=dst,
+            dst_router=self.topology.ejection_router(dst),
+            size=self.config.packet_size,
+            time_created=now,
+        )
+        self.packets_created += 1
+        self.in_flight += 1
+        if self._window is not None:
+            self._window.label_if_in_window(packet, now)
+        self.algorithm.on_packet_created(packet)
+        return packet
+
+    def _inject(self, process: InjectionProcess, now: int) -> None:
+        for terminal, count in process.injections(now):
+            queue = self._sources[terminal]
+            for _ in range(count):
+                queue.append(self._create_packet(terminal, now))
+            self._active_sources[terminal] = None
+        if not self._active_sources:
+            return
+        done = []
+        for terminal in self._active_sources:
+            queue = self._sources[terminal]
+            router, port = self._injection_port[terminal]
+            engine = self.engines[router]
+            invc = engine.in_ports[port][0]
+            if invc.has_space():
+                packet = queue[0]
+                cursor = self._source_cursor[terminal]
+                flit = Flit(
+                    packet, is_head=(cursor == 0), is_tail=(cursor == packet.size - 1)
+                )
+                if flit.is_head:
+                    packet.time_injected = now
+                engine.deliver(port, 0, flit)
+                if flit.is_tail:
+                    queue.popleft()
+                    self._source_cursor[terminal] = 0
+                    if not queue:
+                        done.append(terminal)
+                else:
+                    self._source_cursor[terminal] = cursor + 1
+        for terminal in done:
+            del self._active_sources[terminal]
+
+    def step(self, process: InjectionProcess) -> None:
+        """Advance the network by one cycle."""
+        now = self.now
+        engines = self.engines
+        self._deliver(now)
+        self._inject(process, now)
+        # Switch speedup: repeat routing + switch sub-iterations until
+        # nothing moves (or the configured speedup bound is reached).
+        speedup = self.config.speedup
+        iteration = 0
+        while True:
+            for engine in engines:
+                engine.routing_phase(now)
+            moved = False
+            for engine in engines:
+                if engine.switch_subiter(now):
+                    moved = True
+            iteration += 1
+            if not moved or (speedup is not None and iteration >= speedup):
+                break
+        for engine in engines:
+            engine.wire_phase(now)
+        for tracer in self._tracers:
+            tracer.on_cycle(now)
+        self.now = now + 1
+
+    # ------------------------------------------------------------------
+    # Invariants (used by the test suite)
+    # ------------------------------------------------------------------
+    def flits_accounted(self) -> int:
+        """Flits currently buffered in routers or in flight on channels
+        (excludes source queues)."""
+        buffered = sum(
+            len(invc.fifo)
+            for engine in self.engines
+            for port in engine.in_ports
+            for invc in port
+        )
+        staged = sum(engine.staged_flits() for engine in self.engines)
+        flying = sum(len(pipe.flits) for pipe in self.pipes)
+        return buffered + staged + flying
+
+    def quiescent(self) -> bool:
+        """No flits anywhere: sources, buffers, or channels.  Credits
+        still returning upstream do not count — they carry no data."""
+        return (
+            self.in_flight == 0
+            and not self._active_sources
+            and not any(pipe.flits for pipe in self.pipes)
+        )
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run_open_loop(
+        self,
+        load: float,
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ) -> OpenLoopResult:
+        """Warm up, label a measurement interval, and drain.
+
+        Args:
+            load: offered load in flits per terminal per cycle.
+            warmup: warm-up cycles before labeling starts.
+            measure: length of the labeling window in cycles.
+            drain_max: hard cycle cap; if labeled packets remain beyond
+                it the run is reported as saturated.
+        """
+        self._consume()
+        process = BernoulliInjection(load)
+        process.start(
+            self.topology.num_terminals, self.config.packet_size, self.injection_rng
+        )
+        window = MeasurementWindow(warmup, warmup + measure)
+        self._window = window
+        saturated = False
+        while True:
+            self.step(process)
+            if self.now >= warmup + measure and window.drained():
+                break
+            if self.now >= drain_max:
+                saturated = not window.drained()
+                break
+        return OpenLoopResult(
+            offered_load=load,
+            accepted_throughput=window.throughput(self.topology.num_terminals),
+            latency=LatencySummary.from_samples(window.latencies),
+            network_latency=LatencySummary.from_samples(window.network_latencies),
+            saturated=saturated,
+            cycles=self.now,
+            packets_labeled=window.labeled_total,
+            packets_delivered=self.packets_delivered,
+            mean_hops=(
+                sum(window.hops) / len(window.hops) if window.hops else float("nan")
+            ),
+        )
+
+    def run_batch(self, batch_size: int, max_cycles: int = 1_000_000) -> BatchResult:
+        """Deliver a batch of ``batch_size`` packets per terminal and
+        report the completion time (Figure 5)."""
+        self._consume()
+        process = BatchInjection(batch_size)
+        process.start(
+            self.topology.num_terminals, self.config.packet_size, self.injection_rng
+        )
+        while True:
+            self.step(process)
+            if process.exhausted() and self.in_flight == 0:
+                break
+            if self.now >= max_cycles:
+                raise RuntimeError(
+                    f"batch of {batch_size} not drained within {max_cycles} cycles"
+                )
+        return BatchResult(
+            batch_size=batch_size,
+            completion_cycles=self.now,
+            packets=self.packets_created,
+        )
+
+    def measure_saturation_throughput(
+        self, warmup: int = 1000, measure: int = 1000
+    ) -> float:
+        """Accepted throughput at an offered load of 1.0 — the
+        throughput plateau of the latency-load curves."""
+        self._consume()
+        process = BernoulliInjection(1.0)
+        process.start(
+            self.topology.num_terminals, self.config.packet_size, self.injection_rng
+        )
+        window = MeasurementWindow(warmup, warmup + measure)
+        self._window = window
+        for _ in range(warmup + measure):
+            self.step(process)
+        return window.throughput(self.topology.num_terminals)

@@ -1,0 +1,127 @@
+"""Measurement machinery and result records.
+
+Implements the paper's methodology (Section 3.2): warm up under load,
+label the packets injected during a measurement interval, and run until
+every labeled packet has exited.  Latency is measured from packet
+creation (entering the source queue) to ejection of the tail flit;
+accepted throughput is the flit ejection rate per terminal over the
+measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def _percentile(sorted_values: List[int], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return math.nan
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of packet latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: List[int]) -> "LatencySummary":
+        if not samples:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            max=float(ordered[-1]),
+        )
+
+
+@dataclass
+class OpenLoopResult:
+    """Result of one open-loop (Bernoulli) simulation."""
+
+    offered_load: float
+    accepted_throughput: float
+    latency: LatencySummary
+    network_latency: LatencySummary
+    saturated: bool
+    cycles: int
+    packets_labeled: int
+    packets_delivered: int
+    mean_hops: float
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean total latency; infinite once the network saturates."""
+        return math.inf if self.saturated else self.latency.mean
+
+
+@dataclass
+class BatchResult:
+    """Result of one batch (dynamic-response) simulation."""
+
+    batch_size: int
+    completion_cycles: int
+    packets: int
+
+    @property
+    def normalized_latency(self) -> float:
+        """Batch completion time divided by batch size (Figure 5's
+        y-axis)."""
+        return self.completion_cycles / self.batch_size
+
+
+class MeasurementWindow:
+    """Tracks labeling and throughput accounting for one run."""
+
+    def __init__(self, start: int, end: int) -> None:
+        if end <= start:
+            raise ValueError(f"empty measurement window [{start}, {end})")
+        self.start = start
+        self.end = end
+        self.ejected_flits = 0
+        self.labeled_outstanding = 0
+        self.labeled_total = 0
+        self.latencies: List[int] = []
+        self.network_latencies: List[int] = []
+        self.hops: List[int] = []
+
+    def in_window(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+    def label_if_in_window(self, packet, now: int) -> None:
+        if self.in_window(now):
+            packet.labeled = True
+            self.labeled_outstanding += 1
+            self.labeled_total += 1
+
+    def record_ejected_flit(self, now: int) -> None:
+        if self.in_window(now):
+            self.ejected_flits += 1
+
+    def record_delivery(self, packet) -> None:
+        if packet.labeled:
+            self.labeled_outstanding -= 1
+            self.latencies.append(packet.total_latency)
+            self.network_latencies.append(packet.network_latency)
+            self.hops.append(packet.hops)
+
+    def drained(self) -> bool:
+        return self.labeled_outstanding == 0
+
+    def throughput(self, num_terminals: int) -> float:
+        """Accepted flits per terminal per cycle during the window."""
+        return self.ejected_flits / ((self.end - self.start) * num_terminals)

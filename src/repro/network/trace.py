@@ -1,0 +1,172 @@
+"""Time-series instrumentation for the simulator.
+
+Tracers observe the network once per cycle and record the series the
+paper's dynamic-response discussion reasons about: instantaneous
+accepted throughput, per-channel utilization, and the occupancy of
+individual output queues (the "minimal queue" that greedy allocation
+overloads in Figure 5).
+
+Attach tracers before running::
+
+    sim = Simulator(topology, algorithm, pattern)
+    trace = ThroughputTrace(interval=10)
+    sim.attach_tracer(trace)
+    sim.run_batch(32)
+    print(trace.series)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topologies.base import Channel
+    from .simulator import Simulator
+
+
+class Tracer(abc.ABC):
+    """Base class for per-cycle observers."""
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Bind to a simulator (called by ``attach_tracer``)."""
+        self.simulator = simulator
+
+    @abc.abstractmethod
+    def on_cycle(self, now: int) -> None:
+        """Observe the network at the end of cycle ``now``."""
+
+
+class ThroughputTrace(Tracer):
+    """Accepted flits per terminal per cycle, averaged over fixed
+    intervals."""
+
+    def __init__(self, interval: int = 10) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self.series: List[float] = []
+        self._last_ejected = 0
+
+    def attach(self, simulator: "Simulator") -> None:
+        super().attach(simulator)
+        self._last_ejected = simulator.flits_ejected
+
+    def on_cycle(self, now: int) -> None:
+        if (now + 1) % self.interval:
+            return
+        sim = self.simulator
+        delta = sim.flits_ejected - self._last_ejected
+        self._last_ejected = sim.flits_ejected
+        self.series.append(delta / (self.interval * sim.topology.num_terminals))
+
+
+class QueueTrace(Tracer):
+    """Occupancy of selected output channels, sampled every cycle.
+
+    This is the estimate adaptive routing sees (staged + downstream +
+    committed flits); watching the overloaded minimal channel next to
+    an idle non-minimal one is Figure 5's transient in the raw.
+    """
+
+    def __init__(self, channels: List["Channel"]) -> None:
+        if not channels:
+            raise ValueError("need at least one channel to trace")
+        self.channels = list(channels)
+        self.series: Dict[int, List[int]] = {c.index: [] for c in self.channels}
+
+    def on_cycle(self, now: int) -> None:
+        sim = self.simulator
+        for channel in self.channels:
+            engine = sim.engines[channel.src]
+            self.series[channel.index].append(engine.channel_occupancy(channel))
+
+    def peak(self, channel: "Channel") -> int:
+        """Highest occupancy seen on ``channel``."""
+        values = self.series[channel.index]
+        return max(values) if values else 0
+
+
+class PacketJourneyTrace(Tracer):
+    """Record the router path of selected packets.
+
+    Pass a predicate over packets (default: trace everything — fine
+    for small runs); after the run, ``journey(pid)`` returns the
+    ordered list of ``(cycle, router)`` visits, reconstructed from
+    channel arrivals.  A debugging tool: a suspect route (e.g. CLOS AD
+    supposedly exceeding its folded-Clos hop bound) can be inspected
+    hop by hop.
+    """
+
+    def __init__(self, predicate=None) -> None:
+        self.predicate = predicate or (lambda packet: True)
+        self.visits: Dict[int, List[Tuple[int, int]]] = {}
+
+    def attach(self, simulator: "Simulator") -> None:
+        super().attach(simulator)
+        self._channel_dst = {
+            pipe.index: pipe.dst_router for pipe in simulator.pipes
+        }
+        self._seen_in_flight: Dict[int, int] = {}
+
+    def on_cycle(self, now: int) -> None:
+        sim = self.simulator
+        latency = sim.config.channel_latency
+        for pipe in sim._active_pipes:
+            for arrival, flit, _vc in pipe.flits:
+                if arrival != now + latency:
+                    continue
+                if not flit.is_head:
+                    continue
+                packet = flit.packet
+                if not self.predicate(packet):
+                    continue
+                self.visits.setdefault(
+                    packet.pid,
+                    [(packet.time_injected or 0,
+                      sim.topology.injection_router(packet.src))],
+                ).append((arrival, pipe.dst_router))
+
+    def journey(self, pid: int) -> List[Tuple[int, int]]:
+        """Ordered ``(cycle, router)`` visits of packet ``pid``."""
+        return self.visits.get(pid, [])
+
+    def hops(self, pid: int) -> int:
+        """Inter-router hops the packet took."""
+        visits = self.visits.get(pid)
+        return len(visits) - 1 if visits else 0
+
+
+class ChannelLoadTrace(Tracer):
+    """Cumulative flits carried per channel; ``utilization`` divides by
+    elapsed cycles to give each channel's duty factor."""
+
+    def __init__(self) -> None:
+        self.flits: Dict[int, int] = {}
+        self.cycles = 0
+
+    def attach(self, simulator: "Simulator") -> None:
+        super().attach(simulator)
+        self.flits = {pipe.index: 0 for pipe in simulator.pipes}
+
+    def on_cycle(self, now: int) -> None:
+        # Channel pipes buffer (arrival, flit, vc); flits pushed this
+        # cycle are those whose arrival is in the future.
+        sim = self.simulator
+        self.cycles += 1
+        for pipe in sim._active_pipes:
+            for arrival, _flit, _vc in pipe.flits:
+                if arrival == now + sim.config.channel_latency:
+                    self.flits[pipe.index] += 1
+
+    def utilization(self, channel_index: int) -> float:
+        """Fraction of cycles ``channel_index`` carried a flit."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flits.get(channel_index, 0) / self.cycles
+
+    def max_utilization(self) -> float:
+        """Duty factor of the busiest channel."""
+        if self.cycles == 0:
+            return 0.0
+        return max(self.flits.values(), default=0) / self.cycles

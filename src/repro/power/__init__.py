@@ -1,0 +1,5 @@
+"""Network power model (Section 5.3)."""
+
+from .model import PowerBreakdown, PowerParameters, power_census
+
+__all__ = ["PowerBreakdown", "PowerParameters", "power_census"]

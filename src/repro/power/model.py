@@ -1,0 +1,104 @@
+"""The network power model (Section 5.3, Table 5).
+
+Total power is ``P_switch + P_link``:
+
+* ``P_switch`` — 40 W for a full radix-64 router, proportional to the
+  router's total bandwidth (scaled by channel attachments, like the
+  silicon cost; arbitration/routing overheads are negligible per Wang
+  et al.).
+* ``P_link`` — per-signal SerDes power, by link class:
+
+  - global cable, 200 mW (``P_link_gg``);
+  - local link driven by a global-capable SerDes, 160 mW
+    (``P_link_gl``) — what an *indirect* topology must provision,
+    since the same router port may face a long cable elsewhere in the
+    machine;
+  - local link driven by a dedicated short-reach SerDes, 40 mW
+    (``P_link_ll``) — available to *direct* topologies (and the
+    flattened butterfly), whose packaging fixes which ports are local.
+
+Terminal links are always local and known at design time, so every
+topology drives them with dedicated short-reach SerDes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cost.census import Locality, NetworkCensus
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Table 5 constants (per router / per signal)."""
+
+    switch_full_router_w: float = 40.0
+    base_radix: int = 64
+    pairs_per_port: int = 3
+    link_global_w: float = 0.200
+    link_local_global_serdes_w: float = 0.160
+    link_local_dedicated_w: float = 0.040
+
+    def switch_power(self, attachments: int) -> float:
+        """Switch power of a router with ``attachments`` channel
+        endpoints (proportional to total router bandwidth)."""
+        if attachments < 2:
+            raise ValueError(f"attachments must be >= 2, got {attachments}")
+        return self.switch_full_router_w * attachments / (2 * self.base_radix)
+
+    def link_power_per_channel(self, locality: Locality, direct: bool) -> float:
+        """SerDes power of one unidirectional channel."""
+        if locality is Locality.GLOBAL:
+            per_signal = self.link_global_w
+        elif locality is Locality.TERMINAL:
+            per_signal = self.link_local_dedicated_w
+        elif direct:
+            per_signal = self.link_local_dedicated_w
+        else:
+            per_signal = self.link_local_global_serdes_w
+        return self.pairs_per_port * per_signal
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power of one packaged network."""
+
+    name: str
+    num_terminals: int
+    switch_w: float
+    link_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.switch_w + self.link_w
+
+    @property
+    def watts_per_node(self) -> float:
+        """Figure 15's y-axis: power normalized to N."""
+        return self.total_w / self.num_terminals
+
+    @property
+    def link_fraction(self) -> float:
+        return self.link_w / self.total_w if self.total_w else 0.0
+
+
+def power_census(
+    census: NetworkCensus, params: Optional[PowerParameters] = None
+) -> PowerBreakdown:
+    """Evaluate the power model over a :class:`NetworkCensus`."""
+    params = params or PowerParameters()
+    switch = sum(
+        group.count * params.switch_power(group.attachments)
+        for group in census.routers
+    )
+    link = sum(
+        group.channels * params.link_power_per_channel(group.locality, census.direct)
+        for group in census.links
+    )
+    return PowerBreakdown(
+        name=census.name,
+        num_terminals=census.num_terminals,
+        switch_w=switch,
+        link_w=link,
+    )

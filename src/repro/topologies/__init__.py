@@ -1,0 +1,35 @@
+"""Baseline topologies the paper compares against (Sections 3.3, 4)."""
+
+from .base import Channel, DirectTopology, Topology
+from .butterfly import Butterfly
+from .folded_clos import FoldedClos
+from .folded_clos_multilevel import (
+    FoldedClosMultiLevel,
+    FoldedClosMultiLevelAdaptive,
+)
+from .generalized_hypercube import GeneralizedHypercube
+from .hyperx import HyperX
+from .hypercube import Hypercube
+from .routing import DestinationTag, ECube, FoldedClosAdaptive
+from .torus import Torus, TorusDOR
+from .validate import TopologyError, verify_topology
+
+__all__ = [
+    "Channel",
+    "DirectTopology",
+    "Topology",
+    "Butterfly",
+    "FoldedClos",
+    "FoldedClosMultiLevel",
+    "FoldedClosMultiLevelAdaptive",
+    "GeneralizedHypercube",
+    "HyperX",
+    "Hypercube",
+    "DestinationTag",
+    "ECube",
+    "FoldedClosAdaptive",
+    "Torus",
+    "TorusDOR",
+    "TopologyError",
+    "verify_topology",
+]

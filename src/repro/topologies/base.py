@@ -1,0 +1,208 @@
+"""Topology abstraction shared by the simulator, cost, and power models.
+
+A topology is a set of routers joined by *unidirectional* channels plus
+an attachment of terminals (processing nodes) to routers.  Direct
+topologies (flattened butterfly, hypercube, generalized hypercube)
+attach each terminal to a single router for both injection and ejection;
+indirect topologies (conventional butterfly, folded Clos) may inject at
+one router and eject at another.
+
+Channels carry structural metadata (``dim``/``stage``/``updown``) that
+routing algorithms and the cost model interpret per topology.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A unidirectional router-to-router channel.
+
+    Attributes:
+        index: dense id, unique within the topology.
+        src: source router id.
+        dst: destination router id.
+        dim: topology-specific dimension / column label.  For a k-ary
+            n-flat this is the flattened-butterfly dimension (1-based,
+            as in the paper).  For multistage networks it is the column
+            of inter-rank wiring (1-based).  For the hypercube it is the
+            bit position.
+        updown: for folded-Clos channels, +1 for an uplink (towards the
+            root) and -1 for a downlink; 0 elsewhere.
+    """
+
+    index: int
+    src: int
+    dst: int
+    dim: int = 0
+    updown: int = 0
+
+
+class Topology(abc.ABC):
+    """Base class for all network topologies.
+
+    Subclasses populate ``channels`` (via :meth:`_add_channel`) and
+    implement terminal attachment.  Router ids are dense ints in
+    ``range(num_routers)``; terminal ids are dense ints in
+    ``range(num_terminals)``.
+    """
+
+    def __init__(self, num_terminals: int, num_routers: int) -> None:
+        if num_terminals < 1:
+            raise ValueError(f"need at least one terminal, got {num_terminals}")
+        if num_routers < 1:
+            raise ValueError(f"need at least one router, got {num_routers}")
+        self.num_terminals = num_terminals
+        self.num_routers = num_routers
+        self.channels: List[Channel] = []
+        self._out: List[List[Channel]] = [[] for _ in range(num_routers)]
+        self._in: List[List[Channel]] = [[] for _ in range(num_routers)]
+        self._by_pair: Dict[Tuple[int, int], List[Channel]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _add_channel(self, src: int, dst: int, dim: int = 0, updown: int = 0) -> Channel:
+        """Create, register, and return a new channel."""
+        if not 0 <= src < self.num_routers:
+            raise ValueError(f"source router {src} out of range")
+        if not 0 <= dst < self.num_routers:
+            raise ValueError(f"destination router {dst} out of range")
+        if src == dst:
+            raise ValueError(f"self-channel at router {src}")
+        channel = Channel(index=len(self.channels), src=src, dst=dst, dim=dim, updown=updown)
+        self.channels.append(channel)
+        self._out[src].append(channel)
+        self._in[dst].append(channel)
+        self._by_pair.setdefault((src, dst), []).append(channel)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def out_channels(self, router: int) -> Sequence[Channel]:
+        """Channels leaving ``router``."""
+        return self._out[router]
+
+    def in_channels(self, router: int) -> Sequence[Channel]:
+        """Channels entering ``router``."""
+        return self._in[router]
+
+    def channels_between(self, src: int, dst: int) -> Sequence[Channel]:
+        """All channels from router ``src`` to router ``dst`` (may be empty)."""
+        return self._by_pair.get((src, dst), ())
+
+    def channel_between(self, src: int, dst: int) -> Channel:
+        """The unique channel from ``src`` to ``dst``.
+
+        Raises ``KeyError`` if there is none and ``ValueError`` if the
+        pair is connected by more than one parallel channel.
+        """
+        found = self._by_pair.get((src, dst))
+        if not found:
+            raise KeyError(f"no channel from router {src} to router {dst}")
+        if len(found) > 1:
+            raise ValueError(f"{len(found)} parallel channels from {src} to {dst}")
+        return found[0]
+
+    def radix(self, router: int) -> int:
+        """Total ports of ``router``: router channels (in+out counted as
+        bidirectional pairs where symmetric) plus terminal ports.
+
+        The default implementation counts output channels plus attached
+        ejection terminals, which equals the paper's port count for all
+        the symmetric topologies in this library.
+        """
+        return len(self._out[router]) + len(self.ejecting_terminals(router))
+
+    # ------------------------------------------------------------------
+    # Terminal attachment
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def injection_router(self, terminal: int) -> int:
+        """Router where packets from ``terminal`` enter the network."""
+
+    @abc.abstractmethod
+    def ejection_router(self, terminal: int) -> int:
+        """Router from which packets to ``terminal`` leave the network."""
+
+    def injecting_terminals(self, router: int) -> Sequence[int]:
+        """Terminals that inject at ``router`` (default: dense scan cache)."""
+        return self._terminal_map()[0][router]
+
+    def ejecting_terminals(self, router: int) -> Sequence[int]:
+        """Terminals that eject at ``router``."""
+        return self._terminal_map()[1][router]
+
+    def _terminal_map(self) -> Tuple[List[List[int]], List[List[int]]]:
+        cached = getattr(self, "_terminal_map_cache", None)
+        if cached is None:
+            inj: List[List[int]] = [[] for _ in range(self.num_routers)]
+            ej: List[List[int]] = [[] for _ in range(self.num_routers)]
+            for t in range(self.num_terminals):
+                inj[self.injection_router(t)].append(t)
+                ej[self.ejection_router(t)].append(t)
+            cached = (inj, ej)
+            self._terminal_map_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        """Minimal number of inter-router channel traversals."""
+
+    def min_terminal_hops(self, src_terminal: int, dst_terminal: int) -> int:
+        """Minimal inter-router hops between two terminals."""
+        return self.min_router_hops(
+            self.injection_router(src_terminal), self.ejection_router(dst_terminal)
+        )
+
+    def diameter(self) -> int:
+        """Maximum over terminal pairs of the minimal hop count.
+
+        Subclasses with closed forms override this; the default scans
+        router pairs, which is fine for test-sized networks.
+        """
+        best = 0
+        for s in range(self.num_routers):
+            for d in range(self.num_routers):
+                best = max(best, self.min_router_hops(s, d))
+        return best
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable topology name."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{self.name} N={self.num_terminals} routers={self.num_routers} "
+            f"channels={len(self.channels)}>"
+        )
+
+
+class DirectTopology(Topology):
+    """Topology in which each terminal injects and ejects at one router.
+
+    Subclasses must provide ``concentration``-style terminal attachment
+    via :meth:`router_of_terminal`.
+    """
+
+    @abc.abstractmethod
+    def router_of_terminal(self, terminal: int) -> int:
+        """The single router that serves ``terminal``."""
+
+    def injection_router(self, terminal: int) -> int:
+        return self.router_of_terminal(terminal)
+
+    def ejection_router(self, terminal: int) -> int:
+        return self.router_of_terminal(terminal)

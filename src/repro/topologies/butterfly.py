@@ -1,0 +1,124 @@
+"""Conventional k-ary n-fly butterfly.
+
+``N = k**n`` terminals, ``n`` stages of ``N/k`` radix-2k routers
+(k inputs + k outputs), unidirectional channels, a single route between
+every source/destination pair (destination-tag routing).  The flattened
+butterfly of the paper is obtained by collapsing each row of this
+network (see :mod:`repro.core.flattened_butterfly`).
+
+Stage ``s`` (0-based) column ``c = s + 1`` (1-based, as the paper counts
+"columns of inter-rank wiring") varies digit ``n - 1 - c`` of a router's
+position address, so that fixing one destination digit per stage,
+most-significant first, delivers the packet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Channel, Topology
+
+
+class Butterfly(Topology):
+    """A k-ary n-fly with terminals on stage 0 (injection) and stage
+    ``n-1`` (ejection).
+
+    Router ids are ``stage * (N/k) + position`` where ``position`` is an
+    ``(n-1)``-digit radix-k number.
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.k = k
+        self.n = n
+        self.routers_per_stage = k ** (n - 1)
+        num_terminals = k**n
+        super().__init__(
+            num_terminals=num_terminals, num_routers=n * self.routers_per_stage
+        )
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        k, n, rps = self.k, self.n, self.routers_per_stage
+        for stage in range(n - 1):
+            column = stage + 1  # 1-based inter-rank column
+            varied_digit = n - 1 - column  # position digit this column varies
+            stride = k**varied_digit
+            for pos in range(rps):
+                src = stage * rps + pos
+                own = (pos // stride) % k
+                for m in range(k):
+                    dst_pos = pos + (m - own) * stride
+                    self._add_channel(src, (stage + 1) * rps + dst_pos, dim=column)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def stage_of(self, router: int) -> int:
+        """Stage (0-based) of ``router``."""
+        return router // self.routers_per_stage
+
+    def position_of(self, router: int) -> int:
+        """Position of ``router`` within its stage."""
+        return router % self.routers_per_stage
+
+    def router_at(self, stage: int, position: int) -> int:
+        """Router id at ``(stage, position)``."""
+        if not 0 <= stage < self.n:
+            raise ValueError(f"stage {stage} out of range")
+        if not 0 <= position < self.routers_per_stage:
+            raise ValueError(f"position {position} out of range")
+        return stage * self.routers_per_stage + position
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def injection_router(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return self.router_at(0, terminal // self.k)
+
+    def ejection_router(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return self.router_at(self.n - 1, terminal // self.k)
+
+    # ------------------------------------------------------------------
+    # Routing support
+    # ------------------------------------------------------------------
+    def destination_tag_next(self, router: int, dst_terminal: int) -> Channel:
+        """The unique next channel on the destination-tag route.
+
+        At stage ``s`` the packet fixes node-address digit ``n - 1 - s``
+        of the destination, i.e. position digit ``n - 2 - s``.
+        """
+        stage = self.stage_of(router)
+        if stage >= self.n - 1:
+            raise ValueError(f"router {router} is in the final stage")
+        pos = self.position_of(router)
+        varied_digit = self.n - 2 - stage
+        stride = self.k**varied_digit
+        # Destination position digit the packet must match.
+        dst_pos = (dst_terminal // self.k) % self.routers_per_stage
+        want = (dst_pos // stride) % self.k
+        own = (pos // stride) % self.k
+        next_pos = pos + (want - own) * stride
+        return self.channel_between(router, self.router_at(stage + 1, next_pos))
+
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        """Hops along the pipeline; only defined for src stage <= dst
+        stage (the network is unidirectional)."""
+        src_stage, dst_stage = self.stage_of(src_router), self.stage_of(dst_router)
+        if dst_stage < src_stage:
+            raise ValueError("butterfly channels only run forward through stages")
+        return dst_stage - src_stage
+
+    def diameter(self) -> int:
+        return self.n - 1
+
+    @property
+    def name(self) -> str:
+        return f"{self.k}-ary {self.n}-fly"

@@ -1,0 +1,125 @@
+"""Two-level folded Clos (fat tree) used in the simulation comparisons.
+
+The paper's Figure 6 compares the flattened butterfly against a folded
+Clos whose *bisection bandwidth is held equal* to the flattened
+butterfly's.  A non-blocking folded Clos has twice the bisection of a
+butterfly of equal terminal count, so the equal-bisection network
+tapers the leaf level: each leaf router serves ``t`` terminals but has
+only ``t/2`` uplinks ("the folded Clos uses 1/2 of the bandwidth for
+load-balancing to the middle stages - thus, only achieves 50%
+throughput", Section 3.3).  A ``taper`` of 1 builds the non-blocking
+(full fat tree) variant instead.
+
+Multi-level folded-Clos structure appears only in the cost model
+(:mod:`repro.cost.census`), where it is handled in closed form; the
+paper's cycle simulations, like ours, use the two-level network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Channel, Topology
+
+
+class FoldedClos(Topology):
+    """A two-level folded Clos.
+
+    Args:
+        num_terminals: total node count ``N``.
+        terminals_per_leaf: terminals ``t`` concentrated at each leaf
+            router.
+        taper: bandwidth taper at the leaf level.  ``taper=2`` (default)
+            gives ``t/2`` uplinks per leaf — the paper's equal-bisection
+            configuration; ``taper=1`` gives a non-blocking fat tree.
+
+    Leaf routers are ids ``0 .. num_leaves-1``; spine routers follow.
+    Leaf ``i`` has one uplink to every spine, so the up-route choice is
+    exactly "pick a middle-stage switch".
+    """
+
+    def __init__(self, num_terminals: int, terminals_per_leaf: int, taper: int = 2) -> None:
+        if terminals_per_leaf < 2:
+            raise ValueError(
+                f"terminals_per_leaf must be >= 2, got {terminals_per_leaf}"
+            )
+        if num_terminals % terminals_per_leaf:
+            raise ValueError(
+                f"num_terminals {num_terminals} not divisible by "
+                f"terminals_per_leaf {terminals_per_leaf}"
+            )
+        if taper < 1:
+            raise ValueError(f"taper must be >= 1, got {taper}")
+        if terminals_per_leaf % taper:
+            raise ValueError(
+                f"terminals_per_leaf {terminals_per_leaf} not divisible by taper {taper}"
+            )
+        self.terminals_per_leaf = terminals_per_leaf
+        self.taper = taper
+        self.num_leaves = num_terminals // terminals_per_leaf
+        if self.num_leaves < 2:
+            raise ValueError("need at least two leaf routers")
+        self.num_spines = terminals_per_leaf // taper
+        super().__init__(
+            num_terminals=num_terminals,
+            num_routers=self.num_leaves + self.num_spines,
+        )
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        for leaf in range(self.num_leaves):
+            for s in range(self.num_spines):
+                spine = self.num_leaves + s
+                self._add_channel(leaf, spine, dim=1, updown=+1)
+                self._add_channel(spine, leaf, dim=1, updown=-1)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_spine(self, router: int) -> bool:
+        """Whether ``router`` is a middle-stage (spine) switch."""
+        return router >= self.num_leaves
+
+    def leaf_of_terminal(self, terminal: int) -> int:
+        """Leaf router serving ``terminal``."""
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal // self.terminals_per_leaf
+
+    def uplinks(self, leaf: int) -> Sequence[Channel]:
+        """Up channels of ``leaf``, one per spine."""
+        return [c for c in self.out_channels(leaf) if c.updown == +1]
+
+    def downlink(self, spine: int, leaf: int) -> Channel:
+        """The down channel from ``spine`` to ``leaf``."""
+        return self.channel_between(spine, leaf)
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def injection_router(self, terminal: int) -> int:
+        return self.leaf_of_terminal(terminal)
+
+    def ejection_router(self, terminal: int) -> int:
+        return self.leaf_of_terminal(terminal)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        if src_router == dst_router:
+            return 0
+        src_spine, dst_spine = self.is_spine(src_router), self.is_spine(dst_router)
+        if src_spine != dst_spine:
+            return 1
+        return 2
+
+    def diameter(self) -> int:
+        return 2
+
+    @property
+    def name(self) -> str:
+        return (
+            f"FoldedClos(leaves={self.num_leaves}x{self.terminals_per_leaf}, "
+            f"spines={self.num_spines})"
+        )

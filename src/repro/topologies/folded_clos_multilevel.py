@@ -1,0 +1,205 @@
+"""Multi-level folded Clos (fat tree) — simulatable form.
+
+The two-level :class:`repro.topologies.folded_clos.FoldedClos` covers
+the paper's simulations; this module generalizes to ``L`` levels so
+that the larger networks of the cost model (a 3-level Clos at 2K-32K
+nodes with radix-64 routers) can be simulated too.
+
+Structure: the folded ``h``-ary ``L``-fly.  Every level has
+``h**(L-1)`` routers addressed by an ``(L-1)``-digit radix-``h``
+position; level ``j`` (1-based) connects *up* to level ``j+1`` by
+varying position digit ``j-1``, so a level-``j`` router's subtree is
+the set of leaves agreeing with it on digits ``j-1 .. L-2``.  Leaves
+concentrate ``taper * h`` terminals on ``h`` uplinks — ``taper=2``
+(default) is the paper's equal-bisection configuration, ``taper=1``
+the non-blocking fat tree.
+
+Routing (:class:`FoldedClosMultiLevelAdaptive`) is the adaptive
+sequential algorithm of Kim et al. [13]: ascend choosing the
+least-occupied uplink until reaching the closest common ancestor
+level, then descend deterministically.  The up/down discipline is
+acyclic, so one virtual channel suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.routing.base import RoutingAlgorithm
+from ..core.routing.min_adaptive import pick_min_cost
+from .base import Channel, Topology
+
+
+class FoldedClosMultiLevel(Topology):
+    """An ``L``-level folded Clos built from half-radix ``h`` routers.
+
+    ``N = taper * h**L`` terminals.  Router ids are
+    ``(level-1) * h**(L-1) + position`` with levels 1-based.
+    """
+
+    def __init__(self, h: int, levels: int, taper: int = 2) -> None:
+        if h < 2:
+            raise ValueError(f"h must be >= 2, got {h}")
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        if taper < 1:
+            raise ValueError(f"taper must be >= 1, got {taper}")
+        self.h = h
+        self.levels = levels
+        self.taper = taper
+        self.terminals_per_leaf = taper * h
+        self.routers_per_level = h ** (levels - 1)
+        super().__init__(
+            num_terminals=self.terminals_per_leaf * self.routers_per_level,
+            num_routers=levels * self.routers_per_level,
+        )
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        h, per = self.h, self.routers_per_level
+        for level in range(1, self.levels):
+            varied = level - 1  # position digit varied by this boundary
+            stride = h**varied
+            for pos in range(per):
+                lower = (level - 1) * per + pos
+                own = (pos // stride) % h
+                for m in range(h):
+                    upper_pos = pos + (m - own) * stride
+                    upper = level * per + upper_pos
+                    self._add_channel(lower, upper, dim=level, updown=+1)
+                    self._add_channel(upper, lower, dim=level, updown=-1)
+
+    # ------------------------------------------------------------------
+    def level_of(self, router: int) -> int:
+        """Level (1-based) of ``router``."""
+        return router // self.routers_per_level + 1
+
+    def position_of(self, router: int) -> int:
+        return router % self.routers_per_level
+
+    def router_at(self, level: int, position: int) -> int:
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level {level} out of range")
+        if not 0 <= position < self.routers_per_level:
+            raise ValueError(f"position {position} out of range")
+        return (level - 1) * self.routers_per_level + position
+
+    def leaf_of_terminal(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal // self.terminals_per_leaf
+
+    def injection_router(self, terminal: int) -> int:
+        return self.leaf_of_terminal(terminal)
+
+    def ejection_router(self, terminal: int) -> int:
+        return self.leaf_of_terminal(terminal)
+
+    # ------------------------------------------------------------------
+    def ancestor_level(self, leaf_a: int, leaf_b: int) -> int:
+        """Closest common ancestor level of two leaf positions: the
+        lowest level whose subtree contains both."""
+        if leaf_a == leaf_b:
+            return 1
+        diff = 0
+        for digit in range(self.levels - 1):
+            if (leaf_a // self.h**digit) % self.h != (
+                leaf_b // self.h**digit
+            ) % self.h:
+                diff = digit
+        return diff + 2
+
+    def uplinks(self, router: int) -> List[Channel]:
+        """Up channels of a non-top router."""
+        return [c for c in self.out_channels(router) if c.updown == +1]
+
+    def downlink_towards(self, router: int, dst_leaf: int) -> Channel:
+        """The down channel from ``router`` towards ``dst_leaf``'s
+        subtree."""
+        level = self.level_of(router)
+        if level < 2:
+            raise ValueError(f"router {router} is a leaf")
+        varied = level - 2
+        stride = self.h**varied
+        pos = self.position_of(router)
+        want = (dst_leaf // stride) % self.h
+        own = (pos // stride) % self.h
+        lower_pos = pos + (want - own) * stride
+        return self.channel_between(
+            router, self.router_at(level - 1, lower_pos)
+        )
+
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        """Minimal hops between two *leaf* routers (up to the common
+        ancestor and back down)."""
+        if self.level_of(src_router) != 1 or self.level_of(dst_router) != 1:
+            raise ValueError("hop counts are defined between leaf routers")
+        if src_router == dst_router:
+            return 0
+        level = self.ancestor_level(
+            self.position_of(src_router), self.position_of(dst_router)
+        )
+        return 2 * (level - 1)
+
+    def diameter(self) -> int:
+        return 2 * (self.levels - 1)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.levels}-level folded Clos (h={self.h}, "
+            f"{self.terminals_per_leaf} terminals/leaf)"
+        )
+
+
+class FoldedClosMultiLevelAdaptive(RoutingAlgorithm):
+    """Adaptive up / deterministic down on the multi-level folded Clos,
+    with a sequential allocator [13]."""
+
+    name = "clos-adaptive-ml"
+    num_vcs = 1
+    sequential = True
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        if not isinstance(self.topology, FoldedClosMultiLevel):
+            raise TypeError(f"{self.name} requires a FoldedClosMultiLevel")
+
+    def on_packet_created(self, packet) -> None:
+        # Common-ancestor level the packet must climb to; computed at
+        # the source leaf on first routing.
+        packet.scratch = None
+
+    def route(self, engine, packet):
+        topo = self.topology
+        current = engine.router_id
+        dst_leaf = topo.leaf_of_terminal(packet.dst)
+        level = topo.level_of(current)
+        if level == 1 and current == dst_leaf:
+            return engine.ejection_port(packet.dst), 0
+        if packet.scratch is None:
+            src_leaf = topo.leaf_of_terminal(packet.src)
+            packet.scratch = {
+                "ancestor": topo.ancestor_level(
+                    topo.position_of(src_leaf), topo.position_of(dst_leaf)
+                ),
+                "down": False,
+            }
+        state = packet.scratch
+        if not state["down"] and level >= state["ancestor"]:
+            # Reached the closest common ancestor: commit to the
+            # descent (a descending packet at a lower level must not
+            # re-ascend).
+            state["down"] = True
+        if not state["down"]:
+            uplink = pick_min_cost(
+                (
+                    (engine.channel_occupancy(ch), 0, ch)
+                    for ch in topo.uplinks(current)
+                ),
+                self.rng,
+            )
+            return engine.port_for_channel(uplink), 0
+        return engine.port_for_channel(
+            topo.downlink_towards(current, dst_leaf)
+        ), 0

@@ -1,0 +1,28 @@
+"""Generalized hypercube (Bhuyan & Agrawal) — Section 2.3 of the paper.
+
+An ``(m_1, ..., m_n)`` generalized hypercube (GHC) places one router at
+every point of the mixed-radix coordinate space and uses a *complete
+connection* in each dimension, exactly like the flattened butterfly —
+but with a single terminal per router (no concentration).  The paper's
+Figure 3 contrasts the resulting router economics: a flattened
+butterfly matches terminal bandwidth to inter-router bandwidth, while
+the GHC pairs one terminal channel with up to ``sum(m_i - 1)``
+inter-router channels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .hyperx import HyperX
+
+
+class GeneralizedHypercube(HyperX):
+    """An ``(m_1, ..., m_n)`` generalized hypercube."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        super().__init__(concentration=1, dims=tuple(dims))
+
+    @property
+    def name(self) -> str:
+        return f"GHC{self.dims}"

@@ -1,0 +1,45 @@
+"""Binary hypercube — one of the paper's cost/performance baselines.
+
+An ``n``-dimensional binary hypercube is the ``(2, 2, ..., 2)``
+generalized hypercube: ``N = 2**n`` routers, one terminal each, one
+bidirectional link per dimension.  The paper evaluates it with e-cube
+(dimension-order) routing and a single virtual channel (Table 1);
+dimension order on a hypercube is deadlock-free because each dimension
+is a single link, not a ring.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Channel
+from .generalized_hypercube import GeneralizedHypercube
+
+
+class Hypercube(GeneralizedHypercube):
+    """An ``n``-dimensional binary hypercube (``N = 2**n`` terminals)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        super().__init__(dims=(2,) * n)
+
+    def ecube_next(self, router: int, dst_router: int) -> Channel:
+        """Next channel under e-cube routing: correct the lowest-order
+        differing address bit."""
+        diff = router ^ dst_router
+        if diff == 0:
+            raise ValueError("already at the destination router")
+        bit = (diff & -diff).bit_length() - 1
+        return self.channel_between(router, router ^ (1 << bit))
+
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        return bin(src_router ^ dst_router).count("1")
+
+    def diameter(self) -> int:
+        return self.n
+
+    @property
+    def name(self) -> str:
+        return f"{self.n}-cube"

@@ -1,0 +1,197 @@
+"""Complete-connection-per-dimension direct networks.
+
+This is the structural family shared by the paper's flattened
+butterfly and the generalized hypercube of Bhuyan & Agrawal: routers
+occupy the points of a mixed-radix coordinate space
+``dims = (m_1, ..., m_n')``, each dimension is wired as a complete
+graph, and ``concentration`` terminals attach to every router.  (The
+same family was later generalized and named *HyperX* by Ahn et al.,
+2009 — hence the class name.)
+
+:class:`repro.core.flattened_butterfly.FlattenedButterfly` specializes
+this to the k-ary n-flat of the paper (``concentration = k``, all
+extents ``k``); :class:`repro.topologies.generalized_hypercube.
+GeneralizedHypercube` specializes it to ``concentration = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Channel, DirectTopology
+
+
+class HyperX(DirectTopology):
+    """A direct network with complete connections in every dimension.
+
+    Args:
+        concentration: terminals attached to each router.
+        dims: per-dimension router extents; ``dims[d-1]`` is the extent
+            of (1-based) dimension ``d``.
+        multiplicity: parallel channels between each connected router
+            pair, per dimension (default 1 everywhere).
+    """
+
+    def __init__(
+        self,
+        concentration: int,
+        dims: Sequence[int],
+        multiplicity: Optional[Sequence[int]] = None,
+    ) -> None:
+        if concentration < 1:
+            raise ValueError(f"concentration must be >= 1, got {concentration}")
+        dims = tuple(dims)
+        if not dims:
+            raise ValueError("need at least one dimension")
+        if any(m < 2 for m in dims):
+            raise ValueError(f"every dimension extent must be >= 2, got {dims}")
+        self.concentration = concentration
+        self.dims: Tuple[int, ...] = dims
+        self.num_dims = len(dims)
+        if multiplicity is None:
+            multiplicity = (1,) * self.num_dims
+        multiplicity = tuple(multiplicity)
+        if len(multiplicity) != self.num_dims:
+            raise ValueError(
+                f"multiplicity must have one entry per dimension "
+                f"({self.num_dims}), got {len(multiplicity)}"
+            )
+        if any(m < 1 for m in multiplicity):
+            raise ValueError(f"multiplicity entries must be >= 1, got {multiplicity}")
+        self.multiplicity: Tuple[int, ...] = multiplicity
+
+        num_routers = math.prod(dims)
+        super().__init__(
+            num_terminals=num_routers * concentration, num_routers=num_routers
+        )
+        # Strides for router id <-> coordinate conversion; dimension d
+        # (1-based) has stride prod(dims[:d-1]), matching the k**(d-1)
+        # term of the paper's Equation 1.
+        self._strides: List[int] = []
+        stride = 1
+        for extent in dims:
+            self._strides.append(stride)
+            stride *= extent
+        self._build_channels()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_channels(self) -> None:
+        """Instantiate the complete per-dimension connections (Eq. 1)."""
+        for i in range(self.num_routers):
+            for d in range(1, self.num_dims + 1):
+                stride = self._strides[d - 1]
+                extent = self.dims[d - 1]
+                own = (i // stride) % extent
+                for m in range(extent):
+                    if m == own:
+                        continue
+                    j = i + (m - own) * stride
+                    for _ in range(self.multiplicity[d - 1]):
+                        self._add_channel(i, j, dim=d)
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def router_coord(self, router: int) -> Tuple[int, ...]:
+        """Coordinate vector of ``router``; entry ``d-1`` is its
+        position in dimension ``d``."""
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return tuple(
+            (router // self._strides[d]) % self.dims[d] for d in range(self.num_dims)
+        )
+
+    def router_from_coord(self, coord: Sequence[int]) -> int:
+        """Inverse of :meth:`router_coord`."""
+        if len(coord) != self.num_dims:
+            raise ValueError(f"coordinate must have {self.num_dims} entries")
+        router = 0
+        for d, value in enumerate(coord):
+            if not 0 <= value < self.dims[d]:
+                raise ValueError(
+                    f"coordinate {value} out of range in dimension {d + 1}"
+                )
+            router += value * self._strides[d]
+        return router
+
+    def coord_digit(self, router: int, dim: int) -> int:
+        """Position of ``router`` in (1-based) dimension ``dim``."""
+        return (router // self._strides[dim - 1]) % self.dims[dim - 1]
+
+    def neighbor(self, router: int, dim: int, value: int) -> int:
+        """Router reached by setting ``router``'s dimension-``dim``
+        digit to ``value`` (Eq. 1 with ``m = value``)."""
+        own = self.coord_digit(router, dim)
+        return router + (value - own) * self._strides[dim - 1]
+
+    def channel_to(self, router: int, dim: int, value: int) -> Channel:
+        """The (first) channel from ``router`` towards digit ``value``
+        of dimension ``dim``."""
+        return self.channels_between(router, self.neighbor(router, dim, value))[0]
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def router_of_terminal(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal // self.concentration
+
+    def terminal_digit(self, terminal: int) -> int:
+        """Which of the router's terminal ports serves this terminal
+        (the rightmost digit of the paper's node address)."""
+        return terminal % self.concentration
+
+    # ------------------------------------------------------------------
+    # Distances & derived quantities
+    # ------------------------------------------------------------------
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        hops = 0
+        for d in range(self.num_dims):
+            stride = self._strides[d]
+            extent = self.dims[d]
+            if (src_router // stride) % extent != (dst_router // stride) % extent:
+                hops += 1
+        return hops
+
+    def differing_dims(self, src_router: int, dst_router: int) -> List[int]:
+        """(1-based) dimensions in which the two routers differ; one
+        channel per listed dimension is a minimal route."""
+        dims = []
+        for d in range(1, self.num_dims + 1):
+            if self.coord_digit(src_router, d) != self.coord_digit(dst_router, d):
+                dims.append(d)
+        return dims
+
+    def diameter(self) -> int:
+        return self.num_dims
+
+    def num_minimal_routes(self, src_router: int, dst_router: int) -> int:
+        """i! minimal routes between routers differing in i digits
+        (Section 2.2 of the paper)."""
+        return math.factorial(self.min_router_hops(src_router, dst_router))
+
+    @property
+    def router_radix(self) -> int:
+        """Ports per router: terminals plus one per channel."""
+        return self.concentration + sum(
+            (m - 1) * mult for m, mult in zip(self.dims, self.multiplicity)
+        )
+
+    def bisection_channels(self) -> int:
+        """Bidirectional channel count across a balanced bisection that
+        halves the largest dimension.
+
+        For the standard k-ary n-flat (even k) this equals N/4
+        bidirectional links, i.e. the ``B = N/2`` unidirectional
+        channels of the paper's capacity argument (footnote 3) once
+        both directions are counted.
+        """
+        d = max(range(self.num_dims), key=lambda i: self.dims[i])
+        m = self.dims[d]
+        crossing_pairs = (m // 2) * (m - m // 2)
+        rows = self.num_routers // m
+        return crossing_pairs * rows * self.multiplicity[d]

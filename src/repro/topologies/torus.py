@@ -1,0 +1,178 @@
+"""k-ary n-cube (torus) — the low-radix baseline of the paper's
+introduction.
+
+"Over the past 20 years k-ary n-cubes have been widely used — examples
+of such networks include SGI Origin 2000, Cray T3E, and Cray XT3.
+However ... low-radix networks, such as k-ary n-cubes, are unable to
+take full advantage of this increased router bandwidth."
+
+This module provides the classic torus so the library can quantify
+that motivation: radix-(2n+1) routers, one terminal per router,
+neighbor-only links (cheap cables, but high hop counts and little use
+of pin bandwidth).  Dimension-order routing uses the standard two
+virtual channels with a dateline per ring to break the wraparound
+dependency cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.routing.base import RoutingAlgorithm
+from .base import Channel, DirectTopology
+
+
+class Torus(DirectTopology):
+    """A k-ary n-cube: ``dims = (k_1, ..., k_n)`` with wraparound rings
+    in each dimension and one terminal per router.
+
+    Channel metadata: ``dim`` is the (1-based) dimension; ``updown``
+    carries the ring direction (+1 ascending, -1 descending).
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = tuple(dims)
+        if not dims:
+            raise ValueError("need at least one dimension")
+        if any(k < 2 for k in dims):
+            raise ValueError(f"every ring must have >= 2 routers, got {dims}")
+        self.dims: Tuple[int, ...] = dims
+        self.num_dims = len(dims)
+        num_routers = math.prod(dims)
+        super().__init__(num_terminals=num_routers, num_routers=num_routers)
+        self._strides: List[int] = []
+        stride = 1
+        for extent in dims:
+            self._strides.append(stride)
+            stride *= extent
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        for router in range(self.num_routers):
+            for d in range(1, self.num_dims + 1):
+                extent = self.dims[d - 1]
+                up = self.neighbor(router, d, +1)
+                self._add_channel(router, up, dim=d, updown=+1)
+                if extent > 2:
+                    down = self.neighbor(router, d, -1)
+                    self._add_channel(router, down, dim=d, updown=-1)
+
+    # ------------------------------------------------------------------
+    def coord(self, router: int) -> Tuple[int, ...]:
+        """Coordinate vector of ``router``."""
+        return tuple(
+            (router // self._strides[d]) % self.dims[d] for d in range(self.num_dims)
+        )
+
+    def coord_digit(self, router: int, dim: int) -> int:
+        """Position of ``router`` in (1-based) dimension ``dim``."""
+        return (router // self._strides[dim - 1]) % self.dims[dim - 1]
+
+    def neighbor(self, router: int, dim: int, direction: int) -> int:
+        """Ring neighbor of ``router`` in ``dim`` (+1 or -1)."""
+        extent = self.dims[dim - 1]
+        stride = self._strides[dim - 1]
+        own = (router // stride) % extent
+        return router + ((own + direction) % extent - own) * stride
+
+    def router_of_terminal(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError(f"terminal {terminal} out of range")
+        return terminal
+
+    # ------------------------------------------------------------------
+    def ring_distance(self, dim: int, src_digit: int, dst_digit: int) -> int:
+        """Minimal hop count around the dimension-``dim`` ring."""
+        extent = self.dims[dim - 1]
+        ahead = (dst_digit - src_digit) % extent
+        return min(ahead, extent - ahead)
+
+    def ring_direction(self, dim: int, src_digit: int, dst_digit: int) -> int:
+        """Shortest direction (+1/-1) around the ring; ties go +1."""
+        extent = self.dims[dim - 1]
+        ahead = (dst_digit - src_digit) % extent
+        return +1 if ahead <= extent - ahead else -1
+
+    def min_router_hops(self, src_router: int, dst_router: int) -> int:
+        hops = 0
+        for d in range(1, self.num_dims + 1):
+            hops += self.ring_distance(
+                d, self.coord_digit(src_router, d), self.coord_digit(dst_router, d)
+            )
+        return hops
+
+    def diameter(self) -> int:
+        return sum(k // 2 for k in self.dims)
+
+    @property
+    def router_radix(self) -> int:
+        """Terminal port plus two ring ports per dimension (one for
+        2-rings)."""
+        return 1 + sum(2 if k > 2 else 1 for k in self.dims)
+
+    def bisection_channels(self) -> int:
+        """Unidirectional channels crossing a cut halving the largest
+        ring: 2 ring links (x2 directions) per row."""
+        d = max(range(self.num_dims), key=lambda i: self.dims[i])
+        rows = self.num_routers // self.dims[d]
+        links_cut = 2 if self.dims[d] > 2 else 1
+        return 2 * links_cut * rows
+
+    @property
+    def name(self) -> str:
+        if len(set(self.dims)) == 1:
+            return f"{self.dims[0]}-ary {self.num_dims}-cube torus"
+        return f"Torus{self.dims}"
+
+
+class TorusDOR(RoutingAlgorithm):
+    """Dimension-order routing on a torus with two virtual channels.
+
+    Within each ring a packet travels in the minimal direction; it
+    starts on VC 1 and switches to VC 0 when it crosses the ring's
+    dateline (the wraparound edge between position k-1 and 0), breaking
+    the cyclic channel dependency of the ring [Dally & Seitz].
+    """
+
+    name = "torus-DOR"
+    num_vcs = 2
+    sequential = False
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        if not isinstance(self.topology, Torus):
+            raise TypeError(f"{self.name} requires a Torus")
+
+    def on_packet_created(self, packet) -> None:
+        # VC class for the current ring: 1 until the dateline, then 0.
+        packet.scratch = {"vc": 1}
+
+    def route(self, engine, packet):
+        topo = self.topology
+        current = engine.router_id
+        if current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        for d in range(1, topo.num_dims + 1):
+            own = topo.coord_digit(current, d)
+            want = topo.coord_digit(packet.dst_router, d)
+            if own == want:
+                continue
+            direction = topo.ring_direction(d, own, want)
+            nxt = topo.neighbor(current, d, direction)
+            if packet.scratch is None:
+                packet.scratch = {"vc": 1}
+            crossing_dateline = (
+                direction == +1 and own == topo.dims[d - 1] - 1
+            ) or (direction == -1 and own == 0)
+            vc = packet.scratch["vc"]
+            if crossing_dateline:
+                packet.scratch["vc"] = 0
+                vc = 0
+            if topo.coord_digit(nxt, d) == want:
+                # Ring finished at the next router: reset for the next
+                # dimension's ring.
+                packet.scratch["vc"] = 1
+            channel = topo.channels_between(current, nxt)[0]
+            return engine.port_for_channel(channel), vc
+        raise AssertionError("no differing dimension despite remote destination")

@@ -1,0 +1,141 @@
+"""Structural validation for topologies.
+
+``verify_topology`` checks the invariants every network handed to the
+simulator must satisfy — channel bookkeeping consistency, terminal
+attachment, reachability — and, for direct topologies, channel
+symmetry.  The test suite runs it over every topology in the library;
+users building custom :class:`repro.topologies.base.Topology`
+subclasses can run it on theirs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from .base import DirectTopology, Topology
+from .butterfly import Butterfly
+
+
+class TopologyError(AssertionError):
+    """A structural invariant was violated."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise TopologyError(message)
+
+
+def verify_topology(topology: Topology) -> None:
+    """Raise :class:`TopologyError` if ``topology`` is malformed.
+
+    Checks:
+
+    * channel indices are dense and endpoints in range, no self-loops;
+    * per-router in/out adjacency agrees with the channel list;
+    * ``channels_between`` is consistent with the channel list;
+    * every terminal has in-range injection and ejection routers, and
+      the per-router terminal lists partition the terminals;
+    * every ejection router is reachable from every injection router
+      (for the butterfly: within each source stage's reach);
+    * direct topologies have symmetric channels (every link
+      bidirectional).
+    """
+    _verify_channels(topology)
+    _verify_terminals(topology)
+    _verify_reachability(topology)
+    if isinstance(topology, DirectTopology):
+        _verify_symmetry(topology)
+
+
+def _verify_channels(topology: Topology) -> None:
+    seen = set()
+    for i, channel in enumerate(topology.channels):
+        _check(channel.index == i, f"channel {i} has index {channel.index}")
+        _check(
+            0 <= channel.src < topology.num_routers,
+            f"channel {i} source {channel.src} out of range",
+        )
+        _check(
+            0 <= channel.dst < topology.num_routers,
+            f"channel {i} destination {channel.dst} out of range",
+        )
+        _check(channel.src != channel.dst, f"channel {i} is a self-loop")
+        seen.add(i)
+    for router in range(topology.num_routers):
+        for channel in topology.out_channels(router):
+            _check(channel.src == router, f"out-channel list wrong at {router}")
+            _check(channel.index in seen, f"unregistered channel at {router}")
+        for channel in topology.in_channels(router):
+            _check(channel.dst == router, f"in-channel list wrong at {router}")
+    # channels_between consistency (spot-check every channel).
+    for channel in topology.channels:
+        group = topology.channels_between(channel.src, channel.dst)
+        _check(
+            any(c.index == channel.index for c in group),
+            f"channels_between misses channel {channel.index}",
+        )
+
+
+def _verify_terminals(topology: Topology) -> None:
+    injection: List[List[int]] = [[] for _ in range(topology.num_routers)]
+    ejection: List[List[int]] = [[] for _ in range(topology.num_routers)]
+    for terminal in range(topology.num_terminals):
+        inj = topology.injection_router(terminal)
+        ej = topology.ejection_router(terminal)
+        _check(0 <= inj < topology.num_routers, f"bad injection router for {terminal}")
+        _check(0 <= ej < topology.num_routers, f"bad ejection router for {terminal}")
+        injection[inj].append(terminal)
+        ejection[ej].append(terminal)
+    for router in range(topology.num_routers):
+        _check(
+            list(topology.injecting_terminals(router)) == injection[router],
+            f"injecting_terminals mismatch at router {router}",
+        )
+        _check(
+            list(topology.ejecting_terminals(router)) == ejection[router],
+            f"ejecting_terminals mismatch at router {router}",
+        )
+
+
+def _reachable_from(topology: Topology, start: int) -> set:
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        router = frontier.popleft()
+        for channel in topology.out_channels(router):
+            if channel.dst not in seen:
+                seen.add(channel.dst)
+                frontier.append(channel.dst)
+    return seen
+
+
+def _verify_reachability(topology: Topology) -> None:
+    ejection_routers = {
+        topology.ejection_router(t) for t in range(topology.num_terminals)
+    }
+    injection_routers = {
+        topology.injection_router(t) for t in range(topology.num_terminals)
+    }
+    for start in injection_routers:
+        reach = _reachable_from(topology, start)
+        reach.add(start)
+        missing = ejection_routers - reach
+        _check(
+            not missing,
+            f"ejection routers {sorted(missing)[:5]} unreachable from {start}",
+        )
+
+
+def _verify_symmetry(topology: DirectTopology) -> None:
+    pairs = {}
+    for channel in topology.channels:
+        pairs[(channel.src, channel.dst)] = (
+            pairs.get((channel.src, channel.dst), 0) + 1
+        )
+    for (src, dst), count in pairs.items():
+        _check(
+            pairs.get((dst, src), 0) == count,
+            f"asymmetric link {src}->{dst} ({count} vs "
+            f"{pairs.get((dst, src), 0)})",
+        )

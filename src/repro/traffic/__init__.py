@@ -1,0 +1,29 @@
+"""Synthetic traffic patterns (Section 3.2)."""
+
+from .patterns import (
+    BitComplement,
+    BitReverse,
+    GroupShift,
+    HotSpot,
+    RandomPermutation,
+    Shuffle,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+    adversarial,
+    tornado_for,
+)
+
+__all__ = [
+    "BitComplement",
+    "BitReverse",
+    "GroupShift",
+    "HotSpot",
+    "RandomPermutation",
+    "Shuffle",
+    "TrafficPattern",
+    "Transpose",
+    "UniformRandom",
+    "adversarial",
+    "tornado_for",
+]

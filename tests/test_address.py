@@ -1,0 +1,160 @@
+"""Unit and property tests for mixed-radix address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import address
+
+
+class TestToDigits:
+    def test_paper_example_binary(self):
+        # Section 2.2: node 10 is 1010 in the 2-ary 4-flat.
+        assert address.to_digits(10, 2, 4) == (1, 0, 1, 0)
+
+    def test_zero(self):
+        assert address.to_digits(0, 5, 3) == (0, 0, 0)
+
+    def test_max_value(self):
+        assert address.to_digits(26, 3, 3) == (2, 2, 2)
+
+    def test_msb_first(self):
+        assert address.to_digits(32, 4, 3) == (2, 0, 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            address.to_digits(16, 2, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            address.to_digits(-1, 2, 4)
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            address.to_digits(0, 1, 4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            address.to_digits(0, 2, 0)
+
+
+class TestFromDigits:
+    def test_paper_example(self):
+        assert address.from_digits((1, 0, 1, 0), 2) == 10
+
+    def test_rejects_digit_out_of_range(self):
+        with pytest.raises(ValueError):
+            address.from_digits((2, 0), 2)
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            address.from_digits((0,), 1)
+
+    def test_empty_is_zero(self):
+        assert address.from_digits((), 7) == 0
+
+
+class TestDigit:
+    def test_rightmost(self):
+        assert address.digit(10, 2, 0) == 0
+
+    def test_positions(self):
+        assert [address.digit(10, 2, p) for p in range(4)] == [0, 1, 0, 1]
+
+    def test_mixed_radix_positions(self):
+        value = address.from_digits((3, 1, 2), 4)
+        assert address.digit(value, 4, 2) == 3
+        assert address.digit(value, 4, 1) == 1
+        assert address.digit(value, 4, 0) == 2
+
+    def test_rejects_negative_position(self):
+        with pytest.raises(ValueError):
+            address.digit(10, 2, -1)
+
+
+class TestSetDigit:
+    def test_set_low(self):
+        assert address.set_digit(10, 2, 0, 1) == 11
+
+    def test_set_high(self):
+        assert address.set_digit(0, 4, 2, 3) == 48
+
+    def test_identity(self):
+        assert address.set_digit(37, 4, 1, address.digit(37, 4, 1)) == 37
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            address.set_digit(0, 4, 0, 4)
+
+
+class TestDifferingDigits:
+    def test_paper_routing_example(self):
+        # Routing node 0 -> node 10 in the 2-ary 4-flat needs hops in
+        # dimensions 1 and 3 (digits 1 and 3 differ, digit 0 aside).
+        diffs = address.differing_digits(0, 10, 2, 4)
+        assert diffs == [1, 3]
+
+    def test_no_difference(self):
+        assert address.differing_digits(7, 7, 3, 4) == []
+
+    def test_all_differ(self):
+        assert address.differing_digits(0, 2**4 - 1, 2, 4) == [0, 1, 2, 3]
+
+    def test_hamming_matches(self):
+        assert address.hamming_distance(0, 10, 2, 4) == 2
+
+
+class TestAllAddresses:
+    def test_count(self):
+        assert len(list(address.all_addresses(3, 2))) == 9
+
+    def test_order(self):
+        addresses = list(address.all_addresses(2, 2))
+        assert addresses == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+def test_roundtrip_property(radix, width, data):
+    value = data.draw(st.integers(min_value=0, max_value=radix**width - 1))
+    digits = address.to_digits(value, radix, width)
+    assert len(digits) == width
+    assert all(0 <= d < radix for d in digits)
+    assert address.from_digits(digits, radix) == value
+
+
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+def test_set_digit_then_read(radix, width, data):
+    value = data.draw(st.integers(min_value=0, max_value=radix**width - 1))
+    position = data.draw(st.integers(min_value=0, max_value=width - 1))
+    new = data.draw(st.integers(min_value=0, max_value=radix - 1))
+    updated = address.set_digit(value, radix, position, new)
+    assert address.digit(updated, radix, position) == new
+    # Other digits unchanged.
+    for p in range(width):
+        if p != position:
+            assert address.digit(updated, radix, p) == address.digit(value, radix, p)
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=5),
+    st.data(),
+)
+def test_hamming_symmetry_and_triangle(radix, width, data):
+    hi = radix**width - 1
+    a = data.draw(st.integers(min_value=0, max_value=hi))
+    b = data.draw(st.integers(min_value=0, max_value=hi))
+    c = data.draw(st.integers(min_value=0, max_value=hi))
+    dist = address.hamming_distance
+    assert dist(a, b, radix, width) == dist(b, a, radix, width)
+    assert dist(a, a, radix, width) == 0
+    assert dist(a, c, radix, width) <= dist(a, b, radix, width) + dist(
+        b, c, radix, width
+    )

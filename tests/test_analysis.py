@@ -1,0 +1,215 @@
+"""Tests for the closed-form scalability and capacity analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    bisection_channels,
+    capacity,
+    effective_radix,
+    fixed_radix_config,
+    folded_clos_levels,
+    butterfly_stages,
+    ideal_throughput,
+    max_nodes,
+    packaged_config,
+    table4_configs,
+)
+from repro.analysis.scaling import FlatConfig, PackagedFlatConfig
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.topologies import Butterfly, FoldedClos, GeneralizedHypercube, Hypercube
+
+
+class TestMaxNodes:
+    def test_figure2_anchors(self):
+        # "with k'=61, a network with just three dimensions scales to
+        # 64K nodes"; "even with k'=32 many dimensions are needed".
+        assert max_nodes(61, 3) == 65536
+        assert max_nodes(63, 1) == 1024
+        assert max_nodes(32, 2) == 1331
+
+    def test_low_radix_limited(self):
+        # "Networks of very limited size can be built using low-radix
+        # routers (k' < 16)."
+        assert max_nodes(15, 1) <= 64
+        assert max_nodes(15, 2) <= 216
+
+    def test_monotone_in_radix(self):
+        for n in (1, 2, 3):
+            sizes = [max_nodes(k, n) for k in range(8, 128, 8)]
+            assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_nodes(1, 1)
+        with pytest.raises(ValueError):
+            max_nodes(16, 0)
+
+
+class TestFlatConfig:
+    def test_radix_formula(self):
+        cfg = FlatConfig(32, 2)
+        assert cfg.k_prime == 63
+        assert cfg.n_prime == 1
+        assert cfg.num_terminals == 1024
+        assert cfg.num_routers == 32
+
+
+class TestTable4:
+    def test_paper_rows(self):
+        configs = {(c.k, c.n, c.k_prime, c.n_prime) for c in table4_configs(4096)}
+        # The paper's rows; its (2,12) row prints k'=12 but the formula
+        # k' = n(k-1)+1 gives 13 (paper typo).
+        assert (64, 2, 127, 1) in configs
+        assert (16, 3, 46, 2) in configs
+        assert (8, 4, 29, 3) in configs
+        assert (4, 6, 19, 5) in configs
+        assert (2, 12, 13, 11) in configs
+
+    def test_all_configs_cover_n(self):
+        for cfg in table4_configs(4096):
+            assert cfg.num_terminals == 4096
+
+    def test_other_sizes(self):
+        configs = {(c.k, c.n) for c in table4_configs(256)}
+        assert configs == {(16, 2), (4, 4), (2, 8)}
+
+
+class TestFixedRadix:
+    def test_section_512_examples(self):
+        # Section 5.1.2: radix-64 routers need only k'=63 for 1K nodes
+        # at n'=1 and k'=61 for 64K at n'=3.
+        cfg = fixed_radix_config(1024, 64)
+        assert (cfg.n_prime, cfg.k) == (1, 32)
+        cfg = fixed_radix_config(65536, 64)
+        assert (cfg.n_prime, cfg.k) == (3, 16)
+
+    def test_effective_radix(self):
+        assert effective_radix(64, 1) == 63
+        assert effective_radix(64, 3) == 61
+
+    def test_unreachable(self):
+        with pytest.raises(ValueError):
+            fixed_radix_config(10**12, 8)
+
+
+class TestPackagedConfig:
+    def test_paper_design_points(self):
+        cfg = packaged_config(1024)
+        assert (cfg.concentration, cfg.dims) == (32, (32,))
+        assert cfg.router_radix == 63
+        cfg = packaged_config(4096)
+        assert (cfg.concentration, cfg.dims) == (16, (16, 16))
+        assert cfg.router_radix == 46
+        cfg = packaged_config(65536)
+        assert (cfg.concentration, cfg.dims) == (16, (16, 16, 16))
+        assert cfg.router_radix == 61
+
+    def test_paper_style_partial_top_dimension(self):
+        # 16K: the paper combines up to 16 fully populated 4K
+        # subsystems in dimension 3; at 16K only 4 are present, with
+        # redundant channels keeping the dimension at full capacity.
+        cfg = packaged_config(16384)
+        assert cfg.dims == (16, 16, 4)
+        assert cfg.multiplicity == (1, 1, 4)
+
+    def test_dimension_steps(self):
+        # Paper: a dimension must be added to scale from 1K to 2K; the
+        # flattened butterfly needs 3 dimensions above 8K.
+        assert packaged_config(1024).n_prime == 1
+        assert packaged_config(2048).n_prime == 2
+        assert packaged_config(8192).n_prime == 2
+        assert packaged_config(16384).n_prime == 3
+
+    def test_full_capacity_everywhere(self):
+        for exp in range(6, 17):
+            cfg = packaged_config(2**exp)
+            assert cfg.capacity >= 1.0
+            assert cfg.router_radix <= 64
+            assert cfg.num_terminals == 2**exp
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packaged_config(1000)  # not a power of two
+        with pytest.raises(ValueError):
+            PackagedFlatConfig(4, (4, 4), (1,))
+
+
+class TestLevelCounts:
+    def test_butterfly_stages(self):
+        # Radix-64 (64-in/64-out) butterfly: 2 stages to 4K, 3 beyond.
+        assert butterfly_stages(1024) == 2
+        assert butterfly_stages(4096) == 2
+        assert butterfly_stages(8192) == 3
+
+    def test_folded_clos_levels(self):
+        # Radix-64 folded Clos: the paper's 1K -> 2K level step.
+        assert folded_clos_levels(1024) == 2
+        assert folded_clos_levels(2048) == 3
+        assert folded_clos_levels(32768) == 3
+        assert folded_clos_levels(65536) == 4
+
+
+class TestCapacity:
+    def test_flattened_butterfly_capacity_one(self):
+        # Footnote 3: the capacity of the flattened butterfly is 1.
+        assert capacity(FlattenedButterfly(8, 2)) == 1.0
+        assert capacity(FlattenedButterfly(4, 3)) == 1.0
+
+    def test_butterfly_capacity_one(self):
+        assert capacity(Butterfly(4, 2)) == 1.0
+
+    def test_tapered_clos_half(self):
+        assert capacity(FoldedClos(64, 8, taper=2)) == 0.5
+        assert capacity(FoldedClos(64, 8, taper=1)) == 1.0
+
+    def test_hypercube_injection_limited(self):
+        assert capacity(Hypercube(6)) == 1.0
+
+    def test_oversubscribed_hyperx(self):
+        fb = FlattenedButterfly(concentration=8, dims=(4,))
+        assert capacity(fb) == 0.5
+
+    def test_ideal_throughput_formula(self):
+        # 2B/N with B = N/2 gives 1.
+        assert ideal_throughput(512, 1024) == 1.0
+
+    def test_bisection_channels(self):
+        assert bisection_channels(FlattenedButterfly(8, 2)) == 32
+        assert bisection_channels(Butterfly(8, 2)) == 32
+        assert bisection_channels(Hypercube(4)) == 16
+        assert bisection_channels(FoldedClos(64, 8)) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_throughput(-1, 10)
+        with pytest.raises(ValueError):
+            ideal_throughput(1, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(exp=st.integers(min_value=2, max_value=20))
+def test_packaged_config_invariants(exp):
+    cfg = packaged_config(2**exp, radix=64)
+    assert cfg.num_terminals == 2**exp
+    assert cfg.capacity >= 1.0
+    assert cfg.router_radix <= 64
+    assert all(m >= 2 for m in cfg.dims)
+    assert all(x >= 1 for x in cfg.multiplicity)
+    # Dimensions are filled k-first: every dimension but the last has
+    # the same (full) extent; only the top dimension absorbs the
+    # remainder (partial with redundancy, or oversized).
+    assert all(m == cfg.dims[0] for m in cfg.dims[:-1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k_prime=st.integers(min_value=4, max_value=128),
+    n_prime=st.integers(min_value=1, max_value=4),
+)
+def test_max_nodes_consistent_with_radix_formula(k_prime, n_prime):
+    n = max_nodes(k_prime, n_prime)
+    if n:
+        k = round(n ** (1.0 / (n_prime + 1)))
+        # The implied configuration must fit the radix budget.
+        assert (n_prime + 1) * (k - 1) + 1 <= k_prime

@@ -1,0 +1,150 @@
+"""Tests for the analytical channel-load model, including
+cross-validation of the cycle-accurate simulator against theory."""
+
+import pytest
+
+from repro.analysis import (
+    adversarial_matrix,
+    butterfly_destination_tag,
+    channel_loads,
+    fb_dimension_order,
+    fb_valiant,
+    hypercube_ecube,
+    ideal_saturation_throughput,
+    max_channel_load,
+    uniform_matrix,
+)
+from repro.core import DimensionOrder, Valiant
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.topologies import Butterfly, DestinationTag, ECube, Hypercube
+from repro.traffic import UniformRandom, adversarial
+
+
+class TestTrafficMatrices:
+    def test_uniform_rates_sum_to_one_per_source(self):
+        fb = FlattenedButterfly(4, 2)
+        totals = {}
+        for src, dst, rate in uniform_matrix(fb):
+            totals[src] = totals.get(src, 0.0) + rate
+            assert dst != src
+        assert all(total == pytest.approx(1.0) for total in totals.values())
+
+    def test_adversarial_targets_next_group(self):
+        fb = FlattenedButterfly(4, 2)
+        for src, dst, rate in adversarial_matrix(fb):
+            assert fb.router_of_terminal(dst) == (
+                fb.router_of_terminal(src) + 1
+            ) % fb.num_routers
+            assert rate == pytest.approx(1.0 / 4)
+
+
+class TestTheoryAnchors:
+    def test_fb_dor_worst_case_is_one_over_k(self):
+        # All k flows of a router share one channel: load k, throughput
+        # 1/k — the paper's ~3% at k=32.
+        for k in (4, 8, 16):
+            fb = FlattenedButterfly(k, 2)
+            assert ideal_saturation_throughput(
+                fb, fb_dimension_order, adversarial_matrix(fb)
+            ) == pytest.approx(1.0 / k)
+
+    def test_fb_dor_uniform_is_full(self):
+        fb = FlattenedButterfly(8, 2)
+        thr = ideal_saturation_throughput(fb, fb_dimension_order, uniform_matrix(fb))
+        assert thr == pytest.approx(1.0, abs=0.02)
+
+    def test_valiant_half_on_any_pattern(self):
+        # "VAL achieves only half of network capacity regardless of the
+        # traffic pattern."
+        fb = FlattenedButterfly(8, 2)
+        for matrix in (uniform_matrix(fb), adversarial_matrix(fb)):
+            assert ideal_saturation_throughput(
+                fb, fb_valiant, matrix
+            ) == pytest.approx(0.5, abs=0.01)
+
+    def test_butterfly_matches_fb_minimal(self):
+        fly = Butterfly(8, 2)
+        fb = FlattenedButterfly(8, 2)
+        wc_fly = ideal_saturation_throughput(
+            fly, butterfly_destination_tag, adversarial_matrix(fly)
+        )
+        wc_fb = ideal_saturation_throughput(
+            fb, fb_dimension_order, adversarial_matrix(fb)
+        )
+        assert wc_fly == pytest.approx(wc_fb)
+
+    def test_hypercube_ecube_uniform(self):
+        cube = Hypercube(5)
+        assert ideal_saturation_throughput(
+            cube, hypercube_ecube, uniform_matrix(cube)
+        ) == pytest.approx(1.0)
+
+    def test_loads_conserve_hop_volume(self):
+        """Sum of channel loads equals the expected hop count times the
+        injection volume (flit-hop conservation)."""
+        fb = FlattenedButterfly(4, 2)
+        loads = channel_loads(fb, fb_dimension_order, uniform_matrix(fb))
+        total_hops = sum(loads.values())
+        # Expected hops per packet under UR: remote pairs (12/15) take
+        # one inter-router hop.
+        expected = fb.num_terminals * (12 / 15)
+        assert total_hops == pytest.approx(expected)
+
+
+class TestSimulatorAgreesWithTheory:
+    """Cross-validation: measured saturation within a few percent of the
+    analytic ideal for every oblivious algorithm."""
+
+    @pytest.mark.parametrize(
+        "pattern_factory,matrix_factory",
+        [(UniformRandom, uniform_matrix), (adversarial, adversarial_matrix)],
+        ids=["UR", "WC"],
+    )
+    def test_fb_dor(self, pattern_factory, matrix_factory):
+        fb = FlattenedButterfly(8, 2)
+        theory = ideal_saturation_throughput(
+            fb, fb_dimension_order, matrix_factory(fb)
+        )
+        measured = Simulator(
+            FlattenedButterfly(8, 2), DimensionOrder(), pattern_factory(),
+            SimulationConfig(seed=1),
+        ).measure_saturation_throughput(800, 800)
+        assert measured == pytest.approx(theory, rel=0.08)
+
+    def test_fb_valiant_wc(self):
+        fb = FlattenedButterfly(8, 2)
+        theory = ideal_saturation_throughput(fb, fb_valiant, adversarial_matrix(fb))
+        measured = Simulator(
+            FlattenedButterfly(8, 2), Valiant(), adversarial(),
+            SimulationConfig(seed=1),
+        ).measure_saturation_throughput(800, 800)
+        assert measured == pytest.approx(theory, rel=0.08)
+
+    def test_butterfly_wc(self):
+        fly = Butterfly(8, 2)
+        theory = ideal_saturation_throughput(
+            fly, butterfly_destination_tag, adversarial_matrix(fly)
+        )
+        measured = Simulator(
+            Butterfly(8, 2), DestinationTag(), adversarial(),
+            SimulationConfig(seed=1),
+        ).measure_saturation_throughput(800, 800)
+        assert measured == pytest.approx(theory, rel=0.08)
+
+    def test_hypercube_ur(self):
+        cube = Hypercube(6)
+        theory = ideal_saturation_throughput(
+            cube, hypercube_ecube, uniform_matrix(cube)
+        )
+        measured = Simulator(
+            Hypercube(6), ECube(), UniformRandom(), SimulationConfig(seed=1)
+        ).measure_saturation_throughput(800, 800)
+        assert measured == pytest.approx(theory, rel=0.08)
+
+
+class TestMaxLoad:
+    def test_empty_matrix(self):
+        fb = FlattenedButterfly(4, 2)
+        assert max_channel_load(fb, fb_dimension_order, iter(())) == 0.0
+        assert ideal_saturation_throughput(fb, fb_dimension_order, iter(())) == 1.0

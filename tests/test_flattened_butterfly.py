@@ -1,0 +1,282 @@
+"""Tests for the flattened butterfly topology (Section 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flattened_butterfly import (
+    FlattenedButterfly,
+    flattened_butterfly_for_size,
+)
+
+
+class TestConstruction:
+    def test_paper_32ary_2flat(self):
+        # Section 3.2's simulated network: k'=63, n'=1, N=1024.
+        fb = FlattenedButterfly(32, 2)
+        assert fb.num_terminals == 1024
+        assert fb.num_routers == 32
+        assert fb.router_radix == 63
+        assert fb.num_dims == 1
+
+    def test_paper_16ary_4flat(self):
+        # Figure 8: k'=61, n'=3, scales to 64K.
+        fb = FlattenedButterfly(16, 4)
+        assert fb.num_terminals == 65536
+        assert fb.num_routers == 4096
+        assert fb.router_radix == 61
+
+    def test_radix_formula(self):
+        # k' = n(k-1) + 1 for every (k, n).
+        for k, n in [(2, 2), (4, 2), (2, 4), (8, 3), (4, 6)]:
+            fb = FlattenedButterfly(k, n)
+            assert fb.router_radix == n * (k - 1) + 1
+
+    def test_channel_count(self):
+        # Section 4.3: the 1K network has 31 x 32 = 992 channels.
+        fb = FlattenedButterfly(32, 2)
+        assert len(fb.channels) == 992
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly(1, 2)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly(4, 1)
+
+    def test_rejects_missing_params(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly()
+
+    def test_generalized_form(self):
+        fb = FlattenedButterfly(concentration=4, dims=(2, 8))
+        assert fb.num_terminals == 64
+        assert fb.num_routers == 16
+        assert fb.router_radix == 4 + 1 + 7
+
+
+class TestFigure1d:
+    """The paper's Figure 1(d): the 2-ary 4-flat."""
+
+    @pytest.fixture
+    def fb(self):
+        return FlattenedButterfly(2, 4)
+
+    def test_shape(self, fb):
+        assert fb.num_routers == 8
+        assert fb.num_dims == 3
+
+    def test_r4_connections(self, fb):
+        # "R4' is connected to R5' in dimension 1, R6' in dimension 2,
+        # and R0' in dimension 3."
+        neighbors = {(c.dst, c.dim) for c in fb.out_channels(4)}
+        assert neighbors == {(5, 1), (6, 2), (0, 3)}
+
+    def test_symmetry(self, fb):
+        # Every channel has a reverse partner (bidirectional links).
+        pairs = {(c.src, c.dst) for c in fb.channels}
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_minimal_route_count_node0_to_node10(self, fb):
+        # Section 2.2: two minimal routes between nodes 0 and 10
+        # (addresses differ in digits 1 and 3).
+        src_router = fb.router_of_terminal(0)
+        dst_router = fb.router_of_terminal(10)
+        assert fb.min_router_hops(src_router, dst_router) == 2
+        assert fb.num_minimal_routes(src_router, dst_router) == 2
+
+
+class TestEquationOne:
+    """Channel map against a direct evaluation of Equation 1."""
+
+    @pytest.mark.parametrize("k,n", [(4, 2), (2, 4), (3, 3), (4, 3)])
+    def test_matches_equation(self, k, n):
+        fb = FlattenedButterfly(k, n)
+        expected = set()
+        for i in range(fb.num_routers):
+            for d in range(1, n):
+                for m in range(k):
+                    j = i + (m - (i // k ** (d - 1)) % k) * k ** (d - 1)
+                    if j != i:
+                        expected.add((i, j, d))
+        actual = {(c.src, c.dst, c.dim) for c in fb.channels}
+        assert actual == expected
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        fb = FlattenedButterfly(4, 3)
+        for r in range(fb.num_routers):
+            assert fb.router_from_coord(fb.router_coord(r)) == r
+
+    def test_coord_digit(self):
+        fb = FlattenedButterfly(4, 3)
+        for r in range(fb.num_routers):
+            coord = fb.router_coord(r)
+            for d in range(1, fb.num_dims + 1):
+                assert fb.coord_digit(r, d) == coord[d - 1]
+
+    def test_neighbor_changes_one_digit(self):
+        fb = FlattenedButterfly(4, 3)
+        nbr = fb.neighbor(5, 2, 3)
+        assert fb.coord_digit(nbr, 2) == 3
+        assert fb.coord_digit(nbr, 1) == fb.coord_digit(5, 1)
+
+    def test_channel_to(self):
+        fb = FlattenedButterfly(4, 2)
+        ch = fb.channel_to(0, 1, 3)
+        assert ch.src == 0 and ch.dst == 3 and ch.dim == 1
+
+    def test_rejects_bad_coord(self):
+        fb = FlattenedButterfly(4, 2)
+        with pytest.raises(ValueError):
+            fb.router_from_coord((4,))
+        with pytest.raises(ValueError):
+            fb.router_from_coord((0, 0))
+
+
+class TestTerminals:
+    def test_concentration(self):
+        fb = FlattenedButterfly(4, 2)
+        assert fb.router_of_terminal(0) == 0
+        assert fb.router_of_terminal(3) == 0
+        assert fb.router_of_terminal(4) == 1
+
+    def test_terminal_digit(self):
+        fb = FlattenedButterfly(4, 2)
+        assert fb.terminal_digit(6) == 2
+
+    def test_terminals_of_router(self):
+        fb = FlattenedButterfly(4, 2)
+        assert list(fb.injecting_terminals(1)) == [4, 5, 6, 7]
+        assert list(fb.ejecting_terminals(1)) == [4, 5, 6, 7]
+
+    def test_rejects_out_of_range(self):
+        fb = FlattenedButterfly(4, 2)
+        with pytest.raises(ValueError):
+            fb.router_of_terminal(16)
+
+
+class TestDistances:
+    def test_diameter_is_num_dims(self):
+        for k, n in [(4, 2), (2, 4), (3, 3)]:
+            fb = FlattenedButterfly(k, n)
+            assert fb.diameter() == n - 1
+            # Cross-check against the base-class exhaustive scan.
+            exhaustive = max(
+                fb.min_router_hops(a, b)
+                for a in range(fb.num_routers)
+                for b in range(fb.num_routers)
+            )
+            assert exhaustive == fb.diameter()
+
+    def test_path_diversity_factorial(self):
+        # i! minimal routes when i digits differ (Section 2.2).
+        fb = FlattenedButterfly(3, 4)
+        a = fb.router_from_coord((0, 0, 0))
+        b = fb.router_from_coord((1, 2, 1))
+        assert fb.num_minimal_routes(a, b) == math.factorial(3)
+
+    def test_differing_dims_sorted(self):
+        fb = FlattenedButterfly(3, 4)
+        a = fb.router_from_coord((0, 0, 0))
+        b = fb.router_from_coord((1, 0, 2))
+        assert fb.differing_dims(a, b) == [1, 3]
+
+
+class TestFigure14Variants:
+    def test_redundant_channels(self):
+        # Figure 14(a): extra port doubles dimension-1 bandwidth.
+        fb = FlattenedButterfly(4, 2, multiplicity=(2,))
+        assert fb.router_radix == 4 + 3 * 2
+        assert len(fb.channels_between(0, 1)) == 2
+        assert len(fb.channels) == 24
+
+    def test_expanded_scalability(self):
+        # Figure 14(b): radix-8 routers, 5 routers of 4 terminals = 20
+        # nodes instead of 16.
+        fb = FlattenedButterfly(concentration=4, dims=(5,), k=4)
+        assert fb.num_terminals == 20
+        assert fb.router_radix == 8
+        assert len(fb.out_channels(4)) == 4
+
+    def test_multiplicity_validation(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly(4, 2, multiplicity=(1, 1))
+        with pytest.raises(ValueError):
+            FlattenedButterfly(4, 3, multiplicity=(0, 1))
+
+
+class TestBisection:
+    def test_standard_bisection_is_half_n(self):
+        # Footnote 3: B = N/2 unidirectional channels (capacity 1).
+        for k in (2, 4, 8):
+            fb = FlattenedButterfly(k, 2)
+            uni_channels = 2 * fb.bisection_channels()
+            assert uni_channels == fb.num_terminals // 2
+
+
+class TestForSize:
+    def test_paper_examples(self):
+        # Radix-64: n'=1 reaches 1K with k'=63; n'=3 reaches 64K with
+        # k'=61 (Section 5.1.2).
+        fb = flattened_butterfly_for_size(1024, 64)
+        assert (fb.k, fb.num_dims) == (32, 1)
+        fb = flattened_butterfly_for_size(65536, 64)
+        assert (fb.k, fb.num_dims) == (16, 3)
+        assert fb.router_radix == 61
+
+    def test_smallest_dimensionality_chosen(self):
+        fb = flattened_butterfly_for_size(100, 64)
+        assert fb.num_dims == 1
+
+    def test_unreachable(self):
+        with pytest.raises(ValueError):
+            flattened_butterfly_for_size(10**9, 4)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            flattened_butterfly_for_size(1, 64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    n=st.integers(min_value=2, max_value=4),
+)
+def test_structure_properties(k, n):
+    fb = FlattenedButterfly(k, n)
+    # Degree: every router has (n-1)(k-1) outgoing channels.
+    for r in range(fb.num_routers):
+        assert len(fb.out_channels(r)) == (n - 1) * (k - 1)
+        assert len(fb.in_channels(r)) == (n - 1) * (k - 1)
+    # Channels are symmetric and never self-loops.
+    pairs = {(c.src, c.dst) for c in fb.channels}
+    assert all(src != dst for src, dst in pairs)
+    assert all((dst, src) in pairs for src, dst in pairs)
+    # Minimal hops equals the number of differing coordinates.
+    a, b = 0, fb.num_routers - 1
+    assert fb.min_router_hops(a, b) == len(fb.differing_dims(a, b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=5),
+    n=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+def test_neighbor_walk_reaches_destination(k, n, data):
+    """Walking one productive hop per differing dimension reaches the
+    destination in exactly the minimal hop count."""
+    fb = FlattenedButterfly(k, n)
+    a = data.draw(st.integers(min_value=0, max_value=fb.num_routers - 1))
+    b = data.draw(st.integers(min_value=0, max_value=fb.num_routers - 1))
+    current = a
+    hops = 0
+    for d in fb.differing_dims(a, b):
+        current = fb.neighbor(current, d, fb.coord_digit(b, d))
+        hops += 1
+    assert current == b
+    assert hops == fb.min_router_hops(a, b)

@@ -1,0 +1,154 @@
+"""Tests for the multi-level folded Clos and its adaptive routing."""
+
+import pytest
+
+from repro.network import SimulationConfig, Simulator
+from repro.topologies import FoldedClosMultiLevel, FoldedClosMultiLevelAdaptive
+from repro.traffic import RandomPermutation, UniformRandom, adversarial
+
+
+class TestStructure:
+    def test_counts(self):
+        clos = FoldedClosMultiLevel(4, 3)  # N = 2 * 4^3 = 128
+        assert clos.num_terminals == 128
+        assert clos.routers_per_level == 16
+        assert clos.num_routers == 48
+        # 2 boundaries x 16 lower routers x 4 ups x 2 directions.
+        assert len(clos.channels) == 2 * 16 * 4 * 2
+        assert clos.diameter() == 4
+
+    def test_two_level_matches_paper_shape(self):
+        clos = FoldedClosMultiLevel(4, 2)
+        assert clos.num_terminals == 32
+        assert clos.terminals_per_leaf == 8
+        assert len(clos.uplinks(0)) == 4
+
+    def test_levels_and_positions(self):
+        clos = FoldedClosMultiLevel(4, 3)
+        assert clos.level_of(0) == 1
+        assert clos.level_of(16) == 2
+        assert clos.level_of(47) == 3
+        assert clos.router_at(2, 3) == 19
+        assert clos.position_of(19) == 3
+
+    def test_ancestor_level(self):
+        clos = FoldedClosMultiLevel(4, 3)
+        assert clos.ancestor_level(0, 0) == 1
+        assert clos.ancestor_level(0, 1) == 2  # differ in digit 0
+        assert clos.ancestor_level(0, 4) == 3  # differ in digit 1
+        assert clos.ancestor_level(1, 7) == 3
+
+    def test_min_hops(self):
+        clos = FoldedClosMultiLevel(4, 3)
+        assert clos.min_router_hops(0, 0) == 0
+        assert clos.min_router_hops(0, 1) == 2
+        assert clos.min_router_hops(0, 4) == 4
+        with pytest.raises(ValueError):
+            clos.min_router_hops(0, 20)  # not a leaf
+
+    def test_downlink_towards(self):
+        clos = FoldedClosMultiLevel(4, 3)
+        top = clos.router_at(3, 0)
+        ch = clos.downlink_towards(top, dst_leaf=5)
+        # Level 3 fixes digit 1: position digit-1 of leaf 5 is 1.
+        assert clos.level_of(ch.dst) == 2
+        assert (clos.position_of(ch.dst) // 4) % 4 == 1
+
+    def test_subtree_invariant(self):
+        """Ascending via ANY uplink to the ancestor level reaches a
+        router that can descend to the destination."""
+        clos = FoldedClosMultiLevel(3, 3)
+        for src_leaf in range(clos.routers_per_level):
+            for dst_leaf in range(clos.routers_per_level):
+                if src_leaf == dst_leaf:
+                    continue
+                level = clos.ancestor_level(src_leaf, dst_leaf)
+                # Walk up through arbitrary (first) uplinks.
+                current = src_leaf
+                for _ in range(level - 1):
+                    current = clos.uplinks(current)[0].dst
+                # Walk down deterministically.
+                for _ in range(level - 1):
+                    current = clos.downlink_towards(current, dst_leaf).dst
+                assert current == dst_leaf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FoldedClosMultiLevel(1, 3)
+        with pytest.raises(ValueError):
+            FoldedClosMultiLevel(4, 1)
+        with pytest.raises(ValueError):
+            FoldedClosMultiLevel(4, 3, taper=0)
+
+
+class TestRouting:
+    def test_delivery(self):
+        sim = Simulator(
+            FoldedClosMultiLevel(4, 3),
+            FoldedClosMultiLevelAdaptive(),
+            RandomPermutation(seed=7),
+            SimulationConfig(seed=1),
+        )
+        result = sim.run_batch(4)
+        assert sim.packets_delivered == result.packets
+        assert sim.quiescent()
+
+    def test_hop_counts_match_ancestor_depth(self):
+        clos = FoldedClosMultiLevel(4, 3)
+        sim = Simulator(
+            clos, FoldedClosMultiLevelAdaptive(), RandomPermutation(seed=3),
+            SimulationConfig(seed=1),
+        )
+        packets = []
+        original = sim.on_flit_ejected
+
+        def spy(flit, now):
+            original(flit, now)
+            if flit.is_tail:
+                packets.append(flit.packet)
+
+        sim.on_flit_ejected = spy
+        sim.run_batch(2)
+        for packet in packets:
+            src_leaf = clos.leaf_of_terminal(packet.src)
+            dst_leaf = clos.leaf_of_terminal(packet.dst)
+            assert packet.hops == clos.min_router_hops(src_leaf, dst_leaf)
+
+    def test_wc_throughput_half(self):
+        sim = Simulator(
+            FoldedClosMultiLevel(4, 3),
+            FoldedClosMultiLevelAdaptive(),
+            adversarial(),
+            SimulationConfig(seed=1),
+        )
+        thr = sim.measure_saturation_throughput(600, 600)
+        assert thr == pytest.approx(0.5, abs=0.06)
+
+    def test_nonblocking_ur_full(self):
+        sim = Simulator(
+            FoldedClosMultiLevel(4, 3, taper=1),
+            FoldedClosMultiLevelAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        thr = sim.measure_saturation_throughput(600, 600)
+        assert thr > 0.8
+
+    def test_saturating_batch_drains(self):
+        sim = Simulator(
+            FoldedClosMultiLevel(3, 3),
+            FoldedClosMultiLevelAdaptive(),
+            adversarial(),
+            SimulationConfig(seed=2),
+        )
+        result = sim.run_batch(16, max_cycles=400_000)
+        assert sim.packets_delivered == result.packets
+
+    def test_wrong_topology_rejected(self):
+        from repro.core.flattened_butterfly import FlattenedButterfly
+
+        with pytest.raises(TypeError):
+            Simulator(
+                FlattenedButterfly(4, 2), FoldedClosMultiLevelAdaptive(),
+                UniformRandom(), SimulationConfig(),
+            )

@@ -1,0 +1,113 @@
+"""Property tests for the shared HyperX complete-connection family
+(the structure underlying both the flattened butterfly and the
+generalized hypercube)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topologies.hyperx import HyperX
+
+dims_strategy = st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(concentration=st.integers(min_value=1, max_value=6), dims=dims_strategy)
+def test_counts(concentration, dims):
+    net = HyperX(concentration, dims)
+    routers = math.prod(dims)
+    assert net.num_routers == routers
+    assert net.num_terminals == routers * concentration
+    assert len(net.channels) == routers * sum(m - 1 for m in dims)
+    assert net.router_radix == concentration + sum(m - 1 for m in dims)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=dims_strategy, data=st.data())
+def test_coordinate_roundtrip(dims, data):
+    net = HyperX(1, dims)
+    router = data.draw(st.integers(min_value=0, max_value=net.num_routers - 1))
+    assert net.router_from_coord(net.router_coord(router)) == router
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=dims_strategy, data=st.data())
+def test_channel_endpoints_differ_in_one_dim(dims, data):
+    net = HyperX(1, dims)
+    router = data.draw(st.integers(min_value=0, max_value=net.num_routers - 1))
+    for channel in net.out_channels(router):
+        src = net.router_coord(channel.src)
+        dst = net.router_coord(channel.dst)
+        differing = [i for i in range(len(dims)) if src[i] != dst[i]]
+        assert differing == [channel.dim - 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=dims_strategy, data=st.data())
+def test_min_hops_is_metric(dims, data):
+    net = HyperX(1, dims)
+    hi = net.num_routers - 1
+    a = data.draw(st.integers(min_value=0, max_value=hi))
+    b = data.draw(st.integers(min_value=0, max_value=hi))
+    c = data.draw(st.integers(min_value=0, max_value=hi))
+    assert net.min_router_hops(a, a) == 0
+    assert net.min_router_hops(a, b) == net.min_router_hops(b, a)
+    assert net.min_router_hops(a, c) <= net.min_router_hops(
+        a, b
+    ) + net.min_router_hops(b, c)
+    assert net.min_router_hops(a, b) <= net.diameter()
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=dims_strategy, data=st.data())
+def test_neighbor_is_involution_like(dims, data):
+    net = HyperX(2, dims)
+    router = data.draw(st.integers(min_value=0, max_value=net.num_routers - 1))
+    dim = data.draw(st.integers(min_value=1, max_value=len(dims)))
+    value = data.draw(st.integers(min_value=0, max_value=dims[dim - 1] - 1))
+    nbr = net.neighbor(router, dim, value)
+    # Setting the digit back returns home.
+    assert net.neighbor(nbr, dim, net.coord_digit(router, dim)) == router
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    concentration=st.integers(min_value=1, max_value=4),
+    dims=dims_strategy,
+    data=st.data(),
+)
+def test_terminal_attachment_partition(concentration, dims, data):
+    net = HyperX(concentration, dims)
+    # Every terminal maps to exactly one router; routers partition them.
+    seen = {}
+    for t in range(net.num_terminals):
+        seen.setdefault(net.router_of_terminal(t), []).append(t)
+    assert len(seen) == net.num_routers
+    assert all(len(ts) == concentration for ts in seen.values())
+
+
+def test_multiplicity_channels():
+    net = HyperX(2, (3, 2), multiplicity=(2, 3))
+    # dim1: 6 routers x 2 peers x 2 = 24; dim2: 6 x 1 x 3 = 18.
+    assert len(net.channels) == 24 + 18
+    assert net.router_radix == 2 + 2 * 2 + 1 * 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HyperX(0, (4,))
+    with pytest.raises(ValueError):
+        HyperX(2, ())
+    with pytest.raises(ValueError):
+        HyperX(2, (1,))
+    with pytest.raises(ValueError):
+        HyperX(2, (4,), multiplicity=(1, 1))
+    with pytest.raises(ValueError):
+        HyperX(2, (4,), multiplicity=(0,))
+
+
+def test_bisection_cuts_largest_dim():
+    net = HyperX(4, (2, 8))
+    # Largest dim has extent 8: crossing pairs 4*4=16 per row, 2 rows.
+    assert net.bisection_channels() == 16 * 2

@@ -1,0 +1,120 @@
+"""Tests for the explicit cabinet floor-plan model."""
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import PackagedFlatConfig
+from repro.cost import (
+    FloorPlan,
+    PackagingModel,
+    heuristic_vs_measured,
+    measure_flattened_butterfly,
+    measure_folded_clos,
+)
+
+
+class TestFloorPlan:
+    def test_square_plan_counts(self):
+        plan = FloorPlan.square(1024)
+        assert plan.num_cabinets == 8
+        assert plan.columns * plan.rows >= 8
+
+    def test_positions_distinct(self):
+        plan = FloorPlan.square(2048)
+        positions = {plan.position_m(c) for c in range(plan.num_cabinets)}
+        assert len(positions) == plan.num_cabinets
+
+    def test_distance_metric(self):
+        plan = FloorPlan.square(4096)
+        a, b, c = 0, 5, plan.num_cabinets - 1
+        assert plan.distance_m(a, a) == 0.0
+        assert plan.distance_m(a, b) == plan.distance_m(b, a)
+        assert plan.distance_m(a, c) <= plan.distance_m(a, b) + plan.distance_m(b, c)
+
+    def test_extent_roughly_matches_density(self):
+        packaging = PackagingModel()
+        plan = FloorPlan.square(65536, packaging)
+        x, y = plan.extent_m()
+        implied_density = 65536 / (x * y)
+        assert implied_density == pytest.approx(
+            packaging.density_nodes_per_m2, rel=0.2
+        )
+
+    def test_out_of_range(self):
+        plan = FloorPlan.square(1024)
+        with pytest.raises(ValueError):
+            plan.position_m(plan.num_cabinets)
+
+
+class TestMeasuredFlattenedButterfly:
+    def test_heuristic_validated_for_three_dims(self):
+        # Figure 8(c)'s placement makes E/3 essentially exact for the
+        # 3-dimensional machines.
+        packaging = PackagingModel()
+        for n in (16384, 65536):
+            measured = measure_flattened_butterfly(n, packaging, placement="fig8")
+            heuristic = packaging.edge_length(n) / 3.0
+            assert measured.mean_cable_m == pytest.approx(heuristic, rel=0.15)
+
+    def test_heuristic_optimistic_for_two_dims(self):
+        packaging = PackagingModel()
+        measured = measure_flattened_butterfly(4096, packaging, placement="fig8")
+        assert measured.mean_cable_m > packaging.edge_length(4096) / 3.0
+
+    def test_axis_aligned_beats_naive_at_scale(self):
+        for n in (16384, 65536):
+            fig8 = measure_flattened_butterfly(n, placement="fig8")
+            naive = measure_flattened_butterfly(n, placement="row-major")
+            assert fig8.mean_cable_m < naive.mean_cable_m
+
+    def test_channel_conservation(self):
+        # Measured channels = census inter-router channels.
+        from repro.cost import flattened_butterfly_census
+
+        for n in (1024, 4096):
+            measured = measure_flattened_butterfly(n)
+            census = flattened_butterfly_census(n)
+            assert measured.total_channels == census.inter_router_channels()
+
+    def test_dimension_one_backplane(self):
+        measured = measure_flattened_butterfly(65536, placement="fig8")
+        # Roughly half of the 64K machine's dimension-1 channels stay
+        # in-cabinet (Figure 8: 8 of 16 routers per cabinet).
+        assert measured.backplane_channels > 0
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            measure_flattened_butterfly(1024, placement="spiral")
+
+    def test_config_mismatch(self):
+        with pytest.raises(ValueError):
+            measure_flattened_butterfly(
+                2048, config=PackagedFlatConfig(32, (32,))
+            )
+
+
+class TestMeasuredFoldedClos:
+    def test_central_cabinet_distances(self):
+        packaging = PackagingModel()
+        measured = measure_folded_clos(16384, packaging)
+        # Mean distance to center exceeds the paper's single-axis E/4
+        # but stays below the E/2 maximum-run estimate.
+        edge = packaging.edge_length(16384)
+        assert edge / 4.0 < measured.mean_cable_m < 1.2 * edge
+
+    def test_channels(self):
+        measured = measure_folded_clos(1024)
+        assert measured.total_channels == 2 * 1024
+
+    def test_small_machine_all_local(self):
+        measured = measure_folded_clos(128)
+        assert measured.cable_channels == 0 or measured.mean_cable_m <= 2.5
+
+
+class TestHeuristicComparison:
+    def test_returns_both_topologies(self):
+        comparison = heuristic_vs_measured(16384)
+        assert set(comparison) == {"flattened butterfly", "folded Clos"}
+        for heuristic, measured in comparison.values():
+            assert heuristic > 0 and measured > 0

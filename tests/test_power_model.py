@@ -1,0 +1,108 @@
+"""Tests for the Section 5.3 power model."""
+
+import pytest
+
+from repro.cost import (
+    Locality,
+    butterfly_census,
+    flattened_butterfly_census,
+    folded_clos_census,
+    hypercube_census,
+)
+from repro.power import PowerParameters, power_census
+
+
+class TestParameters:
+    def test_table5_defaults(self):
+        params = PowerParameters()
+        assert params.switch_full_router_w == 40.0
+        assert params.link_global_w == pytest.approx(0.200)
+        assert params.link_local_global_serdes_w == pytest.approx(0.160)
+        assert params.link_local_dedicated_w == pytest.approx(0.040)
+
+    def test_local_serdes_saves_5x(self):
+        # "a SerDes that can drive <1m of backplane only consumes
+        # approximately 40mW, resulting in over 5x power reduction."
+        params = PowerParameters()
+        assert params.link_global_w / params.link_local_dedicated_w == 5.0
+
+    def test_switch_power_scales_with_bandwidth(self):
+        params = PowerParameters()
+        assert params.switch_power(128) == 40.0
+        assert params.switch_power(64) == 20.0
+        with pytest.raises(ValueError):
+            params.switch_power(0)
+
+    def test_link_power_classes(self):
+        params = PowerParameters()
+        per = params.pairs_per_port
+        assert params.link_power_per_channel(Locality.GLOBAL, True) == pytest.approx(
+            per * 0.2
+        )
+        # Direct topologies drive local links with dedicated SerDes.
+        assert params.link_power_per_channel(Locality.LOCAL, True) == pytest.approx(
+            per * 0.04
+        )
+        # Indirect ones must provision global-capable SerDes.
+        assert params.link_power_per_channel(Locality.LOCAL, False) == pytest.approx(
+            per * 0.16
+        )
+        assert params.link_power_per_channel(
+            Locality.TERMINAL, False
+        ) == pytest.approx(per * 0.04)
+
+
+class TestTopologyPower:
+    def test_hypercube_highest(self):
+        # "The hypercube gives the highest power consumption."
+        for n in (1024, 4096, 65536):
+            cube = power_census(hypercube_census(n)).watts_per_node
+            for make in (
+                flattened_butterfly_census,
+                butterfly_census,
+                folded_clos_census,
+            ):
+                assert cube > power_census(make(n)).watts_per_node
+
+    def test_fb_beats_butterfly_at_1k(self):
+        # "For 1K node network, the flattened butterfly provides lower
+        # power consumption than the conventional butterfly since it
+        # takes advantage of the dedicated SerDes to drive local links."
+        fb = power_census(flattened_butterfly_census(1024)).watts_per_node
+        fly = power_census(butterfly_census(1024)).watts_per_node
+        assert fb < fly
+
+    def test_fb_saves_vs_clos_at_4k(self):
+        # "For networks between 4K and 8K nodes, the flattened
+        # butterfly provides approximately 48% power reduction."
+        fb = power_census(flattened_butterfly_census(4096)).watts_per_node
+        clos = power_census(folded_clos_census(4096)).watts_per_node
+        saving = 1 - fb / clos
+        assert 0.35 < saving < 0.65
+
+    def test_saving_shrinks_above_8k(self):
+        # "for N > 8K, the flattened butterfly requires 3 dimensions
+        # and thus, the power reduction drops."
+        def saving(n):
+            fb = power_census(flattened_butterfly_census(n)).watts_per_node
+            clos = power_census(folded_clos_census(n)).watts_per_node
+            return 1 - fb / clos
+
+        assert saving(16384) < saving(4096)
+
+    def test_breakdown_sums(self):
+        powered = power_census(flattened_butterfly_census(4096))
+        assert powered.total_w == pytest.approx(powered.switch_w + powered.link_w)
+        assert powered.watts_per_node == pytest.approx(powered.total_w / 4096)
+        assert 0 < powered.link_fraction < 1
+
+    def test_power_per_node_in_plausible_range(self):
+        for n in (1024, 8192, 65536):
+            for make in (
+                flattened_butterfly_census,
+                butterfly_census,
+                folded_clos_census,
+                hypercube_census,
+            ):
+                watts = power_census(make(n)).watts_per_node
+                assert 0.5 < watts < 30.0

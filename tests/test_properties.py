@@ -1,0 +1,100 @@
+"""Cross-cutting property tests of the simulator's physics.
+
+These assert relations that must hold for *any* algorithm, pattern,
+and seed: conservation, causality (latency at least covers the hops
+taken), and bandwidth limits (accepted throughput can exceed neither
+the offered load nor unit ejection bandwidth).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClosAD,
+    DimensionOrder,
+    MinimalAdaptive,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.traffic import UniformRandom, adversarial
+
+ALGORITHMS = [
+    MinimalAdaptive,
+    DimensionOrder,
+    Valiant,
+    UGAL,
+    UGALSequential,
+    ClosAD,
+]
+
+algorithm_st = st.sampled_from(ALGORITHMS)
+pattern_st = st.sampled_from([UniformRandom, adversarial])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    algorithm_cls=algorithm_st,
+    pattern_factory=pattern_st,
+    k=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_open_loop_physics(algorithm_cls, pattern_factory, k, seed):
+    sim = Simulator(
+        FlattenedButterfly(k, 2),
+        algorithm_cls(),
+        pattern_factory(),
+        SimulationConfig(seed=seed),
+    )
+    result = sim.run_open_loop(0.2, warmup=150, measure=150, drain_max=4000)
+    if result.saturated:
+        return  # nothing to assert about partial statistics
+    # Bandwidth limits.
+    assert result.accepted_throughput <= 1.0 + 1e-9
+    assert result.accepted_throughput == pytest.approx(0.2, abs=0.08)
+    # Causality: total latency covers at least the hops taken.
+    assert result.latency.mean >= result.mean_hops - 1e-9
+    assert result.network_latency.mean <= result.latency.mean + 1e-9
+    # Percentile ordering.
+    assert result.latency.p50 <= result.latency.p95 <= result.latency.max
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    algorithm_cls=algorithm_st,
+    batch=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_batch_physics(algorithm_cls, batch, seed):
+    sim = Simulator(
+        FlattenedButterfly(4, 2),
+        algorithm_cls(),
+        adversarial(),
+        SimulationConfig(seed=seed),
+    )
+    result = sim.run_batch(batch, max_cycles=100_000)
+    # Ejection bandwidth is one flit per terminal per cycle, so a batch
+    # of B single-flit packets needs at least B cycles.
+    assert result.completion_cycles >= batch
+    assert result.packets == 16 * batch
+    assert sim.quiescent()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    algorithm_cls=algorithm_st,
+    seed=st.integers(min_value=0, max_value=99),
+    packet_size=st.integers(min_value=1, max_value=3),
+)
+def test_flit_conservation(algorithm_cls, seed, packet_size):
+    sim = Simulator(
+        FlattenedButterfly(3, 2),
+        algorithm_cls(),
+        UniformRandom(),
+        SimulationConfig(seed=seed, packet_size=packet_size),
+    )
+    result = sim.run_batch(3, max_cycles=100_000)
+    assert sim.flits_ejected == result.packets * packet_size
+    assert sim.flits_accounted() == 0

@@ -1,0 +1,214 @@
+"""Decision-level unit tests for the adaptive routing algorithms.
+
+These bypass the cycle loop: they craft queue states directly on a
+router engine and check the exact (port, vc) each algorithm picks —
+the truth table of Section 3.1.
+"""
+
+import pytest
+
+from repro.core import ClosAD, MinimalAdaptive, UGAL, Valiant
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.network.packet import Packet
+from repro.traffic import UniformRandom
+
+
+def build(algorithm, k=4, n=2):
+    sim = Simulator(
+        FlattenedButterfly(k, n), algorithm, UniformRandom(),
+        SimulationConfig(seed=1),
+    )
+    return sim
+
+
+def make_packet(sim, src, dst):
+    packet = Packet(
+        pid=0, src=src, dst=dst,
+        dst_router=sim.topology.ejection_router(dst),
+        size=1, time_created=0,
+    )
+    sim.algorithm.on_packet_created(packet)
+    return packet
+
+
+def load_channel(engine, channel, flits):
+    """Make ``channel`` look ``flits`` deep to adaptive estimates."""
+    port = engine.port_for_channel(channel)
+    engine.out_ports[port].pending[0] += flits
+
+
+class TestMinADDecisions:
+    def test_picks_productive_channel(self):
+        sim = build(MinimalAdaptive())
+        engine = sim.engines[0]
+        packet = make_packet(sim, src=0, dst=12)  # router 0 -> router 3
+        port, vc = sim.algorithm.route(engine, packet)
+        channel = sim.topology.channel_to(0, 1, 3)
+        assert port == engine.port_for_channel(channel)
+        assert vc == 0
+
+    def test_ejects_at_destination(self):
+        sim = build(MinimalAdaptive())
+        engine = sim.engines[0]
+        packet = make_packet(sim, src=0, dst=2)  # same router
+        port, vc = sim.algorithm.route(engine, packet)
+        assert port == engine.ejection_port(2)
+
+    def test_prefers_emptier_productive_channel(self):
+        # In a 3-dim network two productive channels exist; load one.
+        sim = build(MinimalAdaptive(), k=2, n=4)
+        topo = sim.topology
+        dst_router = topo.router_from_coord((1, 1, 0))
+        engine = sim.engines[0]
+        busy = topo.channel_to(0, 1, 1)
+        idle = topo.channel_to(0, 2, 1)
+        load_channel(engine, busy, 5)
+        packet = make_packet(sim, src=0, dst=dst_router * topo.concentration)
+        port, vc = sim.algorithm.route(engine, packet)
+        assert port == engine.port_for_channel(idle)
+        # Two hops remain: VC = hops_remaining - 1 = 1.
+        assert vc == 1
+
+    def test_vc_tracks_hops_remaining(self):
+        sim = build(MinimalAdaptive(), k=2, n=4)
+        topo = sim.topology
+        # One differing dimension -> 1 hop -> vc 0.
+        engine = sim.engines[0]
+        dst_router = topo.router_from_coord((1, 0, 0))
+        packet = make_packet(sim, src=0, dst=dst_router * topo.concentration)
+        _, vc = sim.algorithm.route(engine, packet)
+        assert vc == 0
+
+
+class TestValiantDecisions:
+    def test_phase_zero_targets_intermediate(self):
+        sim = build(Valiant())
+        engine = sim.engines[0]
+        packet = make_packet(sim, src=0, dst=12)
+        packet.intermediate = 2  # force a known intermediate
+        port, vc = sim.algorithm.route(engine, packet)
+        channel = sim.topology.channel_to(0, 1, 2)
+        assert port == engine.port_for_channel(channel)
+        assert vc == 1  # to-intermediate VC
+
+    def test_phase_flips_at_intermediate(self):
+        sim = build(Valiant())
+        packet = make_packet(sim, src=0, dst=12)
+        packet.intermediate = 2
+        engine = sim.engines[2]
+        port, vc = sim.algorithm.route(engine, packet)
+        channel = sim.topology.channel_to(2, 1, 3)
+        assert port == engine.port_for_channel(channel)
+        assert vc == 0  # to-destination VC
+
+    def test_intermediate_equals_source_skips_phase_zero(self):
+        sim = build(Valiant())
+        packet = make_packet(sim, src=0, dst=12)
+        packet.intermediate = 0
+        engine = sim.engines[0]
+        port, vc = sim.algorithm.route(engine, packet)
+        assert vc == 0
+
+
+class TestUGALDecisions:
+    def test_quiet_network_routes_minimally(self):
+        sim = build(UGAL())
+        engine = sim.engines[0]
+        packet = make_packet(sim, src=0, dst=12)
+        sim.algorithm.route(engine, packet)
+        assert packet.minimal is True
+
+    def test_congested_minimal_path_triggers_valiant(self):
+        # k=8 so only 2/8 random intermediates degenerate to minimal.
+        sim = build(UGAL(threshold=1), k=8)
+        engine = sim.engines[0]
+        dst = 3 * 8  # a terminal of router 3
+        # Pile 30 flits onto the minimal channel; alternatives empty.
+        load_channel(engine, sim.topology.channel_to(0, 1, 3), 30)
+        went_nonminimal = 0
+        for trial in range(20):
+            packet = make_packet(sim, src=0, dst=dst)
+            sim.algorithm.route(engine, packet)
+            if packet.minimal is False:
+                went_nonminimal += 1
+                assert packet.intermediate not in (0, 3)
+        # Intermediates equal to src/dst collapse onto the minimal
+        # path (~25% of draws); the rest must misroute.
+        assert went_nonminimal >= 10
+
+    def test_threshold_biases_minimal(self):
+        sim = build(UGAL(threshold=100))
+        engine = sim.engines[0]
+        load_channel(engine, sim.topology.channel_to(0, 1, 3), 30)
+        packet = make_packet(sim, src=0, dst=12)
+        sim.algorithm.route(engine, packet)
+        assert packet.minimal is True
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            UGAL(threshold=-1)
+
+
+class TestClosADDecisions:
+    def test_quiet_network_routes_minimally(self):
+        sim = build(ClosAD())
+        engine = sim.engines[0]
+        packet = make_packet(sim, src=0, dst=12)
+        port, vc = sim.algorithm.route(engine, packet)
+        direct = sim.topology.channel_to(0, 1, 3)
+        assert port == engine.port_for_channel(direct)
+
+    def test_congestion_spreads_to_middle(self):
+        sim = build(ClosAD(threshold=1))
+        engine = sim.engines[0]
+        load_channel(engine, sim.topology.channel_to(0, 1, 3), 30)
+        packet = make_packet(sim, src=0, dst=12)
+        port, vc = sim.algorithm.route(engine, packet)
+        direct_port = engine.port_for_channel(sim.topology.channel_to(0, 1, 3))
+        assert port != direct_port
+        assert vc == 1  # ascent VC
+
+    def test_picks_emptiest_middle(self):
+        sim = build(ClosAD(threshold=1))
+        engine = sim.engines[0]
+        topo = sim.topology
+        load_channel(engine, topo.channel_to(0, 1, 3), 30)  # minimal
+        load_channel(engine, topo.channel_to(0, 1, 1), 10)  # middle 1
+        # Middle 2 left empty: must win.
+        packet = make_packet(sim, src=0, dst=12)
+        port, _ = sim.algorithm.route(engine, packet)
+        assert port == engine.port_for_channel(topo.channel_to(0, 1, 2))
+
+    def test_descent_is_deterministic(self):
+        sim = build(ClosAD())
+        packet = make_packet(sim, src=0, dst=12)
+        packet.phase = 1  # force descent
+        engine = sim.engines[1]
+        port, vc = sim.algorithm.route(engine, packet)
+        assert port == engine.port_for_channel(sim.topology.channel_to(1, 1, 3))
+        assert vc == 0  # descent VC
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ClosAD(threshold=-1)
+
+    def test_aligned_dimension_left_untouched(self):
+        """Closest-common-ancestor restriction: a dimension already
+        matching the destination is never perturbed in the ascent."""
+        sim = build(ClosAD(), k=2, n=4)
+        topo = sim.topology
+        src_router = topo.router_from_coord((0, 1, 0))
+        dst_router = topo.router_from_coord((1, 1, 0))  # dims 2,3 aligned
+        engine = sim.engines[src_router]
+        packet = make_packet(
+            sim, src=src_router * topo.concentration,
+            dst=dst_router * topo.concentration,
+        )
+        port, _ = sim.algorithm.route(engine, packet)
+        chosen = None
+        for channel in topo.out_channels(src_router):
+            if engine.port_for_channel(channel) == port:
+                chosen = channel
+        assert chosen is not None
+        assert chosen.dim == 1  # only the unaligned dimension is touched

@@ -1,0 +1,96 @@
+"""Tests for measurement machinery: latency summaries, measurement
+windows, and result records."""
+
+import math
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.network.stats import (
+    BatchResult,
+    LatencySummary,
+    MeasurementWindow,
+    OpenLoopResult,
+)
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single(self):
+        summary = LatencySummary.from_samples([5])
+        assert summary.count == 1
+        assert summary.mean == 5
+        assert summary.p50 == 5
+        assert summary.max == 5
+
+    def test_statistics(self):
+        summary = LatencySummary.from_samples(list(range(1, 101)))
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == 50
+        assert summary.p95 == 95
+        assert summary.p99 == 99
+        assert summary.max == 100
+
+    def test_unordered_input(self):
+        summary = LatencySummary.from_samples([9, 1, 5])
+        assert summary.p50 == 5
+
+
+class TestMeasurementWindow:
+    def _packet(self, created=10):
+        return Packet(0, src=0, dst=1, dst_router=0, size=1, time_created=created)
+
+    def test_labeling(self):
+        window = MeasurementWindow(10, 20)
+        inside = self._packet(15)
+        outside = self._packet(25)
+        window.label_if_in_window(inside, 15)
+        window.label_if_in_window(outside, 25)
+        assert inside.labeled and not outside.labeled
+        assert window.labeled_outstanding == 1
+
+    def test_delivery_accounting(self):
+        window = MeasurementWindow(10, 20)
+        packet = self._packet(12)
+        window.label_if_in_window(packet, 12)
+        packet.time_injected = 13
+        packet.time_ejected = 30
+        window.record_delivery(packet)
+        assert window.drained()
+        assert window.latencies == [18]
+        assert window.network_latencies == [17]
+
+    def test_throughput(self):
+        window = MeasurementWindow(0, 100)
+        for now in range(0, 100, 2):
+            window.record_ejected_flit(now)
+        window.record_ejected_flit(150)  # outside: ignored
+        assert window.throughput(num_terminals=1) == pytest.approx(0.5)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            MeasurementWindow(10, 10)
+
+
+class TestResults:
+    def test_open_loop_avg_latency_inf_when_saturated(self):
+        result = OpenLoopResult(
+            offered_load=0.9,
+            accepted_throughput=0.5,
+            latency=LatencySummary.from_samples([10]),
+            network_latency=LatencySummary.from_samples([9]),
+            saturated=True,
+            cycles=1000,
+            packets_labeled=10,
+            packets_delivered=5,
+            mean_hops=1.0,
+        )
+        assert result.avg_latency == float("inf")
+
+    def test_batch_normalized_latency(self):
+        result = BatchResult(batch_size=10, completion_cycles=35, packets=640)
+        assert result.normalized_latency == pytest.approx(3.5)

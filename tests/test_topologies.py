@@ -1,0 +1,228 @@
+"""Tests for the baseline topologies: butterfly, folded Clos,
+hypercube, and generalized hypercube."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topologies import (
+    Butterfly,
+    FoldedClos,
+    GeneralizedHypercube,
+    Hypercube,
+)
+
+
+class TestButterflyStructure:
+    def test_paper_sim_config(self):
+        # Section 3.3: N=1024 as two stages of radix-32 routers.
+        fly = Butterfly(32, 2)
+        assert fly.num_terminals == 1024
+        assert fly.num_routers == 64
+        assert len(fly.channels) == 1024
+
+    def test_channel_count_general(self):
+        # (n-1) columns of N unidirectional channels each.
+        for k, n in [(2, 3), (4, 2), (3, 3)]:
+            fly = Butterfly(k, n)
+            assert len(fly.channels) == (n - 1) * k**n
+
+    def test_stage_and_position(self):
+        fly = Butterfly(2, 3)
+        assert fly.stage_of(0) == 0
+        assert fly.stage_of(4) == 1
+        assert fly.position_of(5) == 1
+        assert fly.router_at(1, 1) == 5
+
+    def test_terminals(self):
+        fly = Butterfly(4, 2)
+        assert fly.injection_router(5) == fly.router_at(0, 1)
+        assert fly.ejection_router(5) == fly.router_at(1, 1)
+
+    def test_out_degree(self):
+        fly = Butterfly(4, 3)
+        for stage in range(2):
+            for pos in range(fly.routers_per_stage):
+                assert len(fly.out_channels(fly.router_at(stage, pos))) == 4
+
+    def test_final_stage_has_no_out_channels(self):
+        fly = Butterfly(4, 2)
+        assert not fly.out_channels(fly.router_at(1, 0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Butterfly(1, 2)
+        with pytest.raises(ValueError):
+            Butterfly(4, 1)
+
+    def test_forward_only_distance(self):
+        fly = Butterfly(2, 3)
+        with pytest.raises(ValueError):
+            fly.min_router_hops(fly.router_at(2, 0), fly.router_at(0, 0))
+        assert fly.diameter() == 2
+
+
+class TestButterflyDestinationTag:
+    @pytest.mark.parametrize("k,n", [(2, 2), (2, 4), (4, 2), (3, 3)])
+    def test_every_pair_is_routable(self, k, n):
+        """Following destination-tag channels from any source delivers
+        to the correct ejection router for every destination."""
+        fly = Butterfly(k, n)
+        for src in range(0, fly.num_terminals, max(1, fly.num_terminals // 16)):
+            for dst in range(0, fly.num_terminals, max(1, fly.num_terminals // 16)):
+                router = fly.injection_router(src)
+                for _ in range(n - 1):
+                    router = fly.destination_tag_next(router, dst).dst
+                assert router == fly.ejection_router(dst)
+
+    def test_single_path(self):
+        """The butterfly has exactly one route per pair: the channel
+        chosen never depends on the source."""
+        fly = Butterfly(2, 3)
+        dst = 5
+        routes = set()
+        for src in range(fly.num_terminals):
+            router = fly.injection_router(src)
+            path = []
+            for _ in range(2):
+                ch = fly.destination_tag_next(router, dst)
+                path.append(ch.index)
+                router = ch.dst
+            routes.add((fly.injection_router(src), tuple(path)))
+        # One path per distinct injection router.
+        assert len(routes) == fly.routers_per_stage
+
+    def test_rejects_routing_from_last_stage(self):
+        fly = Butterfly(2, 2)
+        with pytest.raises(ValueError):
+            fly.destination_tag_next(fly.router_at(1, 0), 0)
+
+
+class TestFoldedClos:
+    def test_paper_equal_bisection_config(self):
+        # N=1024, 32 terminals per leaf, taper 2 -> 16 spines.
+        clos = FoldedClos(1024, 32)
+        assert clos.num_leaves == 32
+        assert clos.num_spines == 16
+        assert clos.num_routers == 48
+        # 2 unidirectional channels per (leaf, spine) pair.
+        assert len(clos.channels) == 2 * 32 * 16
+
+    def test_nonblocking_variant(self):
+        clos = FoldedClos(64, 8, taper=1)
+        assert clos.num_spines == 8
+        assert len(clos.uplinks(0)) == 8
+
+    def test_terminal_attachment(self):
+        clos = FoldedClos(64, 8)
+        assert clos.injection_router(17) == 2
+        assert clos.ejection_router(17) == 2
+
+    def test_spine_identification(self):
+        clos = FoldedClos(64, 8)
+        assert not clos.is_spine(7)
+        assert clos.is_spine(8)
+
+    def test_uplinks_reach_every_spine(self):
+        clos = FoldedClos(64, 8)
+        for leaf in range(clos.num_leaves):
+            assert {c.dst for c in clos.uplinks(leaf)} == set(
+                range(clos.num_leaves, clos.num_routers)
+            )
+
+    def test_downlink(self):
+        clos = FoldedClos(64, 8)
+        ch = clos.downlink(8, 3)
+        assert ch.src == 8 and ch.dst == 3 and ch.updown == -1
+
+    def test_hops(self):
+        clos = FoldedClos(64, 8)
+        assert clos.min_router_hops(0, 0) == 0
+        assert clos.min_router_hops(0, 8) == 1
+        assert clos.min_router_hops(0, 1) == 2
+        assert clos.diameter() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FoldedClos(65, 8)
+        with pytest.raises(ValueError):
+            FoldedClos(64, 8, taper=3)
+        with pytest.raises(ValueError):
+            FoldedClos(8, 8)  # single leaf
+
+
+class TestHypercube:
+    def test_structure(self):
+        cube = Hypercube(4)
+        assert cube.num_terminals == 16
+        assert cube.num_routers == 16
+        assert len(cube.channels) == 16 * 4
+        assert cube.router_radix == 5
+
+    def test_ecube_next_lowest_bit_first(self):
+        cube = Hypercube(4)
+        ch = cube.ecube_next(0b0000, 0b1010)
+        assert ch.dst == 0b0010
+
+    def test_ecube_walk_delivers(self):
+        cube = Hypercube(5)
+        for src in range(0, 32, 3):
+            for dst in range(0, 32, 5):
+                current = src
+                hops = 0
+                while current != dst:
+                    current = cube.ecube_next(current, dst).dst
+                    hops += 1
+                assert hops == cube.min_router_hops(src, dst)
+
+    def test_ecube_rejects_self(self):
+        cube = Hypercube(3)
+        with pytest.raises(ValueError):
+            cube.ecube_next(2, 2)
+
+    def test_hops_is_hamming(self):
+        cube = Hypercube(6)
+        assert cube.min_router_hops(0, 63) == 6
+        assert cube.diameter() == 6
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+
+class TestGeneralizedHypercube:
+    def test_paper_8_8_16(self):
+        # Figure 3's (8,8,16) GHC: 1024 routers, radix 7+7+15+1 = 30.
+        ghc = GeneralizedHypercube((8, 8, 16))
+        assert ghc.num_terminals == 1024
+        assert ghc.num_routers == 1024
+        assert ghc.concentration == 1
+        assert ghc.router_radix == 30
+
+    def test_single_terminal_per_router(self):
+        ghc = GeneralizedHypercube((3, 3))
+        for t in range(ghc.num_terminals):
+            assert ghc.router_of_terminal(t) == t
+
+    def test_complete_connection_per_dim(self):
+        ghc = GeneralizedHypercube((4, 3))
+        assert len(ghc.out_channels(0)) == 3 + 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=7), data=st.data())
+def test_hypercube_neighbors_differ_in_one_bit(n, data):
+    cube = Hypercube(n)
+    router = data.draw(st.integers(min_value=0, max_value=cube.num_routers - 1))
+    for ch in cube.out_channels(router):
+        diff = ch.src ^ ch.dst
+        assert diff and diff & (diff - 1) == 0  # exactly one bit
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dims=st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=3),
+)
+def test_ghc_channel_count(dims):
+    ghc = GeneralizedHypercube(dims)
+    expected = ghc.num_routers * sum(m - 1 for m in dims)
+    assert len(ghc.channels) == expected

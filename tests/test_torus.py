@@ -1,0 +1,183 @@
+"""Tests for the k-ary n-cube torus baseline and its dateline DOR
+routing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import price_census, torus_census
+from repro.network import SimulationConfig, Simulator
+from repro.topologies import Torus, TorusDOR
+from repro.traffic import RandomPermutation, UniformRandom, adversarial
+
+
+class TestTorusStructure:
+    def test_counts(self):
+        torus = Torus((4, 4, 4))
+        assert torus.num_routers == 64
+        assert torus.num_terminals == 64
+        # 2 directions x 3 dims x 64 routers.
+        assert len(torus.channels) == 384
+        assert torus.router_radix == 7
+
+    def test_two_ring_single_channel(self):
+        torus = Torus((2, 4))
+        # k=2 rings have a single channel per router pair direction.
+        assert torus.router_radix == 1 + 1 + 2
+        assert len(torus.channels) == 8 * (1 + 2)
+
+    def test_neighbor_wraps(self):
+        torus = Torus((4,))
+        assert torus.neighbor(3, 1, +1) == 0
+        assert torus.neighbor(0, 1, -1) == 3
+
+    def test_ring_distance(self):
+        torus = Torus((8,))
+        assert torus.ring_distance(1, 0, 3) == 3
+        assert torus.ring_distance(1, 0, 5) == 3  # around the back
+        assert torus.ring_direction(1, 0, 5) == -1
+
+    def test_min_hops_and_diameter(self):
+        torus = Torus((4, 4))
+        assert torus.min_router_hops(0, 5) == 2
+        assert torus.diameter() == 4
+        exhaustive = max(
+            torus.min_router_hops(a, b)
+            for a in range(torus.num_routers)
+            for b in range(torus.num_routers)
+        )
+        assert exhaustive == torus.diameter()
+
+    def test_bisection(self):
+        torus = Torus((8, 8))
+        # Cut the 8-ring: 2 links x 2 directions x 8 rows.
+        assert torus.bisection_channels() == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Torus(())
+        with pytest.raises(ValueError):
+            Torus((1, 4))
+
+    def test_channel_direction_metadata(self):
+        torus = Torus((4, 4))
+        for channel in torus.channels:
+            assert channel.updown in (-1, +1)
+            assert 1 <= channel.dim <= 2
+
+
+class TestTorusDOR:
+    def test_delivery(self):
+        sim = Simulator(
+            Torus((4, 4)), TorusDOR(), UniformRandom(), SimulationConfig(seed=1)
+        )
+        result = sim.run_batch(8)
+        assert sim.packets_delivered == result.packets
+        assert sim.quiescent()
+
+    def test_minimal_hop_counts(self):
+        torus = Torus((4, 4))
+        sim = Simulator(
+            torus, TorusDOR(), RandomPermutation(seed=2), SimulationConfig(seed=1)
+        )
+        packets = []
+        original = sim.on_flit_ejected
+
+        def spy(flit, now):
+            original(flit, now)
+            if flit.is_tail:
+                packets.append(flit.packet)
+
+        sim.on_flit_ejected = spy
+        sim.run_batch(2)
+        for packet in packets:
+            assert packet.hops == torus.min_router_hops(packet.src, packet.dst)
+
+    def test_wrong_topology_rejected(self):
+        from repro.core.flattened_butterfly import FlattenedButterfly
+
+        with pytest.raises(TypeError):
+            Simulator(
+                FlattenedButterfly(4, 2), TorusDOR(), UniformRandom(),
+                SimulationConfig(),
+            )
+
+    @pytest.mark.parametrize("dims", [(4, 4), (8,), (2, 3, 4), (5, 5)])
+    def test_saturating_batch_drains(self, dims):
+        """Dateline VC discipline: wraparound rings must not deadlock
+        under saturation (odd radix included)."""
+        sim = Simulator(
+            Torus(dims), TorusDOR(), adversarial(), SimulationConfig(seed=4)
+        )
+        result = sim.run_batch(16, max_cycles=400_000)
+        assert sim.packets_delivered == result.packets
+        assert sim.quiescent()
+
+    def test_multiflit_drains(self):
+        sim = Simulator(
+            Torus((4, 4)), TorusDOR(), adversarial(),
+            SimulationConfig(packet_size=3, seed=4),
+        )
+        result = sim.run_batch(6, max_cycles=400_000)
+        assert sim.packets_delivered == result.packets
+
+    def test_ur_throughput_high(self):
+        sim = Simulator(
+            Torus((4, 4, 4)), TorusDOR(), UniformRandom(), SimulationConfig()
+        )
+        assert sim.measure_saturation_throughput(600, 600) > 0.85
+
+
+class TestTorusCensus:
+    def test_counts(self):
+        census = torus_census((4, 4, 4))
+        assert census.num_terminals == 64
+        assert census.total_routers() == 64
+        assert census.inter_router_channels() == 384
+
+    def test_all_links_local(self):
+        # The folded torus has no global cables — its cost advantage.
+        from repro.cost import Locality
+
+        census = torus_census((16, 16, 16))
+        for group in census.links:
+            assert group.locality in (Locality.TERMINAL, Locality.LOCAL)
+
+    def test_router_cost_dominates(self):
+        priced = price_census(torus_census((8, 8, 8)))
+        assert priced.router_cost > priced.link_cost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            torus_census((1, 4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dims=st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=3),
+    data=st.data(),
+)
+def test_ring_metric_properties(dims, data):
+    torus = Torus(dims)
+    hi = torus.num_routers - 1
+    a = data.draw(st.integers(min_value=0, max_value=hi))
+    b = data.draw(st.integers(min_value=0, max_value=hi))
+    assert torus.min_router_hops(a, b) == torus.min_router_hops(b, a)
+    assert torus.min_router_hops(a, a) == 0
+    assert torus.min_router_hops(a, b) <= torus.diameter()
+    # Walking the minimal directions reaches the destination.
+    current = a
+    steps = 0
+    while current != b and steps <= torus.diameter() + 1:
+        for d in range(1, torus.num_dims + 1):
+            own = torus.coord_digit(current, d)
+            want = torus.coord_digit(b, d)
+            if own != want:
+                current = torus.neighbor(
+                    current, d, torus.ring_direction(d, own, want)
+                )
+                steps += 1
+                break
+    assert current == b
+    assert steps == torus.min_router_hops(a, b)

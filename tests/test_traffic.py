@@ -1,0 +1,214 @@
+"""Tests for the synthetic traffic patterns."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.topologies import Butterfly, FoldedClos, Hypercube
+from repro.traffic import (
+    BitComplement,
+    BitReverse,
+    GroupShift,
+    HotSpot,
+    RandomPermutation,
+    Shuffle,
+    Transpose,
+    UniformRandom,
+    adversarial,
+    tornado_for,
+)
+
+
+@pytest.fixture
+def fb():
+    return FlattenedButterfly(4, 2)
+
+
+class TestUniformRandom:
+    def test_never_self(self, fb):
+        pattern = UniformRandom()
+        pattern.bind(fb)
+        rng = random.Random(0)
+        for src in range(fb.num_terminals):
+            for _ in range(20):
+                assert pattern.destination(src, rng) != src
+
+    def test_covers_all_destinations(self, fb):
+        pattern = UniformRandom()
+        pattern.bind(fb)
+        rng = random.Random(0)
+        seen = {pattern.destination(0, rng) for _ in range(500)}
+        assert seen == set(range(1, 16))
+
+    def test_roughly_uniform(self, fb):
+        pattern = UniformRandom()
+        pattern.bind(fb)
+        rng = random.Random(1)
+        counts = Counter(pattern.destination(3, rng) for _ in range(3000))
+        assert min(counts.values()) > 100  # 3000/15 = 200 expected
+
+
+class TestGroupShift:
+    def test_adversarial_on_flattened_butterfly(self, fb):
+        # Section 3.2: nodes of router R_i send to nodes of R_{i+1}.
+        pattern = adversarial()
+        pattern.bind(fb)
+        rng = random.Random(0)
+        for src in range(fb.num_terminals):
+            dst = pattern.destination(src, rng)
+            assert fb.router_of_terminal(dst) == (
+                fb.router_of_terminal(src) + 1
+            ) % fb.num_routers
+
+    def test_wraps_around(self, fb):
+        pattern = adversarial()
+        pattern.bind(fb)
+        rng = random.Random(0)
+        dst = pattern.destination(15, rng)  # last router's terminal
+        assert fb.router_of_terminal(dst) == 0
+
+    def test_on_butterfly_groups_by_injection_router(self):
+        fly = Butterfly(4, 2)
+        pattern = adversarial()
+        pattern.bind(fly)
+        rng = random.Random(0)
+        dst = pattern.destination(0, rng)
+        assert 4 <= dst < 8
+
+    def test_on_hypercube_single_node_groups(self):
+        cube = Hypercube(4)
+        pattern = adversarial()
+        pattern.bind(cube)
+        rng = random.Random(0)
+        assert pattern.destination(5, rng) == 6
+
+    def test_negative_shift(self, fb):
+        pattern = GroupShift(-1)
+        pattern.bind(fb)
+        rng = random.Random(0)
+        dst = pattern.destination(0, rng)
+        assert fb.router_of_terminal(dst) == fb.num_routers - 1
+
+    def test_rejects_zero_shift(self):
+        with pytest.raises(ValueError):
+            GroupShift(0)
+
+    def test_tornado(self, fb):
+        pattern = tornado_for(fb)
+        pattern.bind(fb)
+        rng = random.Random(0)
+        dst = pattern.destination(0, rng)
+        assert fb.router_of_terminal(dst) == pattern.shift % fb.num_routers
+
+
+class TestBitPatterns:
+    def test_bit_complement(self, fb):
+        pattern = BitComplement()
+        pattern.bind(fb)
+        assert pattern.destination(0, None) == 15
+        assert pattern.destination(0b0101, None) == 0b1010
+
+    def test_bit_complement_is_involution(self, fb):
+        pattern = BitComplement()
+        pattern.bind(fb)
+        for src in range(16):
+            assert pattern.destination(pattern.destination(src, None), None) == src
+
+    def test_bit_reverse(self, fb):
+        pattern = BitReverse()
+        pattern.bind(fb)
+        assert pattern.destination(0b0001, None) == 0b1000
+        assert pattern.destination(0b0110, None) == 0b0110
+
+    def test_transpose(self, fb):
+        pattern = Transpose()
+        pattern.bind(fb)
+        assert pattern.destination(0b0111, None) == 0b1101
+
+    def test_transpose_is_involution(self, fb):
+        pattern = Transpose()
+        pattern.bind(fb)
+        for src in range(16):
+            assert pattern.destination(pattern.destination(src, None), None) == src
+
+    def test_transpose_rejects_odd_bits(self):
+        pattern = Transpose()
+        with pytest.raises(ValueError):
+            pattern.bind(FlattenedButterfly(2, 3))  # N=8, 3 bits
+
+    def test_shuffle(self, fb):
+        pattern = Shuffle()
+        pattern.bind(fb)
+        assert pattern.destination(0b1001, None) == 0b0011
+
+    def test_shuffle_is_permutation(self, fb):
+        pattern = Shuffle()
+        pattern.bind(fb)
+        images = {pattern.destination(s, None) for s in range(16)}
+        assert images == set(range(16))
+
+    def test_bit_pattern_requires_power_of_two(self):
+        pattern = BitComplement()
+        with pytest.raises(ValueError):
+            pattern.bind(FlattenedButterfly(3, 2))  # N=9
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, fb):
+        pattern = RandomPermutation(seed=3)
+        pattern.bind(fb)
+        images = [pattern.destination(s, None) for s in range(16)]
+        assert sorted(images) == list(range(16))
+
+    def test_deterministic_given_seed(self, fb):
+        a, b = RandomPermutation(seed=3), RandomPermutation(seed=3)
+        a.bind(fb)
+        b.bind(fb)
+        assert all(
+            a.destination(s, None) == b.destination(s, None) for s in range(16)
+        )
+
+    def test_seed_changes_permutation(self, fb):
+        a, b = RandomPermutation(seed=3), RandomPermutation(seed=4)
+        a.bind(fb)
+        b.bind(fb)
+        assert any(
+            a.destination(s, None) != b.destination(s, None) for s in range(16)
+        )
+
+
+class TestHotSpot:
+    def test_hot_fraction(self, fb):
+        pattern = HotSpot(hot_terminal=7, fraction=0.5)
+        pattern.bind(fb)
+        rng = random.Random(0)
+        hits = sum(pattern.destination(0, rng) == 7 for _ in range(2000))
+        assert 800 < hits < 1300
+
+    def test_validation(self, fb):
+        with pytest.raises(ValueError):
+            HotSpot(fraction=0.0)
+        pattern = HotSpot(hot_terminal=99)
+        with pytest.raises(ValueError):
+            pattern.bind(fb)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    shift=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_group_shift_property(k, shift, data):
+    fb = FlattenedButterfly(k, 2)
+    pattern = GroupShift(shift)
+    pattern.bind(fb)
+    rng = random.Random(data.draw(st.integers(min_value=0, max_value=100)))
+    src = data.draw(st.integers(min_value=0, max_value=fb.num_terminals - 1))
+    dst = pattern.destination(src, rng)
+    assert fb.router_of_terminal(dst) == (
+        fb.router_of_terminal(src) + shift
+    ) % fb.num_routers

@@ -1,0 +1,45 @@
+"""Tests for the Section 5.2 wire-delay analysis."""
+
+import pytest
+
+from repro.analysis import WireDelayModel
+from repro.cost import PackagingModel
+
+
+class TestWireDelayModel:
+    def test_flight_time(self):
+        model = WireDelayModel()
+        assert model.flight_time_ns(10.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            model.flight_time_ns(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireDelayModel(ns_per_meter=0)
+
+    def test_mean_pair_distance(self):
+        model = WireDelayModel()
+        edge = PackagingModel().edge_length(4096)
+        assert model.mean_pair_distance(4096) == pytest.approx(2 * edge / 3)
+
+    def test_uniform_ratio_is_three_halves(self):
+        # Clos round trip E vs direct 2E/3.
+        model = WireDelayModel()
+        assert model.uniform_flight_ratio(16384) == pytest.approx(1.5)
+
+    def test_local_traffic_penalty_grows_with_size(self):
+        # Section 5.2: "for local traffic... the folded-Clos needs to
+        # route through middle stages, incurring 2x global wire delay
+        # where the flattened butterfly can take advantage of the
+        # packaging locality."
+        model = WireDelayModel()
+        small = model.local_flight_ratio(1024)
+        large = model.local_flight_ratio(65536)
+        assert small > 1.0
+        assert large > small
+        assert large > 5.0  # dramatic at scale
+
+    def test_direct_never_longer_than_clos(self):
+        model = WireDelayModel()
+        for n in (256, 1024, 16384, 65536):
+            assert model.direct_route_m(n) <= model.folded_clos_route_m(n)
