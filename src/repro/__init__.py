@@ -41,6 +41,7 @@ from .network import (
     SimulationConfig,
     Simulator,
 )
+from .runner import ResultCache, SimSpec, SweepRunner
 from .topologies import (
     Butterfly,
     DestinationTag,
@@ -69,6 +70,9 @@ __all__ = [
     "OpenLoopResult",
     "SimulationConfig",
     "Simulator",
+    "ResultCache",
+    "SimSpec",
+    "SweepRunner",
     "Butterfly",
     "DestinationTag",
     "ECube",

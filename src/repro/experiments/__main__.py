@@ -2,18 +2,29 @@
 
 Examples::
 
-    python -m repro.experiments fig04            # CI scale
+    python -m repro.experiments fig04            # CI scale, serial
+    python -m repro.experiments fig04 --jobs 4   # parallel sweep
     python -m repro.experiments fig04 --scale paper
     python -m repro.experiments all              # every experiment
+
+Simulation experiments accept ``--jobs`` (or the ``REPRO_JOBS``
+environment variable) to fan independent points over worker processes;
+results are bit-identical to a serial run.  Completed points are
+cached on disk (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-flatbfly``) so repeated runs are nearly free; pass
+``--no-cache`` to always re-simulate.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from . import ALL_EXPERIMENTS
+from ..runner import ResultCache, SweepRunner, resolve_jobs
+from ..runner.sweep import stderr_progress
 
 
 def main(argv=None) -> int:
@@ -38,16 +49,60 @@ def main(argv=None) -> int:
         default=None,
         help="also write each result table as CSV into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation sweeps (0 = all CPUs; "
+        "default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-flatbfly)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-point sweep progress to stderr",
+    )
     args = parser.parse_args(argv)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     for name in names:
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache=cache,
+            progress=stderr_progress(name) if args.progress else None,
+        )
         start = time.time()
-        result = ALL_EXPERIMENTS[name].run(args.scale)
+        run = ALL_EXPERIMENTS[name].run
+        kwargs = {}
+        if "runner" in inspect.signature(run).parameters:
+            kwargs["runner"] = runner
+        result = run(args.scale, **kwargs)
         print(result.to_text())
         if args.csv:
             for path in result.write_csv(args.csv):
                 print(f"[wrote {path}]")
-        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+        footer = f"\n[{name} completed in {time.time() - start:.1f}s"
+        if runner.report.total:
+            footer += f" — {runner.report.summary()}"
+        print(footer + "]\n")
     return 0
 
 

@@ -13,11 +13,25 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..network import SimulationConfig, Simulator
 from ..network.stats import OpenLoopResult
+from ..runner import (
+    CallableJob,
+    OpenLoopJob,
+    SaturationJob,
+    SimSpec,
+    SweepRunner,
+    execute_job,
+)
+
+#: ``make_simulator`` arguments accepted by the sweep helpers: either a
+#: legacy zero-argument factory (serial only) or a picklable
+#: :class:`~repro.runner.SimSpec` (parallelizable and cacheable).
+SimFactory = Union[SimSpec, Callable[[], Simulator]]
 
 
 @dataclass(frozen=True)
@@ -169,20 +183,61 @@ class ExperimentResult:
         return paths
 
 
+def _run_open_loop_point(
+    make_simulator: SimFactory,
+    load: float,
+    warmup: int,
+    measure: int,
+    drain_max: int,
+    runner: Optional[SweepRunner],
+) -> OpenLoopResult:
+    """One open-loop point, via the runner when the factory is a spec."""
+    if isinstance(make_simulator, SimSpec):
+        job = OpenLoopJob(make_simulator, load, warmup, measure, drain_max)
+        return runner.run(job) if runner is not None else execute_job(job)
+    return make_simulator().run_open_loop(
+        load, warmup=warmup, measure=measure, drain_max=drain_max
+    )
+
+
 def latency_load_curve(
-    make_simulator: Callable[[], Simulator],
+    make_simulator: SimFactory,
     loads: Sequence[float],
     warmup: int,
     measure: int,
     drain_max: int,
     stop_after_saturation: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> List[OpenLoopResult]:
-    """Run an offered-load sweep, one fresh simulator per point."""
+    """Run an offered-load sweep, one fresh simulator per point.
+
+    With a parallel ``runner`` and a :class:`~repro.runner.SimSpec`
+    factory, every point runs speculatively (the points past
+    saturation are computed but discarded), and the returned list is
+    bit-identical to the serial early-exit sweep: points up to and
+    including the first saturated load, in order.
+    """
+    if (
+        isinstance(make_simulator, SimSpec)
+        and runner is not None
+        and runner.jobs > 1
+        and len(loads) > 1
+    ):
+        jobs = [
+            OpenLoopJob(make_simulator, load, warmup, measure, drain_max)
+            for load in loads
+        ]
+        results = runner.map(jobs)
+        if stop_after_saturation:
+            for i, result in enumerate(results):
+                if result.saturated:
+                    return results[: i + 1]
+        return results
+
     results: List[OpenLoopResult] = []
     for load in loads:
-        sim = make_simulator()
-        result = sim.run_open_loop(
-            load, warmup=warmup, measure=measure, drain_max=drain_max
+        result = _run_open_loop_point(
+            make_simulator, load, warmup, measure, drain_max, runner
         )
         results.append(result)
         if stop_after_saturation and result.saturated:
@@ -191,47 +246,118 @@ def latency_load_curve(
 
 
 def saturation_throughput(
-    make_simulator: Callable[[], Simulator], warmup: int, measure: int
+    make_simulator: SimFactory,
+    warmup: int,
+    measure: int,
+    runner: Optional[SweepRunner] = None,
 ) -> float:
     """Accepted throughput at offered load 1.0."""
+    if isinstance(make_simulator, SimSpec):
+        job = SaturationJob(make_simulator, warmup, measure)
+        return runner.run(job) if runner is not None else execute_job(job)
     return make_simulator().measure_saturation_throughput(warmup, measure)
 
 
+def _speculative_midpoints(
+    low: float, high: float, precision: float, budget: int
+) -> List[float]:
+    """The next ``budget`` loads a bisection of ``[low, high]`` could
+    probe: the midpoint, then the midpoints of both halves, breadth
+    first.  Probing them concurrently lets a parallel saturation
+    search descend several bisection levels per round while visiting
+    exactly the loads the serial search would."""
+    loads: List[float] = []
+
+    def descend(lo: float, hi: float, remaining: int) -> None:
+        if remaining <= 0 or hi - lo <= precision:
+            return
+        mid = (lo + hi) / 2.0
+        loads.append(mid)
+        child_budget = (remaining - 1) // 2
+        descend(lo, mid, child_budget)
+        descend(mid, hi, child_budget)
+
+    descend(low, high, budget)
+    return loads
+
+
 def find_saturation_load(
-    make_simulator: Callable[[float], Simulator],
+    make_simulator: Callable[[float], Union[Simulator, SimSpec]],
     warmup: int,
     measure: int,
     drain_max: int,
     latency_bound: float = 4.0,
     precision: float = 0.02,
+    runner: Optional[SweepRunner] = None,
 ) -> float:
     """Binary-search the offered load at which the network saturates.
 
     A load point counts as saturated when the run's labeled packets
     fail to drain, or when mean latency exceeds ``latency_bound`` times
     the zero-load latency (measured at load 0.05).  ``make_simulator``
-    receives the load so a fresh simulator is built per probe.
+    receives the load and returns either a fresh simulator or a
+    :class:`~repro.runner.SimSpec`; every probe (the baseline
+    included) is memoized, so no load is ever simulated twice within
+    one search.
+
+    With a parallel ``runner`` and spec factories, each bisection
+    round also probes the midpoints of both half-intervals
+    speculatively; the bracket walk consumes the memoized results in
+    serial order, so the answer is bit-identical to the serial search.
 
     Returns the highest non-saturated load found, to within
-    ``precision``.
+    ``precision`` — or 0.0 when the network is saturated even at the
+    0.05 baseline load.
     """
     if not 0 < precision < 0.5:
         raise ValueError(f"precision must be in (0, 0.5), got {precision}")
-    baseline = make_simulator(0.05).run_open_loop(
-        0.05, warmup=warmup, measure=measure, drain_max=drain_max
-    )
+
+    probes: Dict[float, OpenLoopResult] = {}
+
+    def probe(load: float) -> OpenLoopResult:
+        if load not in probes:
+            made = make_simulator(load)
+            if isinstance(made, SimSpec):
+                job = OpenLoopJob(made, load, warmup, measure, drain_max)
+                probes[load] = (
+                    runner.run(job) if runner is not None else execute_job(job)
+                )
+            else:
+                probes[load] = made.run_open_loop(
+                    load, warmup=warmup, measure=measure, drain_max=drain_max
+                )
+        return probes[load]
+
+    parallel = runner is not None and runner.jobs > 1
+
+    def prefetch(loads: Sequence[float]) -> None:
+        missing = [load for load in loads if load not in probes]
+        jobs = []
+        for load in missing:
+            made = make_simulator(load)
+            if not isinstance(made, SimSpec):
+                return  # legacy factory: nothing to speculate with
+            jobs.append(OpenLoopJob(made, load, warmup, measure, drain_max))
+        for load, result in zip(missing, runner.map(jobs)):
+            probes[load] = result
+
+    if parallel:
+        prefetch([0.05, 1.0])
+    baseline = probe(0.05)
+    if baseline.saturated:
+        return 0.0
     threshold = max(baseline.latency.mean, 1.0) * latency_bound
 
     def saturated(load: float) -> bool:
-        result = make_simulator(load).run_open_loop(
-            load, warmup=warmup, measure=measure, drain_max=drain_max
-        )
+        result = probe(load)
         return result.saturated or result.latency.mean > threshold
 
     low, high = 0.05, 1.0
     if not saturated(1.0):
         return 1.0
     while high - low > precision:
+        if parallel:
+            prefetch(_speculative_midpoints(low, high, precision, runner.jobs))
         mid = (low + high) / 2.0
         if saturated(mid):
             high = mid
@@ -253,7 +379,21 @@ class Replicated:
         return len(self.samples)
 
 
-def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> Replicated:
+def _summarize(samples: Tuple[float, ...]) -> Replicated:
+    mean = sum(samples) / len(samples)
+    if len(samples) > 1:
+        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return Replicated(mean=mean, std=std, samples=samples)
+
+
+def replicate(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    runner: Optional[SweepRunner] = None,
+) -> Replicated:
     """Run ``metric(seed)`` over ``seeds`` and summarize.
 
     Use for confidence in simulation results, e.g.::
@@ -265,14 +405,34 @@ def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> Replicate
             ).measure_saturation_throughput(500, 500),
             seeds=range(1, 6),
         )
+
+    With a parallel ``runner`` and a picklable ``metric`` (a
+    module-level function or ``functools.partial``), seeds run
+    concurrently; a lambda metric silently falls back to the serial
+    path.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    samples = tuple(metric(seed) for seed in seeds)
-    mean = sum(samples) / len(samples)
-    if len(samples) > 1:
-        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
-        std = math.sqrt(variance)
+    seeds = tuple(seeds)
+    if runner is not None and runner.jobs > 1 and len(seeds) > 1:
+        try:
+            pickle.dumps(metric)
+        except Exception:
+            pass  # unpicklable metric: run serially below
+        else:
+            jobs = [CallableJob.of(metric, seed) for seed in seeds]
+            return _summarize(tuple(float(s) for s in runner.map(jobs)))
+    return _summarize(tuple(float(metric(seed)) for seed in seeds))
+
+
+def replicate_jobs(jobs: Sequence, runner: Optional[SweepRunner] = None) -> Replicated:
+    """Summarize a set of scalar-producing runner jobs (typically one
+    :class:`~repro.runner.SaturationJob` per seed) as a
+    :class:`Replicated`."""
+    if not jobs:
+        raise ValueError("need at least one job")
+    if runner is not None:
+        samples = tuple(float(s) for s in runner.map(list(jobs)))
     else:
-        std = 0.0
-    return Replicated(mean=mean, std=std, samples=samples)
+        samples = tuple(float(execute_job(job)) for job in jobs)
+    return _summarize(samples)

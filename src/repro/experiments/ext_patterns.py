@@ -10,11 +10,10 @@ not just the canonical one.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
-
 from ..core import ClosAD, MinimalAdaptive
 from ..core.flattened_butterfly import FlattenedButterfly
 from ..network import SimulationConfig, Simulator
+from ..runner import SaturationJob, SimSpec, execute_job
 from ..traffic import (
     BitComplement,
     BitReverse,
@@ -28,40 +27,70 @@ from ..traffic import (
 )
 from .common import ExperimentResult, Table, resolve_scale
 
-
-def _patterns(topology) -> List[Tuple[str, Callable]]:
-    return [
-        ("uniform random", UniformRandom),
-        ("worst case (g+1)", adversarial),
-        ("tornado", lambda: tornado_for(topology)),
-        ("bit complement", BitComplement),
-        ("bit reverse", BitReverse),
-        ("transpose", Transpose),
-        ("shuffle", Shuffle),
-        ("random permutation", lambda: RandomPermutation(seed=11)),
-    ]
+PATTERN_NAMES = (
+    "uniform random",
+    "worst case (g+1)",
+    "tornado",
+    "bit complement",
+    "bit reverse",
+    "transpose",
+    "shuffle",
+    "random permutation",
+)
 
 
-def run(scale=None) -> ExperimentResult:
+def _build_pattern(name: str, k: int):
+    if name == "uniform random":
+        return UniformRandom()
+    if name == "worst case (g+1)":
+        return adversarial()
+    if name == "tornado":
+        return tornado_for(FlattenedButterfly(k, 2))
+    if name == "bit complement":
+        return BitComplement()
+    if name == "bit reverse":
+        return BitReverse()
+    if name == "transpose":
+        return Transpose()
+    if name == "shuffle":
+        return Shuffle()
+    if name == "random permutation":
+        return RandomPermutation(seed=11)
+    raise ValueError(f"unknown pattern {name!r}")
+
+
+def _make(k: int, algorithm_cls, pattern_name: str) -> Simulator:
+    return Simulator(
+        FlattenedButterfly(k, 2),
+        algorithm_cls(),
+        _build_pattern(pattern_name, k),
+        SimulationConfig(seed=1),
+    )
+
+
+def run(scale=None, runner=None) -> ExperimentResult:
     scale = resolve_scale(scale)
     k = scale.fb_k
-    topology = FlattenedButterfly(k, 2)
     table = Table(
         title="saturation throughput by traffic pattern",
         headers=["pattern", "MIN AD", "CLOS AD", "CLOS AD advantage"],
     )
-    for name, pattern_factory in _patterns(topology):
-        row = []
-        for algorithm_cls in (MinimalAdaptive, ClosAD):
-            sim = Simulator(
-                FlattenedButterfly(k, 2),
-                algorithm_cls(),
-                pattern_factory(),
-                SimulationConfig(seed=1),
-            )
-            row.append(
-                sim.measure_saturation_throughput(scale.warmup, scale.measure)
-            )
+    jobs = [
+        SaturationJob(
+            SimSpec.of(_make, k, algorithm_cls, name),
+            scale.warmup,
+            scale.measure,
+        )
+        for name in PATTERN_NAMES
+        for algorithm_cls in (MinimalAdaptive, ClosAD)
+    ]
+    if runner is not None:
+        outcomes = runner.map(jobs)
+    else:
+        outcomes = [execute_job(job) for job in jobs]
+    point = iter(outcomes)
+    for name in PATTERN_NAMES:
+        row = [next(point), next(point)]
         advantage = row[1] / row[0] if row[0] else float("inf")
         table.add(name, row[0], row[1], f"{advantage:.1f}x")
     result = ExperimentResult(

@@ -17,13 +17,14 @@ from typing import Callable, Dict
 from ..core import ClosAD, MinimalAdaptive, UGAL, UGALSequential, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
 from ..network import SimulationConfig, Simulator
+from ..runner import SaturationJob, SimSpec
 from ..traffic import UniformRandom, adversarial
 from .common import (
     ExperimentResult,
     Table,
     latency_load_curve,
+    replicate_jobs,
     resolve_scale,
-    saturation_throughput,
 )
 
 ALGORITHMS: Dict[str, Callable] = {
@@ -35,16 +36,16 @@ ALGORITHMS: Dict[str, Callable] = {
 }
 
 
-def _make(scale, algorithm_cls, pattern_factory, seed: int = 1) -> Simulator:
+def _make(k: int, algorithm_cls, pattern_factory, seed: int = 1) -> Simulator:
     return Simulator(
-        FlattenedButterfly(scale.fb_k, 2),
+        FlattenedButterfly(k, 2),
         algorithm_cls(),
         pattern_factory(),
         SimulationConfig(seed=seed),
     )
 
 
-def run(scale=None) -> ExperimentResult:
+def run(scale=None, runner=None) -> ExperimentResult:
     scale = resolve_scale(scale)
     result = ExperimentResult(
         experiment="fig04",
@@ -65,11 +66,12 @@ def run(scale=None) -> ExperimentResult:
         )
         curves = {
             name: latency_load_curve(
-                lambda cls=cls: _make(scale, cls, pattern_factory),
+                SimSpec.of(_make, scale.fb_k, cls, pattern_factory),
                 scale.loads,
                 scale.warmup,
                 scale.measure,
                 scale.drain_max,
+                runner=runner,
             )
             for name, cls in ALGORITHMS.items()
         }
@@ -89,14 +91,20 @@ def run(scale=None) -> ExperimentResult:
             headers=["algorithm", "accepted throughput"],
         )
         for name, cls in ALGORITHMS.items():
-            throughput.add(
-                name,
-                saturation_throughput(
-                    lambda cls=cls: _make(scale, cls, pattern_factory),
-                    scale.warmup,
-                    scale.measure,
-                ),
+            replicated = replicate_jobs(
+                [
+                    SaturationJob(
+                        SimSpec.of(
+                            _make, scale.fb_k, cls, pattern_factory, seed=seed
+                        ),
+                        scale.warmup,
+                        scale.measure,
+                    )
+                    for seed in scale.seeds
+                ],
+                runner=runner,
             )
+            throughput.add(name, replicated.mean)
         result.tables.append(throughput)
     result.notes.append(
         f"paper anchors: UR — all but VAL ~100%, VAL ~50%; "

@@ -15,6 +15,7 @@ from typing import Callable, Dict
 from ..core import ClosAD, MinimalAdaptive, UGAL, UGALSequential, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
 from ..network import SimulationConfig, Simulator
+from ..runner import BatchJob, SimSpec, execute_job
 from ..traffic import adversarial
 from .common import ExperimentResult, Table, resolve_scale
 
@@ -27,22 +28,35 @@ ALGORITHMS: Dict[str, Callable] = {
 }
 
 
-def run(scale=None) -> ExperimentResult:
+def _make(k: int, algorithm_cls) -> Simulator:
+    return Simulator(
+        FlattenedButterfly(k, 2),
+        algorithm_cls(),
+        adversarial(),
+        SimulationConfig(),
+    )
+
+
+def run(scale=None, runner=None) -> ExperimentResult:
     scale = resolve_scale(scale)
     table = Table(
         title="batch latency / batch size (WC traffic)",
         headers=["batch size"] + list(ALGORITHMS),
     )
+    jobs = [
+        BatchJob(SimSpec.of(_make, scale.fb_k, cls), batch)
+        for batch in scale.batch_sizes
+        for cls in ALGORITHMS.values()
+    ]
+    if runner is not None:
+        outcomes = runner.map(jobs)
+    else:
+        outcomes = [execute_job(job) for job in jobs]
+    point = iter(outcomes)
     for batch in scale.batch_sizes:
         row = [batch]
-        for name, cls in ALGORITHMS.items():
-            sim = Simulator(
-                FlattenedButterfly(scale.fb_k, 2),
-                cls(),
-                adversarial(),
-                SimulationConfig(),
-            )
-            row.append(sim.run_batch(batch).normalized_latency)
+        for name in ALGORITHMS:
+            row.append(next(point).normalized_latency)
         table.add(*row)
     result = ExperimentResult(
         experiment="fig05",

@@ -29,6 +29,7 @@ from ..topologies import (
     FoldedClosAdaptive,
     Hypercube,
 )
+from ..runner import SimSpec
 from ..traffic import UniformRandom, adversarial
 from .common import (
     ExperimentResult,
@@ -39,11 +40,43 @@ from .common import (
 )
 
 
-def topology_suite(k: int) -> Dict[str, Callable[[], Simulator]]:
-    """Simulator factories for the four topologies at N = k**2, plus a
+def _fb(k: int, algorithm_cls, pattern_factory) -> Simulator:
+    return Simulator(
+        FlattenedButterfly(k, 2), algorithm_cls(), pattern_factory(),
+        SimulationConfig(),
+    )
+
+
+def _butterfly(k: int, pattern_factory) -> Simulator:
+    return Simulator(
+        Butterfly(k, 2), DestinationTag(), pattern_factory(),
+        SimulationConfig(),
+    )
+
+
+def _folded_clos(k: int, pattern_factory) -> Simulator:
+    return Simulator(
+        FoldedClos(k * k, k, taper=2), FoldedClosAdaptive(),
+        pattern_factory(), SimulationConfig(),
+    )
+
+
+def _hypercube(n_cube: int, pattern_factory) -> Simulator:
+    # The hypercube's natural bisection is twice the flattened
+    # butterfly's; holding bisection constant halves its channel
+    # bandwidth (channel_period=2).
+    return Simulator(
+        Hypercube(n_cube), ECube(), pattern_factory(),
+        SimulationConfig(channel_period=2),
+    )
+
+
+def topology_suite(k: int) -> Callable[[Callable], Dict[str, SimSpec]]:
+    """Simulator specs for the four topologies at N = k**2, plus a
     minimally routed flattened butterfly for the paper's 'identical to
-    the butterfly' observation.  Returns name -> factory-of-factory so
-    each call builds a fresh simulator."""
+    the butterfly' observation.  Returns pattern_factory -> name ->
+    :class:`~repro.runner.SimSpec`; every spec builds a fresh
+    simulator per call and is picklable for parallel sweeps."""
     num_terminals = k * k
     n_cube = int(math.log2(num_terminals))
     if 2**n_cube != num_terminals:
@@ -51,35 +84,17 @@ def topology_suite(k: int) -> Dict[str, Callable[[], Simulator]]:
 
     def factories(pattern_factory):
         return {
-            "FB (CLOS AD)": lambda: Simulator(
-                FlattenedButterfly(k, 2), ClosAD(), pattern_factory(),
-                SimulationConfig(),
-            ),
-            "FB (MIN)": lambda: Simulator(
-                FlattenedButterfly(k, 2), DimensionOrder(), pattern_factory(),
-                SimulationConfig(),
-            ),
-            "butterfly": lambda: Simulator(
-                Butterfly(k, 2), DestinationTag(), pattern_factory(),
-                SimulationConfig(),
-            ),
-            "folded Clos": lambda: Simulator(
-                FoldedClos(num_terminals, k, taper=2), FoldedClosAdaptive(),
-                pattern_factory(), SimulationConfig(),
-            ),
-            # The hypercube's natural bisection is twice the flattened
-            # butterfly's; holding bisection constant halves its
-            # channel bandwidth (channel_period=2).
-            "hypercube": lambda: Simulator(
-                Hypercube(n_cube), ECube(), pattern_factory(),
-                SimulationConfig(channel_period=2),
-            ),
+            "FB (CLOS AD)": SimSpec.of(_fb, k, ClosAD, pattern_factory),
+            "FB (MIN)": SimSpec.of(_fb, k, DimensionOrder, pattern_factory),
+            "butterfly": SimSpec.of(_butterfly, k, pattern_factory),
+            "folded Clos": SimSpec.of(_folded_clos, k, pattern_factory),
+            "hypercube": SimSpec.of(_hypercube, n_cube, pattern_factory),
         }
 
     return factories
 
 
-def run(scale=None) -> ExperimentResult:
+def run(scale=None, runner=None) -> ExperimentResult:
     scale = resolve_scale(scale)
     k = scale.fb_k
     result = ExperimentResult(
@@ -100,7 +115,8 @@ def run(scale=None) -> ExperimentResult:
         )
         curves = {
             name: latency_load_curve(
-                make, scale.loads, scale.warmup, scale.measure, scale.drain_max
+                make, scale.loads, scale.warmup, scale.measure,
+                scale.drain_max, runner=runner,
             )
             for name, make in factories.items()
         }
@@ -121,7 +137,10 @@ def run(scale=None) -> ExperimentResult:
         )
         for name, make in factories.items():
             throughput.add(
-                name, saturation_throughput(make, scale.warmup, scale.measure)
+                name,
+                saturation_throughput(
+                    make, scale.warmup, scale.measure, runner=runner
+                ),
             )
         result.tables.append(throughput)
     result.notes.append(

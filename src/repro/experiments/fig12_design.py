@@ -18,13 +18,23 @@ from ..analysis.scaling import table4_configs
 from ..core import MinimalAdaptive, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
 from ..network import SimulationConfig, Simulator
+from ..runner import OpenLoopJob, SaturationJob, SimSpec, execute_job
 from ..traffic import UniformRandom
 from .common import ExperimentResult, Table, resolve_scale
 
 MIN_AD_BUFFER_PER_PORT = 64  # paper: 64 flit buffers per PC in Fig 12(b)
 
 
-def run(scale=None) -> ExperimentResult:
+def _make(k: int, n: int, algorithm_cls, buffer_per_port: int = 32) -> Simulator:
+    return Simulator(
+        FlattenedButterfly(k, n),
+        algorithm_cls(),
+        UniformRandom(),
+        SimulationConfig(buffer_per_port=buffer_per_port),
+    )
+
+
+def run(scale=None, runner=None) -> ExperimentResult:
     scale = resolve_scale(scale)
     configs = [
         cfg for cfg in table4_configs(scale.design_study_n) if cfg.n_prime <= 8
@@ -54,39 +64,32 @@ def run(scale=None) -> ExperimentResult:
         title="(b) MIN AD on UR traffic (64 flits per PC)",
         headers=["config", "low-load latency", "saturation throughput"],
     )
+    jobs = []
+    for cfg in configs:
+        val_spec = SimSpec.of(_make, cfg.k, cfg.n, Valiant)
+        min_spec = SimSpec.of(
+            _make, cfg.k, cfg.n, MinimalAdaptive,
+            buffer_per_port=MIN_AD_BUFFER_PER_PORT,
+        )
+        jobs.append(
+            OpenLoopJob(val_spec, 0.1, scale.warmup, scale.measure,
+                        scale.drain_max)
+        )
+        jobs.append(SaturationJob(val_spec, scale.warmup, scale.measure))
+        jobs.append(
+            OpenLoopJob(min_spec, 0.1, scale.warmup, scale.measure,
+                        scale.drain_max)
+        )
+        jobs.append(SaturationJob(min_spec, scale.warmup, scale.measure))
+    if runner is not None:
+        outcomes = runner.map(jobs)
+    else:
+        outcomes = [execute_job(job) for job in jobs]
+    point = iter(outcomes)
     for cfg in configs:
         label = f"{cfg.k}-ary {cfg.n}-flat"
-        sim = Simulator(
-            FlattenedButterfly(cfg.k, cfg.n),
-            Valiant(),
-            UniformRandom(),
-            SimulationConfig(),
-        )
-        low = sim.run_open_loop(
-            0.1, warmup=scale.warmup, measure=scale.measure,
-            drain_max=scale.drain_max,
-        )
-        sat = Simulator(
-            FlattenedButterfly(cfg.k, cfg.n),
-            Valiant(),
-            UniformRandom(),
-            SimulationConfig(),
-        ).measure_saturation_throughput(scale.warmup, scale.measure)
-        val.add(label, low.latency.mean, sat)
-
-        config = SimulationConfig(buffer_per_port=MIN_AD_BUFFER_PER_PORT)
-        low = Simulator(
-            FlattenedButterfly(cfg.k, cfg.n), MinimalAdaptive(),
-            UniformRandom(), config,
-        ).run_open_loop(
-            0.1, warmup=scale.warmup, measure=scale.measure,
-            drain_max=scale.drain_max,
-        )
-        sat = Simulator(
-            FlattenedButterfly(cfg.k, cfg.n), MinimalAdaptive(),
-            UniformRandom(), config,
-        ).measure_saturation_throughput(scale.warmup, scale.measure)
-        min_ad.add(label, low.latency.mean, sat)
+        val.add(label, next(point).latency.mean, next(point))
+        min_ad.add(label, next(point).latency.mean, next(point))
     result.tables.append(val)
     result.tables.append(min_ad)
     result.notes.append(

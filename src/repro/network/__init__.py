@@ -2,7 +2,7 @@
 methodology)."""
 
 from .allocators import Allocator, GreedyAllocator, SequentialAllocator, make_allocator
-from .config import SimulationConfig
+from .config import SimulationConfig, derive_seed
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .packet import Flit, Packet
 from .simulator import Simulator
@@ -21,6 +21,7 @@ __all__ = [
     "SequentialAllocator",
     "make_allocator",
     "SimulationConfig",
+    "derive_seed",
     "BatchInjection",
     "BernoulliInjection",
     "InjectionProcess",

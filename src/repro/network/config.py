@@ -8,8 +8,47 @@ Bernoulli packet injection.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
+
+
+def derive_seed(base: int, *components: object) -> int:
+    """Derive an independent, reproducible RNG seed from ``base``.
+
+    The derivation hashes the base seed together with an arbitrary
+    tuple of identifying components (experiment id, point index,
+    replica number, ...), so every point of a sweep gets its own
+    stream while remaining a pure function of its description — the
+    same seed is produced no matter which process runs the point or in
+    what order.
+
+    Components must have a stable ``repr`` (ints, floats, strings,
+    bools, or tuples thereof).
+
+    >>> derive_seed(1, "fig04", 0.5) == derive_seed(1, "fig04", 0.5)
+    True
+    >>> derive_seed(1, "fig04", 0.5) != derive_seed(2, "fig04", 0.5)
+    True
+    """
+    for component in _flatten((base,) + components):
+        if not isinstance(component, (bool, int, float, str)):
+            raise TypeError(
+                f"seed components must be primitives or tuples of them, "
+                f"got {type(component).__name__}"
+            )
+    canonical = repr((int(base),) + components).encode("utf-8")
+    digest = hashlib.sha256(canonical).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _flatten(components):
+    for component in components:
+        if isinstance(component, (tuple, list)):
+            yield from _flatten(component)
+        else:
+            yield component
 
 
 @dataclass(frozen=True)
@@ -72,6 +111,17 @@ class SimulationConfig:
             raise ValueError(f"staging_depth must be >= 1, got {self.staging_depth}")
         if self.channel_period < 1:
             raise ValueError(f"channel_period must be >= 1, got {self.channel_period}")
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Copy of this config with a different base seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    def derived(self, *components: object) -> "SimulationConfig":
+        """Copy of this config whose seed is derived from the current
+        seed and ``components`` via :func:`derive_seed` — the standard
+        way to give every point of a sweep its own deterministic RNG
+        stream."""
+        return self.with_seed(derive_seed(self.seed, *components))
 
     def vc_depth(self, num_vcs: int) -> int:
         """Flit depth of each VC buffer given the algorithm's VC count."""

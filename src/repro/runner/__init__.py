@@ -1,0 +1,48 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+Every data point in the paper's evaluation is an independent
+simulation: one :class:`~repro.network.Simulator` is built, run once,
+and discarded.  This package turns that independence into speed:
+
+* :class:`SimSpec` — a picklable, hashable *description* of a
+  simulator (factory + arguments) instead of a live instance,
+* :mod:`~repro.runner.jobs` — job records pairing a spec with one
+  measurement (open-loop point, saturation probe, batch run),
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by a
+  stable hash of the full job description and a version stamp,
+* :class:`SweepRunner` — fans jobs out over a process pool (or runs
+  them serially for ``jobs=1``) with identical results either way.
+
+Results are bit-identical between serial and parallel execution
+because each job carries its own deterministic seed and every
+simulator is freshly constructed inside the job.
+"""
+
+from .cache import CACHE_VERSION, ResultCache, describe, job_key
+from .jobs import (
+    BatchJob,
+    CallableJob,
+    OpenLoopJob,
+    SaturationJob,
+    SimSpec,
+    execute_job,
+    sim_build_count,
+)
+from .sweep import SweepReport, SweepRunner, resolve_jobs
+
+__all__ = [
+    "BatchJob",
+    "CACHE_VERSION",
+    "CallableJob",
+    "OpenLoopJob",
+    "ResultCache",
+    "SaturationJob",
+    "SimSpec",
+    "SweepReport",
+    "SweepRunner",
+    "describe",
+    "execute_job",
+    "job_key",
+    "resolve_jobs",
+    "sim_build_count",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk result cache.
+
+A job's cache key is the SHA-256 of a canonical JSON description of
+the *entire* job — factory identity, every argument (dataclasses are
+expanded field by field, classes and functions are named by module and
+qualname), and the measurement parameters — combined with a version
+stamp.  Any change to topology, routing algorithm, traffic pattern,
+:class:`~repro.network.SimulationConfig` field, load, window length,
+or the stamp itself therefore produces a different key.
+
+Bump :data:`CACHE_VERSION` whenever a change to the simulator alters
+numerical results; stale entries are then never read again (they are
+simply unreferenced files that can be deleted with
+``ResultCache.clear()``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Iterator, Optional, Tuple
+
+#: Version stamp mixed into every cache key.  Bump on any change that
+#: alters simulation results.
+CACHE_VERSION = "repro-results-v1"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-flatbfly``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-flatbfly")
+
+
+def describe(obj) -> object:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Supports the vocabulary jobs are built from: primitives,
+    tuples/lists, dicts with string keys, dataclass instances,
+    ``functools.partial``, and module-level callables (functions and
+    classes, named by ``module:qualname``).  Anything else raises
+    ``TypeError`` — an unhashable job must not be silently cached.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips floats exactly; JSON's float formatting does
+        # too in Python, but be explicit that 0.1 != 0.1000000001.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [describe(item) for item in obj]
+    if isinstance(obj, dict):
+        if not all(isinstance(key, str) for key in obj):
+            raise TypeError("cache descriptions require string dict keys")
+        return {key: describe(obj[key]) for key in sorted(obj)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": _qualified_name(type(obj)),
+            "fields": {
+                field.name: describe(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, functools.partial):
+        return {
+            "__partial__": describe(obj.func),
+            "args": describe(obj.args),
+            "kwargs": describe(dict(obj.keywords)),
+        }
+    if isinstance(obj, type) or callable(obj):
+        return {"__callable__": _qualified_name(obj)}
+    raise TypeError(
+        f"cannot build a stable cache description for {type(obj).__name__}: "
+        f"{obj!r}"
+    )
+
+
+def _qualified_name(obj) -> str:
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise TypeError(
+            f"{obj!r} is not a module-level callable; cache keys need a "
+            f"stable import path"
+        )
+    return f"{module}:{qualname}"
+
+
+def job_key(job, version: str = CACHE_VERSION) -> str:
+    """Stable hex digest identifying ``job`` under ``version``."""
+    payload = {"version": version, "job": describe(job)}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry cache in a flat directory.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    workers and interrupted runs can never leave a torn entry behind.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 version: str = CACHE_VERSION) -> None:
+        self.directory = directory or default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, job) -> str:
+        return job_key(job, self.version)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, job) -> Tuple[bool, object]:
+        """Return ``(hit, value)`` for ``job``."""
+        try:
+            with open(self._path(self.key(job)), "rb") as handle:
+                value = pickle.load(handle)
+        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, job, value) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(self.key(job))
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _entries(self) -> Iterator[str]:
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".pkl"):
+                yield os.path.join(self.directory, name)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,141 @@
+"""Picklable job records for the sweep runner.
+
+A :class:`SimSpec` describes *how to build* a simulator rather than
+holding a live one, so a job can cross a process boundary and can be
+hashed into a stable cache key.  The factory must be a module-level
+callable (a function or class); its arguments must be picklable and
+describable by :func:`repro.runner.cache.describe`.
+
+:func:`execute_job` is the single worker entry point: it rebuilds the
+simulator inside the worker process and runs exactly one measurement,
+so results are independent of which process (or which order) ran them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..network import Simulator
+
+# Counts every simulator constructed through a SimSpec in *this*
+# process.  Tests use it to prove that a cache hit builds nothing.
+_sim_builds_lock = threading.Lock()
+_sim_builds_value = 0
+
+
+def _record_build() -> None:
+    global _sim_builds_value
+    with _sim_builds_lock:
+        _sim_builds_value += 1
+
+
+def sim_build_count() -> int:
+    """Number of simulators built via :meth:`SimSpec.build` in this
+    process since import."""
+    return _sim_builds_value
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """A deferred, picklable simulator construction.
+
+    Attributes:
+        factory: module-level callable returning a
+            :class:`~repro.network.Simulator`.
+        args: positional arguments for the factory.
+        kwargs: keyword arguments, stored as a sorted tuple of
+            ``(name, value)`` pairs so the spec stays hashable and its
+            cache key is order-independent.
+    """
+
+    factory: Callable[..., Simulator]
+    args: Tuple = ()
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, factory: Callable[..., Simulator], *args, **kwargs) -> "SimSpec":
+        return cls(factory, tuple(args), tuple(sorted(kwargs.items())))
+
+    def bind(self, *args, **kwargs) -> "SimSpec":
+        """Return a new spec with extra arguments appended."""
+        merged = dict(self.kwargs)
+        merged.update(kwargs)
+        return SimSpec(self.factory, self.args + tuple(args),
+                       tuple(sorted(merged.items())))
+
+    def build(self) -> Simulator:
+        _record_build()
+        return self.factory(*self.args, **dict(self.kwargs))
+
+    # Specs double as the zero-argument ``make_simulator`` callables
+    # the experiment helpers historically accepted.
+    def __call__(self) -> Simulator:
+        return self.build()
+
+
+@dataclass(frozen=True)
+class OpenLoopJob:
+    """One point of a latency-load curve."""
+
+    spec: SimSpec
+    load: float
+    warmup: int
+    measure: int
+    drain_max: int
+
+
+@dataclass(frozen=True)
+class SaturationJob:
+    """One accepted-throughput measurement at offered load 1.0."""
+
+    spec: SimSpec
+    warmup: int
+    measure: int
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One batch (dynamic-response) run."""
+
+    spec: SimSpec
+    batch_size: int
+    max_cycles: int = 1_000_000
+
+
+@dataclass(frozen=True)
+class CallableJob:
+    """An arbitrary metric evaluation, e.g. one seed of a
+    :func:`~repro.experiments.common.replicate` call.  The callable
+    must be module-level (or otherwise picklable and describable)."""
+
+    fn: Callable
+    args: Tuple = ()
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, fn: Callable, *args, **kwargs) -> "CallableJob":
+        return cls(fn, tuple(args), tuple(sorted(kwargs.items())))
+
+
+def execute_job(job):
+    """Run one job to completion and return its result record.
+
+    This is the sole entry point executed inside worker processes; it
+    must stay importable at module level so jobs pickle by reference.
+    """
+    if isinstance(job, OpenLoopJob):
+        return job.spec.build().run_open_loop(
+            job.load, warmup=job.warmup, measure=job.measure,
+            drain_max=job.drain_max,
+        )
+    if isinstance(job, SaturationJob):
+        return job.spec.build().measure_saturation_throughput(
+            job.warmup, job.measure
+        )
+    if isinstance(job, BatchJob):
+        return job.spec.build().run_batch(job.batch_size, job.max_cycles)
+    if isinstance(job, CallableJob):
+        return job.fn(*job.args, **dict(job.kwargs))
+    raise TypeError(f"unknown job type {type(job).__name__}")

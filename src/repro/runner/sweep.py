@@ -1,0 +1,207 @@
+"""The sweep engine: fan independent jobs over a process pool.
+
+``SweepRunner.map`` preserves input order, consults the result cache
+before executing anything, and falls back to in-process execution for
+``jobs=1`` (or for jobs that cannot cross a process boundary), so the
+serial and parallel paths return bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .cache import ResultCache
+from .jobs import execute_job
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else 1.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "one worker per CPU"."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env is not None:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+        else:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or 0 for all CPUs), got {jobs}")
+    return jobs
+
+
+@dataclass
+class SweepReport:
+    """Running totals across every ``map`` call of one runner."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+    batches: int = 0
+
+    def note(self, total: int, hits: int, executed: int, elapsed: float) -> None:
+        self.total += total
+        self.cache_hits += hits
+        self.executed += executed
+        self.elapsed += elapsed
+        self.batches += 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} points, {self.cache_hits} cache hits, "
+            f"{self.executed} executed, {self.elapsed:.1f}s"
+        )
+
+
+class SweepRunner:
+    """Executes independent simulation jobs, optionally in parallel
+    and optionally through a :class:`ResultCache`.
+
+    Args:
+        jobs: worker processes; ``None`` reads ``$REPRO_JOBS``
+            (default 1 — fully serial, no subprocesses), ``0`` means
+            one per CPU.
+        cache: a :class:`ResultCache`, or ``None`` to always execute.
+        progress: optional callback ``progress(done, total, job)``
+            invoked after every completed point (cache hits included).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[int, int, object], None]] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.progress = progress
+        self.report = SweepReport()
+
+    # ------------------------------------------------------------------
+    def run(self, job):
+        """Execute (or fetch) a single job."""
+        return self.map([job])[0]
+
+    def map(self, jobs: Sequence) -> List:
+        """Execute every job, returning results in input order."""
+        jobs = list(jobs)
+        start = time.perf_counter()
+        results: List = [None] * len(jobs)
+        done = 0
+
+        # 1. Cache lookups.  A job whose description cannot be hashed
+        # (e.g. a lambda metric) is simply uncacheable, not an error.
+        pending: List[int] = []
+        cacheable: List[bool] = [False] * len(jobs)
+        hits = 0
+        for i, job in enumerate(jobs):
+            hit = False
+            if self.cache is not None:
+                try:
+                    self.cache.key(job)
+                    cacheable[i] = True
+                    hit, value = self.cache.get(job)
+                except TypeError:
+                    hit = False
+            if hit:
+                results[i] = value
+                hits += 1
+                done += 1
+                self._tick(done, len(jobs), job)
+            else:
+                pending.append(i)
+
+        # 2. Execute the misses.
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                done = self._run_parallel(jobs, pending, results, done)
+            else:
+                for i in pending:
+                    results[i] = execute_job(jobs[i])
+                    self._store(jobs[i], results[i], cacheable[i])
+                    done += 1
+                    self._tick(done, len(jobs), jobs[i])
+            if self.jobs > 1 and len(pending) > 1:
+                for i in pending:
+                    self._store(jobs[i], results[i], cacheable[i])
+
+        self.report.note(
+            len(jobs), hits, len(pending), time.perf_counter() - start
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, jobs, pending, results, done) -> int:
+        # Jobs that cannot be pickled run in-process; everything else
+        # goes to the pool.
+        local: List[int] = []
+        remote: List[int] = []
+        for i in pending:
+            try:
+                pickle.dumps(jobs[i])
+                remote.append(i)
+            except Exception:
+                local.append(i)
+
+        if len(remote) < 2:
+            local, remote = sorted(local + remote), []
+
+        if remote:
+            workers = min(self.jobs, len(remote))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_job, jobs[i]): i for i in remote
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        i = futures[future]
+                        results[i] = future.result()
+                        done += 1
+                        self._tick(done, len(jobs), jobs[i])
+        for i in local:
+            results[i] = execute_job(jobs[i])
+            done += 1
+            self._tick(done, len(jobs), jobs[i])
+        return done
+
+    def _store(self, job, value, cacheable: bool) -> None:
+        if self.cache is not None and cacheable:
+            self.cache.put(job, value)
+
+    def _tick(self, done: int, total: int, job) -> None:
+        if self.progress is not None:
+            self.progress(done, total, job)
+
+
+def stderr_progress(prefix: str = "sweep") -> Callable[[int, int, object], None]:
+    """A ready-made progress callback printing one line per point."""
+    import sys
+
+    start = time.perf_counter()
+
+    def report(done: int, total: int, job) -> None:
+        elapsed = time.perf_counter() - start
+        label = type(job).__name__
+        print(
+            f"[{prefix}] {done}/{total} ({label}) {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+
+    return report

@@ -1,0 +1,65 @@
+"""Golden-result regression tests.
+
+``tests/golden/`` holds committed CI-scale reference CSVs for the two
+simulation-heavy paper figures (Figure 4, routing; Figure 5, batch).
+The simulator is fully deterministic, so current output must match the
+references *exactly* — any refactor that silently shifts the paper's
+numbers fails here.
+
+Regenerate the references (only after an intentional,
+numerically-understood change, bumping
+``repro.runner.cache.CACHE_VERSION`` at the same time) with::
+
+    PYTHONPATH=src python -m repro.experiments fig04 --csv tests/golden
+    PYTHONPATH=src python -m repro.experiments fig05 --csv tests/golden
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import fig04_routing, fig05_batch
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+EXPERIMENTS = {
+    "fig04": fig04_routing,
+    "fig05": fig05_batch,
+}
+
+
+def golden_files(experiment_id):
+    return sorted(
+        name
+        for name in os.listdir(GOLDEN_DIR)
+        if name.startswith(f"{experiment_id}_") and name.endswith(".csv")
+    )
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_golden_references_exist(experiment_id):
+    assert golden_files(experiment_id), (
+        f"no golden CSVs for {experiment_id} under tests/golden/"
+    )
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_ci_output_matches_golden(experiment_id, tmp_path):
+    result = EXPERIMENTS[experiment_id].run("ci")
+    paths = result.write_csv(tmp_path)
+    produced = {os.path.basename(path): path for path in paths}
+
+    # Every golden file must be produced, and vice versa — a renamed or
+    # dropped table is a regression too.
+    assert sorted(produced) == golden_files(experiment_id)
+
+    for name, path in sorted(produced.items()):
+        with open(path) as handle:
+            current = handle.read()
+        with open(os.path.join(GOLDEN_DIR, name)) as handle:
+            golden = handle.read()
+        assert current == golden, (
+            f"{name} drifted from the golden reference; if the change is "
+            f"intentional, regenerate tests/golden/ and bump CACHE_VERSION "
+            f"(see tests/test_golden.py docstring)"
+        )

@@ -1,0 +1,439 @@
+"""Tests for the parallel sweep engine, the on-disk result cache, and
+the determinism guarantees of the experiment helpers built on them."""
+
+import functools
+import os
+import pickle
+
+import pytest
+
+from repro.core import ClosAD, DimensionOrder, MinimalAdaptive
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.experiments.common import (
+    find_saturation_load,
+    latency_load_curve,
+    replicate,
+    replicate_jobs,
+)
+from repro.network import SimulationConfig, Simulator, derive_seed
+from repro.network.stats import LatencySummary, OpenLoopResult
+from repro.runner import (
+    BatchJob,
+    OpenLoopJob,
+    ResultCache,
+    SaturationJob,
+    SimSpec,
+    SweepRunner,
+    describe,
+    execute_job,
+    job_key,
+    resolve_jobs,
+    sim_build_count,
+)
+from repro.traffic import UniformRandom, adversarial
+
+
+def make_fb(k, algorithm_cls, pattern_factory, seed=1, buffer_per_port=32):
+    """Module-level factory so specs are picklable across processes."""
+    return Simulator(
+        FlattenedButterfly(k, 2),
+        algorithm_cls(),
+        pattern_factory(),
+        SimulationConfig(seed=seed, buffer_per_port=buffer_per_port),
+    )
+
+
+def fb_spec(**overrides):
+    params = dict(k=4, algorithm_cls=DimensionOrder, pattern_factory=UniformRandom)
+    params.update(overrides)
+    return SimSpec.of(make_fb, **params)
+
+
+def saturation_metric(seed):
+    """Picklable replicate metric."""
+    return make_fb(4, ClosAD, adversarial, seed=seed).measure_saturation_throughput(
+        200, 200
+    )
+
+
+# ----------------------------------------------------------------------
+# SimSpec
+# ----------------------------------------------------------------------
+class TestSimSpec:
+    def test_builds_a_fresh_simulator_per_call(self):
+        spec = fb_spec()
+        first, second = spec.build(), spec()
+        assert first is not second
+        assert isinstance(first, Simulator)
+
+    def test_kwargs_order_does_not_matter(self):
+        a = SimSpec.of(make_fb, 4, seed=2, algorithm_cls=DimensionOrder,
+                       pattern_factory=UniformRandom)
+        b = SimSpec.of(make_fb, 4, pattern_factory=UniformRandom,
+                       algorithm_cls=DimensionOrder, seed=2)
+        assert a == b
+        assert job_key(a) == job_key(b)
+
+    def test_bind_appends_arguments(self):
+        spec = SimSpec.of(make_fb, 4, algorithm_cls=DimensionOrder)
+        bound = spec.bind(pattern_factory=UniformRandom, seed=3)
+        assert dict(bound.kwargs)["seed"] == 3
+        assert isinstance(bound.build(), Simulator)
+
+    def test_specs_pickle(self):
+        spec = fb_spec()
+        job = OpenLoopJob(spec, 0.3, 50, 50, 400)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+class TestDescribe:
+    def test_primitives_and_collections(self):
+        assert describe(3) == 3
+        assert describe("x") == "x"
+        assert describe((1, 2)) == [1, 2]
+        assert describe({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+
+    def test_floats_are_exact(self):
+        assert describe(0.1) != describe(0.1 + 1e-12)
+
+    def test_callables_named_by_import_path(self):
+        assert describe(DimensionOrder) == {
+            "__callable__": "repro.core.routing.dor:DimensionOrder"
+        }
+
+    def test_dataclasses_expand_fields(self):
+        desc = describe(SimulationConfig(seed=7))
+        assert desc["fields"]["seed"] == 7
+
+    def test_partial_supported(self):
+        part = functools.partial(make_fb, 4, seed=5)
+        desc = describe(part)
+        assert desc["kwargs"] == {"seed": 5}
+
+    def test_lambdas_rejected(self):
+        with pytest.raises(TypeError):
+            describe(lambda: None)
+
+    def test_instances_rejected(self):
+        with pytest.raises(TypeError):
+            describe(object())
+
+
+class TestJobKey:
+    def job(self, **overrides):
+        spec_overrides = overrides.pop("spec", {})
+        params = dict(load=0.3, warmup=50, measure=50, drain_max=400)
+        params.update(overrides)
+        return OpenLoopJob(fb_spec(**spec_overrides), **params)
+
+    def test_stable_across_processes_inputs(self):
+        assert job_key(self.job()) == job_key(self.job())
+
+    def test_every_field_is_significant(self):
+        base = job_key(self.job())
+        assert job_key(self.job(load=0.4)) != base
+        assert job_key(self.job(warmup=60)) != base
+        assert job_key(self.job(spec={"seed": 2})) != base
+        assert job_key(self.job(spec={"algorithm_cls": MinimalAdaptive})) != base
+        assert job_key(self.job(spec={"buffer_per_port": 64})) != base
+
+    def test_version_stamp_is_significant(self):
+        assert job_key(self.job(), "v1") != job_key(self.job(), "v2")
+
+
+# ----------------------------------------------------------------------
+# ResultCache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = SaturationJob(fb_spec(), 50, 50)
+        hit, _ = cache.get(job)
+        assert not hit
+        cache.put(job, 0.75)
+        hit, value = cache.get(job)
+        assert hit and value == 0.75
+        assert len(cache) == 1
+
+    def test_version_stamp_invalidates(self, tmp_path):
+        job = SaturationJob(fb_spec(), 50, 50)
+        ResultCache(str(tmp_path), version="v1").put(job, 1.0)
+        hit, _ = ResultCache(str(tmp_path), version="v2").get(job)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SaturationJob(fb_spec(), 50, 50), 1.0)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# SweepRunner
+# ----------------------------------------------------------------------
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_invalid_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+LOADS = (0.2, 0.6, 1.0)
+WINDOW = dict(warmup=100, measure=100, drain_max=800)
+
+
+class TestSerialParallelEquivalence:
+    """The same experiment run with jobs=1 and jobs=4 produces
+    identical results for every point — same seeds, same tables."""
+
+    def _jobs(self, spec):
+        return [OpenLoopJob(spec, load, 100, 100, 800) for load in LOADS]
+
+    def test_openloop_map_identical(self):
+        spec = fb_spec(algorithm_cls=ClosAD, pattern_factory=adversarial)
+        serial = SweepRunner(jobs=1).map(self._jobs(spec))
+        parallel = SweepRunner(jobs=4).map(self._jobs(spec))
+        assert serial == parallel
+        assert all(isinstance(r, OpenLoopResult) for r in serial)
+
+    def test_latency_load_curve_identical(self):
+        spec = fb_spec(algorithm_cls=DimensionOrder, pattern_factory=adversarial)
+        serial = latency_load_curve(
+            spec, LOADS, runner=SweepRunner(jobs=1), **WINDOW
+        )
+        parallel = latency_load_curve(
+            spec, LOADS, runner=SweepRunner(jobs=4), **WINDOW
+        )
+        assert serial == parallel
+        # The early-exit contract survives speculation: nothing past
+        # the first saturated point is reported.
+        assert all(not r.saturated for r in serial[:-1])
+
+    def test_curve_matches_legacy_callable_path(self):
+        spec = fb_spec(algorithm_cls=ClosAD, pattern_factory=UniformRandom)
+        legacy = latency_load_curve(lambda: spec.factory(
+            *spec.args, **dict(spec.kwargs)), LOADS, **WINDOW)
+        modern = latency_load_curve(
+            spec, LOADS, runner=SweepRunner(jobs=4), **WINDOW
+        )
+        assert legacy == modern
+
+    def test_replicate_identical(self):
+        seeds = (1, 2, 3, 4)
+        serial = replicate(saturation_metric, seeds)
+        parallel = replicate(
+            saturation_metric, seeds, runner=SweepRunner(jobs=4)
+        )
+        assert serial == parallel
+
+    def test_replicate_jobs_matches_direct_execution(self):
+        jobs = [
+            SaturationJob(fb_spec(algorithm_cls=ClosAD,
+                                  pattern_factory=adversarial, seed=s), 200, 200)
+            for s in (1, 2)
+        ]
+        direct = [execute_job(job) for job in jobs]
+        summary = replicate_jobs(jobs, runner=SweepRunner(jobs=2))
+        assert summary.samples == tuple(direct)
+
+    def test_find_saturation_load_identical(self):
+        def factory(load):
+            return fb_spec(algorithm_cls=DimensionOrder,
+                           pattern_factory=adversarial)
+
+        kwargs = dict(warmup=100, measure=100, drain_max=800, precision=0.1)
+        serial = find_saturation_load(factory, **kwargs)
+        parallel = find_saturation_load(
+            factory, runner=SweepRunner(jobs=3), **kwargs
+        )
+        assert serial == parallel
+
+    def test_batch_jobs_identical(self):
+        jobs = [
+            BatchJob(fb_spec(algorithm_cls=ClosAD,
+                             pattern_factory=adversarial), size)
+            for size in (1, 2, 4)
+        ]
+        assert SweepRunner(jobs=1).map(jobs) == SweepRunner(jobs=3).map(jobs)
+
+
+class TestCacheBehavior:
+    """Second run of a sweep hits the cache: zero simulator
+    constructions; changing any config field or the stamp misses."""
+
+    def _sweep(self, runner, **spec_overrides):
+        spec = fb_spec(algorithm_cls=ClosAD, pattern_factory=adversarial,
+                       **spec_overrides)
+        return latency_load_curve(spec, LOADS, runner=runner, **WINDOW)
+
+    def test_second_run_builds_no_simulators(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold = self._sweep(SweepRunner(jobs=1, cache=cache))
+        before = sim_build_count()
+        warm = self._sweep(SweepRunner(jobs=1, cache=cache))
+        assert sim_build_count() == before, "cache hit must build nothing"
+        assert warm == cold
+        assert cache.hits == len(warm)
+
+    def test_changed_config_field_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._sweep(SweepRunner(jobs=1, cache=cache))
+        before = sim_build_count()
+        self._sweep(SweepRunner(jobs=1, cache=cache), seed=2)
+        assert sim_build_count() > before, "new seed must re-simulate"
+
+    def test_changed_version_stamp_misses(self, tmp_path):
+        self._sweep(SweepRunner(jobs=1, cache=ResultCache(str(tmp_path))))
+        before = sim_build_count()
+        other = ResultCache(str(tmp_path), version="other-stamp")
+        self._sweep(SweepRunner(jobs=1, cache=other))
+        assert sim_build_count() > before, "new stamp must re-simulate"
+
+    def test_parallel_run_populates_cache_for_serial(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        parallel = self._sweep(SweepRunner(jobs=3, cache=cache))
+        before = sim_build_count()
+        warm = self._sweep(SweepRunner(jobs=1, cache=cache))
+        assert sim_build_count() == before
+        assert warm == parallel
+
+    def test_uncacheable_jobs_still_run(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+        result = replicate(lambda seed: float(seed), (1, 2), runner=runner)
+        assert result.mean == pytest.approx(1.5)
+
+    def test_report_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(jobs=1, cache=cache)
+        self._sweep(runner)
+        executed = runner.report.executed
+        assert executed == runner.report.total > 0
+        self._sweep(runner)
+        assert runner.report.cache_hits == executed
+        assert "cache hits" in runner.report.summary()
+
+    def test_progress_callback_fires_per_point(self):
+        ticks = []
+        runner = SweepRunner(jobs=1,
+                             progress=lambda done, total, job: ticks.append(done))
+        runner.map([SaturationJob(fb_spec(), 50, 50) for _ in range(3)])
+        assert ticks == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# find_saturation_load unit coverage (fake simulators, legacy path)
+# ----------------------------------------------------------------------
+def _fake_open_loop(saturated, latency_mean):
+    summary = LatencySummary(count=10, mean=latency_mean, p50=latency_mean,
+                             p95=latency_mean, p99=latency_mean,
+                             max=latency_mean)
+    return OpenLoopResult(
+        offered_load=0.0, accepted_throughput=0.0, latency=summary,
+        network_latency=summary, saturated=saturated, cycles=100,
+        packets_labeled=10, packets_delivered=10, mean_hops=1.0,
+    )
+
+
+class _FakeSim:
+    def __init__(self, result):
+        self._result = result
+
+    def run_open_loop(self, load, warmup, measure, drain_max):
+        return self._result
+
+
+class TestFindSaturationLoad:
+    def test_latency_bound_path(self):
+        """Saturation detected purely from the latency blow-up: no run
+        ever reports ``saturated`` but latency crosses 4x zero-load."""
+        built = []
+
+        def factory(load):
+            built.append(load)
+            return _FakeSim(_fake_open_loop(False, 20.0 if load > 0.5 else 2.0))
+
+        load = find_saturation_load(factory, 10, 10, 100, precision=0.02)
+        assert load == pytest.approx(0.5, abs=0.02)
+        assert load <= 0.5
+
+    def test_non_drained_path(self):
+        """Saturation detected from undrained labeled packets, with
+        latency far below the bound."""
+
+        def factory(load):
+            return _FakeSim(_fake_open_loop(load > 0.3, 2.0))
+
+        load = find_saturation_load(factory, 10, 10, 100, precision=0.02)
+        assert load == pytest.approx(0.3, abs=0.02)
+        assert load <= 0.3
+
+    def test_baseline_probe_is_reused(self):
+        """Every distinct load — the 0.05 baseline included — is
+        simulated exactly once per search."""
+        built = []
+
+        def factory(load):
+            built.append(load)
+            return _FakeSim(_fake_open_loop(load > 0.4, 1.0))
+
+        find_saturation_load(factory, 10, 10, 100, precision=0.02)
+        assert built.count(0.05) == 1
+        assert len(built) == len(set(built))
+
+    def test_saturated_baseline_returns_zero(self):
+        def factory(load):
+            return _FakeSim(_fake_open_loop(True, 1.0))
+
+        assert find_saturation_load(factory, 10, 10, 100) == 0.0
+
+    def test_unsaturated_network_returns_full_load(self):
+        def factory(load):
+            return _FakeSim(_fake_open_loop(False, 2.0))
+
+        assert find_saturation_load(factory, 10, 10, 100) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Deterministic seed derivation
+# ----------------------------------------------------------------------
+class TestDeriveSeed:
+    def test_pure_function_of_description(self):
+        assert derive_seed(1, "fig04", 0.5) == derive_seed(1, "fig04", 0.5)
+
+    def test_base_and_components_matter(self):
+        base = derive_seed(1, "fig04", 0.5)
+        assert derive_seed(2, "fig04", 0.5) != base
+        assert derive_seed(1, "fig05", 0.5) != base
+        assert derive_seed(1, "fig04", 0.6) != base
+
+    def test_rejects_unstable_components(self):
+        with pytest.raises(TypeError):
+            derive_seed(1, object())
+
+    def test_config_derived(self):
+        config = SimulationConfig(seed=3)
+        derived = config.derived("replica", 2)
+        assert derived.seed == derive_seed(3, "replica", 2)
+        assert derived.buffer_per_port == config.buffer_per_port
+        # and the derivation itself is reproducible
+        assert derived == config.derived("replica", 2)
+
+    def test_with_seed(self):
+        assert SimulationConfig(seed=1).with_seed(9).seed == 9
