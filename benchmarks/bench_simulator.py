@@ -1,0 +1,203 @@
+"""Kernel benchmark: event vs. polling on the CI-scale 8-ary 2-flat.
+
+Runs the same open-loop measurement (MIN AD, uniform-random traffic,
+CI-scale windows) under both simulation kernels at low, mid, and
+saturation load, and emits ``BENCH_simulator.json`` with, per point
+and per kernel:
+
+* ``cycles_per_second`` — simulated cycles per wall-clock second
+  (best of ``--repeat`` runs),
+* ``router_phase_calls`` — router-phase invocations (routing, switch,
+  and wire visits; deterministic),
+* ``events_dispatched`` and ``idle_cycles_skipped``.
+
+Wall-clock numbers are reported, not asserted: shared-runner CI boxes
+are too noisy for timing gates.  What *is* asserted — here and in the
+pytest entry point used by the CI smoke step — is deterministic:
+
+* both kernels produce bit-identical measurement results, and
+* the event kernel performs at most a third of the polling kernel's
+  router-phase invocations at low load (the structural claim: per-
+  cycle work tracks flits in flight, not network size).
+
+Usage::
+
+    python benchmarks/bench_simulator.py [--out BENCH_simulator.json]
+        [--repeat 3] [--quick]
+
+or via pytest (emits the JSON next to the current directory)::
+
+    python -m pytest benchmarks/bench_simulator.py -q
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.core import MinimalAdaptive
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.traffic import UniformRandom
+
+#: (label, offered load): low, mid, and saturation points.
+LOADS = (("low", 0.1), ("mid", 0.5), ("saturation", 1.0))
+
+#: CI-scale 8-ary 2-flat measurement windows (experiments/common.py).
+FB_K = 8
+WARMUP = 500
+MEASURE = 500
+DRAIN_MAX = 6000
+SEED = 1
+
+
+def _run(kernel, load, warmup, measure, drain_max):
+    sim = Simulator(
+        FlattenedButterfly(FB_K, 2),
+        MinimalAdaptive(),
+        UniformRandom(),
+        SimulationConfig(seed=SEED),
+        kernel=kernel,
+    )
+    result = sim.run_open_loop(
+        load, warmup=warmup, measure=measure, drain_max=drain_max
+    )
+    return result
+
+
+def _fingerprint(result):
+    """The deterministic observables both kernels must agree on."""
+    return (
+        result.accepted_throughput,
+        result.latency,
+        result.network_latency,
+        result.cycles,
+        result.packets_labeled,
+        result.packets_delivered,
+        result.saturated,
+    )
+
+
+def collect(repeat=3, quick=False):
+    """Measure every (load, kernel) point; returns the report dict."""
+    warmup = 100 if quick else WARMUP
+    measure = 100 if quick else MEASURE
+    drain_max = 1500 if quick else DRAIN_MAX
+    points = []
+    for label, load in LOADS:
+        per_kernel = {}
+        fingerprints = {}
+        for kernel in ("polling", "event"):
+            best = None
+            for _ in range(repeat):
+                result = _run(kernel, load, warmup, measure, drain_max)
+                stats = result.kernel
+                if best is None or stats.cycles_per_second > best["cycles_per_second"]:
+                    best = {
+                        "cycles_per_second": stats.cycles_per_second,
+                        "cycles": stats.cycles,
+                        "router_phase_calls": stats.router_phase_calls,
+                        "events_dispatched": stats.events_dispatched,
+                        "idle_cycles_skipped": stats.idle_cycles_skipped,
+                        "wall_seconds": stats.wall_seconds,
+                    }
+                fingerprints[kernel] = _fingerprint(result)
+            per_kernel[kernel] = best
+        if fingerprints["polling"] != fingerprints["event"]:
+            raise AssertionError(
+                f"kernels disagree at load {load}: "
+                f"{fingerprints['polling']} != {fingerprints['event']}"
+            )
+        polling, event = per_kernel["polling"], per_kernel["event"]
+        points.append(
+            {
+                "label": label,
+                "offered_load": load,
+                "polling": polling,
+                "event": event,
+                "speedup_cycles_per_second": (
+                    event["cycles_per_second"] / polling["cycles_per_second"]
+                ),
+                "phase_call_ratio": (
+                    polling["router_phase_calls"] / event["router_phase_calls"]
+                ),
+                "results_identical": True,
+            }
+        )
+    return {
+        "benchmark": "simulator-kernels",
+        "config": {
+            "topology": f"{FB_K}-ary 2-flat",
+            "algorithm": "MIN AD",
+            "pattern": "UR",
+            "seed": SEED,
+            "warmup": warmup,
+            "measure": measure,
+            "drain_max": drain_max,
+            "repeat": repeat,
+        },
+        "points": points,
+    }
+
+
+def check(report):
+    """Deterministic acceptance: identical results, and the event
+    kernel's router-phase invocations at least 3x lower at low load
+    (and at least 2x lower everywhere)."""
+    for point in report["points"]:
+        assert point["results_identical"]
+        assert point["phase_call_ratio"] >= 2.0, point
+    low = next(p for p in report["points"] if p["label"] == "low")
+    assert low["phase_call_ratio"] >= 3.0, low
+
+
+def test_kernel_benchmark():
+    """CI smoke: quick windows, one repetition, deterministic checks."""
+    report = collect(repeat=1, quick=True)
+    check(report)
+    with open("BENCH_simulator.json", "w") as handle:
+        json.dump(report, handle, indent=2)
+    for point in report["points"]:
+        print(
+            f"{point['label']:>10} load={point['offered_load']}: "
+            f"event {point['event']['cycles_per_second']:.0f} c/s vs "
+            f"polling {point['polling']['cycles_per_second']:.0f} c/s "
+            f"({point['speedup_cycles_per_second']:.2f}x wall, "
+            f"{point['phase_call_ratio']:.2f}x fewer phase calls)"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_simulator.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions per point"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter windows (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    report = collect(repeat=args.repeat, quick=args.quick)
+    check(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for point in report["points"]:
+        print(
+            f"{point['label']:>10} load={point['offered_load']}: "
+            f"event {point['event']['cycles_per_second']:.0f} c/s vs "
+            f"polling {point['polling']['cycles_per_second']:.0f} c/s "
+            f"({point['speedup_cycles_per_second']:.2f}x wall, "
+            f"{point['phase_call_ratio']:.2f}x fewer phase calls)"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,5 +61,18 @@ class RoutingAlgorithm(abc.ABC):
         """Choose ``(output_port, output_vc)`` for ``packet`` at the
         router driven by ``engine``."""
 
+    def route_event(self, engine: "RouterEngine", packet: "Packet") -> Tuple[int, int]:
+        """Routing decision used by the event kernel's fused
+        route-and-switch phase.
+
+        Defaults to :meth:`route`.  Algorithms may override with a
+        faster implementation (e.g. memoized minimal-route candidate
+        sets), but it must be *bit-identical* to :meth:`route` —
+        including the number and order of draws it takes from the
+        shared route RNG — because the polling cross-check kernel keeps
+        calling :meth:`route` and the two kernels must agree exactly.
+        """
+        return self.route(engine, packet)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} vcs={self.num_vcs}>"

@@ -56,6 +56,12 @@ class MinimalAdaptive(RoutingAlgorithm):
         if not isinstance(self.topology, HyperX):
             raise TypeError(f"{self.name} requires a HyperX-family topology")
         self.num_vcs = self.topology.num_dims
+        # (current, dst_router) -> (vc, ((out_port, channel), ...)).
+        # Minimal-route candidates and hop counts are pure functions of
+        # the topology, so they are computed once per router pair; only
+        # the occupancy comparison (and its RNG tie-breaks) runs per
+        # routing decision.
+        self._minimal_cache = {}
 
     def productive_channels(self, current: int, dst_router: int) -> List[Channel]:
         """All channels that are part of a minimal route from
@@ -66,6 +72,23 @@ class MinimalAdaptive(RoutingAlgorithm):
             nbr = topo.neighbor(current, d, topo.coord_digit(dst_router, d))
             channels.extend(topo.channels_between(current, nbr))
         return channels
+
+    def _minimal_candidates(self, engine, current: int, dst_router: int):
+        """Cached ``(vc, ((out_port, channel), ...))`` for a minimal
+        hop out of ``current`` toward ``dst_router``."""
+        key = (current, dst_router)
+        entry = self._minimal_cache.get(key)
+        if entry is None:
+            hops_remaining = self.topology.min_router_hops(current, dst_router)
+            entry = (
+                hops_remaining - 1,
+                tuple(
+                    (engine.port_for_channel(ch), ch)
+                    for ch in self.productive_channels(current, dst_router)
+                ),
+            )
+            self._minimal_cache[key] = entry
+        return entry
 
     def route(self, engine, packet) -> Tuple[int, int]:
         current = engine.router_id
@@ -81,3 +104,24 @@ class MinimalAdaptive(RoutingAlgorithm):
             self.rng,
         )
         return engine.port_for_channel(channel), vc
+
+    def route_event(self, engine, packet) -> Tuple[int, int]:
+        """Same decision as :meth:`route`, with the per-pair candidate
+        set memoized.
+
+        The costs compared, their order, and the tie-break draws from
+        the shared route RNG are identical to :meth:`route`
+        (``pick_min_cost`` draws nothing for a lone candidate, so the
+        single-candidate fast path is RNG-transparent)."""
+        current = engine.router_id
+        if current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        vc, candidates = self._minimal_candidates(engine, current, packet.dst_router)
+        if len(candidates) == 1:
+            return candidates[0][0], vc
+        out_ports = engine.out_ports
+        port = pick_min_cost(
+            ((out_ports[p].occupancy(), 0, p) for p, _ch in candidates),
+            self.rng,
+        )
+        return port, vc

@@ -5,8 +5,8 @@ from .allocators import Allocator, GreedyAllocator, SequentialAllocator, make_al
 from .config import SimulationConfig, derive_seed
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .packet import Flit, Packet
-from .simulator import Simulator
-from .stats import BatchResult, LatencySummary, OpenLoopResult
+from .simulator import KERNEL_ENV, KERNELS, Simulator, resolve_kernel
+from .stats import BatchResult, KernelStats, LatencySummary, OpenLoopResult
 from .trace import (
     ChannelLoadTrace,
     PacketJourneyTrace,
@@ -28,7 +28,11 @@ __all__ = [
     "Flit",
     "Packet",
     "Simulator",
+    "KERNEL_ENV",
+    "KERNELS",
+    "resolve_kernel",
     "BatchResult",
+    "KernelStats",
     "LatencySummary",
     "OpenLoopResult",
     "ChannelLoadTrace",

@@ -79,6 +79,15 @@ class SimulationConfig:
             bisection is twice the flattened butterfly's).
         seed: base RNG seed; every stochastic component derives its own
             stream from it, so runs are reproducible.
+        rng_streams: how the traffic / route / injection RNG streams
+            are derived from ``seed``.  ``"legacy"`` (default) keeps
+            the historical ``seed * 2654435761 % 2**31 + k`` scheme
+            that all committed golden results were produced with, even
+            though it degenerates at seed 0 (the multiplier contributes
+            nothing, so stream k is just ``Random(k)``) and lets
+            distinct seeds collide modulo 2**31.  ``"mixed"`` derives
+            each stream via :func:`derive_seed` (SHA-256 of the seed
+            plus a stream label), which has neither defect.
     """
 
     buffer_per_port: int = 32
@@ -90,6 +99,7 @@ class SimulationConfig:
     staging_depth: int = 32
     channel_period: int = 1
     seed: int = 1
+    rng_streams: str = "legacy"
 
     def __post_init__(self) -> None:
         if self.buffer_per_port < 1:
@@ -111,6 +121,10 @@ class SimulationConfig:
             raise ValueError(f"staging_depth must be >= 1, got {self.staging_depth}")
         if self.channel_period < 1:
             raise ValueError(f"channel_period must be >= 1, got {self.channel_period}")
+        if self.rng_streams not in ("legacy", "mixed"):
+            raise ValueError(
+                f"rng_streams must be 'legacy' or 'mixed', got {self.rng_streams!r}"
+            )
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Copy of this config with a different base seed."""

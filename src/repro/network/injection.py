@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 import math
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class InjectionProcess(abc.ABC):
@@ -28,6 +28,17 @@ class InjectionProcess(abc.ABC):
     @abc.abstractmethod
     def exhausted(self) -> bool:
         """True when no further packets will ever be injected."""
+
+    def next_injection_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle ``>= now`` at which this process may inject,
+        or ``None`` if no further packets will ever be injected.
+
+        The event kernel uses this to jump over quiescent stretches.
+        The conservative default returns ``now`` ("an injection may
+        happen immediately"), which keeps custom processes correct by
+        disabling idle-skipping for them.
+        """
+        return now
 
 
 class BernoulliInjection(InjectionProcess):
@@ -88,6 +99,13 @@ class BernoulliInjection(InjectionProcess):
     def exhausted(self) -> bool:
         return self._stopped
 
+    def next_injection_cycle(self, now: int) -> Optional[int]:
+        # One calendar entry per terminal, so this is O(terminals) —
+        # paid only when the whole network is quiescent.
+        if self._stopped or not self._calendar:
+            return None
+        return min(self._calendar)
+
 
 class BatchInjection(InjectionProcess):
     """Every terminal receives ``batch_size`` packets at cycle zero
@@ -111,3 +129,6 @@ class BatchInjection(InjectionProcess):
 
     def exhausted(self) -> bool:
         return self._done
+
+    def next_injection_cycle(self, now: int) -> Optional[int]:
+        return None if self._done else 0

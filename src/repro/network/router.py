@@ -14,6 +14,12 @@ newly exposed heads are routed between sub-iterations.  Afterwards the
 router is never the bottleneck, which is the paper's stated
 configuration ("we use input-queued routers but provide sufficient
 switch speedup").
+
+Engines are not polled: they publish their activation transitions to
+the simulator — ``sim._busy_engines`` tracks routers holding buffered
+flits (routing/switch work) and ``sim._wire_engines`` tracks routers
+with staged output flits (wire work) — so the active-set kernel visits
+only routers that can possibly do something each cycle.
 """
 
 from __future__ import annotations
@@ -48,14 +54,27 @@ class RouterEngine:
         "_port_of_channel",
         "_ej_port_of_terminal",
         "active",
+        "_unrouted",
+        "_requests",
         "_staged_ports",
         "_rr_offset",
         "_num_invcs",
+        "_event",
+        "_pipes",
+        "_wheel",
+        "_active_pipes",
+        "_credit_latency",
+        "_channel_latency",
+        "_period",
     )
 
     def __init__(self, sim: "Simulator", router_id: int) -> None:
         self.sim = sim
         self.router_id = router_id
+        # Whether the owning simulator runs the event kernel; the
+        # incremental _unrouted/_requests views are maintained only
+        # then (the polling kernel recomputes from ``active``).
+        self._event = sim._event_driven
         # Input ports: per port, a list of InputVC (channel inputs get
         # the algorithm's VC count; injection inputs are single-FIFO).
         self.in_ports: List[List[InputVC]] = []
@@ -68,6 +87,13 @@ class RouterEngine:
         self._ej_port_of_terminal: Dict[int, int] = {}
         # Ordered set of non-empty input VCs.
         self.active: Dict[InputVC, None] = {}
+        # Incremental views of ``active`` kept for the fused event
+        # path: input VCs whose head still needs a routing decision,
+        # and per-output-port sets of input VCs with a locked route
+        # (the standing switch requests).  The legacy polling phases
+        # recompute both from ``active`` instead of reading these.
+        self._unrouted: Dict[InputVC, None] = {}
+        self._requests: Dict[OutPort, Dict[InputVC, None]] = {}
         # Ordered set of output ports with staged flits.
         self._staged_ports: Dict[OutPort, None] = {}
         self._rr_offset = 0
@@ -76,6 +102,19 @@ class RouterEngine:
     # ------------------------------------------------------------------
     # Construction (called by the Simulator)
     # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Snapshot stable simulator references once construction is
+        complete, so the per-cycle event phases don't re-derive them on
+        every call."""
+        sim = self.sim
+        self._pipes = sim.pipes
+        self._wheel = sim._wheel
+        self._active_pipes = sim._active_pipes
+        cfg = sim.config
+        self._credit_latency = cfg.credit_latency
+        self._channel_latency = cfg.channel_latency
+        self._period = cfg.channel_period
+
     def add_channel_input(self, channel_index: int, num_vcs: int, depth: int) -> int:
         port = len(self.in_ports)
         vcs = [InputVC(port, vc, depth, self._num_invcs + vc) for vc in range(num_vcs)]
@@ -144,13 +183,36 @@ class RouterEngine:
     def deliver(self, in_port: int, vc: int, flit: Flit) -> None:
         """Accept a flit arriving from a channel (or injection)."""
         invc = self.in_ports[in_port][vc]
-        if len(invc.fifo) >= invc.depth:
+        fifo = invc.fifo
+        if len(fifo) >= invc.depth:
             raise AssertionError(
                 f"buffer overflow at router {self.router_id} port {in_port} vc {vc}: "
                 f"credit protocol violated"
             )
-        invc.fifo.append(flit)
-        self.active[invc] = None
+        if fifo:
+            fifo.append(flit)
+            return
+        fifo.append(flit)
+        # The VC just went non-empty: a head awaiting a route, or the
+        # next flits of a packet whose route is already locked.
+        if self._event:
+            port = invc.route_port
+            if port is None:
+                self._unrouted[invc] = None
+            else:
+                requests = self._requests
+                out = self.out_ports[port]
+                members = requests.get(out)
+                if members is None:
+                    requests[out] = {invc: None}
+                else:
+                    members[invc] = None
+        active = self.active
+        if not active:
+            # Idle -> busy transition: tell the kernel this router now
+            # has routing/switch work.
+            self.sim._busy_engines[self.router_id] = self
+        active[invc] = None
 
     def routing_phase(self, now: int) -> None:
         """Make routing decisions for head flits that need one."""
@@ -178,6 +240,194 @@ class RouterEngine:
             invc.route_vc = vc
             allocator.record(out, vc, packet.size)
         allocator.end_cycle()
+
+    def _drop_request(self, invc: InputVC, out: OutPort) -> None:
+        """Withdraw ``invc``'s standing switch request on ``out``.
+
+        Tolerates absence: under the polling kernel routing decisions
+        are made by the legacy ``routing_phase``, which does not file
+        standing requests.
+        """
+        requests = self._requests
+        members = requests.get(out)
+        if members is not None:
+            members.pop(invc, None)
+            if not members:
+                del requests[out]
+
+    def route_switch(self, now: int) -> int:
+        """Fused routing + switch sub-iteration used by the event
+        kernel: route every head awaiting a decision, then run one
+        switch sub-iteration over the standing requests.
+
+        Returns 0 if no flit moved, 1 if flits moved but another
+        sub-iteration provably cannot move more (every output that
+        moved has no remaining requester and no new head was exposed —
+        blocked outputs stay blocked because nothing else mutates this
+        engine's state within the cycle), and 2 if flits moved and a
+        further sub-iteration might move more.
+
+        Bit-identical to ``routing_phase`` followed by
+        ``switch_subiter``: the pending heads are sorted by the same
+        round-robin key before routing (so the shared route RNG is
+        drawn in the same order), and switch winners are picked by the
+        same total-order arbitration key (so candidate enumeration
+        order is irrelevant).  The sub-iterations it declines (return
+        value 1) are exactly those in which the polling kernel routes
+        and switches nothing at this router.
+        """
+        sim = self.sim
+        unrouted = self._unrouted
+        requests = self._requests
+        if unrouted:
+            # ``route_port is None and fifo`` filters entries left
+            # stale by interleaved legacy-phase driving (tests that
+            # call routing_phase/switch_subiter by hand).
+            pending = [
+                invc for invc in unrouted if invc.route_port is None and invc.fifo
+            ]
+            unrouted.clear()
+            if pending:
+                num_in = len(self.in_ports)
+                offset = self._rr_offset
+                self._rr_offset = (offset + 1) % max(num_in, 1)
+                if len(pending) > 1:
+                    pending.sort(key=lambda v: ((v.in_port - offset) % num_in, v.vc))
+                algorithm = sim.algorithm
+                route = algorithm.route_event
+                out_ports = self.out_ports
+                # The allocator's pending debits are applied inline:
+                # immediately for a sequential allocator (each decision
+                # sees the previous ones), en masse afterwards for a
+                # greedy one — exactly begin_cycle/record/end_cycle.
+                debits = None if algorithm.sequential else []
+                for invc in pending:
+                    packet = invc.fifo[0].packet
+                    port, vc = route(self, packet)
+                    out = out_ports[port]
+                    if not 0 <= vc < out.num_vcs:
+                        raise AssertionError(
+                            f"{algorithm.name} chose vc {vc} outside "
+                            f"0..{out.num_vcs - 1}"
+                        )
+                    invc.route_port = port
+                    invc.route_vc = vc
+                    if debits is None:
+                        out.pending[vc] += packet.size
+                    else:
+                        debits.append((out, vc, packet.size))
+                    members = requests.get(out)
+                    if members is None:
+                        requests[out] = {invc: None}
+                    else:
+                        members[invc] = None
+                if debits:
+                    for out, vc, size in debits:
+                        out.pending[vc] += size
+        if not requests:
+            return 0
+        moved = 0
+        more = False
+        total = self._num_invcs
+        active = self.active
+        kinds = self.in_port_kind
+        sources = self.in_port_source
+        pipes = self._pipes
+        now_credit = now + self._credit_latency
+        wheel = self._wheel
+        active_pipes = self._active_pipes
+        for out, members in list(requests.items()):
+            owner = out.owner
+            staging = out.staging
+            depth = out.staging_depth
+            if len(members) == 1:
+                # Overwhelmingly common: a single standing requester.
+                (winner,) = members
+                vc = winner.route_vc
+                if len(staging[vc]) >= depth:
+                    continue
+                holder = owner[vc]
+                flit = winner.fifo[0]
+                if flit.is_head:
+                    if holder is not None:
+                        continue
+                elif holder is not flit.packet:
+                    continue
+            else:
+                sendable = []
+                for invc in members:
+                    vc = invc.route_vc
+                    if len(staging[vc]) >= depth:
+                        continue
+                    holder = owner[vc]
+                    flit = invc.fifo[0]
+                    if flit.is_head:
+                        if holder is not None:
+                            continue
+                    elif holder is not flit.packet:
+                        continue
+                    sendable.append(invc)
+                if not sendable:
+                    continue
+                if len(sendable) == 1:
+                    winner = sendable[0]
+                else:
+                    pointer = out.rr_pointer
+                    winner = min(sendable, key=lambda v: (v.order - pointer) % total)
+            out.rr_pointer = (winner.order + 1) % total
+            # --- inline of _switch_flit, minus the polling-only
+            # bookkeeping recomputation ---
+            fifo = winner.fifo
+            flit = fifo.popleft()
+            vc = winner.route_vc
+            out.pending[vc] -= 1
+            if flit.is_head:
+                owner[vc] = flit.packet
+            if flit.is_tail:
+                owner[vc] = None
+                winner.route_port = None
+                winner.route_vc = None
+                del members[winner]
+                if members:
+                    more = True
+                else:
+                    del requests[out]
+                if fifo:
+                    # The next packet's head is exposed.
+                    unrouted[winner] = None
+                    more = True
+            elif not fifo:
+                # Mid-packet stall: the rest is still upstream.
+                del members[winner]
+                if members:
+                    more = True
+                else:
+                    del requests[out]
+            elif members:
+                more = True
+            staging[vc].append(flit)
+            staged = self._staged_ports
+            if not staged:
+                sim._wire_engines[self.router_id] = self
+            staged[out] = None
+            # Return a credit upstream for the freed input slot.
+            if kinds[winner.in_port] == CHANNEL_INPUT:
+                feed = pipes[sources[winner.in_port]]
+                feed.credits.append((now_credit, winner.vc))
+                active_pipes[feed] = None
+                slot = wheel.get(now_credit)
+                if slot is None:
+                    wheel[now_credit] = [feed]
+                elif slot[-1] is not feed:
+                    slot.append(feed)
+            if not fifo:
+                del active[winner]
+                if not active:
+                    del sim._busy_engines[self.router_id]
+            moved = 1
+        if moved and more:
+            return 2
+        return moved
 
     def switch_subiter(self, now: int) -> bool:
         """One speedup sub-iteration: every output port accepts at most
@@ -227,7 +477,8 @@ class RouterEngine:
 
     def _switch_flit(self, invc: InputVC, out: OutPort) -> None:
         """Move one flit from an input VC into output staging."""
-        flit = invc.fifo.popleft()
+        fifo = invc.fifo
+        flit = fifo.popleft()
         vc = invc.route_vc
         out.pending[vc] -= 1
         if flit.is_head:
@@ -236,30 +487,53 @@ class RouterEngine:
             out.owner[vc] = None
             invc.route_port = None
             invc.route_vc = None
+            if self._event:
+                self._drop_request(invc, out)
+                if fifo:
+                    # The next packet's head is exposed, needs a route.
+                    self._unrouted[invc] = None
+        elif not fifo:
+            # Mid-packet stall: the rest of the packet is still
+            # upstream; the locked route resumes when it arrives.
+            if self._event:
+                self._drop_request(invc, out)
         out.staging[vc].append(flit)
-        self._staged_ports[out] = None
+        staged = self._staged_ports
+        if not staged:
+            self.sim._wire_engines[self.router_id] = self
+        staged[out] = None
         # Return a credit upstream for the freed input-buffer slot.
         if self.in_port_kind[invc.in_port] == CHANNEL_INPUT:
             sim = self.sim
             feed = sim.pipes[self.in_port_source[invc.in_port]]
-            feed.push_credit(invc.vc, sim.now + sim.config.credit_latency)
-            sim.activate_pipe(feed)
+            feed.send_credit(sim, invc.vc, sim.now)
         if not invc.fifo:
-            del self.active[invc]
+            active = self.active
+            del active[invc]
+            if not active:
+                # Busy -> idle transition: nothing left to route or
+                # switch at this router until a new flit arrives.
+                del self.sim._busy_engines[self.router_id]
 
     def wire_phase(self, now: int) -> None:
         """Move at most one staged flit per output port onto the wire
-        (or into the ejection sink)."""
-        if not self._staged_ports:
+        (or into the ejection sink).
+
+        A port whose staged flits cannot move this cycle — every VC
+        credit-starved, or the channel still paced by ``next_free`` —
+        simply stays in the staged set and is retried on later cycles;
+        it leaves the set only once its staging FIFOs are empty.
+        """
+        staged_ports = self._staged_ports
+        if not staged_ports:
             return
         sim = self.sim
         period = sim.config.channel_period
         done = []
-        for out in self._staged_ports:
+        for out in staged_ports:
             staging = out.staging
             num_vcs = out.num_vcs
             credits = out.credits
-            sent = False
             if out.kind == CHANNEL_PORT and now < out.next_free:
                 continue
             start = out.wire_pointer
@@ -275,21 +549,76 @@ class RouterEngine:
                     out.next_free = now + period
                     if flit.is_head:
                         flit.packet.hops += 1
-                    pipe = sim.pipes[out.channel_index]
-                    pipe.push_flit(flit, vc, now + sim.config.channel_latency)
-                    sim.activate_pipe(pipe)
+                    sim.pipes[out.channel_index].send_flit(sim, flit, vc, now)
                 else:
                     sim.on_flit_ejected(flit, now)
-                sent = True
                 break
             if not any(staging[vc] for vc in range(num_vcs)):
                 done.append(out)
-            elif not sent:
-                # Staged flits exist but no VC had credits this cycle;
-                # keep the port active for later cycles.
-                pass
         for out in done:
-            del self._staged_ports[out]
+            del staged_ports[out]
+        if not staged_ports:
+            del sim._wire_engines[self.router_id]
+
+    def wire_event(self, now: int) -> None:
+        """Event-kernel wire phase: identical decisions to
+        :meth:`wire_phase`, with the channel send inlined (the flit
+        still goes through :meth:`ChannelPipe.push_flit`) and its
+        delivery cycle pushed onto the event wheel directly."""
+        staged_ports = self._staged_ports
+        if not staged_ports:
+            return
+        sim = self.sim
+        period = self._period
+        arrival = now + self._channel_latency
+        pipes = self._pipes
+        wheel = self._wheel
+        active_pipes = self._active_pipes
+        done = None
+        for out in staged_ports:
+            is_channel = out.kind == CHANNEL_PORT
+            if is_channel and now < out.next_free:
+                continue
+            staging = out.staging
+            num_vcs = out.num_vcs
+            credits = out.credits
+            start = out.wire_pointer
+            for i in range(num_vcs):
+                vc = (start + i) % num_vcs
+                queue = staging[vc]
+                if not queue or credits[vc] <= 0:
+                    continue
+                flit = queue.popleft()
+                out.wire_pointer = (vc + 1) % num_vcs
+                if is_channel:
+                    credits[vc] -= 1
+                    out.next_free = now + period
+                    if flit.is_head:
+                        flit.packet.hops += 1
+                    pipe = pipes[out.channel_index]
+                    pipe.push_flit(flit, vc, arrival)
+                    active_pipes[pipe] = None
+                    slot = wheel.get(arrival)
+                    if slot is None:
+                        wheel[arrival] = [pipe]
+                    elif slot[-1] is not pipe:
+                        slot.append(pipe)
+                else:
+                    sim.on_flit_ejected(flit, now)
+                break
+            for queue in staging:
+                if queue:
+                    break
+            else:
+                if done is None:
+                    done = [out]
+                else:
+                    done.append(out)
+        if done is not None:
+            for out in done:
+                del staged_ports[out]
+            if not staged_ports:
+                del sim._wire_engines[self.router_id]
 
     def staged_flits(self) -> int:
         """Flits currently staged at this router's output ports."""

@@ -7,16 +7,37 @@ injection process, and advances the network one cycle at a time:
 2. create new packets (injection process + traffic pattern) and move
    source-queue flits into injection buffers (one flit per cycle per
    terminal, matching unit terminal bandwidth),
-3. routing phase at every router (greedy or sequential allocator),
-4. switch phase at every router (one flit per output channel per
-   cycle).
+3. routing phase at every active router (greedy or sequential
+   allocator),
+4. switch phase at every active router (one flit per output channel
+   per cycle).
 
-Runs are fully deterministic given ``SimulationConfig.seed``.
+Two kernels implement this contract:
+
+* The **event kernel** (default) keeps per-cycle work proportional to
+  the flits in flight: routers register themselves in activation sets
+  when they hold work (``_busy_engines`` for routing/switch,
+  ``_wire_engines`` for staged output flits), channel pipes schedule
+  their own delivery cycles on an event wheel instead of being
+  scanned, and fully quiescent stretches at low load are skipped by
+  jumping straight to the next scheduled injection.
+* The **polling kernel** is the original all-routers-every-cycle loop,
+  kept behind ``REPRO_KERNEL=polling`` for one release as a
+  cross-check; ``tests/test_kernel_equivalence.py`` asserts the two
+  kernels produce bit-identical results.
+
+Both kernels execute the same router-engine code in the same global
+order (routers in ascending index within each switch sub-iteration),
+so every shared-RNG draw, every round-robin pointer, and therefore
+every golden result is identical between them.  Runs are fully
+deterministic given ``SimulationConfig.seed``.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -25,11 +46,35 @@ from ..topologies.base import Topology
 from ..traffic.patterns import TrafficPattern
 from .allocators import make_allocator
 from .channel import ChannelPipe
-from .config import SimulationConfig
+from .config import SimulationConfig, derive_seed
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .packet import Flit, Packet
 from .router import RouterEngine
-from .stats import BatchResult, LatencySummary, MeasurementWindow, OpenLoopResult
+from .stats import (
+    BatchResult,
+    KernelStats,
+    LatencySummary,
+    MeasurementWindow,
+    OpenLoopResult,
+)
+
+#: Environment variable selecting the simulation kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognized kernel names.
+KERNELS = ("event", "polling")
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Kernel name: explicit argument, else ``$REPRO_KERNEL``, else
+    the event kernel."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "event"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; pick one of {', '.join(KERNELS)}"
+        )
+    return kernel
 
 
 class Simulator:
@@ -38,6 +83,10 @@ class Simulator:
     Build one per (topology, routing algorithm, traffic pattern,
     config) combination; run methods may be invoked once per instance
     (construct a fresh simulator for each measurement point).
+
+    Args:
+        kernel: ``"event"`` or ``"polling"``; ``None`` (default) reads
+            ``$REPRO_KERNEL`` and falls back to the event kernel.
     """
 
     def __init__(
@@ -46,20 +95,27 @@ class Simulator:
         algorithm: RoutingAlgorithm,
         pattern: TrafficPattern,
         config: Optional[SimulationConfig] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
         self.pattern = pattern
         self.config = config or SimulationConfig()
         self.allocator = make_allocator(algorithm.sequential)
+        self.kernel = resolve_kernel(kernel)
+        self._event_driven = self.kernel == "event"
 
         seed = self.config.seed
-        self.traffic_rng = random.Random(seed * 2654435761 % (2**31) + 1)
-        self.route_rng = random.Random(seed * 2654435761 % (2**31) + 2)
-        self.injection_rng = random.Random(seed * 2654435761 % (2**31) + 3)
+        if self.config.rng_streams == "legacy":
+            self.traffic_rng = random.Random(seed * 2654435761 % (2**31) + 1)
+            self.route_rng = random.Random(seed * 2654435761 % (2**31) + 2)
+            self.injection_rng = random.Random(seed * 2654435761 % (2**31) + 3)
+        else:
+            self.traffic_rng = random.Random(derive_seed(seed, "traffic"))
+            self.route_rng = random.Random(derive_seed(seed, "route"))
+            self.injection_rng = random.Random(derive_seed(seed, "injection"))
 
         self.pattern.bind(topology)
-        self.algorithm.attach(self)
 
         self.now = 0
         self.packets_created = 0
@@ -67,6 +123,22 @@ class Simulator:
         self.flits_ejected = 0
         self.in_flight = 0
 
+        # Activation sets (router id -> engine), maintained by the
+        # engines themselves on every idle<->busy transition.
+        self._busy_engines: Dict[int, RouterEngine] = {}
+        self._wire_engines: Dict[int, RouterEngine] = {}
+        # Event wheel: cycle -> pipes with a delivery due that cycle.
+        # Channel/credit latencies are fixed, so arrivals cluster on a
+        # handful of future cycles; a calendar dict beats a heap.
+        self._wheel: Dict[int, List[ChannelPipe]] = {}
+
+        # Kernel metrics (materialized into KernelStats by run methods).
+        self.kernel_stats: Optional[KernelStats] = None
+        self._phase_calls = 0
+        self._events_dispatched = 0
+        self._idle_skipped = 0
+
+        self.algorithm.attach(self)
         self._build()
         self._window: Optional[MeasurementWindow] = None
         self._tracers: List = []
@@ -132,6 +204,8 @@ class Simulator:
             for channel in topo.channels
         ]
         self._active_pipes: Dict[ChannelPipe, None] = {}
+        for engine in self.engines:
+            engine.finalize()
         # Source queues: (packet, next_flit_index) per terminal.
         self._sources: List[Deque[Packet]] = [
             deque() for _ in range(topo.num_terminals)
@@ -140,10 +214,21 @@ class Simulator:
         self._active_sources: Dict[int, None] = {}
 
     # ------------------------------------------------------------------
-    # Hooks used by RouterEngine
+    # Hooks used by RouterEngine / ChannelPipe
     # ------------------------------------------------------------------
-    def activate_pipe(self, pipe: ChannelPipe) -> None:
+    def schedule_pipe(self, pipe: ChannelPipe, arrival: int) -> None:
+        """Register that ``pipe`` has something due at ``arrival``."""
         self._active_pipes[pipe] = None
+        if self._event_driven:
+            wheel = self._wheel
+            slot = wheel.get(arrival)
+            if slot is None:
+                wheel[arrival] = [pipe]
+            elif slot[-1] is not pipe:
+                # Duplicate wheel entries are harmless (delivery drains
+                # a pipe completely), so dedup only the common
+                # flit+credit burst onto the same pipe.
+                slot.append(pipe)
 
     def attach_tracer(self, tracer) -> None:
         """Register a :class:`repro.network.trace.Tracer` to observe
@@ -167,16 +252,19 @@ class Simulator:
     # Cycle execution
     # ------------------------------------------------------------------
     def _deliver(self, now: int) -> None:
+        """Polling-kernel delivery: scan every busy pipe."""
         done = []
+        engines = self.engines
         for pipe in self._active_pipes:
+            self._events_dispatched += 1
             flits = pipe.flits
-            engine = self.engines[pipe.dst_router]
+            engine = engines[pipe.dst_router]
             while flits and flits[0][0] <= now:
                 _, flit, vc = flits.popleft()
                 engine.deliver(pipe.dst_in_port, vc, flit)
             credits = pipe.credits
             if credits:
-                out = self.engines[pipe.src_router].out_ports[pipe.src_port]
+                out = engines[pipe.src_router].out_ports[pipe.src_port]
                 while credits and credits[0][0] <= now:
                     _, vc = credits.popleft()
                     out.credits[vc] += 1
@@ -184,6 +272,38 @@ class Simulator:
                 done.append(pipe)
         for pipe in done:
             del self._active_pipes[pipe]
+
+    def _deliver_events(self, now: int) -> None:
+        """Event-kernel delivery: visit exactly the pipes with
+        something due at ``now``."""
+        batch = self._wheel.pop(now, None)
+        if batch is None:
+            return
+        engines = self.engines
+        active = self._active_pipes
+        self._events_dispatched += len(batch)
+        for pipe in batch:
+            flits = pipe.flits
+            if flits:
+                engine = engines[pipe.dst_router]
+                port = pipe.dst_in_port
+                while flits and flits[0][0] <= now:
+                    _, flit, vc = flits.popleft()
+                    engine.deliver(port, vc, flit)
+            credits = pipe.credits
+            if credits:
+                out_credits = engines[pipe.src_router].out_ports[pipe.src_port].credits
+                while credits and credits[0][0] <= now:
+                    out_credits[credits.popleft()[1]] += 1
+            if not flits and not credits and pipe in active:
+                del active[pipe]
+
+    def _flush_events_through(self, target: int) -> None:
+        """Drain every wheel slot up to and including ``target`` (used
+        when idle-skipping jumps over several cycles at once)."""
+        wheel = self._wheel
+        for cycle in sorted(c for c in wheel if c <= target):
+            self._deliver_events(cycle)
 
     def _create_packet(self, terminal: int, now: int) -> Packet:
         dst = self.pattern.destination(terminal, self.traffic_rng)
@@ -235,10 +355,69 @@ class Simulator:
         for terminal in done:
             del self._active_sources[terminal]
 
+    def _inject_event(self, process: InjectionProcess, now: int) -> None:
+        """Event-kernel injection: same decisions as :meth:`_inject`
+        (identical packet creation order, so identical traffic-RNG
+        draws), with the attribute lookups hoisted out of the
+        per-terminal loop."""
+        active_sources = self._active_sources
+        sources = self._sources
+        create = self._create_packet
+        for terminal, count in process.injections(now):
+            queue = sources[terminal]
+            if count == 1:
+                queue.append(create(terminal, now))
+            else:
+                for _ in range(count):
+                    queue.append(create(terminal, now))
+            active_sources[terminal] = None
+        if not active_sources:
+            return
+        engines = self.engines
+        injection_port = self._injection_port
+        cursors = self._source_cursor
+        done = None
+        for terminal in active_sources:
+            router, port = injection_port[terminal]
+            engine = engines[router]
+            invc = engine.in_ports[port][0]
+            if len(invc.fifo) < invc.depth:
+                queue = sources[terminal]
+                packet = queue[0]
+                cursor = cursors[terminal]
+                if cursor == 0:
+                    flit = Flit(packet, True, packet.size == 1)
+                    packet.time_injected = now
+                else:
+                    flit = Flit(packet, False, cursor == packet.size - 1)
+                engine.deliver(port, 0, flit)
+                if flit.is_tail:
+                    queue.popleft()
+                    cursors[terminal] = 0
+                    if not queue:
+                        if done is None:
+                            done = [terminal]
+                        else:
+                            done.append(terminal)
+                else:
+                    cursors[terminal] = cursor + 1
+        if done is not None:
+            for terminal in done:
+                del active_sources[terminal]
+
     def step(self, process: InjectionProcess) -> None:
         """Advance the network by one cycle."""
+        if self._event_driven:
+            self._step_event(process)
+        else:
+            self._step_polling(process)
+
+    def _step_polling(self, process: InjectionProcess) -> None:
+        """The original kernel: every engine is walked through every
+        phase every cycle, whether or not it has work."""
         now = self.now
         engines = self.engines
+        num_engines = len(engines)
         self._deliver(now)
         self._inject(process, now)
         # Switch speedup: repeat routing + switch sub-iterations until
@@ -252,21 +431,119 @@ class Simulator:
             for engine in engines:
                 if engine.switch_subiter(now):
                     moved = True
+            self._phase_calls += 2 * num_engines
             iteration += 1
             if not moved or (speedup is not None and iteration >= speedup):
                 break
         for engine in engines:
             engine.wire_phase(now)
+        self._phase_calls += num_engines
         for tracer in self._tracers:
             tracer.on_cycle(now)
         self.now = now + 1
+
+    def _step_event(self, process: InjectionProcess) -> None:
+        """The active-set kernel: only routers that can possibly do
+        something are visited, in the same global order (ascending
+        router id per sub-iteration) as the polling kernel, so every
+        shared-RNG draw and arbitration decision is identical.
+
+        Routing and switching are fused per engine
+        (:meth:`RouterEngine.route_switch`); within one cycle an engine
+        that fails to move any flit in a sub-iteration cannot move one
+        in a later sub-iteration (its state only changes through its
+        own switch progress — engines are independent until the wire
+        phase), so each sweep narrows to the engines that moved in the
+        previous one.
+        """
+        now = self.now
+        self._deliver_events(now)
+        self._inject_event(process, now)
+        busy = self._busy_engines
+        if busy:
+            if len(busy) == 1:
+                movers: List[RouterEngine] = list(busy.values())
+            else:
+                movers = [busy[r] for r in sorted(busy)]
+            speedup = self.config.speedup
+            phase_calls = 0
+            iteration = 0
+            while True:
+                # Only engines reporting possible follow-up work (2)
+                # are swept again; the polling kernel would route and
+                # switch nothing at any engine reporting 0 or 1.
+                next_movers = [e for e in movers if e.route_switch(now) == 2]
+                phase_calls += len(movers)
+                iteration += 1
+                if not next_movers or (
+                    speedup is not None and iteration >= speedup
+                ):
+                    break
+                movers = next_movers
+            self._phase_calls += phase_calls
+        wire = self._wire_engines
+        if wire:
+            if len(wire) == 1:
+                targets = list(wire.values())
+            else:
+                targets = [wire[r] for r in sorted(wire)]
+            for engine in targets:
+                engine.wire_event(now)
+            self._phase_calls += len(targets)
+        for tracer in self._tracers:
+            tracer.on_cycle(now)
+        self.now = now + 1
+
+    # ------------------------------------------------------------------
+    # Idle skipping (event kernel only)
+    # ------------------------------------------------------------------
+    def _skip_ok(self) -> bool:
+        """Whether quiescent stretches may be jumped over: event
+        kernel, and every attached tracer can summarize idle gaps."""
+        return self._event_driven and all(
+            tracer.supports_idle_skip for tracer in self._tracers
+        )
+
+    def _skip_idle_to(self, target: int) -> None:
+        """Jump ``now`` over the quiescent cycles ``[now, target)``.
+
+        Only valid when no flit exists anywhere (network and source
+        queues empty) and no injection is scheduled before ``target``:
+        then the skipped cycles are no-ops apart from credits still
+        returning upstream, which are flushed here — by ``target`` they
+        have arrived in both kernels, and nothing could have observed
+        them earlier because nothing was routed or switched.
+        """
+        start = self.now
+        for tracer in self._tracers:
+            tracer.on_idle_gap(start, target)
+        self._idle_skipped += target - start
+        self.now = target
+        self._flush_events_through(target)
+
+    def _finish_stats(self, started: float) -> KernelStats:
+        stats = KernelStats(
+            kernel=self.kernel,
+            cycles=self.now,
+            idle_cycles_skipped=self._idle_skipped,
+            router_phase_calls=self._phase_calls,
+            events_dispatched=self._events_dispatched,
+            wall_seconds=time.perf_counter() - started,
+        )
+        self.kernel_stats = stats
+        return stats
 
     # ------------------------------------------------------------------
     # Invariants (used by the test suite)
     # ------------------------------------------------------------------
     def flits_accounted(self) -> int:
         """Flits currently buffered in routers or in flight on channels
-        (excludes source queues)."""
+        (excludes source queues).
+
+        Deliberately scans *every* engine and pipe rather than trusting
+        the activation sets, so tests can use it to catch flits the
+        active-set kernel lost track of.
+        """
         buffered = sum(
             len(invc.fifo)
             for engine in self.engines
@@ -283,8 +560,60 @@ class Simulator:
         return (
             self.in_flight == 0
             and not self._active_sources
-            and not any(pipe.flits for pipe in self.pipes)
+            and not self._busy_engines
+            and not self._wire_engines
+            and not any(pipe.flits for pipe in self._active_pipes)
         )
+
+    def check_activation_invariants(self) -> None:
+        """Assert the activation sets agree with the ground truth.
+
+        ``_busy_engines`` must be exactly the engines with buffered
+        flits, ``_wire_engines`` exactly those with staged flits, and
+        every in-flight pipe item must be reachable (active pipe, and
+        a scheduled wheel entry under the event kernel)."""
+        busy_truth = {
+            e.router_id for e in self.engines
+            if any(invc.fifo for port in e.in_ports for invc in port)
+        }
+        if busy_truth != set(self._busy_engines):
+            raise AssertionError(
+                f"busy set {sorted(self._busy_engines)} != engines with "
+                f"buffered flits {sorted(busy_truth)}"
+            )
+        wire_truth = {e.router_id for e in self.engines if e.staged_flits()}
+        if wire_truth != set(self._wire_engines):
+            raise AssertionError(
+                f"wire set {sorted(self._wire_engines)} != engines with "
+                f"staged flits {sorted(wire_truth)}"
+            )
+        busy_pipes = {pipe for pipe in self.pipes if pipe.busy()}
+        if not busy_pipes.issubset(self._active_pipes):
+            raise AssertionError("pipe with in-flight items not in active set")
+        if self._event_driven:
+            scheduled = {pipe for slot in self._wheel.values() for pipe in slot}
+            if not busy_pipes.issubset(scheduled):
+                raise AssertionError("pipe with in-flight items has no event")
+            for engine in self.engines:
+                unrouted_truth = {
+                    invc for invc in engine.active if invc.route_port is None
+                }
+                if unrouted_truth != set(engine._unrouted):
+                    raise AssertionError(
+                        f"router {engine.router_id}: unrouted set out of sync"
+                    )
+                request_truth = {
+                    invc for invc in engine.active if invc.route_port is not None
+                }
+                filed = {
+                    invc
+                    for members in engine._requests.values()
+                    for invc in members
+                }
+                if request_truth != filed:
+                    raise AssertionError(
+                        f"router {engine.router_id}: standing requests out of sync"
+                    )
 
     # ------------------------------------------------------------------
     # Runs
@@ -303,23 +632,45 @@ class Simulator:
             warmup: warm-up cycles before labeling starts.
             measure: length of the labeling window in cycles.
             drain_max: hard cycle cap; if labeled packets remain beyond
-                it the run is reported as saturated.
+                it the run is reported as saturated.  Must exceed
+                ``warmup + measure`` or labeling could never complete.
         """
+        end = warmup + measure
+        if drain_max <= end:
+            raise ValueError(
+                f"drain_max={drain_max} must exceed warmup+measure={end}: the "
+                f"run would be cut off before the measurement window ends and "
+                f"its labeled packets could never all be observed draining"
+            )
         self._consume()
+        started = time.perf_counter()
         process = BernoulliInjection(load)
         process.start(
             self.topology.num_terminals, self.config.packet_size, self.injection_rng
         )
-        window = MeasurementWindow(warmup, warmup + measure)
+        window = MeasurementWindow(warmup, end)
         self._window = window
         saturated = False
+        skip_ok = self._skip_ok()
         while True:
             self.step(process)
-            if self.now >= warmup + measure and window.drained():
+            if self.now >= end and window.drained():
                 break
             if self.now >= drain_max:
                 saturated = not window.drained()
                 break
+            if skip_ok and self.in_flight == 0 and not self._active_sources:
+                nxt = process.next_injection_cycle(self.now)
+                bound = end if self.now < end else drain_max
+                target = bound if nxt is None else min(nxt, bound)
+                if target > self.now:
+                    self._skip_idle_to(target)
+                    if self.now >= end and window.drained():
+                        break
+                    if self.now >= drain_max:
+                        saturated = not window.drained()
+                        break
+        stats = self._finish_stats(started)
         return OpenLoopResult(
             offered_load=load,
             accepted_throughput=window.throughput(self.topology.num_terminals),
@@ -332,12 +683,14 @@ class Simulator:
             mean_hops=(
                 sum(window.hops) / len(window.hops) if window.hops else float("nan")
             ),
+            kernel=stats,
         )
 
     def run_batch(self, batch_size: int, max_cycles: int = 1_000_000) -> BatchResult:
         """Deliver a batch of ``batch_size`` packets per terminal and
         report the completion time (Figure 5)."""
         self._consume()
+        started = time.perf_counter()
         process = BatchInjection(batch_size)
         process.start(
             self.topology.num_terminals, self.config.packet_size, self.injection_rng
@@ -350,10 +703,12 @@ class Simulator:
                 raise RuntimeError(
                     f"batch of {batch_size} not drained within {max_cycles} cycles"
                 )
+        stats = self._finish_stats(started)
         return BatchResult(
             batch_size=batch_size,
             completion_cycles=self.now,
             packets=self.packets_created,
+            kernel=stats,
         )
 
     def measure_saturation_throughput(
@@ -362,6 +717,7 @@ class Simulator:
         """Accepted throughput at an offered load of 1.0 — the
         throughput plateau of the latency-load curves."""
         self._consume()
+        started = time.perf_counter()
         process = BernoulliInjection(1.0)
         process.start(
             self.topology.num_terminals, self.config.packet_size, self.injection_rng
@@ -370,4 +726,5 @@ class Simulator:
         self._window = window
         for _ in range(warmup + measure):
             self.step(process)
+        self._finish_stats(started)
         return window.throughput(self.topology.num_terminals)

@@ -50,6 +50,36 @@ class LatencySummary:
 
 
 @dataclass
+class KernelStats:
+    """Execution metrics of one simulation run.
+
+    Produced by every run method so kernel speedups are measured, not
+    asserted: ``router_phase_calls`` counts the routing / switch /
+    wire-phase invocations the kernel actually executed, which is the
+    quantity the active-set kernel shrinks, and ``events_dispatched``
+    counts channel-pipe wakeups (flit and credit deliveries pulled off
+    the event wheel, or active-pipe scans under the polling kernel).
+
+    Excluded from result equality (and from ``repr``) because
+    ``wall_seconds`` varies run to run while the simulation outcome
+    does not.
+    """
+
+    kernel: str
+    cycles: int = 0
+    idle_cycles_skipped: int = 0
+    router_phase_calls: int = 0
+    events_dispatched: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return math.nan
+        return self.cycles / self.wall_seconds
+
+
+@dataclass
 class OpenLoopResult:
     """Result of one open-loop (Bernoulli) simulation."""
 
@@ -62,6 +92,7 @@ class OpenLoopResult:
     packets_labeled: int
     packets_delivered: int
     mean_hops: float
+    kernel: Optional[KernelStats] = field(default=None, compare=False, repr=False)
 
     @property
     def avg_latency(self) -> float:
@@ -76,6 +107,7 @@ class BatchResult:
     batch_size: int
     completion_cycles: int
     packets: int
+    kernel: Optional[KernelStats] = field(default=None, compare=False, repr=False)
 
     @property
     def normalized_latency(self) -> float:

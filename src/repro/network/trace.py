@@ -28,6 +28,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Tracer(abc.ABC):
     """Base class for per-cycle observers."""
 
+    #: Whether this tracer can summarize a quiescent stretch via
+    #: :meth:`on_idle_gap` instead of being called every cycle.  The
+    #: event kernel only skips idle cycles when *every* attached tracer
+    #: declares support; the conservative default is False.
+    supports_idle_skip = False
+
     def attach(self, simulator: "Simulator") -> None:
         """Bind to a simulator (called by ``attach_tracer``)."""
         self.simulator = simulator
@@ -36,10 +42,24 @@ class Tracer(abc.ABC):
     def on_cycle(self, now: int) -> None:
         """Observe the network at the end of cycle ``now``."""
 
+    def on_idle_gap(self, start: int, end: int) -> None:
+        """Observe the quiescent cycles ``start .. end - 1`` at once.
+
+        Called by the event kernel instead of per-cycle ``on_cycle``
+        when it jumps over a stretch with no flits anywhere.  The
+        fallback replays ``on_cycle`` for every skipped cycle, which is
+        always correct; subclasses that set ``supports_idle_skip``
+        override this with an O(1) summary.
+        """
+        for now in range(start, end):
+            self.on_cycle(now)
+
 
 class ThroughputTrace(Tracer):
     """Accepted flits per terminal per cycle, averaged over fixed
     intervals."""
+
+    supports_idle_skip = True
 
     def __init__(self, interval: int = 10) -> None:
         if interval < 1:
@@ -59,6 +79,19 @@ class ThroughputTrace(Tracer):
         delta = sim.flits_ejected - self._last_ejected
         self._last_ejected = sim.flits_ejected
         self.series.append(delta / (self.interval * sim.topology.num_terminals))
+
+    def on_idle_gap(self, start: int, end: int) -> None:
+        # No flit is ejected during a quiescent gap, so the first
+        # interval boundary inside it flushes whatever was ejected
+        # earlier in that interval and every later boundary reads 0.
+        interval = self.interval
+        first = start + ((interval - 1 - start) % interval)
+        if first >= end:
+            return
+        self.on_cycle(first)
+        remaining = (end - 1 - first) // interval
+        if remaining:
+            self.series.extend([0.0] * remaining)
 
 
 class QueueTrace(Tracer):
@@ -98,6 +131,8 @@ class PacketJourneyTrace(Tracer):
     hop by hop.
     """
 
+    supports_idle_skip = True  # no flits in flight => nothing to record
+
     def __init__(self, predicate=None) -> None:
         self.predicate = predicate or (lambda packet: True)
         self.visits: Dict[int, List[Tuple[int, int]]] = {}
@@ -127,6 +162,9 @@ class PacketJourneyTrace(Tracer):
                       sim.topology.injection_router(packet.src))],
                 ).append((arrival, pipe.dst_router))
 
+    def on_idle_gap(self, start: int, end: int) -> None:
+        """Nothing is in flight during a quiescent gap."""
+
     def journey(self, pid: int) -> List[Tuple[int, int]]:
         """Ordered ``(cycle, router)`` visits of packet ``pid``."""
         return self.visits.get(pid, [])
@@ -140,6 +178,8 @@ class PacketJourneyTrace(Tracer):
 class ChannelLoadTrace(Tracer):
     """Cumulative flits carried per channel; ``utilization`` divides by
     elapsed cycles to give each channel's duty factor."""
+
+    supports_idle_skip = True
 
     def __init__(self) -> None:
         self.flits: Dict[int, int] = {}
@@ -158,6 +198,10 @@ class ChannelLoadTrace(Tracer):
             for arrival, _flit, _vc in pipe.flits:
                 if arrival == now + sim.config.channel_latency:
                     self.flits[pipe.index] += 1
+
+    def on_idle_gap(self, start: int, end: int) -> None:
+        # Quiescent cycles still elapse; no channel carries anything.
+        self.cycles += end - start
 
     def utilization(self, channel_index: int) -> float:
         """Fraction of cycles ``channel_index`` carried a flit."""

@@ -26,8 +26,10 @@ import tempfile
 from typing import Iterator, Optional, Tuple
 
 #: Version stamp mixed into every cache key.  Bump on any change that
-#: alters simulation results.
-CACHE_VERSION = "repro-results-v1"
+#: alters simulation results.  v2: results carry per-run
+#: ``KernelStats`` (kernel name, phase calls, wall time), so entries
+#: cached by v1 binaries lack the field and must not be replayed.
+CACHE_VERSION = "repro-results-v2"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

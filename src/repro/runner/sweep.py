@@ -44,13 +44,25 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 @dataclass
 class SweepReport:
-    """Running totals across every ``map`` call of one runner."""
+    """Running totals across every ``map`` call of one runner.
+
+    Besides the point/caching counters, the report aggregates the
+    :class:`~repro.network.KernelStats` attached to every result a
+    sweep actually *executed* (cache hits are excluded — their stats
+    describe some earlier run's work, not this one's).
+    """
 
     total: int = 0
     cache_hits: int = 0
     executed: int = 0
     elapsed: float = 0.0
     batches: int = 0
+    # Aggregated KernelStats over executed points.
+    sim_cycles: int = 0
+    idle_cycles_skipped: int = 0
+    router_phase_calls: int = 0
+    events_dispatched: int = 0
+    sim_wall_seconds: float = 0.0
 
     def note(self, total: int, hits: int, executed: int, elapsed: float) -> None:
         self.total += total
@@ -59,11 +71,27 @@ class SweepReport:
         self.elapsed += elapsed
         self.batches += 1
 
+    def note_kernel(self, stats) -> None:
+        """Fold one result's :class:`KernelStats` into the totals."""
+        self.sim_cycles += stats.cycles
+        self.idle_cycles_skipped += stats.idle_cycles_skipped
+        self.router_phase_calls += stats.router_phase_calls
+        self.events_dispatched += stats.events_dispatched
+        self.sim_wall_seconds += stats.wall_seconds
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} points, {self.cache_hits} cache hits, "
             f"{self.executed} executed, {self.elapsed:.1f}s"
         )
+        if self.sim_cycles:
+            text += (
+                f"; {self.sim_cycles} simulated cycles "
+                f"({self.idle_cycles_skipped} idle-skipped), "
+                f"{self.router_phase_calls} router-phase calls, "
+                f"{self.events_dispatched} events"
+            )
+        return text
 
 
 class SweepRunner:
@@ -141,6 +169,10 @@ class SweepRunner:
         self.report.note(
             len(jobs), hits, len(pending), time.perf_counter() - start
         )
+        for i in pending:
+            stats = getattr(results[i], "kernel", None)
+            if stats is not None:
+                self.report.note_kernel(stats)
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,478 @@
+"""Cross-kernel equivalence: the event kernel must be bit-identical
+to the polling kernel.
+
+The event kernel (default) and the legacy polling kernel (behind
+``REPRO_KERNEL=polling``) implement the same cycle contract; these
+tests drive both over a matrix of small configurations and require
+*exactly* equal per-cycle ejection traces and end-of-run results —
+not statistically close, byte-for-byte equal — plus consistent
+activation-set bookkeeping.
+
+Also covered here: kernel selection (argument / environment), the
+idle-cycle skip, the ``rng_streams`` seed-derivation modes, the
+``drain_max`` validation, and the credit-starved wire-port behavior.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DimensionOrder,
+    MinimalAdaptive,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import (
+    KERNEL_ENV,
+    KERNELS,
+    QueueTrace,
+    SimulationConfig,
+    Simulator,
+    ThroughputTrace,
+    resolve_kernel,
+)
+from repro.network.config import derive_seed
+from repro.network.buffers import CHANNEL_PORT
+from repro.traffic import GroupShift, RandomPermutation, UniformRandom
+
+
+ALGORITHMS = {
+    "min_ad": MinimalAdaptive,
+    "ugal": UGAL,
+    "ugal_s": UGALSequential,
+    "val": Valiant,
+    "dor": DimensionOrder,
+}
+
+PATTERNS = {
+    "ur": UniformRandom,
+    "perm": RandomPermutation,
+    "adv": lambda: GroupShift(1),
+}
+
+
+def _random_matrix(count=20, master_seed=20240806):
+    """A reproducible pseudo-random matrix of small configurations."""
+    rng = random.Random(master_seed)
+    cases = []
+    for i in range(count):
+        cases.append(
+            (
+                rng.choice([(2, 2), (4, 2), (8, 2)]),
+                rng.choice(sorted(ALGORITHMS)),
+                rng.choice(sorted(PATTERNS)),
+                rng.choice([0.05, 0.15, 0.4, 0.8]),
+                rng.choice([1, 2, 4]),
+                rng.randrange(1000),
+                rng.choice(["legacy", "legacy", "mixed"]),
+            )
+        )
+    return cases
+
+
+MATRIX = _random_matrix()
+
+
+def _run(kernel, fb, algorithm, pattern, load, packet_size, seed, streams):
+    sim = Simulator(
+        FlattenedButterfly(*fb),
+        ALGORITHMS[algorithm](),
+        PATTERNS[pattern](),
+        SimulationConfig(seed=seed, packet_size=packet_size, rng_streams=streams),
+        kernel=kernel,
+    )
+    trace = ThroughputTrace(interval=1)
+    sim.attach_tracer(trace)
+    result = sim.run_open_loop(load, warmup=50, measure=80, drain_max=1500)
+    sim.check_activation_invariants()
+    return sim, trace.series, result
+
+
+class TestKernelSelection:
+    def test_default_is_event(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel() == "event"
+        sim = Simulator(
+            FlattenedButterfly(2, 2), MinimalAdaptive(), UniformRandom()
+        )
+        assert sim.kernel == "event"
+
+    def test_environment_selects_polling(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "polling")
+        assert resolve_kernel() == "polling"
+        sim = Simulator(
+            FlattenedButterfly(2, 2), MinimalAdaptive(), UniformRandom()
+        )
+        assert sim.kernel == "polling"
+
+    def test_argument_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "polling")
+        assert resolve_kernel("event") == "event"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("quantum")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Simulator(
+                FlattenedButterfly(2, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                kernel="quantum",
+            )
+
+    def test_kernel_names_exported(self):
+        assert KERNELS == ("event", "polling")
+
+
+class TestBitIdenticalResults:
+    @pytest.mark.parametrize(
+        "fb,algorithm,pattern,load,packet_size,seed,streams",
+        MATRIX,
+        ids=[
+            f"{c[1]}-{c[2]}-k{c[0][0]}-l{c[3]}-p{c[4]}-s{c[5]}-{c[6]}"
+            for c in MATRIX
+        ],
+    )
+    def test_matrix_point(
+        self, fb, algorithm, pattern, load, packet_size, seed, streams
+    ):
+        sim_p, series_p, res_p = _run(
+            "polling", fb, algorithm, pattern, load, packet_size, seed, streams
+        )
+        sim_e, series_e, res_e = _run(
+            "event", fb, algorithm, pattern, load, packet_size, seed, streams
+        )
+        # Per-cycle ejected-flit counts must match exactly, cycle by
+        # cycle — the strongest observable the tracer API exposes.
+        assert series_p == series_e
+        assert res_p.accepted_throughput == res_e.accepted_throughput
+        assert res_p.latency == res_e.latency
+        assert res_p.network_latency == res_e.network_latency
+        assert res_p.cycles == res_e.cycles
+        assert res_p.packets_labeled == res_e.packets_labeled
+        assert res_p.packets_delivered == res_e.packets_delivered
+        assert res_p.saturated == res_e.saturated
+        assert sim_p.packets_created == sim_e.packets_created
+        assert sim_p.flits_ejected == sim_e.flits_ejected
+        # The shared route RNG must have advanced identically.
+        assert sim_p.route_rng.getstate() == sim_e.route_rng.getstate()
+
+    def test_batch_runs_identical(self):
+        results = []
+        for kernel in KERNELS:
+            sim = Simulator(
+                FlattenedButterfly(4, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=3, packet_size=2),
+                kernel=kernel,
+            )
+            results.append(sim.run_batch(4))
+        event, polling = results
+        assert event.completion_cycles == polling.completion_cycles
+        assert event.packets == polling.packets
+
+    def test_event_does_less_phase_work(self):
+        """The point of the refactor: far fewer router-phase
+        invocations for the same simulated cycles."""
+        _, _, res_p = _run("polling", (8, 2), "min_ad", "ur", 0.1, 1, 1, "legacy")
+        _, _, res_e = _run("event", (8, 2), "min_ad", "ur", 0.1, 1, 1, "legacy")
+        assert res_p.cycles == res_e.cycles
+        assert res_e.kernel.router_phase_calls < res_p.kernel.router_phase_calls / 2
+
+
+class TestIdleSkip:
+    def test_low_load_skips_idle_cycles(self):
+        sim = Simulator(
+            FlattenedButterfly(4, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=2),
+            kernel="event",
+        )
+        result = sim.run_open_loop(0.005, warmup=200, measure=300, drain_max=5000)
+        assert result.kernel.idle_cycles_skipped > 0
+        assert result.kernel.cycles == result.cycles
+
+    def test_skip_does_not_change_results(self):
+        """Idle-skipped runs must agree with the polling kernel, which
+        never skips anything."""
+        outcomes = []
+        for kernel in KERNELS:
+            sim = Simulator(
+                FlattenedButterfly(4, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=2),
+                kernel=kernel,
+            )
+            result = sim.run_open_loop(
+                0.005, warmup=200, measure=300, drain_max=5000
+            )
+            outcomes.append(
+                (
+                    result.accepted_throughput,
+                    result.latency,
+                    result.cycles,
+                    result.packets_delivered,
+                    sim.packets_created,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_skip_preserves_throughput_trace(self):
+        series = []
+        for kernel in KERNELS:
+            sim = Simulator(
+                FlattenedButterfly(4, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=9),
+                kernel=kernel,
+            )
+            trace = ThroughputTrace(interval=10)
+            sim.attach_tracer(trace)
+            sim.run_open_loop(0.005, warmup=200, measure=300, drain_max=5000)
+            series.append(trace.series)
+        assert series[0] == series[1]
+
+    def test_non_skippable_tracer_disables_skip(self):
+        sim = Simulator(
+            FlattenedButterfly(4, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=2),
+            kernel="event",
+        )
+        sim.attach_tracer(QueueTrace([sim.topology.channels[0]]))
+        result = sim.run_open_loop(0.005, warmup=100, measure=150, drain_max=3000)
+        assert result.kernel.idle_cycles_skipped == 0
+
+    def test_polling_never_skips(self):
+        sim = Simulator(
+            FlattenedButterfly(4, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=2),
+            kernel="polling",
+        )
+        result = sim.run_open_loop(0.005, warmup=100, measure=150, drain_max=3000)
+        assert result.kernel.idle_cycles_skipped == 0
+
+
+class TestKernelStats:
+    def test_stats_attached_and_consistent(self):
+        for kernel in KERNELS:
+            sim = Simulator(
+                FlattenedButterfly(4, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=1),
+                kernel=kernel,
+            )
+            result = sim.run_open_loop(0.2, warmup=100, measure=100, drain_max=2000)
+            stats = result.kernel
+            assert stats is not None
+            assert stats.kernel == kernel
+            assert stats.cycles == result.cycles
+            assert stats.router_phase_calls > 0
+            assert stats.events_dispatched > 0
+            assert stats.wall_seconds > 0
+            assert stats.cycles_per_second > 0
+            assert sim.kernel_stats is stats
+
+    def test_stats_do_not_break_result_equality(self):
+        """KernelStats is excluded from result comparison, so results
+        from different kernels (different wall time) still compare
+        equal field-for-field."""
+        results = []
+        for kernel in KERNELS:
+            sim = Simulator(
+                FlattenedButterfly(4, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=4),
+                kernel=kernel,
+            )
+            results.append(
+                sim.run_open_loop(0.2, warmup=100, measure=100, drain_max=2000)
+            )
+        assert results[0] == results[1]
+        assert results[0].kernel.wall_seconds != 0
+
+
+class TestRngStreams:
+    def test_legacy_is_default(self):
+        assert SimulationConfig().rng_streams == "legacy"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="rng_streams"):
+            SimulationConfig(rng_streams="bogus")
+
+    def test_legacy_seed_zero_degenerates(self):
+        """Under the legacy derivation, ``seed * 2654435761 % 2**31``
+        is 0 for seed 0, so the streams collapse to Random(1..3)."""
+        sim = Simulator(
+            FlattenedButterfly(2, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=0, rng_streams="legacy"),
+        )
+        assert sim.traffic_rng.getstate() == random.Random(1).getstate()
+        assert sim.route_rng.getstate() == random.Random(2).getstate()
+        assert sim.injection_rng.getstate() == random.Random(3).getstate()
+
+    def test_legacy_seeds_collide_mod_2_31(self):
+        """Seeds 2**31 apart produce identical legacy streams — the
+        defect the mixed mode fixes."""
+        seeds = (5, 5 + 2**31)
+        states = []
+        for seed in seeds:
+            sim = Simulator(
+                FlattenedButterfly(2, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=seed, rng_streams="legacy"),
+            )
+            states.append(sim.traffic_rng.getstate())
+        assert states[0] == states[1]
+
+    def test_mixed_separates_colliding_seeds(self):
+        seeds = (5, 5 + 2**31)
+        states = []
+        for seed in seeds:
+            sim = Simulator(
+                FlattenedButterfly(2, 2),
+                MinimalAdaptive(),
+                UniformRandom(),
+                SimulationConfig(seed=seed, rng_streams="mixed"),
+            )
+            states.append(sim.traffic_rng.getstate())
+        assert states[0] != states[1]
+
+    def test_mixed_streams_distinct_at_seed_zero(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=0, rng_streams="mixed"),
+        )
+        states = {
+            sim.traffic_rng.getstate()[1],
+            sim.route_rng.getstate()[1],
+            sim.injection_rng.getstate()[1],
+        }
+        assert len(states) == 3
+
+    def test_mixed_uses_derive_seed(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=7, rng_streams="mixed"),
+        )
+        assert (
+            sim.route_rng.getstate()
+            == random.Random(derive_seed(7, "route")).getstate()
+        )
+
+    def test_mixed_changes_results_but_not_equivalence(self):
+        """Mixed streams give different trajectories than legacy, but
+        the two kernels still agree under either mode."""
+        per_mode = {}
+        for streams in ("legacy", "mixed"):
+            _, series_p, res_p = _run(
+                "polling", (4, 2), "min_ad", "ur", 0.3, 1, 11, streams
+            )
+            _, series_e, res_e = _run(
+                "event", (4, 2), "min_ad", "ur", 0.3, 1, 11, streams
+            )
+            assert series_p == series_e
+            assert res_p.latency == res_e.latency
+            per_mode[streams] = series_p
+        assert per_mode["legacy"] != per_mode["mixed"]
+
+
+class TestDrainMaxValidation:
+    def test_equal_budget_rejected(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2), MinimalAdaptive(), UniformRandom()
+        )
+        with pytest.raises(ValueError, match="drain_max=300 must exceed"):
+            sim.run_open_loop(0.1, warmup=100, measure=200, drain_max=300)
+
+    def test_smaller_budget_rejected(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2), MinimalAdaptive(), UniformRandom()
+        )
+        with pytest.raises(ValueError, match="must exceed warmup\\+measure"):
+            sim.run_open_loop(0.1, warmup=100, measure=200, drain_max=50)
+
+    def test_rejected_run_does_not_consume_simulator(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2), MinimalAdaptive(), UniformRandom()
+        )
+        with pytest.raises(ValueError):
+            sim.run_open_loop(0.1, warmup=100, measure=200, drain_max=100)
+        # The guard fired before _consume, so the instance is reusable.
+        result = sim.run_open_loop(0.1, warmup=20, measure=20, drain_max=500)
+        assert result.cycles > 0
+
+
+class TestCreditStarvedWirePort:
+    """Satellite: pin the wire phase's handling of a staged output
+    port whose every VC is credit-starved — it stays in the staged set
+    and sends nothing until a credit returns."""
+
+    def _starved_engine(self, kernel):
+        sim = Simulator(
+            FlattenedButterfly(4, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=1),
+            kernel=kernel,
+        )
+        engine = sim.engines[0]
+        out = next(o for o in engine.out_ports if o.kind == CHANNEL_PORT)
+        from repro.network.packet import Flit, Packet
+
+        packet = Packet(0, 0, 9, sim.topology.ejection_router(9), 1, 0)
+        flit = Flit(packet, True, True)
+        out.staging[0].append(flit)
+        engine._staged_ports[out] = None
+        sim._wire_engines[engine.router_id] = engine
+        saved_credits = list(out.credits)
+        for vc in range(out.num_vcs):
+            out.credits[vc] = 0
+        return sim, engine, out, flit, saved_credits
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_starved_port_stays_staged(self, kernel):
+        sim, engine, out, flit, saved = self._starved_engine(kernel)
+        wire = engine.wire_event if kernel == "event" else engine.wire_phase
+        wire(0)
+        assert list(out.staging[0]) == [flit]
+        assert out in engine._staged_ports
+        assert engine.router_id in sim._wire_engines
+        assert not sim.pipes[out.channel_index].flits
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_credit_return_releases_port(self, kernel):
+        sim, engine, out, flit, saved = self._starved_engine(kernel)
+        wire = engine.wire_event if kernel == "event" else engine.wire_phase
+        wire(0)
+        out.credits[0] = saved[0]
+        wire(1)
+        pipe = sim.pipes[out.channel_index]
+        assert not out.staging[0]
+        assert len(pipe.flits) == 1
+        arrival, sent, vc = pipe.flits[0]
+        assert sent is flit
+        assert vc == 0
+        assert arrival == 1 + sim.config.channel_latency
+        assert out.credits[0] == saved[0] - 1
+        assert out not in engine._staged_ports
+        assert engine.router_id not in sim._wire_engines
