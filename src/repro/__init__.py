@@ -13,6 +13,8 @@ The package provides:
 * :mod:`repro.cost` / :mod:`repro.power` — the packaging-aware cost and
   power models of Sections 4 and 5.3,
 * :mod:`repro.analysis` — closed-form scalability and capacity math,
+* :mod:`repro.faults` — deterministic fault injection and fault-aware
+  routing for degraded-topology experiments,
 * :mod:`repro.experiments` — one harness per paper figure/table.
 
 Quickstart::
@@ -41,6 +43,7 @@ from .network import (
     SimulationConfig,
     Simulator,
 )
+from .faults import FaultedTopologyView, FaultModel, FaultSet, TransientFault
 from .runner import ResultCache, SimSpec, SweepRunner
 from .topologies import (
     Butterfly,
@@ -70,6 +73,10 @@ __all__ = [
     "OpenLoopResult",
     "SimulationConfig",
     "Simulator",
+    "FaultModel",
+    "FaultSet",
+    "FaultedTopologyView",
+    "TransientFault",
     "ResultCache",
     "SimSpec",
     "SweepRunner",

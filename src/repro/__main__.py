@@ -1,0 +1,116 @@
+"""Top-level maintenance CLI (``python -m repro`` / ``repro``).
+
+Currently hosts the result-cache housekeeping commands:
+
+* ``repro cache stats`` — entry count, disk usage, and age range of
+  the on-disk :class:`~repro.runner.ResultCache`.
+* ``repro cache prune [--older-than-days N]`` — delete entries older
+  than the cutoff (all entries without one).
+
+Both honor ``$REPRO_CACHE_DIR`` and accept ``--cache-dir`` to target
+another directory.  Experiment execution lives in
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .runner.cache import CACHE_DIR_ENV, ResultCache
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def _format_age(now: float, mtime: Optional[float]) -> str:
+    if mtime is None:
+        return "-"
+    days = (now - mtime) / 86400.0
+    if days < 1.0:
+        return f"{days * 24.0:.1f} h ago"
+    return f"{days:.1f} d ago"
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    stats = cache.stats()
+    now = time.time()
+    print(f"directory : {stats['directory']}")
+    print(f"entries   : {stats['entries']}")
+    print(f"disk usage: {_format_bytes(stats['total_bytes'])}")
+    print(f"oldest    : {_format_age(now, stats['oldest_mtime'])}")
+    print(f"newest    : {_format_age(now, stats['newest_mtime'])}")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.older_than_days is not None and args.older_than_days < 0:
+        print("--older-than-days must be >= 0", file=sys.stderr)
+        return 2
+    cutoff = (
+        None
+        if args.older_than_days is None
+        else args.older_than_days * 86400.0
+    )
+    removed = cache.prune(cutoff)
+    what = (
+        "entries"
+        if args.older_than_days is None
+        else f"entries older than {args.older_than_days:g} days"
+    )
+    print(f"removed {removed} {what} from {cache.directory}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maintenance commands for the flattened-butterfly "
+        "reproduction (experiments run via `python -m repro.experiments`).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or prune the on-disk result cache"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: ${CACHE_DIR_ENV} or "
+        f"~/.cache/repro-flatbfly)",
+    )
+    actions = cache.add_subparsers(dest="action", required=True)
+
+    stats = actions.add_parser("stats", help="show entry count and disk usage")
+    stats.set_defaults(func=_cmd_cache_stats)
+
+    prune = actions.add_parser("prune", help="delete cache entries")
+    prune.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="only delete entries whose file mtime is older than N days "
+        "(default: delete everything)",
+    )
+    prune.set_defaults(func=_cmd_cache_prune)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

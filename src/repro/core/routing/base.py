@@ -33,11 +33,16 @@ class RoutingAlgorithm(abc.ABC):
             requires for deadlock freedom.
         sequential: whether the router should use a sequential
             allocator (UGAL-S, CLOS AD) instead of a greedy one.
+        fault_aware: whether the algorithm understands fault state
+            (``repro.faults``).  The simulator refuses to run a
+            non-trivial fault model under an unaware algorithm, which
+            would dead-end packets into failed channels.
     """
 
     name: str = "routing"
     num_vcs: int = 1
     sequential: bool = False
+    fault_aware: bool = False
 
     def attach(self, simulator: "Simulator") -> None:
         """Bind the algorithm to a simulator (topology, RNG).
@@ -60,6 +65,20 @@ class RoutingAlgorithm(abc.ABC):
     def route(self, engine: "RouterEngine", packet: "Packet") -> Tuple[int, int]:
         """Choose ``(output_port, output_vc)`` for ``packet`` at the
         router driven by ``engine``."""
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        """Whether this algorithm can route the terminal pair under the
+        simulation's permanent faults.
+
+        Consulted at packet creation: a ``False`` answer makes the
+        simulator account the packet as *undeliverable* instead of
+        injecting it, so the drain phase terminates on disconnected
+        networks.  Fault-free algorithms can always deliver; fault-aware
+        subclasses override this with their path-discipline-specific
+        reachability test (transient outages heal, so they never make a
+        pair undeliverable).
+        """
+        return True
 
     def route_event(self, engine: "RouterEngine", packet: "Packet") -> Tuple[int, int]:
         """Routing decision used by the event kernel's fused

@@ -9,6 +9,7 @@ from . import (
     ext_layout,
     ext_packet_size,
     ext_patterns,
+    ext_resilience,
     ext_torus,
     ext_wire_delay,
     fig01_construction,
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "ext_layout": ext_layout,
     "ext_patterns": ext_patterns,
     "ext_packet_size": ext_packet_size,
+    "ext_resilience": ext_resilience,
     "ext_wire_delay": ext_wire_delay,
 }
 

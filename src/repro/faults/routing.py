@@ -1,0 +1,575 @@
+"""Fault-aware routing: candidate filtering around failed links.
+
+Each class here wraps one of the library's routing algorithms with the
+minimum machinery needed to survive a :class:`~repro.faults.model.
+FaultSet`:
+
+* **Permanent failures** are excluded from every candidate set, and
+  candidates are additionally filtered to next-hops from which the
+  destination remains reachable under the algorithm's own path
+  discipline (minimal for MIN AD, dimension-order per phase for VAL,
+  up/down for the folded Clos) — a packet is never routed into a dead
+  end.
+* **Transient outages** never change a candidate set (they heal, so
+  reachability is unaffected); a transiently-down channel instead has
+  :data:`~repro.faults.model.TRANSIENT_COST_PENALTY` added to its
+  queue estimate, so adaptive algorithms steer around the outage when
+  any alternative exists and simply wait it out when none does.
+* :meth:`~repro.core.routing.base.RoutingAlgorithm.deliverable`
+  reports whether the algorithm can route a terminal pair at all under
+  the permanent faults.  The simulator consults it at packet creation
+  and accounts an undeliverable packet instead of injecting it, which
+  is what keeps the drain phase terminating on disconnected networks.
+
+Every wrapper degrades to its base algorithm bit-for-bit when the
+simulation carries no fault state, so a trivial
+:class:`~repro.faults.model.FaultModel` reproduces fault-free results
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.routing.base import RoutingAlgorithm
+from ..core.routing.dor import first_differing_dim
+from ..core.routing.min_adaptive import MinimalAdaptive, pick_min_cost
+from ..core.routing.ugal import (
+    PHASE_TO_DESTINATION,
+    PHASE_TO_INTERMEDIATE,
+    UGAL,
+)
+from ..core.routing.valiant import Valiant
+from ..topologies.base import Channel
+from ..topologies.routing import DestinationTag, FoldedClosAdaptive
+from .model import TRANSIENT_COST_PENALTY, FaultState
+
+
+def _fault_state(simulator) -> Optional[FaultState]:
+    """The simulator's fault state, if any (None on fault-free runs)."""
+    return getattr(simulator, "fault_state", None)
+
+
+class _ChannelCoster:
+    """Occupancy estimator that surcharges transiently-down channels."""
+
+    __slots__ = ("faults", "penalized")
+
+    def __init__(self, faults: Optional[FaultState]) -> None:
+        self.faults = faults
+        # Channels with scheduled outages; everything else costs the
+        # plain occupancy with no per-decision schedule lookup.
+        self.penalized = (
+            faults.transient_channels() if faults is not None else frozenset()
+        )
+
+    def cost(self, engine, channel: Channel) -> int:
+        occupancy = engine.channel_occupancy(channel)
+        if channel.index in self.penalized and self.faults.channel_down(
+            channel.index, engine.sim.now
+        ):
+            occupancy += TRANSIENT_COST_PENALTY
+        return occupancy
+
+
+class _DorFaultHelper:
+    """Shared dimension-order path analysis under permanent faults.
+
+    DOR visits dimensions in ascending order and uses, per hop, the
+    first *surviving* channel toward the required digit.  The path is
+    therefore unique given the fault set, and a path is alive iff every
+    hop has at least one surviving channel.
+    """
+
+    def _dor_init(self, topology, faults: FaultState) -> None:
+        self._dor_topology = topology
+        self._dor_faults = faults
+        self._dor_alive_cache: Dict[Tuple[int, int], bool] = {}
+        self._feasible_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def _alive_channel_to(
+        self, current: int, dim: int, value: int
+    ) -> Optional[Channel]:
+        """First surviving channel from ``current`` toward digit
+        ``value`` of ``dim``, or None if all parallels failed."""
+        topo = self._dor_topology
+        failed = self._dor_faults.failed_channels
+        for channel in topo.channels_between(
+            current, topo.neighbor(current, dim, value)
+        ):
+            if channel.index not in failed:
+                return channel
+        return None
+
+    def _dor_next_alive(
+        self, current: int, target: int
+    ) -> Tuple[Optional[Channel], int]:
+        """Next surviving DOR channel toward ``target`` and the hops
+        remaining, or ``(None, hops)`` when the required hop is dead."""
+        topo = self._dor_topology
+        remaining = topo.min_router_hops(current, target)
+        d = first_differing_dim(topo, current, target)
+        if d is None:
+            raise ValueError(f"router {current} is already the target")
+        return (
+            self._alive_channel_to(current, d, topo.coord_digit(target, d)),
+            remaining,
+        )
+
+    def _dor_alive(self, src_router: int, dst_router: int) -> bool:
+        """Whether the unique DOR route survives the permanent faults."""
+        key = (src_router, dst_router)
+        cached = self._dor_alive_cache.get(key)
+        if cached is not None:
+            return cached
+        failed_routers = self._dor_faults.failed_routers
+        alive = (
+            src_router not in failed_routers
+            and dst_router not in failed_routers
+        )
+        current = src_router
+        while alive and current != dst_router:
+            channel, _ = self._dor_next_alive(current, dst_router)
+            if channel is None:
+                alive = False
+            else:
+                current = channel.dst
+        self._dor_alive_cache[key] = alive
+        return alive
+
+    def _feasible_intermediates(
+        self, src_router: int, dst_router: int
+    ) -> Tuple[int, ...]:
+        """Routers usable as a Valiant intermediate: both DOR phases
+        survive the permanent faults."""
+        key = (src_router, dst_router)
+        cached = self._feasible_cache.get(key)
+        if cached is None:
+            failed_routers = self._dor_faults.failed_routers
+            cached = tuple(
+                i
+                for i in range(self._dor_topology.num_routers)
+                if i not in failed_routers
+                and self._dor_alive(src_router, i)
+                and self._dor_alive(i, dst_router)
+            )
+            self._feasible_cache[key] = cached
+        return cached
+
+
+class FaultAwareMinimalAdaptive(MinimalAdaptive):
+    """MIN AD restricted to surviving minimal paths.
+
+    A productive channel is a candidate only if it survives and the
+    destination stays minimally reachable from its far end; pairs with
+    no surviving minimal path are undeliverable (minimal routing buys
+    no fault tolerance beyond the minimal path diversity itself —
+    exactly the contrast the resilience experiment measures against
+    UGAL's non-minimal fallback).
+    """
+
+    name = "MIN AD (FT)"
+    fault_aware = True
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self._faults = _fault_state(simulator)
+        self._coster = _ChannelCoster(self._faults)
+        self._reach_cache: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    def minimally_reachable(self, current: int, dst_router: int) -> bool:
+        """Whether a surviving minimal route links the two routers."""
+        if self._faults is None:
+            return True
+        if current == dst_router:
+            return current not in self._faults.failed_routers
+        key = (current, dst_router)
+        cached = self._reach_cache.get(key)
+        if cached is None:
+            # Memoize False during the walk so the recursion (depth <=
+            # num_dims, strictly decreasing hop count) stays linear.
+            self._reach_cache[key] = cached = any(
+                self.minimally_reachable(ch.dst, dst_router)
+                for ch in self._surviving_productive(current, dst_router)
+            )
+        return cached
+
+    def _surviving_productive(
+        self, current: int, dst_router: int
+    ) -> List[Channel]:
+        failed = self._faults.failed_channels
+        return [
+            ch
+            for ch in super().productive_channels(current, dst_router)
+            if ch.index not in failed
+        ]
+
+    def productive_channels(self, current: int, dst_router: int) -> List[Channel]:
+        """Surviving productive channels that do not dead-end."""
+        if self._faults is None:
+            return super().productive_channels(current, dst_router)
+        return [
+            ch
+            for ch in self._surviving_productive(current, dst_router)
+            if self.minimally_reachable(ch.dst, dst_router)
+        ]
+
+    def route(self, engine, packet) -> Tuple[int, int]:
+        if self._faults is None:
+            return super().route(engine, packet)
+        current = engine.router_id
+        if current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        candidates = self.productive_channels(current, packet.dst_router)
+        if not candidates:
+            raise AssertionError(
+                f"router {current}: no surviving minimal route to "
+                f"{packet.dst_router}; packet {packet.pid} should have been "
+                f"accounted undeliverable at creation"
+            )
+        vc = self.topology.min_router_hops(current, packet.dst_router) - 1
+        coster = self._coster
+        channel = pick_min_cost(
+            ((coster.cost(engine, ch), 0, ch) for ch in candidates),
+            self.rng,
+        )
+        return engine.port_for_channel(channel), vc
+
+    def route_event(self, engine, packet) -> Tuple[int, int]:
+        # The memoized fault-free fast path is invalid once transient
+        # outages make costs time-dependent; re-route identically to
+        # the polling kernel instead.
+        if self._faults is None:
+            return super().route_event(engine, packet)
+        return self.route(engine, packet)
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        faults = self._faults
+        if faults is None:
+            return True
+        if faults.terminal_dead(src_terminal) or faults.terminal_dead(
+            dst_terminal
+        ):
+            return False
+        return self.minimally_reachable(
+            self.topology.injection_router(src_terminal),
+            self.topology.ejection_router(dst_terminal),
+        )
+
+
+class FaultAwareValiant(Valiant, _DorFaultHelper):
+    """VAL with the intermediate drawn from the feasible set.
+
+    An intermediate is feasible when both of its dimension-order
+    phases survive the permanent faults; the draw is uniform over the
+    feasible routers, so VAL keeps its load-balancing character on the
+    surviving network.
+    """
+
+    name = "VAL (FT)"
+    fault_aware = True
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self._faults = _fault_state(simulator)
+        if self._faults is not None:
+            self._dor_init(self.topology, self._faults)
+
+    def on_packet_created(self, packet) -> None:
+        if self._faults is None:
+            return super().on_packet_created(packet)
+        src_router = self.topology.injection_router(packet.src)
+        feasible = self._feasible_intermediates(src_router, packet.dst_router)
+        if not feasible:
+            raise AssertionError(
+                f"packet {packet.pid} created for an unroutable pair "
+                f"({packet.src} -> {packet.dst}); deliverable() should have "
+                f"gated it"
+            )
+        packet.intermediate = feasible[self.rng.randrange(len(feasible))]
+        packet.phase = PHASE_TO_INTERMEDIATE
+
+    def route(self, engine, packet) -> Tuple[int, int]:
+        if self._faults is None:
+            return super().route(engine, packet)
+        current = engine.router_id
+        if packet.phase == PHASE_TO_INTERMEDIATE and current == packet.intermediate:
+            packet.phase = PHASE_TO_DESTINATION
+        if packet.phase == PHASE_TO_DESTINATION and current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        if packet.phase == PHASE_TO_INTERMEDIATE:
+            target, vc = packet.intermediate, 1
+        else:
+            target, vc = packet.dst_router, 0
+        channel, _ = self._dor_next_alive(current, target)
+        if channel is None:
+            raise AssertionError(
+                f"router {current}: DOR hop toward {target} has no surviving "
+                f"channel despite feasibility filtering"
+            )
+        return engine.port_for_channel(channel), vc
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        faults = self._faults
+        if faults is None:
+            return True
+        if faults.terminal_dead(src_terminal) or faults.terminal_dead(
+            dst_terminal
+        ):
+            return False
+        return bool(
+            self._feasible_intermediates(
+                self.topology.injection_router(src_terminal),
+                self.topology.ejection_router(dst_terminal),
+            )
+        )
+
+
+class FaultAwareUGAL(UGAL, _DorFaultHelper):
+    """UGAL choosing among the *surviving* minimal and Valiant options.
+
+    The source-router decision compares the fault-filtered MIN AD
+    candidate against a feasible Valiant intermediate, falling back to
+    whichever mode survives when the other is severed — this is where
+    the flattened butterfly's path diversity turns into measured fault
+    tolerance.
+    """
+
+    name = "UGAL (FT)"
+    fault_aware = True
+
+    def attach(self, simulator) -> None:
+        RoutingAlgorithm.attach(self, simulator)
+        from ..topologies.hyperx import HyperX
+
+        if not isinstance(self.topology, HyperX):
+            raise TypeError(f"{self.name} requires a HyperX-family topology")
+        self.num_vcs = self.topology.num_dims + 1
+        self._minimal = FaultAwareMinimalAdaptive()
+        self._minimal.attach(simulator)
+        self._faults = _fault_state(simulator)
+        self._coster = _ChannelCoster(self._faults)
+        if self._faults is not None:
+            self._dor_init(self.topology, self._faults)
+
+    # ------------------------------------------------------------------
+    def _decide(self, engine, packet) -> None:
+        if self._faults is None:
+            return super()._decide(engine, packet)
+        topo = self.topology
+        current = engine.router_id
+        dst = packet.dst_router
+        coster = self._coster
+        min_candidates = self._minimal.productive_channels(current, dst)
+        feasible = [
+            i
+            for i in self._feasible_intermediates(current, dst)
+            if i not in (current, dst)
+        ]
+        if not min_candidates and not feasible:
+            raise AssertionError(
+                f"packet {packet.pid} has neither a minimal nor a Valiant "
+                f"route from router {current}; deliverable() should have "
+                f"gated it"
+            )
+        if not feasible:
+            packet.minimal = True
+            return
+        if not min_candidates:
+            packet.minimal = False
+            packet.intermediate = feasible[
+                self.rng.randrange(len(feasible))
+            ]
+            return
+        # Both modes survive: the paper's queue-times-hops comparison,
+        # over fault-filtered candidates.
+        h_min = topo.min_router_hops(current, dst)
+        min_channel = pick_min_cost(
+            ((coster.cost(engine, ch), 0, ch) for ch in min_candidates),
+            self.rng,
+        )
+        q_min = coster.cost(engine, min_channel)
+        intermediate = feasible[self.rng.randrange(len(feasible))]
+        h_val = topo.min_router_hops(current, intermediate) + topo.min_router_hops(
+            intermediate, dst
+        )
+        val_channel, _ = self._dor_next_alive(current, intermediate)
+        q_val = coster.cost(engine, val_channel)
+        if q_min * h_min <= q_val * h_val + self.threshold:
+            packet.minimal = True
+        else:
+            packet.minimal = False
+            packet.intermediate = intermediate
+
+    def route(self, engine, packet) -> Tuple[int, int]:
+        if self._faults is None:
+            return super().route(engine, packet)
+        topo = self.topology
+        current = engine.router_id
+        if packet.minimal is None:
+            if current == packet.dst_router:
+                return engine.ejection_port(packet.dst), 0
+            self._decide(engine, packet)
+        if packet.minimal:
+            return self._minimal.route(engine, packet)
+        if packet.phase == PHASE_TO_INTERMEDIATE and current == packet.intermediate:
+            packet.phase = PHASE_TO_DESTINATION
+        if packet.phase == PHASE_TO_DESTINATION and current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        if packet.phase == PHASE_TO_INTERMEDIATE:
+            channel, _ = self._dor_next_alive(current, packet.intermediate)
+            if channel is None:
+                raise AssertionError(
+                    f"router {current}: severed DOR hop toward intermediate "
+                    f"{packet.intermediate}"
+                )
+            return engine.port_for_channel(channel), topo.num_dims
+        channel, remaining = self._dor_next_alive(current, packet.dst_router)
+        if channel is None:
+            raise AssertionError(
+                f"router {current}: severed DOR hop toward destination "
+                f"{packet.dst_router}"
+            )
+        return engine.port_for_channel(channel), remaining - 1
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        faults = self._faults
+        if faults is None:
+            return True
+        if faults.terminal_dead(src_terminal) or faults.terminal_dead(
+            dst_terminal
+        ):
+            return False
+        src_router = self.topology.injection_router(src_terminal)
+        dst_router = self.topology.ejection_router(dst_terminal)
+        if self._minimal.minimally_reachable(src_router, dst_router):
+            return True
+        return any(
+            i not in (src_router, dst_router)
+            for i in self._feasible_intermediates(src_router, dst_router)
+        )
+
+
+class FaultAwareDestinationTag(DestinationTag):
+    """Destination-tag routing on a faulted conventional butterfly.
+
+    The butterfly has exactly one path per terminal pair, so there is
+    nothing to filter: the wrapper merely *detects* that the unique
+    path died and reports the pair undeliverable — the zero-path-
+    diversity baseline of the resilience comparison.
+    """
+
+    name = "dest-tag (FT)"
+    fault_aware = True
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self._faults = _fault_state(simulator)
+        self._path_cache: Dict[Tuple[int, int], bool] = {}
+
+    def _path_alive(self, src_router: int, dst_terminal: int) -> bool:
+        topo = self.topology
+        # The path depends only on the destination's position address.
+        key = (src_router, dst_terminal // topo.k)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        faults = self._faults
+        failed_channels = faults.failed_channels
+        failed_routers = faults.failed_routers
+        current = src_router
+        alive = current not in failed_routers
+        while alive and topo.stage_of(current) < topo.n - 1:
+            channel = topo.destination_tag_next(current, dst_terminal)
+            if channel.index in failed_channels:
+                alive = False
+            else:
+                current = channel.dst
+        self._path_cache[key] = alive
+        return alive
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        faults = self._faults
+        if faults is None:
+            return True
+        if faults.terminal_dead(src_terminal) or faults.terminal_dead(
+            dst_terminal
+        ):
+            return False
+        return self._path_alive(
+            self.topology.injection_router(src_terminal), dst_terminal
+        )
+
+
+class FaultAwareFoldedClosAdaptive(FoldedClosAdaptive):
+    """Folded-Clos adaptive routing over the surviving spines.
+
+    An uplink is a candidate only if it survives and its spine still
+    has a surviving downlink to the destination leaf; transiently-down
+    uplinks are surcharged, not excluded.
+    """
+
+    name = "clos-adaptive (FT)"
+    fault_aware = True
+
+    def attach(self, simulator) -> None:
+        super().attach(simulator)
+        self._faults = _fault_state(simulator)
+        self._coster = _ChannelCoster(self._faults)
+
+    def _usable_uplinks(self, leaf: int, dst_leaf: int) -> List[Channel]:
+        topo = self.topology
+        faults = self._faults
+        failed_channels = faults.failed_channels
+        failed_routers = faults.failed_routers
+        usable = []
+        for uplink in topo.uplinks(leaf):
+            if uplink.index in failed_channels:
+                continue
+            spine = uplink.dst
+            if spine in failed_routers:
+                continue
+            if topo.downlink(spine, dst_leaf).index in failed_channels:
+                continue
+            usable.append(uplink)
+        return usable
+
+    def route(self, engine, packet) -> Tuple[int, int]:
+        if self._faults is None:
+            return super().route(engine, packet)
+        topo = self.topology
+        current = engine.router_id
+        dst_leaf = topo.leaf_of_terminal(packet.dst)
+        if topo.is_spine(current):
+            return engine.port_for_channel(topo.downlink(current, dst_leaf)), 0
+        if current == dst_leaf:
+            return engine.ejection_port(packet.dst), 0
+        usable = self._usable_uplinks(current, dst_leaf)
+        if not usable:
+            raise AssertionError(
+                f"leaf {current}: no surviving spine reaches leaf {dst_leaf}; "
+                f"packet {packet.pid} should have been accounted "
+                f"undeliverable at creation"
+            )
+        coster = self._coster
+        uplink = pick_min_cost(
+            ((coster.cost(engine, ch), 0, ch) for ch in usable),
+            self.rng,
+        )
+        return engine.port_for_channel(uplink), 0
+
+    def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
+        faults = self._faults
+        if faults is None:
+            return True
+        if faults.terminal_dead(src_terminal) or faults.terminal_dead(
+            dst_terminal
+        ):
+            return False
+        topo = self.topology
+        src_leaf = topo.leaf_of_terminal(src_terminal)
+        dst_leaf = topo.leaf_of_terminal(dst_terminal)
+        if src_leaf == dst_leaf:
+            return True
+        return bool(self._usable_uplinks(src_leaf, dst_leaf))

@@ -88,6 +88,12 @@ class SimulationConfig:
             distinct seeds collide modulo 2**31.  ``"mixed"`` derives
             each stream via :func:`derive_seed` (SHA-256 of the seed
             plus a stream label), which has neither defect.
+        faults: optional :class:`repro.faults.model.FaultModel`
+            describing permanent and transient failures to inject.
+            ``None`` (default) simulates a fault-free network.  Being a
+            config field, the fault scenario travels through
+            ``SimSpec`` pickling and into the result-cache key like any
+            other knob.
     """
 
     buffer_per_port: int = 32
@@ -100,6 +106,7 @@ class SimulationConfig:
     channel_period: int = 1
     seed: int = 1
     rng_streams: str = "legacy"
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.buffer_per_port < 1:
@@ -125,10 +132,25 @@ class SimulationConfig:
             raise ValueError(
                 f"rng_streams must be 'legacy' or 'mixed', got {self.rng_streams!r}"
             )
+        if self.faults is not None:
+            # Imported lazily: repro.faults derives its sampling seeds
+            # from this module's derive_seed.
+            from ..faults.model import FaultModel
+
+            if not isinstance(self.faults, FaultModel):
+                raise TypeError(
+                    f"faults must be a repro.faults.FaultModel or None, "
+                    f"got {type(self.faults).__name__}"
+                )
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Copy of this config with a different base seed."""
         return dataclasses.replace(self, seed=seed)
+
+    def with_faults(self, faults) -> "SimulationConfig":
+        """Copy of this config with a different fault model (or
+        ``None`` for a fault-free network)."""
+        return dataclasses.replace(self, faults=faults)
 
     def derived(self, *components: object) -> "SimulationConfig":
         """Copy of this config whose seed is derived from the current

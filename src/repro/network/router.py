@@ -66,6 +66,7 @@ class RouterEngine:
         "_credit_latency",
         "_channel_latency",
         "_period",
+        "_fault_state",
     )
 
     def __init__(self, sim: "Simulator", router_id: int) -> None:
@@ -114,6 +115,7 @@ class RouterEngine:
         self._credit_latency = cfg.credit_latency
         self._channel_latency = cfg.channel_latency
         self._period = cfg.channel_period
+        self._fault_state = sim.fault_state
 
     def add_channel_input(self, channel_index: int, num_vcs: int, depth: int) -> int:
         port = len(self.in_ports)
@@ -529,13 +531,22 @@ class RouterEngine:
             return
         sim = self.sim
         period = sim.config.channel_period
+        faults = self._fault_state
         done = []
         for out in staged_ports:
             staging = out.staging
             num_vcs = out.num_vcs
             credits = out.credits
-            if out.kind == CHANNEL_PORT and now < out.next_free:
-                continue
+            if out.kind == CHANNEL_PORT:
+                if now < out.next_free:
+                    continue
+                # A transiently-down channel refuses new flits; the
+                # staged flit simply waits (the port stays in the
+                # staged set and is retried every cycle).
+                if faults is not None and faults.channel_down(
+                    out.channel_index, now
+                ):
+                    continue
             start = out.wire_pointer
             for i in range(num_vcs):
                 vc = (start + i) % num_vcs
@@ -574,11 +585,19 @@ class RouterEngine:
         pipes = self._pipes
         wheel = self._wheel
         active_pipes = self._active_pipes
+        faults = self._fault_state
         done = None
         for out in staged_ports:
             is_channel = out.kind == CHANNEL_PORT
-            if is_channel and now < out.next_free:
-                continue
+            if is_channel:
+                if now < out.next_free:
+                    continue
+                # Same transient-outage guard as wire_phase, so both
+                # kernels hold identical flits back on identical cycles.
+                if faults is not None and faults.channel_down(
+                    out.channel_index, now
+                ):
+                    continue
             staging = out.staging
             num_vcs = out.num_vcs
             credits = out.credits

@@ -117,9 +117,30 @@ class Simulator:
 
         self.pattern.bind(topology)
 
+        # Fault injection: sample the configured fault model against
+        # the topology before the algorithm attaches (fault-aware
+        # algorithms read ``fault_state`` during attach).  A trivial
+        # model is treated exactly like no model, so fault-aware
+        # wrappers degrade to their fault-free behavior bit-for-bit.
+        self.fault_set = None
+        self.fault_state = None
+        faults = self.config.faults
+        if faults is not None and not faults.trivial:
+            if not algorithm.fault_aware:
+                raise TypeError(
+                    f"{algorithm.name} is not fault-aware; running it under a "
+                    f"non-trivial FaultModel would route packets into failed "
+                    f"channels (wrap it with a repro.faults algorithm)"
+                )
+            from ..faults.model import FaultState
+
+            self.fault_set = faults.sample(topology)
+            self.fault_state = FaultState(self.fault_set, topology)
+
         self.now = 0
         self.packets_created = 0
         self.packets_delivered = 0
+        self.packets_undeliverable = 0
         self.flits_ejected = 0
         self.in_flight = 0
 
@@ -305,8 +326,20 @@ class Simulator:
         for cycle in sorted(c for c in wheel if c <= target):
             self._deliver_events(cycle)
 
-    def _create_packet(self, terminal: int, now: int) -> Packet:
+    def _create_packet(self, terminal: int, now: int) -> Optional[Packet]:
         dst = self.pattern.destination(terminal, self.traffic_rng)
+        # The traffic-RNG draw above happens unconditionally so a
+        # fault set never perturbs the destination sequence; only then
+        # is the pair checked for deliverability under the permanent
+        # faults.  Undeliverable packets are counted and dropped before
+        # entering the source queue — they are never labeled and never
+        # in flight, which is what lets the drain phase terminate on a
+        # disconnected network.
+        if self.fault_state is not None and not self.algorithm.deliverable(
+            terminal, dst
+        ):
+            self.packets_undeliverable += 1
+            return None
         packet = Packet(
             pid=self.packets_created,
             src=terminal,
@@ -326,8 +359,11 @@ class Simulator:
         for terminal, count in process.injections(now):
             queue = self._sources[terminal]
             for _ in range(count):
-                queue.append(self._create_packet(terminal, now))
-            self._active_sources[terminal] = None
+                packet = self._create_packet(terminal, now)
+                if packet is not None:
+                    queue.append(packet)
+            if queue:
+                self._active_sources[terminal] = None
         if not self._active_sources:
             return
         done = []
@@ -365,12 +401,12 @@ class Simulator:
         create = self._create_packet
         for terminal, count in process.injections(now):
             queue = sources[terminal]
-            if count == 1:
-                queue.append(create(terminal, now))
-            else:
-                for _ in range(count):
-                    queue.append(create(terminal, now))
-            active_sources[terminal] = None
+            for _ in range(count):
+                packet = create(terminal, now)
+                if packet is not None:
+                    queue.append(packet)
+            if queue:
+                active_sources[terminal] = None
         if not active_sources:
             return
         engines = self.engines
@@ -683,6 +719,7 @@ class Simulator:
             mean_hops=(
                 sum(window.hops) / len(window.hops) if window.hops else float("nan")
             ),
+            packets_undeliverable=self.packets_undeliverable,
             kernel=stats,
         )
 
@@ -708,6 +745,7 @@ class Simulator:
             batch_size=batch_size,
             completion_cycles=self.now,
             packets=self.packets_created,
+            packets_undeliverable=self.packets_undeliverable,
             kernel=stats,
         )
 

@@ -92,6 +92,7 @@ class OpenLoopResult:
     packets_labeled: int
     packets_delivered: int
     mean_hops: float
+    packets_undeliverable: int = 0
     kernel: Optional[KernelStats] = field(default=None, compare=False, repr=False)
 
     @property
@@ -107,6 +108,7 @@ class BatchResult:
     batch_size: int
     completion_cycles: int
     packets: int
+    packets_undeliverable: int = 0
     kernel: Optional[KernelStats] = field(default=None, compare=False, repr=False)
 
     @property

@@ -23,13 +23,16 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from typing import Iterator, Optional, Tuple
 
 #: Version stamp mixed into every cache key.  Bump on any change that
 #: alters simulation results.  v2: results carry per-run
 #: ``KernelStats`` (kernel name, phase calls, wall time), so entries
 #: cached by v1 binaries lack the field and must not be replayed.
-CACHE_VERSION = "repro-results-v2"
+#: v3: ``SimulationConfig`` grew the ``faults`` field and open-loop /
+#: batch results carry ``packets_undeliverable``; v2 entries lack both.
+CACHE_VERSION = "repro-results-v3"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -167,6 +170,61 @@ class ResultCache:
         removed = 0
         for path in list(self._entries()):
             try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        """Summary of the on-disk state: entry count, total bytes, and
+        modification-time range (Unix timestamps, ``None`` if empty)."""
+        entries = 0
+        total_bytes = 0
+        oldest = newest = None
+        for path in self._entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += info.st_size
+            mtime = info.st_mtime
+            if oldest is None or mtime < oldest:
+                oldest = mtime
+            if newest is None or mtime > newest:
+                newest = mtime
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, older_than_seconds: Optional[float] = None) -> int:
+        """Delete entries older than the cutoff (every entry when no
+        cutoff is given); returns the number removed.
+
+        Age is measured by file modification time, which ``put``
+        refreshes on rewrite; cache *reads* do not refresh it, so the
+        cutoff bounds entry age, not recency of use.  Stale-version
+        entries are unreferenced by construction (the key embeds
+        ``CACHE_VERSION``), making periodic pruning the intended
+        hygiene for reclaiming their disk space.
+        """
+        cutoff = None
+        if older_than_seconds is not None:
+            if older_than_seconds < 0:
+                raise ValueError(
+                    f"older_than_seconds must be >= 0, got {older_than_seconds}"
+                )
+            cutoff = time.time() - older_than_seconds
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                if cutoff is not None and os.stat(path).st_mtime >= cutoff:
+                    continue
                 os.unlink(path)
                 removed += 1
             except OSError:

@@ -25,6 +25,15 @@ from repro.core import (
     Valiant,
 )
 from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.faults import (
+    FaultAwareDestinationTag,
+    FaultAwareFoldedClosAdaptive,
+    FaultAwareMinimalAdaptive,
+    FaultAwareUGAL,
+    FaultAwareValiant,
+    FaultModel,
+    TransientFault,
+)
 from repro.network import (
     KERNEL_ENV,
     KERNELS,
@@ -36,6 +45,9 @@ from repro.network import (
 )
 from repro.network.config import derive_seed
 from repro.network.buffers import CHANNEL_PORT
+from repro.topologies import Butterfly, FoldedClos
+from repro.topologies.hyperx import HyperX
+from repro.topologies.torus import Torus, TorusDOR
 from repro.traffic import GroupShift, RandomPermutation, UniformRandom
 
 
@@ -75,10 +87,79 @@ def _random_matrix(count=20, master_seed=20240806):
 
 MATRIX = _random_matrix()
 
+#: Topology builders for the cross-topology matrix: the flattened
+#: butterfly plus the families historically exercised only by their
+#: own test files — tori (ring wraparound, dateline VCs) and generic
+#: HyperX instances (multi-dimensional and multiplicity > 1).
+TOPOLOGIES = {
+    "fb4": lambda: FlattenedButterfly(4, 2),
+    "torus4": lambda: Torus((4,)),
+    "torus33": lambda: Torus((3, 3)),
+    "torus44": lambda: Torus((4, 4)),
+    "hx222": lambda: HyperX(concentration=2, dims=(2, 2)),
+    "hx2222": lambda: HyperX(concentration=2, dims=(2, 2, 2)),
+    "hx4m2": lambda: HyperX(concentration=4, dims=(4,), multiplicity=(2,)),
+}
+
+#: Algorithms valid per topology family (TorusDOR needs a Torus; the
+#: HyperX algorithms need a HyperX).
+TOPOLOGY_ALGORITHMS = {
+    "fb4": ("min_ad", "ugal", "ugal_s", "val", "dor"),
+    "torus4": ("torus_dor",),
+    "torus33": ("torus_dor",),
+    "torus44": ("torus_dor",),
+    "hx222": ("min_ad", "ugal", "val", "dor"),
+    "hx2222": ("min_ad", "ugal_s", "val", "dor"),
+    "hx4m2": ("min_ad", "ugal", "val"),
+}
+
+ALGORITHMS["torus_dor"] = TorusDOR
+
+
+def _random_topology_matrix(count=12, master_seed=20260806):
+    """A reproducible random matrix spanning all topology families."""
+    rng = random.Random(master_seed)
+    names = sorted(TOPOLOGIES)
+    cases = []
+    for i in range(count):
+        topology = names[i % len(names)]  # every family appears
+        cases.append(
+            (
+                topology,
+                rng.choice(TOPOLOGY_ALGORITHMS[topology]),
+                rng.choice(sorted(PATTERNS)),
+                rng.choice([0.05, 0.2, 0.5]),
+                rng.choice([1, 2]),
+                rng.randrange(1000),
+                rng.choice(["legacy", "mixed"]),
+            )
+        )
+    return cases
+
+
+TOPO_MATRIX = _random_topology_matrix()
+
 
 def _run(kernel, fb, algorithm, pattern, load, packet_size, seed, streams):
     sim = Simulator(
         FlattenedButterfly(*fb),
+        ALGORITHMS[algorithm](),
+        PATTERNS[pattern](),
+        SimulationConfig(seed=seed, packet_size=packet_size, rng_streams=streams),
+        kernel=kernel,
+    )
+    trace = ThroughputTrace(interval=1)
+    sim.attach_tracer(trace)
+    result = sim.run_open_loop(load, warmup=50, measure=80, drain_max=1500)
+    sim.check_activation_invariants()
+    return sim, trace.series, result
+
+
+def _run_topology(
+    kernel, topology, algorithm, pattern, load, packet_size, seed, streams
+):
+    sim = Simulator(
+        TOPOLOGIES[topology](),
         ALGORITHMS[algorithm](),
         PATTERNS[pattern](),
         SimulationConfig(seed=seed, packet_size=packet_size, rng_streams=streams),
@@ -158,6 +239,33 @@ class TestBitIdenticalResults:
         assert sim_p.packets_created == sim_e.packets_created
         assert sim_p.flits_ejected == sim_e.flits_ejected
         # The shared route RNG must have advanced identically.
+        assert sim_p.route_rng.getstate() == sim_e.route_rng.getstate()
+
+    @pytest.mark.parametrize(
+        "topology,algorithm,pattern,load,packet_size,seed,streams",
+        TOPO_MATRIX,
+        ids=[
+            f"{c[0]}-{c[1]}-{c[2]}-l{c[3]}-p{c[4]}-s{c[5]}-{c[6]}"
+            for c in TOPO_MATRIX
+        ],
+    )
+    def test_topology_matrix_point(
+        self, topology, algorithm, pattern, load, packet_size, seed, streams
+    ):
+        """Torus and HyperX configurations (previously exercised only
+        by their own test files) agree bit-for-bit across kernels."""
+        sim_p, series_p, res_p = _run_topology(
+            "polling", topology, algorithm, pattern, load, packet_size, seed,
+            streams,
+        )
+        sim_e, series_e, res_e = _run_topology(
+            "event", topology, algorithm, pattern, load, packet_size, seed,
+            streams,
+        )
+        assert series_p == series_e
+        assert res_p == res_e
+        assert sim_p.packets_created == sim_e.packets_created
+        assert sim_p.flits_ejected == sim_e.flits_ejected
         assert sim_p.route_rng.getstate() == sim_e.route_rng.getstate()
 
     def test_batch_runs_identical(self):
@@ -420,6 +528,138 @@ class TestDrainMaxValidation:
         # The guard fired before _consume, so the instance is reusable.
         result = sim.run_open_loop(0.1, warmup=20, measure=20, drain_max=500)
         assert result.cycles > 0
+
+
+#: Faulted configurations for the cross-kernel sweep:
+#: (id, topology factory, algorithm class, fault model).
+FAULTED_CONFIGS = [
+    (
+        "fb-ugal-links5",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(link_failure_fraction=0.05, seed=3),
+    ),
+    (
+        "fb-minad-links10",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareMinimalAdaptive,
+        FaultModel(link_failure_fraction=0.10, seed=5),
+    ),
+    (
+        "fb-val-router",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareValiant,
+        FaultModel(router_failure_fraction=0.25, seed=7),
+    ),
+    (
+        "fb-ugal-transients",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(
+            transient_links=3,
+            transient_start=60,
+            transient_span=80,
+            transient_duration=40,
+            seed=11,
+        ),
+    ),
+    (
+        "fb-ugal-mixed",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(
+            link_failure_fraction=0.05,
+            transient_links=2,
+            transient_start=60,
+            transient_span=60,
+            transient_duration=30,
+            seed=13,
+        ),
+    ),
+    (
+        "butterfly-links5",
+        lambda: Butterfly(4, 2),
+        FaultAwareDestinationTag,
+        FaultModel(link_failure_fraction=0.05, seed=3),
+    ),
+    (
+        "clos-links10",
+        lambda: FoldedClos(16, 4),
+        FaultAwareFoldedClosAdaptive,
+        FaultModel(link_failure_fraction=0.10, seed=9),
+    ),
+    (
+        "fb-ugal-explicit-transient",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(transients=(TransientFault(channel=0, start=70, end=140),)),
+    ),
+]
+
+
+class TestFaultedBitIdentical:
+    """Acceptance criterion: the two kernels produce bit-identical
+    results under identical fault schedules — permanent link and
+    router failures, sampled and explicit transient outages, and
+    their combination, across all three compared topology families."""
+
+    def _run_faulted(self, kernel, topo_factory, algo_cls, faults):
+        sim = Simulator(
+            topo_factory(),
+            algo_cls(),
+            UniformRandom(),
+            SimulationConfig(seed=17, faults=faults),
+            kernel=kernel,
+        )
+        trace = ThroughputTrace(interval=1)
+        sim.attach_tracer(trace)
+        result = sim.run_open_loop(0.25, warmup=50, measure=80, drain_max=1500)
+        sim.check_activation_invariants()
+        return sim, trace.series, result
+
+    @pytest.mark.parametrize(
+        "topo_factory,algo_cls,faults",
+        [c[1:] for c in FAULTED_CONFIGS],
+        ids=[c[0] for c in FAULTED_CONFIGS],
+    )
+    def test_faulted_point(self, topo_factory, algo_cls, faults):
+        sim_p, series_p, res_p = self._run_faulted(
+            "polling", topo_factory, algo_cls, faults
+        )
+        sim_e, series_e, res_e = self._run_faulted(
+            "event", topo_factory, algo_cls, faults
+        )
+        assert series_p == series_e
+        assert res_p == res_e
+        assert res_p.packets_undeliverable == res_e.packets_undeliverable
+        assert sim_p.packets_created == sim_e.packets_created
+        assert sim_p.packets_undeliverable == sim_e.packets_undeliverable
+        assert sim_p.flits_ejected == sim_e.flits_ejected
+        assert sim_p.route_rng.getstate() == sim_e.route_rng.getstate()
+        assert sim_p.traffic_rng.getstate() == sim_e.traffic_rng.getstate()
+        # Both kernels sampled the identical fault set.
+        assert sim_p.fault_set == sim_e.fault_set
+
+    def test_faulted_run_terminates_drain(self):
+        """Undeliverable pairs never enter the network, so the drain
+        phase completes even when the fault set severs many pairs."""
+        faults = FaultModel(link_failure_fraction=0.10, seed=3)
+        for kernel in KERNELS:
+            sim = Simulator(
+                Butterfly(4, 2),
+                FaultAwareDestinationTag(),
+                UniformRandom(),
+                SimulationConfig(seed=1, faults=faults),
+                kernel=kernel,
+            )
+            result = sim.run_open_loop(
+                0.25, warmup=50, measure=80, drain_max=1500
+            )
+            # The labeled window drained well before drain_max (the
+            # run would report saturated had undeliverable packets
+            # been allowed to enter and wedge the drain).
+            assert not result.saturated
+            assert result.packets_undeliverable > 0
 
 
 class TestCreditStarvedWirePort:
