@@ -6,7 +6,10 @@ saturation load, and emits ``BENCH_simulator.json`` with, per point
 and per kernel:
 
 * ``cycles_per_second`` — simulated cycles per wall-clock second
-  (best of ``--repeat`` runs),
+  (best of ``--repeat`` runs, i.e. minimum wall time — the least
+  noise-contaminated repeat), plus ``cycles_per_second_mean`` and
+  ``cycles_per_second_min`` over the same repeats so the spread is
+  visible in the artifact,
 * ``router_phase_calls`` — router-phase invocations (routing, switch,
   and wire visits; deterministic),
 * ``events_dispatched`` and ``idle_cycles_skipped``.
@@ -94,9 +97,11 @@ def collect(repeat=3, quick=False):
         fingerprints = {}
         for kernel in ("polling", "event"):
             best = None
+            rates = []
             for _ in range(repeat):
                 result = _run(kernel, load, warmup, measure, drain_max)
                 stats = result.kernel
+                rates.append(stats.cycles_per_second)
                 if best is None or stats.cycles_per_second > best["cycles_per_second"]:
                     best = {
                         "cycles_per_second": stats.cycles_per_second,
@@ -107,6 +112,11 @@ def collect(repeat=3, quick=False):
                         "wall_seconds": stats.wall_seconds,
                     }
                 fingerprints[kernel] = _fingerprint(result)
+            # Best (min wall time) is the headline; mean and worst
+            # expose the repeat-to-repeat spread, which on shared
+            # runners routinely exceeds real kernel differences.
+            best["cycles_per_second_mean"] = sum(rates) / len(rates)
+            best["cycles_per_second_min"] = min(rates)
             per_kernel[kernel] = best
         if fingerprints["polling"] != fingerprints["event"]:
             raise AssertionError(
@@ -156,6 +166,43 @@ def check(report):
     assert low["phase_call_ratio"] >= 3.0, low
 
 
+def check_against(report, baseline_path, tolerance=0.25):
+    """Coarse throughput-regression gate: fail when the event kernel's
+    best ``cycles_per_second`` falls more than ``tolerance`` below the
+    committed baseline at any load point.
+
+    The baseline was measured on a development machine, so absolute
+    rates differ from CI runners; the generous default tolerance is
+    meant to catch structural regressions (an accidental O(N) loop in
+    the hot path, a disabled fast path), not scheduler noise.  Points
+    present only on one side are ignored so window changes don't
+    hard-fail the gate.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    base_points = {p["label"]: p for p in baseline.get("points", [])}
+    failures = []
+    for point in report["points"]:
+        base = base_points.get(point["label"])
+        if base is None:
+            continue
+        new = point["event"]["cycles_per_second"]
+        old = base["event"]["cycles_per_second"]
+        if new < (1.0 - tolerance) * old:
+            failures.append(
+                f"{point['label']}: event kernel {new:.0f} c/s is below "
+                f"{100 * (1 - tolerance):.0f}% of baseline {old:.0f} c/s"
+            )
+    if failures:
+        raise AssertionError(
+            "event-kernel throughput regression vs "
+            f"{baseline_path}:\n  " + "\n  ".join(failures)
+        )
+    print(
+        f"regression gate passed: within {tolerance:.0%} of {baseline_path}"
+    )
+
+
 def test_kernel_benchmark():
     """CI smoke: quick windows, one repetition, deterministic checks."""
     report = collect(repeat=1, quick=True)
@@ -183,9 +230,25 @@ def main(argv=None):
     parser.add_argument(
         "--quick", action="store_true", help="shorter windows (CI smoke)"
     )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        default=None,
+        help="fail if the event kernel's cycles_per_second regresses more "
+        "than --tolerance below this committed baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression for --check-against "
+        "(default 0.25)",
+    )
     args = parser.parse_args(argv)
     report = collect(repeat=args.repeat, quick=args.quick)
     check(report)
+    if args.check_against:
+        check_against(report, args.check_against, tolerance=args.tolerance)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
     for point in report["points"]:

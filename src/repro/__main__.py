@@ -1,15 +1,16 @@
-"""Top-level maintenance CLI (``python -m repro`` / ``repro``).
+"""Top-level CLI (``python -m repro`` / ``repro``).
 
-Currently hosts the result-cache housekeeping commands:
-
+* ``repro experiments <id> [flags]`` — run a figure/table experiment;
+  every flag of ``python -m repro.experiments`` passes through
+  unchanged (``--scale``, ``--jobs``, ``--cache-dir``, ``--no-cache``,
+  ``--csv``, ``--progress``, ``--profile``).
 * ``repro cache stats`` — entry count, disk usage, and age range of
   the on-disk :class:`~repro.runner.ResultCache`.
 * ``repro cache prune [--older-than-days N]`` — delete entries older
   than the cutoff (all entries without one).
 
-Both honor ``$REPRO_CACHE_DIR`` and accept ``--cache-dir`` to target
-another directory.  Experiment execution lives in
-``python -m repro.experiments``.
+The cache commands honor ``$REPRO_CACHE_DIR`` and accept
+``--cache-dir`` to target another directory.
 """
 
 from __future__ import annotations
@@ -72,13 +73,32 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Maintenance commands for the flattened-butterfly "
-        "reproduction (experiments run via `python -m repro.experiments`).",
+        description="Run experiments and maintain the result cache of "
+        "the flattened-butterfly reproduction.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    # Thin passthrough: the experiment runner keeps sole ownership of
+    # its flag set (--scale/--jobs/--cache-dir/--no-cache/--csv/
+    # --progress/--profile), so `repro experiments --help` shows it and
+    # new flags never need mirroring here.
+    experiments = commands.add_parser(
+        "experiments",
+        help="run a figure/table experiment "
+        "(same flags as python -m repro.experiments)",
+        add_help=False,
+    )
+    experiments.add_argument("rest", nargs=argparse.REMAINDER)
+    experiments.set_defaults(func=_cmd_experiments)
 
     cache = commands.add_parser(
         "cache", help="inspect or prune the on-disk result cache"
@@ -108,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        # Forward before argparse touches the tail, so option-like
+        # leading tokens (`repro experiments --help`) reach the
+        # experiment runner's own parser instead of tripping ours.
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

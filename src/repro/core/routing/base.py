@@ -43,6 +43,20 @@ class RoutingAlgorithm(abc.ABC):
     num_vcs: int = 1
     sequential: bool = False
     fault_aware: bool = False
+    #: Whether the event kernel may resolve a head that is already at
+    #: its destination router straight to the ejection port ``(port,
+    #: vc=0)`` without consulting :meth:`route_event`.  True for every
+    #: algorithm whose first action on such a head is exactly
+    #: ``return engine.ejection_port(packet.dst), 0`` with no RNG draw
+    #: and no packet mutation.  Algorithms that may *pass through* the
+    #: destination router (Valiant-phase traffic) set this False.
+    inline_eject: bool = True
+    #: Whether the algorithm participates in the shared, topology-keyed
+    #: route-table layer (``repro.core.routing.table``).  The table only
+    #: memoizes pure functions of the topology, so it never changes a
+    #: decision; set False (or ``REPRO_ROUTE_TABLE=0``) to force the
+    #: uncached reference paths.
+    use_route_table: bool = True
 
     def attach(self, simulator: "Simulator") -> None:
         """Bind the algorithm to a simulator (topology, RNG).

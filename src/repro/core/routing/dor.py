@@ -59,6 +59,9 @@ class DimensionOrder(RoutingAlgorithm):
         super().attach(simulator)
         if not isinstance(self.topology, HyperX):
             raise TypeError(f"{self.name} requires a HyperX-family topology")
+        from .table import maybe_route_table
+
+        self._route_table = maybe_route_table(self, self.topology)
 
     def route(self, engine, packet):
         current = engine.router_id
@@ -66,3 +69,14 @@ class DimensionOrder(RoutingAlgorithm):
             return engine.ejection_port(packet.dst), 0
         channel, _ = dor_next_channel(self.topology, current, packet.dst_router)
         return engine.port_for_channel(channel), 0
+
+    def route_event(self, engine, packet):
+        """:meth:`route` with the unique DOR hop looked up in the
+        shared route table (oblivious — no draws to preserve)."""
+        table = self._route_table
+        if table is None:
+            return self.route(engine, packet)
+        current = engine.router_id
+        if current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        return table.dor_next(current, packet.dst_router)[0], 0

@@ -17,6 +17,7 @@ from typing import List, Tuple
 from ...topologies.hyperx import HyperX
 from ...topologies.base import Channel
 from .base import RoutingAlgorithm
+from .table import maybe_route_table
 
 
 def pick_min_cost(candidates, rng: random.Random):
@@ -56,11 +57,14 @@ class MinimalAdaptive(RoutingAlgorithm):
         if not isinstance(self.topology, HyperX):
             raise TypeError(f"{self.name} requires a HyperX-family topology")
         self.num_vcs = self.topology.num_dims
-        # (current, dst_router) -> (vc, ((out_port, channel), ...)).
         # Minimal-route candidates and hop counts are pure functions of
         # the topology, so they are computed once per router pair; only
         # the occupancy comparison (and its RNG tie-breaks) runs per
-        # routing decision.
+        # routing decision.  The entries normally live in the shared
+        # per-topology RouteTable; with the table layer disabled they
+        # fall back to a private cache of the same shape.
+        self._route_table = maybe_route_table(self, self.topology)
+        # (current, dst_router) -> (vc, ((out_port, channel), ...)).
         self._minimal_cache = {}
 
     def productive_channels(self, current: int, dst_router: int) -> List[Channel]:
@@ -76,6 +80,9 @@ class MinimalAdaptive(RoutingAlgorithm):
     def _minimal_candidates(self, engine, current: int, dst_router: int):
         """Cached ``(vc, ((out_port, channel), ...))`` for a minimal
         hop out of ``current`` toward ``dst_router``."""
+        table = self._route_table
+        if table is not None:
+            return table.minimal(current, dst_router)
         key = (current, dst_router)
         entry = self._minimal_cache.get(key)
         if entry is None:
@@ -119,9 +126,22 @@ class MinimalAdaptive(RoutingAlgorithm):
         vc, candidates = self._minimal_candidates(engine, current, packet.dst_router)
         if len(candidates) == 1:
             return candidates[0][0], vc
+        # Inline of pick_min_cost over (occ, 0, port) triples: the
+        # secondary tie key is constant, so comparing the raw costs
+        # performs the identical comparisons and reservoir draws.
         out_ports = engine.out_ports
-        port = pick_min_cost(
-            ((out_ports[p].occupancy(), 0, p) for p, _ch in candidates),
-            self.rng,
-        )
-        return port, vc
+        rng = self.rng
+        best = -1
+        best_cost = None
+        ties = 0
+        for p, _ch in candidates:
+            cost = out_ports[p].occ
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = p
+                ties = 1
+            elif cost == best_cost:
+                ties += 1
+                if rng.random() * ties < 1.0:
+                    best = p
+        return best, vc

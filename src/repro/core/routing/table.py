@@ -1,0 +1,180 @@
+"""Shared, topology-keyed route tables.
+
+Most of the routing work on the paper's topologies is a pure function
+of ``(topology, current router, target)``: MIN AD's minimal-candidate
+set, the unique dimension-order hop used by VAL and UGAL's non-minimal
+phase, the destination-tag hop of the conventional butterfly.  PR 2
+memoized the MIN AD candidates per *algorithm instance*; this module
+lifts that memoization into a :class:`RouteTable` shared by every
+algorithm instance bound to the same topology object, so a sweep that
+re-runs one topology at many load points pays each precomputation once
+and every per-hop oblivious lookup becomes a dictionary hit.
+
+Fault-aware wrappers never rebuild a table: they overlay caches that
+*mask* the healthy entries by the permanent fault set (see
+``repro.faults.routing``).  Transient outages are priced per decision,
+not masked — they heal, so they never change a candidate set.
+
+Tables store output *port* numbers.  Ports are assigned by the
+simulator's ``RouterEngine`` construction, not by the topology, but the
+assignment is a deterministic function of the topology's channel
+enumeration; the table therefore records the ``channel -> port`` map of
+the first simulator that binds it and *verifies* every later simulator
+against that map (:meth:`RouteTable.bind`), failing loudly rather than
+ever returning a port that means something different to the engine
+asking.
+
+The layer can be disabled globally with ``REPRO_ROUTE_TABLE=0`` (the
+equivalence tests run both settings and assert bit-identical results)
+or per algorithm class via ``RoutingAlgorithm.use_route_table``.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Dict, Optional, Tuple
+
+from .dor import dor_next_channel
+
+#: Environment toggle: set to ``"0"`` to disable shared route tables
+#: (every algorithm falls back to its uncached reference path).
+ROUTE_TABLE_ENV = "REPRO_ROUTE_TABLE"
+
+#: One table per live topology object; entries die with the topology.
+_SHARED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def route_tables_enabled() -> bool:
+    """Whether the shared route-table layer is switched on (checked at
+    algorithm attach time, so tests can toggle per simulator)."""
+    return os.environ.get(ROUTE_TABLE_ENV, "1") != "0"
+
+
+def shared_route_table(topology) -> "RouteTable":
+    """The process-wide :class:`RouteTable` for ``topology`` (created
+    on first request)."""
+    table = _SHARED.get(topology)
+    if table is None:
+        table = RouteTable(topology)
+        _SHARED[topology] = table
+    return table
+
+
+class RouteTable:
+    """Lazily filled routing lookups for one topology, shared across
+    algorithm instances and simulators.
+
+    All entries are pure functions of the topology (and, for ports, of
+    the deterministic engine construction), so sharing them cannot
+    change any routing decision: the table returns exactly what the
+    uncached code would recompute, in the same candidate order.
+    """
+
+    __slots__ = ("topology", "_port_of", "_minimal", "_dor", "_dtag", "_hops", "__weakref__")
+
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        # channel index -> output port at the channel's source router;
+        # recorded by the first bind(), verified by every later one.
+        self._port_of: Optional[Dict[int, int]] = None
+        # (current, dst_router) -> (vc, ((port, channel), ...))
+        self._minimal: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
+        # (current, target) -> (port, channel, hops_remaining)
+        self._dor: Dict[Tuple[int, int], Tuple[int, object, int]] = {}
+        # (current, dst position address) -> port
+        self._dtag: Dict[Tuple[int, int], int] = {}
+        # (a, b) -> minimal inter-router hops
+        self._hops: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def bind(self, simulator) -> "RouteTable":
+        """Record (first simulator) or verify (every later one) the
+        ``channel -> port`` map of ``simulator``'s engines.
+
+        Called by the simulator once its engines are built.  A mismatch
+        means engine port assignment stopped being a deterministic
+        function of the topology — a table port would then be
+        meaningless to the asking engine, so this raises instead of
+        guessing.
+        """
+        port_of: Dict[int, int] = {}
+        for engine in simulator.engines:
+            port_of.update(engine._port_of_channel)
+        if self._port_of is None:
+            self._port_of = port_of
+        elif self._port_of != port_of:
+            raise AssertionError(
+                "channel->port map differs between simulators sharing a "
+                "topology; the shared route table cannot serve both"
+            )
+        return self
+
+    def port_of(self, channel) -> int:
+        """Output port (at the channel's source router) for ``channel``."""
+        return self._port_of[channel.index]
+
+    # ------------------------------------------------------------------
+    def minimal(self, current: int, dst_router: int):
+        """``(vc, ((port, channel), ...))`` for a minimal hop out of
+        ``current`` toward ``dst_router``, in MIN AD's candidate order
+        (ascending differing dimension, then parallel-channel order);
+        ``vc`` is ``hops_remaining - 1``."""
+        key = (current, dst_router)
+        entry = self._minimal.get(key)
+        if entry is None:
+            topo = self.topology
+            port_of = self._port_of
+            candidates = []
+            for d in topo.differing_dims(current, dst_router):
+                nbr = topo.neighbor(current, d, topo.coord_digit(dst_router, d))
+                for ch in topo.channels_between(current, nbr):
+                    candidates.append((port_of[ch.index], ch))
+            entry = (
+                topo.min_router_hops(current, dst_router) - 1,
+                tuple(candidates),
+            )
+            self._minimal[key] = entry
+        return entry
+
+    def dor_next(self, current: int, target: int):
+        """``(port, channel, hops_remaining)`` for the unique
+        dimension-order hop from ``current`` toward ``target``."""
+        key = (current, target)
+        entry = self._dor.get(key)
+        if entry is None:
+            channel, remaining = dor_next_channel(self.topology, current, target)
+            entry = (self._port_of[channel.index], channel, remaining)
+            self._dor[key] = entry
+        return entry
+
+    def hops(self, a: int, b: int) -> int:
+        """Memoized ``topology.min_router_hops(a, b)``."""
+        key = (a, b)
+        h = self._hops.get(key)
+        if h is None:
+            h = self.topology.min_router_hops(a, b)
+            self._hops[key] = h
+        return h
+
+    def destination_tag_next(self, current: int, dst_terminal: int) -> int:
+        """Output port of the unique destination-tag hop on a
+        conventional butterfly (the path depends only on the
+        destination's position address, ``dst_terminal // k``)."""
+        topo = self.topology
+        key = (current, dst_terminal // topo.k)
+        port = self._dtag.get(key)
+        if port is None:
+            channel = topo.destination_tag_next(current, dst_terminal)
+            port = self._port_of[channel.index]
+            self._dtag[key] = port
+        return port
+
+
+def maybe_route_table(algorithm, topology) -> Optional[RouteTable]:
+    """The shared table for ``topology``, or None when the layer is
+    disabled globally (``REPRO_ROUTE_TABLE=0``) or for this algorithm
+    class (``use_route_table = False``)."""
+    if not algorithm.use_route_table or not route_tables_enabled():
+        return None
+    return shared_route_table(topology)

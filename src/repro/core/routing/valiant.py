@@ -24,6 +24,7 @@ from typing import Tuple
 from ...topologies.hyperx import HyperX
 from .base import RoutingAlgorithm
 from .dor import dor_next_channel
+from .table import maybe_route_table
 
 PHASE_TO_INTERMEDIATE = 0
 PHASE_TO_DESTINATION = 1
@@ -35,11 +36,16 @@ class Valiant(RoutingAlgorithm):
     name = "VAL"
     num_vcs = 2
     sequential = False
+    # A Valiant-phase packet may pass *through* its destination router
+    # on the way to the intermediate, so at-destination heads cannot be
+    # ejected without consulting the phase.
+    inline_eject = False
 
     def attach(self, simulator) -> None:
         super().attach(simulator)
         if not isinstance(self.topology, HyperX):
             raise TypeError(f"{self.name} requires a HyperX-family topology")
+        self._route_table = maybe_route_table(self, self.topology)
 
     def on_packet_created(self, packet) -> None:
         packet.intermediate = self.rng.randrange(self.topology.num_routers)
@@ -59,3 +65,19 @@ class Valiant(RoutingAlgorithm):
             vc = 0
         channel, _ = dor_next_channel(self.topology, current, target)
         return engine.port_for_channel(channel), vc
+
+    def route_event(self, engine, packet) -> Tuple[int, int]:
+        """Same decision as :meth:`route` with the dimension-order hop
+        looked up in the shared route table (DOR is oblivious: no draws,
+        no cost reads, so the table hit is trivially bit-identical)."""
+        table = self._route_table
+        if table is None:
+            return self.route(engine, packet)
+        current = engine.router_id
+        if packet.phase == PHASE_TO_INTERMEDIATE and current == packet.intermediate:
+            packet.phase = PHASE_TO_DESTINATION
+        if packet.phase == PHASE_TO_DESTINATION and current == packet.dst_router:
+            return engine.ejection_port(packet.dst), 0
+        if packet.phase == PHASE_TO_INTERMEDIATE:
+            return table.dor_next(current, packet.intermediate)[0], 1
+        return table.dor_next(current, packet.dst_router)[0], 0

@@ -19,12 +19,41 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
 from . import ALL_EXPERIMENTS
+from ..profiling import PROFILE_ENV, format_phase_report
 from ..runner import ResultCache, SweepRunner, resolve_jobs
 from ..runner.sweep import stderr_progress
+
+
+def _print_profile(name: str, report, profiler) -> None:
+    """Emit the --profile output for one experiment: the kernel phase
+    breakdown and counters gathered by the sweep, then the cProfile
+    hot list."""
+    import io
+    import pstats
+
+    print(f"\n=== profile: {name} ===")
+    phases = getattr(report, "phase_seconds", None)
+    if phases:
+        print(format_phase_report(phases))
+    counters = [
+        ("route calls", getattr(report, "route_calls", 0)),
+        ("flits allocated", getattr(report, "flits_allocated", 0)),
+        ("flits reused", getattr(report, "flits_reused", 0)),
+    ]
+    if any(count for _label, count in counters):
+        print("kernel counters:")
+        for label, count in counters:
+            print(f"  {label:15s} {count:>12,}")
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(25)
+    print("cProfile (top 25 by total time):")
+    print(stream.getvalue().rstrip())
 
 
 def main(argv=None) -> int:
@@ -74,6 +103,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="print per-point sweep progress to stderr",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: serial, cache disabled, kernel phase "
+        "timers on; prints a phase breakdown plus the cProfile hot list "
+        "per experiment",
+    )
     args = parser.parse_args(argv)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
@@ -81,6 +117,16 @@ def main(argv=None) -> int:
         resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+
+    if args.profile:
+        # Serial and uncached so the profile reflects the simulation
+        # itself, not worker scheduling or cache replay; the env flag
+        # switches every simulator built under this process (and any
+        # sweep worker, had --jobs been forced) to the timed kernel
+        # step.
+        args.jobs = 1
+        args.no_cache = True
+        os.environ[PROFILE_ENV] = "1"
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     for name in names:
@@ -94,11 +140,21 @@ def main(argv=None) -> int:
         kwargs = {}
         if "runner" in inspect.signature(run).parameters:
             kwargs["runner"] = runner
+        profiler = None
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         result = run(args.scale, **kwargs)
+        if profiler is not None:
+            profiler.disable()
         print(result.to_text())
         if args.csv:
             for path in result.write_csv(args.csv):
                 print(f"[wrote {path}]")
+        if profiler is not None:
+            _print_profile(name, runner.report, profiler)
         footer = f"\n[{name} completed in {time.time() - start:.1f}s"
         if runner.report.total:
             footer += f" — {runner.report.summary()}"

@@ -86,6 +86,11 @@ class _DorFaultHelper:
         self._dor_faults = faults
         self._dor_alive_cache: Dict[Tuple[int, int], bool] = {}
         self._feasible_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        # (current, target) -> (channel | None, remaining): the masked
+        # counterpart of RouteTable.dor_next.  Permanent faults are
+        # fixed for the simulation, so the surviving hop is a pure
+        # function of the pair and safe to memoize.
+        self._dor_hop_cache: Dict[Tuple[int, int], Tuple[Optional[Channel], int]] = {}
 
     def _alive_channel_to(
         self, current: int, dim: int, value: int
@@ -115,6 +120,17 @@ class _DorFaultHelper:
             self._alive_channel_to(current, d, topo.coord_digit(target, d)),
             remaining,
         )
+
+    def _dor_hop(
+        self, current: int, target: int
+    ) -> Tuple[Optional[Channel], int]:
+        """Memoized :meth:`_dor_next_alive` (identical return value)."""
+        key = (current, target)
+        entry = self._dor_hop_cache.get(key)
+        if entry is None:
+            entry = self._dor_next_alive(current, target)
+            self._dor_hop_cache[key] = entry
+        return entry
 
     def _dor_alive(self, src_router: int, dst_router: int) -> bool:
         """Whether the unique DOR route survives the permanent faults."""
@@ -176,6 +192,13 @@ class FaultAwareMinimalAdaptive(MinimalAdaptive):
         self._faults = _fault_state(simulator)
         self._coster = _ChannelCoster(self._faults)
         self._reach_cache: Dict[Tuple[int, int], bool] = {}
+        # (current, dst_router) -> (vc, ((port, channel), ...)): the
+        # fault mask over RouteTable.minimal — surviving, non-dead-end
+        # candidates in the table's order.  Only the candidate *set* is
+        # cached (it depends on permanent faults alone); costs, with
+        # their transient-outage surcharges, are still read per
+        # decision.
+        self._masked_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
 
     # ------------------------------------------------------------------
     def minimally_reachable(self, current: int, dst_router: int) -> bool:
@@ -215,12 +238,52 @@ class FaultAwareMinimalAdaptive(MinimalAdaptive):
             if self.minimally_reachable(ch.dst, dst_router)
         ]
 
+    def _masked_minimal(self, current: int, dst_router: int):
+        """``(vc, ((port, channel), ...))``: the shared table's minimal
+        entry masked by the permanent faults, in the same candidate
+        order as :meth:`productive_channels`."""
+        key = (current, dst_router)
+        entry = self._masked_cache.get(key)
+        if entry is None:
+            vc, candidates = self._route_table.minimal(current, dst_router)
+            failed = self._faults.failed_channels
+            kept = tuple(
+                (port, ch)
+                for port, ch in candidates
+                if ch.index not in failed
+                and self.minimally_reachable(ch.dst, dst_router)
+            )
+            entry = (vc, kept)
+            self._masked_cache[key] = entry
+        return entry
+
     def route(self, engine, packet) -> Tuple[int, int]:
         if self._faults is None:
             return super().route(engine, packet)
         current = engine.router_id
         if current == packet.dst_router:
             return engine.ejection_port(packet.dst), 0
+        coster = self._coster
+        rng = self.rng
+        if self._route_table is not None:
+            # Masked-table path: identical candidates in identical
+            # order, so the cost sequence seen by pick_min_cost (and
+            # therefore every tie-break draw) matches the uncached path
+            # below.
+            vc, pairs = self._masked_minimal(current, packet.dst_router)
+            if not pairs:
+                raise AssertionError(
+                    f"router {current}: no surviving minimal route to "
+                    f"{packet.dst_router}; packet {packet.pid} should have "
+                    f"been accounted undeliverable at creation"
+                )
+            cost = coster.cost
+            return (
+                pick_min_cost(
+                    ((cost(engine, ch), 0, port) for port, ch in pairs), rng
+                ),
+                vc,
+            )
         candidates = self.productive_channels(current, packet.dst_router)
         if not candidates:
             raise AssertionError(
@@ -229,10 +292,9 @@ class FaultAwareMinimalAdaptive(MinimalAdaptive):
                 f"accounted undeliverable at creation"
             )
         vc = self.topology.min_router_hops(current, packet.dst_router) - 1
-        coster = self._coster
         channel = pick_min_cost(
             ((coster.cost(engine, ch), 0, ch) for ch in candidates),
-            self.rng,
+            rng,
         )
         return engine.port_for_channel(channel), vc
 
@@ -302,13 +364,24 @@ class FaultAwareValiant(Valiant, _DorFaultHelper):
             target, vc = packet.intermediate, 1
         else:
             target, vc = packet.dst_router, 0
-        channel, _ = self._dor_next_alive(current, target)
+        if self._route_table is not None:
+            # Masked-DOR cache: same unique surviving hop, memoized.
+            channel, _ = self._dor_hop(current, target)
+        else:
+            channel, _ = self._dor_next_alive(current, target)
         if channel is None:
             raise AssertionError(
                 f"router {current}: DOR hop toward {target} has no surviving "
                 f"channel despite feasibility filtering"
             )
         return engine.port_for_channel(channel), vc
+
+    def route_event(self, engine, packet) -> Tuple[int, int]:
+        # Valiant's table route_event takes the *healthy* DOR hop, so
+        # under faults the masked path in route() must run instead.
+        if self._faults is None:
+            return super().route_event(engine, packet)
+        return self.route(engine, packet)
 
     def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
         faults = self._faults
@@ -350,10 +423,32 @@ class FaultAwareUGAL(UGAL, _DorFaultHelper):
         self._minimal.attach(simulator)
         self._faults = _fault_state(simulator)
         self._coster = _ChannelCoster(self._faults)
+        from ..core.routing.table import maybe_route_table
+
+        self._route_table = maybe_route_table(self, self.topology)
         if self._faults is not None:
             self._dor_init(self.topology, self._faults)
+            # (current, dst) -> feasible intermediates minus the
+            # degenerate endpoints, as _decide enumerates them.
+            self._feasible_proper_cache: Dict[
+                Tuple[int, int], List[int]
+            ] = {}
 
     # ------------------------------------------------------------------
+    def _feasible_proper(self, current: int, dst: int) -> List[int]:
+        """Feasible intermediates excluding the degenerate endpoints,
+        memoized (pure function of the permanent faults)."""
+        key = (current, dst)
+        feasible = self._feasible_proper_cache.get(key)
+        if feasible is None:
+            feasible = [
+                i
+                for i in self._feasible_intermediates(current, dst)
+                if i not in (current, dst)
+            ]
+            self._feasible_proper_cache[key] = feasible
+        return feasible
+
     def _decide(self, engine, packet) -> None:
         if self._faults is None:
             return super()._decide(engine, packet)
@@ -361,12 +456,13 @@ class FaultAwareUGAL(UGAL, _DorFaultHelper):
         current = engine.router_id
         dst = packet.dst_router
         coster = self._coster
-        min_candidates = self._minimal.productive_channels(current, dst)
-        feasible = [
-            i
-            for i in self._feasible_intermediates(current, dst)
-            if i not in (current, dst)
-        ]
+        if self._route_table is not None:
+            min_candidates = [
+                ch for _port, ch in self._minimal._masked_minimal(current, dst)[1]
+            ]
+        else:
+            min_candidates = self._minimal.productive_channels(current, dst)
+        feasible = self._feasible_proper(current, dst)
         if not min_candidates and not feasible:
             raise AssertionError(
                 f"packet {packet.pid} has neither a minimal nor a Valiant "
@@ -394,13 +490,20 @@ class FaultAwareUGAL(UGAL, _DorFaultHelper):
         h_val = topo.min_router_hops(current, intermediate) + topo.min_router_hops(
             intermediate, dst
         )
-        val_channel, _ = self._dor_next_alive(current, intermediate)
+        val_channel, _ = self._masked_dor(current, intermediate)
         q_val = coster.cost(engine, val_channel)
         if q_min * h_min <= q_val * h_val + self.threshold:
             packet.minimal = True
         else:
             packet.minimal = False
             packet.intermediate = intermediate
+
+    def _masked_dor(self, current: int, target: int):
+        """The surviving DOR hop — memoized via the mask cache when the
+        route-table layer is on, recomputed otherwise (same value)."""
+        if self._route_table is not None:
+            return self._dor_hop(current, target)
+        return self._dor_next_alive(current, target)
 
     def route(self, engine, packet) -> Tuple[int, int]:
         if self._faults is None:
@@ -418,20 +521,29 @@ class FaultAwareUGAL(UGAL, _DorFaultHelper):
         if packet.phase == PHASE_TO_DESTINATION and current == packet.dst_router:
             return engine.ejection_port(packet.dst), 0
         if packet.phase == PHASE_TO_INTERMEDIATE:
-            channel, _ = self._dor_next_alive(current, packet.intermediate)
+            channel, _ = self._masked_dor(current, packet.intermediate)
             if channel is None:
                 raise AssertionError(
                     f"router {current}: severed DOR hop toward intermediate "
                     f"{packet.intermediate}"
                 )
             return engine.port_for_channel(channel), topo.num_dims
-        channel, remaining = self._dor_next_alive(current, packet.dst_router)
+        channel, remaining = self._masked_dor(current, packet.dst_router)
         if channel is None:
             raise AssertionError(
                 f"router {current}: severed DOR hop toward destination "
                 f"{packet.dst_router}"
             )
         return engine.port_for_channel(channel), remaining - 1
+
+    def route_event(self, engine, packet) -> Tuple[int, int]:
+        # UGAL's table route_event takes *healthy* DOR hops for the
+        # Valiant phase; under faults the masked path in route() must
+        # run instead (its minimal branch still hits the masked-table
+        # candidate cache through self._minimal).
+        if self._faults is None:
+            return super().route_event(engine, packet)
+        return self.route(engine, packet)
 
     def deliverable(self, src_terminal: int, dst_terminal: int) -> bool:
         faults = self._faults
@@ -517,8 +629,16 @@ class FaultAwareFoldedClosAdaptive(FoldedClosAdaptive):
         super().attach(simulator)
         self._faults = _fault_state(simulator)
         self._coster = _ChannelCoster(self._faults)
+        # (leaf, dst_leaf) -> surviving uplinks; the candidate set
+        # depends only on the permanent faults, so it is computed once
+        # per pair (costs stay per-decision).
+        self._uplink_cache: Dict[Tuple[int, int], List[Channel]] = {}
 
     def _usable_uplinks(self, leaf: int, dst_leaf: int) -> List[Channel]:
+        key = (leaf, dst_leaf)
+        usable = self._uplink_cache.get(key)
+        if usable is not None:
+            return usable
         topo = self.topology
         faults = self._faults
         failed_channels = faults.failed_channels
@@ -533,6 +653,7 @@ class FaultAwareFoldedClosAdaptive(FoldedClosAdaptive):
             if topo.downlink(spine, dst_leaf).index in failed_channels:
                 continue
             usable.append(uplink)
+        self._uplink_cache[key] = usable
         return usable
 
     def route(self, engine, packet) -> Tuple[int, int]:

@@ -51,6 +51,7 @@ class SequentialAllocator(Allocator):
 
     def record(self, out_port, vc: int, flits: int) -> None:
         out_port.pending[vc] += flits
+        out_port.occ += flits
 
     def end_cycle(self) -> None:
         pass
@@ -73,6 +74,7 @@ class GreedyAllocator(Allocator):
     def end_cycle(self) -> None:
         for out_port, vc, flits in self._deferred:
             out_port.pending[vc] += flits
+            out_port.occ += flits
         self._deferred.clear()
 
 

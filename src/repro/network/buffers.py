@@ -91,6 +91,7 @@ class OutPort:
         "rr_pointer",
         "wire_pointer",
         "next_free",
+        "occ",
     )
 
     def __init__(
@@ -129,10 +130,26 @@ class OutPort:
         # Earliest cycle the (possibly sub-unit-bandwidth) channel can
         # accept its next flit.
         self.next_free = 0
+        # Incrementally maintained mirror of :meth:`occupancy` for
+        # channel ports — the derived value routing polls constantly.
+        # It changes at exactly two points: a routing commit adds the
+        # packet size (``pending`` grows) and a returning credit
+        # subtracts one (``credits`` grows).  The switch move
+        # (pending -> staging) and the wire send (staging -> in
+        # flight) are occupancy-neutral, so nothing else touches it.
+        # Ejection ports never maintain it (their occupancy reads as 0
+        # regardless).  :meth:`occupancy` still *computes* its answer,
+        # so tests can cross-check the counter against ground truth
+        # (see ``Simulator.check_activation_invariants``).
+        self.occ = 0
 
     def occupancy(self) -> int:
         """Estimated queue length, summed over VCs: staged flits plus
-        downstream/in-flight flits plus committed-but-unsent flits."""
+        downstream/in-flight flits plus committed-but-unsent flits.
+
+        Computed from first principles; the hot paths read the
+        incrementally maintained ``occ`` mirror instead.
+        """
         if self.kind == EJECTION_PORT:
             return 0
         total = 0

@@ -57,6 +57,7 @@ class BernoulliInjection(InjectionProcess):
         self.load = load
         self._calendar: Dict[int, List[int]] = {}
         self._stopped = False
+        self._every: Optional[List[Tuple[int, int]]] = None
 
     def start(self, num_terminals: int, packet_size: int, rng: random.Random) -> None:
         rate = self.load / packet_size
@@ -70,6 +71,16 @@ class BernoulliInjection(InjectionProcess):
         self._calendar = {}
         self._stopped = False
         self._log_q = math.log1p(-rate) if rate < 1.0 else None
+        if self._log_q is None:
+            # rate == 1.0: every terminal injects every cycle and no
+            # gap is ever drawn, so the calendar machinery degenerates
+            # to returning the same (terminal, 1) list each cycle —
+            # precompute it once instead of popping and rescheduling
+            # every terminal every cycle.  The returned pairs and their
+            # order are identical to what the calendar would produce.
+            self._every = [(terminal, 1) for terminal in range(num_terminals)]
+            return
+        self._every = None
         for terminal in range(num_terminals):
             self._schedule(terminal, -1)
 
@@ -79,7 +90,13 @@ class BernoulliInjection(InjectionProcess):
         else:
             u = self._rng.random()
             gap = 1 + int(math.log(1.0 - u) / self._log_q)
-        self._calendar.setdefault(now + gap, []).append(terminal)
+        calendar = self._calendar
+        cycle = now + gap
+        slot = calendar.get(cycle)
+        if slot is None:
+            calendar[cycle] = [terminal]
+        else:
+            slot.append(terminal)
 
     def stop(self) -> None:
         """Stop generating new packets (used while draining)."""
@@ -89,6 +106,8 @@ class BernoulliInjection(InjectionProcess):
     def injections(self, now: int) -> List[Tuple[int, int]]:
         if self._stopped:
             return []
+        if self._every is not None:
+            return self._every
         terminals = self._calendar.pop(now, None)
         if not terminals:
             return []
@@ -100,9 +119,13 @@ class BernoulliInjection(InjectionProcess):
         return self._stopped
 
     def next_injection_cycle(self, now: int) -> Optional[int]:
+        if self._stopped:
+            return None
+        if self._every is not None:
+            return now
         # One calendar entry per terminal, so this is O(terminals) —
         # paid only when the whole network is quiescent.
-        if self._stopped or not self._calendar:
+        if not self._calendar:
             return None
         return min(self._calendar)
 

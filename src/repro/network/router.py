@@ -59,6 +59,8 @@ class RouterEngine:
         "_staged_ports",
         "_rr_offset",
         "_num_invcs",
+        "_resweep",
+        "_resweep_cycle",
         "_event",
         "_pipes",
         "_wheel",
@@ -99,6 +101,11 @@ class RouterEngine:
         self._staged_ports: Dict[OutPort, None] = {}
         self._rr_offset = 0
         self._num_invcs = 0
+        # Narrow re-sweep state for route_switch: the outputs worth
+        # re-examining in a follow-up sub-iteration, valid only while
+        # ``_resweep_cycle`` matches the current cycle.
+        self._resweep: Dict[OutPort, None] = {}
+        self._resweep_cycle = -1
 
     # ------------------------------------------------------------------
     # Construction (called by the Simulator)
@@ -172,12 +179,17 @@ class RouterEngine:
         return self._ej_port_of_terminal[terminal]
 
     def channel_occupancy(self, channel: "Channel") -> int:
-        """Estimated queue length (all VCs) of the output channel."""
-        return self.out_ports[self._port_of_channel[channel.index]].occupancy()
+        """Estimated queue length (all VCs) of the output channel.
+
+        Reads the incrementally maintained counter; O(1) per call
+        (routing algorithms poll this for every candidate of every
+        decision)."""
+        return self.out_ports[self._port_of_channel[channel.index]].occ
 
     def port_occupancy(self, port: int) -> int:
         """Estimated queue length (all VCs) of output ``port``."""
-        return self.out_ports[port].occupancy()
+        out = self.out_ports[port]
+        return 0 if out.kind == EJECTION_PORT else out.occ
 
     # ------------------------------------------------------------------
     # Per-cycle phases
@@ -228,6 +240,7 @@ class RouterEngine:
             pending.sort(key=lambda v: ((v.in_port - offset) % num_in, v.vc))
         allocator = self.sim.allocator
         algorithm = self.sim.algorithm
+        self.sim._route_calls += len(pending)
         allocator.begin_cycle()
         for invc in pending:
             head = invc.fifo[0]
@@ -277,10 +290,21 @@ class RouterEngine:
         order is irrelevant).  The sub-iterations it declines (return
         value 1) are exactly those in which the polling kernel routes
         and switches nothing at this router.
+
+        Follow-up sub-iterations within one cycle (the calls after a
+        return of 2) sweep only the outputs that moved a flit in the
+        previous sub-iteration plus outputs gaining a newly routed
+        head: within a cycle an output's requesters, staging and
+        ownership change only through its *own* switch progress, so a
+        blocked output stays blocked and re-examining it would mutate
+        nothing and draw nothing — skipping it is bit-identical.
         """
         sim = self.sim
         unrouted = self._unrouted
         requests = self._requests
+        # The narrow re-sweep set, valid only for follow-up calls in
+        # the same cycle (a 2-return from an earlier sub-iteration).
+        sweep = self._resweep if self._resweep_cycle == now else None
         if unrouted:
             # ``route_port is None and fifo`` filters entries left
             # stale by interleaved legacy-phase driving (tests that
@@ -297,7 +321,11 @@ class RouterEngine:
                     pending.sort(key=lambda v: ((v.in_port - offset) % num_in, v.vc))
                 algorithm = sim.algorithm
                 route = algorithm.route_event
+                inline_eject = algorithm.inline_eject
+                eject_ports = self._ej_port_of_terminal
+                rid = self.router_id
                 out_ports = self.out_ports
+                sim._route_calls += len(pending)
                 # The allocator's pending debits are applied inline:
                 # immediately for a sequential allocator (each decision
                 # sees the previous ones), en masse afterwards for a
@@ -305,28 +333,43 @@ class RouterEngine:
                 debits = None if algorithm.sequential else []
                 for invc in pending:
                     packet = invc.fifo[0].packet
-                    port, vc = route(self, packet)
-                    out = out_ports[port]
-                    if not 0 <= vc < out.num_vcs:
-                        raise AssertionError(
-                            f"{algorithm.name} chose vc {vc} outside "
-                            f"0..{out.num_vcs - 1}"
-                        )
+                    if inline_eject and packet.dst_router == rid:
+                        # An at-destination head ejects unconditionally
+                        # (no RNG draw, no packet mutation) for every
+                        # algorithm advertising inline_eject; resolving
+                        # it here skips the route_event dispatch.
+                        port = eject_ports[packet.dst]
+                        vc = 0
+                        out = out_ports[port]
+                    else:
+                        port, vc = route(self, packet)
+                        out = out_ports[port]
+                        if not 0 <= vc < out.num_vcs:
+                            raise AssertionError(
+                                f"{algorithm.name} chose vc {vc} outside "
+                                f"0..{out.num_vcs - 1}"
+                            )
                     invc.route_port = port
                     invc.route_vc = vc
+                    size = packet.size
                     if debits is None:
-                        out.pending[vc] += packet.size
+                        out.pending[vc] += size
+                        out.occ += size
                     else:
-                        debits.append((out, vc, packet.size))
+                        debits.append((out, vc, size))
                     members = requests.get(out)
                     if members is None:
                         requests[out] = {invc: None}
                     else:
                         members[invc] = None
+                    if sweep is not None:
+                        sweep[out] = None
                 if debits:
                     for out, vc, size in debits:
                         out.pending[vc] += size
+                        out.occ += size
         if not requests:
+            self._resweep_cycle = -1
             return 0
         moved = 0
         more = False
@@ -338,7 +381,22 @@ class RouterEngine:
         now_credit = now + self._credit_latency
         wheel = self._wheel
         active_pipes = self._active_pipes
-        for out, members in list(requests.items()):
+        staged = self._staged_ports
+        wire_engines = sim._wire_engines
+        busy_engines = sim._busy_engines
+        stalled_sources = sim._stalled_sources
+        active_sources = sim._active_sources
+        router_id = self.router_id
+        resweep = {}
+        if sweep is None:
+            targets = list(requests.items())
+        else:
+            # An output may have left ``requests`` since it was noted
+            # (its last member moved out) — skip it.
+            targets = [
+                (out, requests[out]) for out in sweep if out in requests
+            ]
+        for out, members in targets:
             owner = out.owner
             staging = out.staging
             depth = out.staging_depth
@@ -371,11 +429,18 @@ class RouterEngine:
                     sendable.append(invc)
                 if not sendable:
                     continue
-                if len(sendable) == 1:
-                    winner = sendable[0]
-                else:
+                winner = sendable[0]
+                if len(sendable) > 1:
+                    # Manual argmin over the round-robin key (the same
+                    # total order min() walks; orders are distinct per
+                    # input VC, so there are no ties to break).
                     pointer = out.rr_pointer
-                    winner = min(sendable, key=lambda v: (v.order - pointer) % total)
+                    best = (winner.order - pointer) % total
+                    for cand in sendable:
+                        key = (cand.order - pointer) % total
+                        if key < best:
+                            best = key
+                            winner = cand
             out.rr_pointer = (winner.order + 1) % total
             # --- inline of _switch_flit, minus the polling-only
             # bookkeeping recomputation ---
@@ -407,10 +472,15 @@ class RouterEngine:
                     del requests[out]
             elif members:
                 more = True
+            if members:
+                # This output moved and still has standing requesters:
+                # it is the only kind of output (besides one gaining a
+                # newly routed head) that can move again next
+                # sub-iteration.
+                resweep[out] = None
             staging[vc].append(flit)
-            staged = self._staged_ports
             if not staged:
-                sim._wire_engines[self.router_id] = self
+                wire_engines[router_id] = self
             staged[out] = None
             # Return a credit upstream for the freed input slot.
             if kinds[winner.in_port] == CHANNEL_INPUT:
@@ -422,13 +492,23 @@ class RouterEngine:
                     wheel[now_credit] = [feed]
                 elif slot[-1] is not feed:
                     slot.append(feed)
+            elif stalled_sources:
+                # An injection-FIFO slot was freed: wake the terminal
+                # if its source queue is parked on a full FIFO.
+                terminal = sources[winner.in_port]
+                if terminal in stalled_sources:
+                    del stalled_sources[terminal]
+                    active_sources[terminal] = None
             if not fifo:
                 del active[winner]
                 if not active:
-                    del sim._busy_engines[self.router_id]
+                    del busy_engines[router_id]
             moved = 1
         if moved and more:
+            self._resweep = resweep
+            self._resweep_cycle = now
             return 2
+        self._resweep_cycle = -1
         return moved
 
     def switch_subiter(self, now: int) -> bool:
@@ -509,6 +589,17 @@ class RouterEngine:
             sim = self.sim
             feed = sim.pipes[self.in_port_source[invc.in_port]]
             feed.send_credit(sim, invc.vc, sim.now)
+        else:
+            stalled = self.sim._stalled_sources
+            if stalled:
+                # Injection-FIFO slot freed: wake a parked terminal
+                # (tests drive the legacy phases on event simulators,
+                # so the wake lives here too, not just in
+                # route_switch).
+                terminal = self.in_port_source[invc.in_port]
+                if terminal in stalled:
+                    del stalled[terminal]
+                    self.sim._active_sources[terminal] = None
         if not invc.fifo:
             active = self.active
             del active[invc]
@@ -564,7 +655,7 @@ class RouterEngine:
                 else:
                     sim.on_flit_ejected(flit, now)
                 break
-            if not any(staging[vc] for vc in range(num_vcs)):
+            if not any(staging):
                 done.append(out)
         for out in done:
             del staged_ports[out]
@@ -586,6 +677,7 @@ class RouterEngine:
         wheel = self._wheel
         active_pipes = self._active_pipes
         faults = self._fault_state
+        eject = sim.on_flit_ejected
         done = None
         for out in staged_ports:
             is_channel = out.kind == CHANNEL_PORT
@@ -615,7 +707,8 @@ class RouterEngine:
                     if flit.is_head:
                         flit.packet.hops += 1
                     pipe = pipes[out.channel_index]
-                    pipe.push_flit(flit, vc, arrival)
+                    # Inline of pipe.push_flit(flit, vc, arrival).
+                    pipe.flits.append((arrival, flit, vc))
                     active_pipes[pipe] = None
                     slot = wheel.get(arrival)
                     if slot is None:
@@ -623,12 +716,9 @@ class RouterEngine:
                     elif slot[-1] is not pipe:
                         slot.append(pipe)
                 else:
-                    sim.on_flit_ejected(flit, now)
+                    eject(flit, now)
                 break
-            for queue in staging:
-                if queue:
-                    break
-            else:
+            if not any(staging):
                 if done is None:
                     done = [out]
                 else:

@@ -42,9 +42,11 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.routing.base import RoutingAlgorithm
+from ..profiling import PhaseProfile, profiling_enabled
 from ..topologies.base import Topology
 from ..traffic.patterns import TrafficPattern
 from .allocators import make_allocator
+from .buffers import CHANNEL_PORT
 from .channel import ChannelPipe
 from .config import SimulationConfig, derive_seed
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
@@ -87,6 +89,9 @@ class Simulator:
     Args:
         kernel: ``"event"`` or ``"polling"``; ``None`` (default) reads
             ``$REPRO_KERNEL`` and falls back to the event kernel.
+        profile: enable per-phase wall timers (see
+            :mod:`repro.profiling`); ``None`` (default) reads
+            ``$REPRO_PROFILE_PHASES``.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class Simulator:
         pattern: TrafficPattern,
         config: Optional[SimulationConfig] = None,
         kernel: Optional[str] = None,
+        profile: Optional[bool] = None,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
@@ -104,6 +110,7 @@ class Simulator:
         self.allocator = make_allocator(algorithm.sequential)
         self.kernel = resolve_kernel(kernel)
         self._event_driven = self.kernel == "event"
+        self._profile = PhaseProfile() if profiling_enabled(profile) else None
 
         seed = self.config.seed
         if self.config.rng_streams == "legacy":
@@ -158,6 +165,17 @@ class Simulator:
         self._phase_calls = 0
         self._events_dispatched = 0
         self._idle_skipped = 0
+        self._route_calls = 0
+
+        # Flit free list: flits are unreachable once ejected, so they
+        # are recycled instead of re-allocated (identical simulation —
+        # a flit's identity never influences a decision).  Disabled via
+        # $REPRO_FLIT_POOL=0, which the pooled-vs-unpooled equivalence
+        # test uses to prove bit-identical results.
+        self._flit_pool: List[Flit] = []
+        self._flit_pool_enabled = os.environ.get("REPRO_FLIT_POOL", "1") != "0"
+        self._flits_allocated = 0
+        self._flits_reused = 0
 
         self.algorithm.attach(self)
         self._build()
@@ -227,12 +245,42 @@ class Simulator:
         self._active_pipes: Dict[ChannelPipe, None] = {}
         for engine in self.engines:
             engine.finalize()
+        # Bind the shared per-topology route table (if the algorithm
+        # opted in during attach): records the channel->port map on the
+        # first simulator for a topology and verifies it on every later
+        # one, so table ports always mean what this engine set thinks
+        # they mean.
+        table = getattr(self.algorithm, "_route_table", None)
+        if table is not None:
+            table.bind(self)
         # Source queues: (packet, next_flit_index) per terminal.
         self._sources: List[Deque[Packet]] = [
             deque() for _ in range(topo.num_terminals)
         ]
         self._source_cursor: List[int] = [0] * topo.num_terminals
         self._active_sources: Dict[int, None] = {}
+        # Event-kernel parking lot: active terminals whose injection
+        # FIFO was full at the last attempt.  Woken by the switch move
+        # that frees a FIFO slot instead of re-polled every cycle.
+        self._stalled_sources: Dict[int, None] = {}
+        # The on_packet_created hook, or None when the algorithm does
+        # not override the base no-op (skips a call per packet).
+        self._on_created = (
+            self.algorithm.on_packet_created
+            if type(self.algorithm).on_packet_created
+            is not RoutingAlgorithm.on_packet_created
+            else None
+        )
+        # Injection fast path: terminal -> (engine, injection InputVC),
+        # resolved once so the per-cycle injection loop does no port
+        # lookups.
+        self._injection_engine: List[Optional[RouterEngine]] = [
+            None
+        ] * topo.num_terminals
+        self._injection_invc: List = [None] * topo.num_terminals
+        for terminal, (r, port) in self._injection_port.items():
+            self._injection_engine[terminal] = self.engines[r]
+            self._injection_invc[terminal] = self.engines[r].in_ports[port][0]
 
     # ------------------------------------------------------------------
     # Hooks used by RouterEngine / ChannelPipe
@@ -259,15 +307,25 @@ class Simulator:
 
     def on_flit_ejected(self, flit: Flit, now: int) -> None:
         self.flits_ejected += 1
-        if self._window is not None:
-            self._window.record_ejected_flit(now)
+        window = self._window
+        if window is not None and window.start <= now < window.end:
+            window.ejected_flits += 1
         if flit.is_tail:
             packet = flit.packet
             packet.time_ejected = now
             self.packets_delivered += 1
             self.in_flight -= 1
-            if self._window is not None:
-                self._window.record_delivery(packet)
+            if window is not None and packet.labeled:
+                window.labeled_outstanding -= 1
+                window.latencies.append(now - packet.time_created)
+                window.network_latencies.append(now - packet.time_injected)
+                window.hops.append(packet.hops)
+        # The flit is dead: nothing downstream of ejection holds a
+        # reference, so recycle it.  The stale ``packet`` reference is
+        # left in place (overwritten on reuse) so observers wrapping
+        # this method can still inspect the ejected flit.
+        if self._flit_pool_enabled and len(self._flit_pool) < 65536:
+            self._flit_pool.append(flit)
 
     # ------------------------------------------------------------------
     # Cycle execution
@@ -289,6 +347,7 @@ class Simulator:
                 while credits and credits[0][0] <= now:
                     _, vc = credits.popleft()
                     out.credits[vc] += 1
+                    out.occ -= 1
             if not flits and not credits:
                 done.append(pipe)
         for pipe in done:
@@ -302,20 +361,54 @@ class Simulator:
             return
         engines = self.engines
         active = self._active_pipes
+        busy_engines = self._busy_engines
         self._events_dispatched += len(batch)
         for pipe in batch:
             flits = pipe.flits
             if flits:
                 engine = engines[pipe.dst_router]
-                port = pipe.dst_in_port
+                # Inline of engine.deliver(port, vc, flit) for the
+                # event kernel (the ``self._event`` branch is always
+                # taken here), saving a method call per arriving flit.
+                in_vcs = engine.in_ports[pipe.dst_in_port]
                 while flits and flits[0][0] <= now:
                     _, flit, vc = flits.popleft()
-                    engine.deliver(port, vc, flit)
+                    invc = in_vcs[vc]
+                    fifo = invc.fifo
+                    if len(fifo) >= invc.depth:
+                        raise AssertionError(
+                            f"buffer overflow at router {engine.router_id} "
+                            f"port {pipe.dst_in_port} vc {vc}: "
+                            f"credit protocol violated"
+                        )
+                    if fifo:
+                        fifo.append(flit)
+                        continue
+                    fifo.append(flit)
+                    port = invc.route_port
+                    if port is None:
+                        engine._unrouted[invc] = None
+                    else:
+                        requests = engine._requests
+                        out = engine.out_ports[port]
+                        members = requests.get(out)
+                        if members is None:
+                            requests[out] = {invc: None}
+                        else:
+                            members[invc] = None
+                    eng_active = engine.active
+                    if not eng_active:
+                        busy_engines[engine.router_id] = engine
+                    eng_active[invc] = None
             credits = pipe.credits
             if credits:
-                out_credits = engines[pipe.src_router].out_ports[pipe.src_port].credits
+                out = engines[pipe.src_router].out_ports[pipe.src_port]
+                out_credits = out.credits
+                arrived = 0
                 while credits and credits[0][0] <= now:
                     out_credits[credits.popleft()[1]] += 1
+                    arrived += 1
+                out.occ -= arrived
             if not flits and not credits and pipe in active:
                 del active[pipe]
 
@@ -375,8 +468,8 @@ class Simulator:
             if invc.has_space():
                 packet = queue[0]
                 cursor = self._source_cursor[terminal]
-                flit = Flit(
-                    packet, is_head=(cursor == 0), is_tail=(cursor == packet.size - 1)
+                flit = self._make_flit(
+                    packet, cursor == 0, cursor == packet.size - 1
                 )
                 if flit.is_head:
                     packet.time_injected = now
@@ -391,43 +484,134 @@ class Simulator:
         for terminal in done:
             del self._active_sources[terminal]
 
+    def _make_flit(self, packet: Packet, is_head: bool, is_tail: bool) -> Flit:
+        """A flit off the free list (or a fresh one when it is empty)."""
+        pool = self._flit_pool
+        if pool:
+            flit = pool.pop()
+            flit.packet = packet
+            flit.is_head = is_head
+            flit.is_tail = is_tail
+            self._flits_reused += 1
+            return flit
+        self._flits_allocated += 1
+        return Flit(packet, is_head, is_tail)
+
     def _inject_event(self, process: InjectionProcess, now: int) -> None:
         """Event-kernel injection: same decisions as :meth:`_inject`
         (identical packet creation order, so identical traffic-RNG
-        draws), with the attribute lookups hoisted out of the
-        per-terminal loop."""
+        draws), with packet creation inlined (:meth:`_create_packet`
+        body, loop-hoisted), the port lookups pre-resolved per
+        terminal, and the flit delivery inlined
+        (``RouterEngine.deliver`` for an injection input, minus the
+        overflow assertion — the has-space check here is that
+        assertion).
+
+        Terminals whose injection FIFO was full at the last attempt
+        wait in ``_stalled_sources`` instead of being re-polled every
+        cycle; the switch move that frees a FIFO slot moves them back
+        (see the injection-input branch of ``route_switch``).  The
+        per-terminal injection work is independent — no RNG, no shared
+        state beyond the order-insensitive activation sets — so the
+        changed iteration order over terminals is result-identical to
+        :meth:`_inject`'s single scan.
+        """
         active_sources = self._active_sources
         sources = self._sources
-        create = self._create_packet
-        for terminal, count in process.injections(now):
-            queue = sources[terminal]
-            for _ in range(count):
-                packet = create(terminal, now)
-                if packet is not None:
+        injections = process.injections(now)
+        if injections:
+            destination = self.pattern.destination
+            traffic_rng = self.traffic_rng
+            algorithm = self.algorithm
+            on_created = self._on_created
+            check_faults = self.fault_state is not None
+            ejection_router = self.topology.ejection_router
+            size = self.config.packet_size
+            window = self._window
+            labeling = window is not None and window.start <= now < window.end
+            stalled = self._stalled_sources
+            pid = self.packets_created
+            pid0 = pid
+            for terminal, count in injections:
+                queue = sources[terminal]
+                was_empty = not queue
+                for _ in range(count):
+                    dst = destination(terminal, traffic_rng)
+                    if check_faults and not algorithm.deliverable(
+                        terminal, dst
+                    ):
+                        self.packets_undeliverable += 1
+                        continue
+                    packet = Packet(
+                        pid, terminal, dst, ejection_router(dst), size, now
+                    )
+                    pid += 1
+                    if labeling:
+                        packet.labeled = True
+                        window.labeled_outstanding += 1
+                        window.labeled_total += 1
+                    if on_created is not None:
+                        on_created(packet)
                     queue.append(packet)
-            if queue:
-                active_sources[terminal] = None
+                if was_empty and queue:
+                    active_sources[terminal] = None
+            if pid != pid0:
+                self.packets_created = pid
+                self.in_flight += pid - pid0
         if not active_sources:
             return
-        engines = self.engines
-        injection_port = self._injection_port
+        invcs = self._injection_invc
+        engines = self._injection_engine
         cursors = self._source_cursor
+        pool = self._flit_pool
+        busy_engines = self._busy_engines
+        stalled = self._stalled_sources
         done = None
         for terminal in active_sources:
-            router, port = injection_port[terminal]
-            engine = engines[router]
-            invc = engine.in_ports[port][0]
-            if len(invc.fifo) < invc.depth:
+            invc = invcs[terminal]
+            fifo = invc.fifo
+            if len(fifo) < invc.depth:
                 queue = sources[terminal]
                 packet = queue[0]
                 cursor = cursors[terminal]
                 if cursor == 0:
-                    flit = Flit(packet, True, packet.size == 1)
+                    is_head = True
+                    is_tail = packet.size == 1
                     packet.time_injected = now
                 else:
-                    flit = Flit(packet, False, cursor == packet.size - 1)
-                engine.deliver(port, 0, flit)
-                if flit.is_tail:
+                    is_head = False
+                    is_tail = cursor == packet.size - 1
+                if pool:
+                    flit = pool.pop()
+                    flit.packet = packet
+                    flit.is_head = is_head
+                    flit.is_tail = is_tail
+                    self._flits_reused += 1
+                else:
+                    flit = Flit(packet, is_head, is_tail)
+                    self._flits_allocated += 1
+                if not fifo:
+                    # Empty -> non-empty: the engine's activation
+                    # bookkeeping, inlined.  An injection VC may carry a
+                    # locked route (multi-flit packet whose source queue
+                    # ran dry mid-packet), hence the request refiling.
+                    engine = engines[terminal]
+                    if invc.route_port is None:
+                        engine._unrouted[invc] = None
+                    else:
+                        requests = engine._requests
+                        out = engine.out_ports[invc.route_port]
+                        members = requests.get(out)
+                        if members is None:
+                            requests[out] = {invc: None}
+                        else:
+                            members[invc] = None
+                    active = engine.active
+                    if not active:
+                        busy_engines[engine.router_id] = engine
+                    active[invc] = None
+                fifo.append(flit)
+                if is_tail:
                     queue.popleft()
                     cursors[terminal] = 0
                     if not queue:
@@ -437,16 +621,32 @@ class Simulator:
                             done.append(terminal)
                 else:
                     cursors[terminal] = cursor + 1
+            else:
+                # FIFO full: park the terminal until a switch move
+                # frees a slot (no point re-polling every cycle).
+                stalled[terminal] = None
+                if done is None:
+                    done = [terminal]
+                else:
+                    done.append(terminal)
         if done is not None:
             for terminal in done:
                 del active_sources[terminal]
 
     def step(self, process: InjectionProcess) -> None:
         """Advance the network by one cycle."""
+        self._select_step()(process)
+
+    def _select_step(self):
+        """The per-cycle step function for this kernel/profile combo.
+        Run loops hoist this out of their cycle loop."""
         if self._event_driven:
-            self._step_event(process)
-        else:
-            self._step_polling(process)
+            if self._profile is not None:
+                return self._step_event_profiled
+            return self._step_event
+        if self._profile is not None:
+            return self._step_polling_profiled
+        return self._step_polling
 
     def _step_polling(self, process: InjectionProcess) -> None:
         """The original kernel: every engine is walked through every
@@ -530,6 +730,97 @@ class Simulator:
             tracer.on_cycle(now)
         self.now = now + 1
 
+    def _step_event_profiled(self, process: InjectionProcess) -> None:
+        """Timed twin of :meth:`_step_event`: identical work in
+        identical order, with a ``perf_counter`` fence around each
+        phase.  Any change to :meth:`_step_event` must be mirrored here
+        (``tests/test_profiling.py`` asserts the two produce
+        bit-identical results)."""
+        seconds = self._profile.seconds
+        perf = time.perf_counter
+        now = self.now
+        t0 = perf()
+        self._deliver_events(now)
+        t1 = perf()
+        self._inject_event(process, now)
+        t2 = perf()
+        busy = self._busy_engines
+        if busy:
+            if len(busy) == 1:
+                movers: List[RouterEngine] = list(busy.values())
+            else:
+                movers = [busy[r] for r in sorted(busy)]
+            speedup = self.config.speedup
+            phase_calls = 0
+            iteration = 0
+            while True:
+                next_movers = [e for e in movers if e.route_switch(now) == 2]
+                phase_calls += len(movers)
+                iteration += 1
+                if not next_movers or (
+                    speedup is not None and iteration >= speedup
+                ):
+                    break
+                movers = next_movers
+            self._phase_calls += phase_calls
+        t3 = perf()
+        wire = self._wire_engines
+        if wire:
+            if len(wire) == 1:
+                targets = list(wire.values())
+            else:
+                targets = [wire[r] for r in sorted(wire)]
+            for engine in targets:
+                engine.wire_event(now)
+            self._phase_calls += len(targets)
+        t4 = perf()
+        seconds["deliver"] += t1 - t0
+        seconds["inject"] += t2 - t1
+        seconds["route_switch"] += t3 - t2
+        seconds["wire"] += t4 - t3
+        for tracer in self._tracers:
+            tracer.on_cycle(now)
+        self.now = now + 1
+
+    def _step_polling_profiled(self, process: InjectionProcess) -> None:
+        """Timed twin of :meth:`_step_polling` (same mirroring contract
+        as :meth:`_step_event_profiled`)."""
+        seconds = self._profile.seconds
+        perf = time.perf_counter
+        now = self.now
+        engines = self.engines
+        num_engines = len(engines)
+        t0 = perf()
+        self._deliver(now)
+        t1 = perf()
+        self._inject(process, now)
+        t2 = perf()
+        speedup = self.config.speedup
+        iteration = 0
+        while True:
+            for engine in engines:
+                engine.routing_phase(now)
+            moved = False
+            for engine in engines:
+                if engine.switch_subiter(now):
+                    moved = True
+            self._phase_calls += 2 * num_engines
+            iteration += 1
+            if not moved or (speedup is not None and iteration >= speedup):
+                break
+        t3 = perf()
+        for engine in engines:
+            engine.wire_phase(now)
+        self._phase_calls += num_engines
+        t4 = perf()
+        seconds["deliver"] += t1 - t0
+        seconds["inject"] += t2 - t1
+        seconds["route_switch"] += t3 - t2
+        seconds["wire"] += t4 - t3
+        for tracer in self._tracers:
+            tracer.on_cycle(now)
+        self.now = now + 1
+
     # ------------------------------------------------------------------
     # Idle skipping (event kernel only)
     # ------------------------------------------------------------------
@@ -565,6 +856,12 @@ class Simulator:
             router_phase_calls=self._phase_calls,
             events_dispatched=self._events_dispatched,
             wall_seconds=time.perf_counter() - started,
+            route_calls=self._route_calls,
+            flits_allocated=self._flits_allocated,
+            flits_reused=self._flits_reused,
+            phase_seconds=(
+                None if self._profile is None else self._profile.as_dict()
+            ),
         )
         self.kernel_stats = stats
         return stats
@@ -596,6 +893,7 @@ class Simulator:
         return (
             self.in_flight == 0
             and not self._active_sources
+            and not self._stalled_sources
             and not self._busy_engines
             and not self._wire_engines
             and not any(pipe.flits for pipe in self._active_pipes)
@@ -623,6 +921,28 @@ class Simulator:
                 f"wire set {sorted(self._wire_engines)} != engines with "
                 f"staged flits {sorted(wire_truth)}"
             )
+        for engine in self.engines:
+            for out in engine.out_ports:
+                if out.kind == CHANNEL_PORT and out.occ != out.occupancy():
+                    raise AssertionError(
+                        f"router {engine.router_id} port {out.index}: occ "
+                        f"counter {out.occ} != computed occupancy "
+                        f"{out.occupancy()}"
+                    )
+        for terminal in self._stalled_sources:
+            invc = self._injection_invc[terminal]
+            if not self._sources[terminal]:
+                raise AssertionError(
+                    f"terminal {terminal} stalled with an empty source queue"
+                )
+            if terminal in self._active_sources:
+                raise AssertionError(
+                    f"terminal {terminal} both active and stalled"
+                )
+            if invc is not None and len(invc.fifo) < invc.depth:
+                raise AssertionError(
+                    f"terminal {terminal} stalled with injection-FIFO space"
+                )
         busy_pipes = {pipe for pipe in self.pipes if pipe.busy()}
         if not busy_pipes.issubset(self._active_pipes):
             raise AssertionError("pipe with in-flight items not in active set")
@@ -688,8 +1008,9 @@ class Simulator:
         self._window = window
         saturated = False
         skip_ok = self._skip_ok()
+        step = self._select_step()
         while True:
-            self.step(process)
+            step(process)
             if self.now >= end and window.drained():
                 break
             if self.now >= drain_max:
@@ -732,8 +1053,9 @@ class Simulator:
         process.start(
             self.topology.num_terminals, self.config.packet_size, self.injection_rng
         )
+        step = self._select_step()
         while True:
-            self.step(process)
+            step(process)
             if process.exhausted() and self.in_flight == 0:
                 break
             if self.now >= max_cycles:
@@ -762,7 +1084,8 @@ class Simulator:
         )
         window = MeasurementWindow(warmup, warmup + measure)
         self._window = window
+        step = self._select_step()
         for _ in range(warmup + measure):
-            self.step(process)
+            step(process)
         self._finish_stats(started)
         return window.throughput(self.topology.num_terminals)

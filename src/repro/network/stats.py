@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 def _percentile(sorted_values: List[int], q: float) -> float:
@@ -71,6 +71,14 @@ class KernelStats:
     router_phase_calls: int = 0
     events_dispatched: int = 0
     wall_seconds: float = 0.0
+    # Routing decisions made (one per packet per router visited).
+    route_calls: int = 0
+    # Flit free-list accounting: fresh allocations vs. recycled flits.
+    flits_allocated: int = 0
+    flits_reused: int = 0
+    # Per-phase wall seconds when the run was profiled (see
+    # repro.profiling), else None.
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @property
     def cycles_per_second(self) -> float:

@@ -32,7 +32,11 @@ from typing import Iterator, Optional, Tuple
 #: cached by v1 binaries lack the field and must not be replayed.
 #: v3: ``SimulationConfig`` grew the ``faults`` field and open-loop /
 #: batch results carry ``packets_undeliverable``; v2 entries lack both.
-CACHE_VERSION = "repro-results-v3"
+#: v4: ``KernelStats`` grew the profiling counters (``route_calls``,
+#: ``flits_allocated``, ``flits_reused``, ``phase_seconds``); v3
+#: entries would replay without them and silently zero the new sweep
+#: aggregates.
+CACHE_VERSION = "repro-results-v4"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -226,6 +230,13 @@ class ResultCache:
                 if cutoff is not None and os.stat(path).st_mtime >= cutoff:
                     continue
                 os.unlink(path)
+                removed += 1
+            except FileNotFoundError:
+                # Lost the race with a concurrent prune (the entry was
+                # deleted between listing and stat/unlink).  The entry
+                # is gone, which is exactly what this call wanted, so
+                # count it as pruned rather than crashing or silently
+                # under-reporting.
                 removed += 1
             except OSError:
                 pass

@@ -63,6 +63,10 @@ class SweepReport:
     router_phase_calls: int = 0
     events_dispatched: int = 0
     sim_wall_seconds: float = 0.0
+    route_calls: int = 0
+    flits_allocated: int = 0
+    flits_reused: int = 0
+    phase_seconds: Optional[dict] = None
 
     def note(self, total: int, hits: int, executed: int, elapsed: float) -> None:
         self.total += total
@@ -72,12 +76,25 @@ class SweepReport:
         self.batches += 1
 
     def note_kernel(self, stats) -> None:
-        """Fold one result's :class:`KernelStats` into the totals."""
+        """Fold one result's :class:`KernelStats` into the totals.
+
+        Tolerates stats records predating a field (older cached
+        results) by treating them as zero."""
         self.sim_cycles += stats.cycles
         self.idle_cycles_skipped += stats.idle_cycles_skipped
         self.router_phase_calls += stats.router_phase_calls
         self.events_dispatched += stats.events_dispatched
         self.sim_wall_seconds += stats.wall_seconds
+        self.route_calls += getattr(stats, "route_calls", 0)
+        self.flits_allocated += getattr(stats, "flits_allocated", 0)
+        self.flits_reused += getattr(stats, "flits_reused", 0)
+        phases = getattr(stats, "phase_seconds", None)
+        if phases:
+            from ..profiling import merge_phase_seconds
+
+            if self.phase_seconds is None:
+                self.phase_seconds = {}
+            merge_phase_seconds(self.phase_seconds, phases)
 
     def summary(self) -> str:
         text = (

@@ -44,7 +44,11 @@ class UniformRandom(TrafficPattern):
     name = "UR"
 
     def destination(self, src: int, rng: random.Random) -> int:
-        dst = rng.randrange(self.num_terminals - 1)
+        # rng._randbelow(n) is exactly what rng.randrange(n) returns
+        # for a positive stop (identical draw, same generator state);
+        # calling it directly skips randrange's argument plumbing on
+        # the hottest draw in the simulator.
+        dst = rng._randbelow(self.num_terminals - 1)
         return dst + 1 if dst >= src else dst
 
 

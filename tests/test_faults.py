@@ -455,7 +455,9 @@ class TestFaultCacheKeys:
         return OpenLoopJob(spec, 0.3, 100, 100, 2000)
 
     def test_cache_version_bumped(self):
-        assert CACHE_VERSION == "repro-results-v3"
+        # v3 introduced the faults field; v4 (profiling counters in
+        # KernelStats) must not replay v3 entries either.
+        assert CACHE_VERSION == "repro-results-v4"
 
     def test_same_fault_model_same_key(self):
         a = self._job(FaultModel(link_failure_fraction=0.05, seed=3))

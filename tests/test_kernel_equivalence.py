@@ -25,6 +25,11 @@ from repro.core import (
     Valiant,
 )
 from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.core.routing.table import (
+    ROUTE_TABLE_ENV,
+    route_tables_enabled,
+    shared_route_table,
+)
 from repro.faults import (
     FaultAwareDestinationTag,
     FaultAwareFoldedClosAdaptive,
@@ -46,6 +51,7 @@ from repro.network import (
 from repro.network.config import derive_seed
 from repro.network.buffers import CHANNEL_PORT
 from repro.topologies import Butterfly, FoldedClos
+from repro.topologies.routing import DestinationTag
 from repro.topologies.hyperx import HyperX
 from repro.topologies.torus import Torus, TorusDOR
 from repro.traffic import GroupShift, RandomPermutation, UniformRandom
@@ -660,6 +666,197 @@ class TestFaultedBitIdentical:
             # been allowed to enter and wedge the drain).
             assert not result.saturated
             assert result.packets_undeliverable > 0
+
+
+#: Route-table parity configurations: every algorithm that consults the
+#: shared table, healthy and faulted.  (id, topology factory, algorithm
+#: class, fault model or None.)
+ROUTE_TABLE_CONFIGS = [
+    ("min_ad", lambda: FlattenedButterfly(4, 2), MinimalAdaptive, None),
+    ("ugal", lambda: FlattenedButterfly(4, 2), UGAL, None),
+    ("ugal_s", lambda: FlattenedButterfly(4, 2), UGALSequential, None),
+    ("val", lambda: FlattenedButterfly(4, 2), Valiant, None),
+    ("dor", lambda: FlattenedButterfly(4, 2), DimensionOrder, None),
+    ("dest_tag", lambda: Butterfly(4, 2), DestinationTag, None),
+    (
+        "min_ad-faulted",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareMinimalAdaptive,
+        FaultModel(link_failure_fraction=0.10, seed=5),
+    ),
+    (
+        "ugal-faulted",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(link_failure_fraction=0.05, seed=3),
+    ),
+    (
+        "ugal-transients",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareUGAL,
+        FaultModel(
+            link_failure_fraction=0.05,
+            transient_links=2,
+            transient_start=60,
+            transient_span=60,
+            transient_duration=30,
+            seed=13,
+        ),
+    ),
+    (
+        "val-faulted",
+        lambda: HyperX(concentration=4, dims=(4,)),
+        FaultAwareValiant,
+        FaultModel(router_failure_fraction=0.25, seed=7),
+    ),
+    (
+        "dest_tag-faulted",
+        lambda: Butterfly(4, 2),
+        FaultAwareDestinationTag,
+        FaultModel(link_failure_fraction=0.05, seed=3),
+    ),
+]
+
+
+class TestRouteTableParity:
+    """The shared precomputed route table is a pure lookup cache: runs
+    with it enabled (default) and disabled (``REPRO_ROUTE_TABLE=0``)
+    must be bit-identical — per-cycle ejection series, results, and
+    final RNG states — for every table-consuming algorithm, healthy
+    and under faults."""
+
+    def _run_once(self, monkeypatch, enabled, topo_factory, algo_cls, faults):
+        monkeypatch.setenv(ROUTE_TABLE_ENV, "1" if enabled else "0")
+        algorithm = algo_cls()
+        sim = Simulator(
+            topo_factory(),
+            algorithm,
+            UniformRandom(),
+            SimulationConfig(seed=23, faults=faults),
+            kernel="event",
+        )
+        # Guard against the parity comparison degenerating: the toggle
+        # must actually have taken effect at attach time.
+        table = getattr(algorithm, "_route_table", None)
+        if enabled:
+            assert table is not None
+        else:
+            assert table is None
+        trace = ThroughputTrace(interval=1)
+        sim.attach_tracer(trace)
+        result = sim.run_open_loop(0.3, warmup=50, measure=80, drain_max=1500)
+        sim.check_activation_invariants()
+        return sim, trace.series, result
+
+    @pytest.mark.parametrize(
+        "topo_factory,algo_cls,faults",
+        [c[1:] for c in ROUTE_TABLE_CONFIGS],
+        ids=[c[0] for c in ROUTE_TABLE_CONFIGS],
+    )
+    def test_table_on_off_identical(
+        self, monkeypatch, topo_factory, algo_cls, faults
+    ):
+        sim_on, series_on, res_on = self._run_once(
+            monkeypatch, True, topo_factory, algo_cls, faults
+        )
+        sim_off, series_off, res_off = self._run_once(
+            monkeypatch, False, topo_factory, algo_cls, faults
+        )
+        assert series_on == series_off
+        assert res_on == res_off
+        assert sim_on.packets_created == sim_off.packets_created
+        assert sim_on.flits_ejected == sim_off.flits_ejected
+        assert sim_on.route_rng.getstate() == sim_off.route_rng.getstate()
+        assert sim_on.traffic_rng.getstate() == sim_off.traffic_rng.getstate()
+
+    @pytest.mark.parametrize(
+        "topo_factory,algo_cls,faults",
+        [c[1:] for c in ROUTE_TABLE_CONFIGS],
+        ids=[c[0] for c in ROUTE_TABLE_CONFIGS],
+    )
+    def test_table_matches_polling_kernel(
+        self, monkeypatch, topo_factory, algo_cls, faults
+    ):
+        """With tables on, the event kernel still agrees bit-for-bit
+        with the polling kernel, which routes through the un-tabled
+        ``route()`` path — a cross-check that the table and the
+        original code compute the same function."""
+        monkeypatch.setenv(ROUTE_TABLE_ENV, "1")
+        outcomes = []
+        for kernel in KERNELS:
+            sim = Simulator(
+                topo_factory(),
+                algo_cls(),
+                UniformRandom(),
+                SimulationConfig(seed=23, faults=faults),
+                kernel=kernel,
+            )
+            trace = ThroughputTrace(interval=1)
+            sim.attach_tracer(trace)
+            result = sim.run_open_loop(
+                0.3, warmup=50, measure=80, drain_max=1500
+            )
+            outcomes.append((trace.series, result, sim.route_rng.getstate()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_table_shared_across_simulators(self, monkeypatch):
+        """One topology object yields one table, reused by every
+        simulator (and algorithm instance) built on it."""
+        monkeypatch.setenv(ROUTE_TABLE_ENV, "1")
+        topo = FlattenedButterfly(4, 2)
+        algorithms = [MinimalAdaptive(), UGAL(), Valiant()]
+        tables = set()
+        for algorithm in algorithms:
+            Simulator(topo, algorithm, UniformRandom(), SimulationConfig(seed=1))
+            tables.add(id(algorithm._route_table))
+        assert len(tables) == 1
+        assert shared_route_table(topo) is algorithms[0]._route_table
+
+    def test_disabled_by_environment(self, monkeypatch):
+        monkeypatch.setenv(ROUTE_TABLE_ENV, "0")
+        assert not route_tables_enabled()
+        algorithm = MinimalAdaptive()
+        Simulator(
+            FlattenedButterfly(4, 2),
+            algorithm,
+            UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        assert algorithm._route_table is None
+
+
+class TestFlitPoolParity:
+    """Flit pooling recycles ejected flit objects; a pooled run and an
+    unpooled run (``REPRO_FLIT_POOL=0``) must be bit-identical."""
+
+    def _run_once(self, monkeypatch, pooled):
+        monkeypatch.setenv("REPRO_FLIT_POOL", "1" if pooled else "0")
+        sim = Simulator(
+            FlattenedButterfly(4, 2),
+            MinimalAdaptive(),
+            UniformRandom(),
+            SimulationConfig(seed=29, packet_size=2),
+            kernel="event",
+        )
+        assert sim._flit_pool_enabled is pooled
+        trace = ThroughputTrace(interval=1)
+        sim.attach_tracer(trace)
+        result = sim.run_open_loop(0.4, warmup=50, measure=80, drain_max=1500)
+        sim.check_activation_invariants()
+        return sim, trace.series, result
+
+    def test_pooled_vs_unpooled_identical(self, monkeypatch):
+        sim_on, series_on, res_on = self._run_once(monkeypatch, True)
+        sim_off, series_off, res_off = self._run_once(monkeypatch, False)
+        assert series_on == series_off
+        assert res_on == res_off
+        assert sim_on.packets_created == sim_off.packets_created
+        assert sim_on.flits_ejected == sim_off.flits_ejected
+        assert sim_on.route_rng.getstate() == sim_off.route_rng.getstate()
+        # The pooled run actually reused flits; the unpooled run never did.
+        assert res_on.kernel.flits_reused > 0
+        assert res_off.kernel.flits_reused == 0
+        assert res_off.kernel.flits_allocated > res_on.kernel.flits_allocated
 
 
 class TestCreditStarvedWirePort:

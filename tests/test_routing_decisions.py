@@ -35,7 +35,11 @@ def make_packet(sim, src, dst):
 def load_channel(engine, channel, flits):
     """Make ``channel`` look ``flits`` deep to adaptive estimates."""
     port = engine.port_for_channel(channel)
-    engine.out_ports[port].pending[0] += flits
+    out = engine.out_ports[port]
+    out.pending[0] += flits
+    # Keep the incrementally-maintained occupancy mirror consistent,
+    # as a real routing commit would.
+    out.occ += flits
 
 
 class TestMinADDecisions:
