@@ -1,66 +1,331 @@
-"""Sweep-runner benchmarks: parallel fan-out and cache-hit speed.
+"""Sweep-runner benchmark: warm adaptive runner vs. the PR-4 runner.
 
-The equivalence assertions double as an end-to-end check that the
-parallel and cached paths reproduce the serial results exactly, at
-benchmark scale.
+Runs the full CI-scale Figure 4 experiment (five routing algorithms,
+UR and WC traffic, latency-load curves plus replicated saturation
+probes) at ``--jobs 4`` under two runner configurations:
+
+* **A — PR-4 compatible**: cold workers, a fresh pool per ``map``,
+  one future per job in input order, the full speculative load grid
+  (``warm=False, persistent=False, adaptive=False, chunk=1``).
+* **B — this runner's defaults**: warm persistent workers sharing one
+  topology and route table per worker, longest-expected-first chunked
+  dispatch capped at the CPU count, and coarse-to-refined curve
+  probing that skips speculative points above saturation.
+
+Timing is **interleaved**: each repeat times A and B back to back,
+alternating which side goes first (ABBA), and the headline speedup is
+the geometric mean of the per-pair ratios.  Sequential before/after
+timing is useless for this comparison — on a shared box the same A
+workload has measured anywhere from 111 s to 156 s depending on when
+it ran, a swing larger than the effect being measured.  Pairing
+adjacent runs and alternating order cancels that drift.
+
+Wall-clock numbers are reported, then gated only coarsely via
+``--check-against``.  What *is* asserted unconditionally is
+deterministic:
+
+* both runners produce bit-identical experiment tables,
+* B executes no more work than A (fewer curve points and simulated
+  cycles — the refined prober stops at the serial work floor),
+* B's construction counters prove warm reuse: at most one topology
+  and one route table built per process (parent + each worker) for
+  the single topology every fig04 job shares, while A rebuilds the
+  topology for every simulator.
+
+Usage::
+
+    python benchmarks/bench_runner.py [--out BENCH_runner.json]
+        [--repeats 2] [--jobs 4] [--quick]
+        [--check-against BENCH_runner.json]
+
+or via pytest (quick windows, one pair)::
+
+    python -m pytest benchmarks/bench_runner.py -q
 """
 
-from conftest import run_once
+import argparse
+import dataclasses
+import json
+import math
+import os
+import sys
+import time
 
-from repro.core import ClosAD
-from repro.experiments.common import latency_load_curve
-from repro.network import SimulationConfig, Simulator
-from repro.runner import OpenLoopJob, ResultCache, SimSpec, SweepRunner
-from repro.core.flattened_butterfly import FlattenedButterfly
-from repro.traffic import adversarial
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.experiments import fig04_routing
+from repro.experiments.common import CI_SCALE
+from repro.runner import SweepRunner
+
+JOBS = 4
+
+QUICK_SCALE = dataclasses.replace(
+    CI_SCALE, name="quick", warmup=100, measure=100, drain_max=1500
+)
 
 
-def _make(k, seed=1):
-    return Simulator(
-        FlattenedButterfly(k, 2), ClosAD(), adversarial(),
-        SimulationConfig(seed=seed),
+def _make_runner(side, jobs):
+    if side == "A":
+        # The PR-4 runner, reconstructed: cold workers, a pool per
+        # map, one future per job, no adaptive ordering, full grid.
+        return SweepRunner(
+            jobs=jobs, cache=None, warm=False, persistent=False,
+            adaptive=False, chunk=1,
+        )
+    # This PR's defaults (warm + persistent + adaptive), uncached so
+    # every repeat does fresh work.
+    return SweepRunner(jobs=jobs, cache=None)
+
+
+def _fingerprint(result):
+    """The deterministic observables both runners must agree on."""
+    return tuple(
+        (table.title, tuple(table.headers),
+         tuple(tuple(row) for row in table.rows))
+        for table in result.tables
     )
 
 
-def _jobs(bench_scale):
-    spec = SimSpec.of(_make, bench_scale.fb_k)
-    return [
-        OpenLoopJob(spec, load, bench_scale.warmup, bench_scale.measure,
-                    bench_scale.drain_max)
-        for load in bench_scale.loads
-    ]
+def _run_side(side, jobs, scale):
+    runner = _make_runner(side, jobs)
+    start = time.perf_counter()
+    try:
+        result = fig04_routing.run(scale=scale, runner=runner)
+    finally:
+        runner.close()
+    seconds = time.perf_counter() - start
+    report = runner.report
+    return {
+        "seconds": seconds,
+        "fingerprint": _fingerprint(result),
+        "points": report.total,
+        "executed": report.executed,
+        "sim_cycles": report.sim_cycles,
+        "events_dispatched": report.events_dispatched,
+        "sim_builds": report.sim_builds,
+        "topology_builds": report.topology_builds,
+        "route_table_builds": report.route_table_builds,
+        "warm_topology_hits": report.warm_topology_hits,
+        "workers": report.workers,
+    }
 
 
-def test_sweep_parallel_jobs2(benchmark, bench_scale):
-    """Load sweep through the pool; identical to the serial sweep."""
-    jobs = _jobs(bench_scale)
-    serial = SweepRunner(jobs=1).map(jobs)
-    parallel = run_once(benchmark, lambda: SweepRunner(jobs=2).map(jobs))
-    assert parallel == serial
+#: Per-side fields that must not vary between repeats (everything the
+#: runner computes, as opposed to how long the machine took to do it).
+_DETERMINISTIC = (
+    "fingerprint", "points", "executed", "sim_cycles",
+    "events_dispatched", "sim_builds",
+)
 
 
-def test_sweep_cache_hit(benchmark, bench_scale, tmp_path):
-    """Warm-cache sweep: must be far below cold time and bit-identical."""
-    cache = ResultCache(str(tmp_path))
-    jobs = _jobs(bench_scale)
-    cold = SweepRunner(jobs=1, cache=cache).map(jobs)
+def collect(repeats=2, jobs=JOBS, quick=False):
+    """Time ``repeats`` interleaved A/B pairs; returns the report dict."""
+    scale = QUICK_SCALE if quick else CI_SCALE
+    sides = {"A": [], "B": []}
+    pairs = []
+    for pair_index in range(repeats):
+        # ABBA: alternate which side runs first so a monotonic machine
+        # slowdown penalizes each side equally across pairs.
+        order = ("A", "B") if pair_index % 2 == 0 else ("B", "A")
+        timed = {}
+        for side in order:
+            timed[side] = _run_side(side, jobs, scale)
+            sides[side].append(timed[side])
+            print(
+                f"pair {pair_index + 1}/{repeats} side {side}: "
+                f"{timed[side]['seconds']:.2f} s, "
+                f"{timed[side]['executed']} points, "
+                f"{timed[side]['sim_cycles']} cycles, "
+                f"{timed[side]['topology_builds']} topology builds",
+                flush=True,
+            )
+        pairs.append(
+            {
+                "order": "".join(order),
+                "a_seconds": timed["A"]["seconds"],
+                "b_seconds": timed["B"]["seconds"],
+                "speedup": timed["A"]["seconds"] / timed["B"]["seconds"],
+            }
+        )
 
-    warm_runner = SweepRunner(jobs=1, cache=cache)
-    warm = run_once(benchmark, lambda: warm_runner.map(jobs))
-    assert warm == cold
-    assert warm_runner.report.cache_hits == len(jobs)
+    for side, runs in sides.items():
+        for name in _DETERMINISTIC:
+            if len({repr(run[name]) for run in runs}) > 1:
+                raise AssertionError(
+                    f"side {side} field {name} varied between repeats"
+                )
+    if sides["A"][0]["fingerprint"] != sides["B"][0]["fingerprint"]:
+        raise AssertionError(
+            "runner configurations disagree on fig04 tables"
+        )
+
+    def summarize(runs):
+        seconds = [run["seconds"] for run in runs]
+        out = {
+            key: runs[0][key]
+            for key in (
+                "points", "executed", "sim_cycles", "events_dispatched",
+                "sim_builds", "topology_builds", "route_table_builds",
+                "warm_topology_hits", "workers",
+            )
+        }
+        out["seconds"] = seconds
+        out["seconds_best"] = min(seconds)
+        out["seconds_mean"] = sum(seconds) / len(seconds)
+        return out
+
+    a, b = summarize(sides["A"]), summarize(sides["B"])
+    paired = [p["speedup"] for p in pairs]
+    geomean = math.exp(sum(math.log(s) for s in paired) / len(paired))
+    return {
+        "benchmark": "sweep-runner",
+        "config": {
+            "experiment": "fig04",
+            "scale": scale.name,
+            "fb_k": scale.fb_k,
+            "warmup": scale.warmup,
+            "measure": scale.measure,
+            "drain_max": scale.drain_max,
+            "jobs": jobs,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+        },
+        "a_pr4_compat": a,
+        "b_warm_adaptive": b,
+        "pairs": pairs,
+        # Headline: geometric mean of interleaved pair ratios (drift-
+        # controlled); the best-of ratio is shown for comparison with
+        # the other benchmarks' min-wall convention.
+        "speedup_wall": geomean,
+        "speedup_best": a["seconds_best"] / b["seconds_best"],
+        "work_cycles_ratio": a["sim_cycles"] / b["sim_cycles"],
+        "results_identical": True,
+    }
 
 
-def test_latency_load_curve_speculative(benchmark, bench_scale):
-    """The speculative parallel curve equals the serial early-exit one."""
-    spec = SimSpec.of(_make, bench_scale.fb_k)
-    window = dict(warmup=bench_scale.warmup, measure=bench_scale.measure,
-                  drain_max=bench_scale.drain_max)
-    serial = latency_load_curve(spec, bench_scale.loads, **window)
-    parallel = run_once(
-        benchmark,
-        lambda: latency_load_curve(
-            spec, bench_scale.loads, runner=SweepRunner(jobs=2), **window
-        ),
+def check(report, quick=False):
+    """Deterministic acceptance: identical tables, strictly less work
+    on the warm/adaptive side, and warm reuse proven by the counters."""
+    assert report["results_identical"]
+    a, b = report["a_pr4_compat"], report["b_warm_adaptive"]
+    # B executes a subset of A's points (the refined prober skips
+    # speculative grid points above saturation) and therefore fewer
+    # simulated cycles.
+    assert b["executed"] <= a["executed"], (a, b)
+    assert b["sim_cycles"] <= a["sim_cycles"], (a, b)
+    if not quick:
+        assert report["work_cycles_ratio"] >= 1.2, report["work_cycles_ratio"]
+    # Warm reuse: every fig04 job shares one topology sub-spec, so at
+    # most one topology and one route table is built per process
+    # (parent + each worker that reported counters).
+    processes = b["workers"] + 1
+    assert b["topology_builds"] <= processes, b
+    assert b["route_table_builds"] <= processes, b
+    assert b["warm_topology_hits"] >= b["sim_builds"] - processes, b
+    # The PR-4 side rebuilds the topology for every simulator.
+    assert a["topology_builds"] == a["sim_builds"], a
+    assert a["warm_topology_hits"] == 0, a
+
+
+def check_against(report, baseline_path, tolerance=0.25):
+    """Coarse regression gate: fail when the interleaved speedup falls
+    more than ``tolerance`` below the committed baseline.
+
+    The baseline was measured on a development machine; CI runners
+    have different core counts and contention, so the generous default
+    tolerance targets structural regressions (warm reuse silently
+    disabled, the refined prober running the full grid), not noise.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    new, old = report["speedup_wall"], baseline.get("speedup_wall")
+    if old and new < (1.0 - tolerance) * old:
+        raise AssertionError(
+            f"sweep-runner regression vs {baseline_path}: interleaved "
+            f"speedup {new:.3f}x is below {100 * (1 - tolerance):.0f}% "
+            f"of baseline {old:.3f}x"
+        )
+    print(
+        f"regression gate passed: within {tolerance:.0%} of {baseline_path}"
     )
-    assert parallel == serial
+
+
+def _dump(report, path):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+
+def _print_summary(report):
+    a, b = report["a_pr4_compat"], report["b_warm_adaptive"]
+    print(
+        f"A (PR-4 compat): best {a['seconds_best']:.2f} s | "
+        f"{a['executed']} points, {a['sim_cycles']} cycles, "
+        f"{a['topology_builds']} topology builds"
+    )
+    print(
+        f"B (warm adaptive): best {b['seconds_best']:.2f} s | "
+        f"{b['executed']} points, {b['sim_cycles']} cycles, "
+        f"{b['topology_builds']} topology builds "
+        f"({b['warm_topology_hits']} warm hits, {b['workers']} workers)"
+    )
+    print(
+        f"speedup: {report['speedup_wall']:.3f}x interleaved "
+        f"(best-of {report['speedup_best']:.3f}x, "
+        f"work ratio {report['work_cycles_ratio']:.3f}x); tables identical"
+    )
+
+
+def test_runner_benchmark():
+    """CI smoke: quick windows, one interleaved pair, deterministic
+    checks, artifact emitted next to the current directory."""
+    report = collect(repeats=1, quick=True)
+    check(report, quick=True)
+    _dump(report, "BENCH_runner.json")
+    _print_summary(report)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_runner.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="interleaved A/B pairs to time (default 2)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=JOBS,
+        help=f"worker processes for both sides (default {JOBS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter windows (CI smoke)"
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        default=None,
+        help="fail if the interleaved speedup regresses more than "
+        "--tolerance below this committed baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression for --check-against "
+        "(default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    report = collect(repeats=args.repeats, jobs=args.jobs, quick=args.quick)
+    check(report, quick=args.quick)
+    if args.check_against:
+        check_against(report, args.check_against, tolerance=args.tolerance)
+    _dump(report, args.out)
+    _print_summary(report)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

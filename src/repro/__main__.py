@@ -4,8 +4,9 @@
   every flag of ``python -m repro.experiments`` passes through
   unchanged (``--scale``, ``--jobs``, ``--cache-dir``, ``--no-cache``,
   ``--csv``, ``--progress``, ``--profile``).
-* ``repro cache stats`` — entry count, disk usage, and age range of
-  the on-disk :class:`~repro.runner.ResultCache`.
+* ``repro cache stats`` — entry count, disk usage, age range, and the
+  hit/miss counters sweeps persist into the on-disk
+  :class:`~repro.runner.ResultCache`.
 * ``repro cache prune [--older-than-days N]`` — delete entries older
   than the cutoff (all entries without one).
 
@@ -50,6 +51,15 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"disk usage: {_format_bytes(stats['total_bytes'])}")
     print(f"oldest    : {_format_age(now, stats['oldest_mtime'])}")
     print(f"newest    : {_format_age(now, stats['newest_mtime'])}")
+    lookups = stats["hits"] + stats["misses"]
+    if lookups:
+        rate = 100.0 * stats["hits"] / lookups
+        print(
+            f"lookups   : {lookups} ({stats['hits']} hits, "
+            f"{stats['misses']} misses, {rate:.1f}% hit rate)"
+        )
+    else:
+        print("lookups   : none recorded")
     return 0
 
 

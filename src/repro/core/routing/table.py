@@ -44,6 +44,25 @@ ROUTE_TABLE_ENV = "REPRO_ROUTE_TABLE"
 #: One table per live topology object; entries die with the topology.
 _SHARED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
+# Tables constructed in this process since import (or since the last
+# reset_build_count()).  The sweep runner's warm-worker layer reports
+# this through SweepReport to prove that jobs sharing a topology also
+# shared one table.
+_builds = 0
+
+
+def table_build_count() -> int:
+    """Number of :class:`RouteTable` instances constructed in this
+    process since import (or the last :func:`reset_build_count`)."""
+    return _builds
+
+
+def reset_build_count() -> None:
+    """Zero the construction counter (called by the worker-pool
+    initializer so each worker reports totals since its own start)."""
+    global _builds
+    _builds = 0
+
 
 def route_tables_enabled() -> bool:
     """Whether the shared route-table layer is switched on (checked at
@@ -74,6 +93,8 @@ class RouteTable:
     __slots__ = ("topology", "_port_of", "_minimal", "_dor", "_dtag", "_hops", "__weakref__")
 
     def __init__(self, topology) -> None:
+        global _builds
+        _builds += 1
         self.topology = topology
         # channel index -> output port at the channel's source router;
         # recorded by the first bind(), verified by every later one.

@@ -101,7 +101,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--progress",
         action="store_true",
-        help="print per-point sweep progress to stderr",
+        help="print per-point sweep progress (with ETA) to stderr",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="independent replicas per point, for experiments that "
+        "support replica statistics (currently ext_resilience); "
+        "replica 0 reproduces the default output",
     )
     parser.add_argument(
         "--profile",
@@ -117,6 +126,8 @@ def main(argv=None) -> int:
         resolve_jobs(args.jobs)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.replicas is not None and args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
 
     if args.profile:
         # Serial and uncached so the profile reflects the simulation
@@ -137,16 +148,22 @@ def main(argv=None) -> int:
         )
         start = time.time()
         run = ALL_EXPERIMENTS[name].run
+        parameters = inspect.signature(run).parameters
         kwargs = {}
-        if "runner" in inspect.signature(run).parameters:
+        if "runner" in parameters:
             kwargs["runner"] = runner
+        if args.replicas is not None and "replicas" in parameters:
+            kwargs["replicas"] = args.replicas
         profiler = None
         if args.profile:
             import cProfile
 
             profiler = cProfile.Profile()
             profiler.enable()
-        result = run(args.scale, **kwargs)
+        try:
+            result = run(args.scale, **kwargs)
+        finally:
+            runner.close()
         if profiler is not None:
             profiler.disable()
         print(result.to_text())

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..network import SimulationConfig, Simulator
-from ..network.stats import OpenLoopResult
+from ..network.stats import OpenLoopResult, ci95_halfwidth
 from ..runner import (
     CallableJob,
     OpenLoopJob,
@@ -208,6 +208,7 @@ def latency_load_curve(
     drain_max: int,
     stop_after_saturation: bool = True,
     runner: Optional[SweepRunner] = None,
+    refine: Optional[int] = None,
 ) -> List[OpenLoopResult]:
     """Run an offered-load sweep, one fresh simulator per point.
 
@@ -216,6 +217,19 @@ def latency_load_curve(
     saturation are computed but discarded), and the returned list is
     bit-identical to the serial early-exit sweep: points up to and
     including the first saturated load, in order.
+
+    ``refine`` switches the parallel path to coarse→refine probing:
+    roughly ``refine`` evenly spaced points (endpoints included) run
+    first, and further rounds only probe loads below the lowest
+    saturated point seen so far, skipping the deep-saturation runs the
+    full speculative grid would waste ``drain_max`` cycles on.  Every
+    point at or below the first saturated load is still simulated, so
+    the returned list stays bit-identical to the serial sweep; only
+    points *past* the knee (which both modes discard) are avoided.
+    Ignored when ``stop_after_saturation`` is off (every point is
+    needed then, so the full grid is already optimal) and when the
+    runner has adaptive scheduling disabled (``adaptive=False``
+    restores the PR-4 full speculative grid).
     """
     if (
         isinstance(make_simulator, SimSpec)
@@ -223,6 +237,16 @@ def latency_load_curve(
         and runner.jobs > 1
         and len(loads) > 1
     ):
+        if (
+            refine is not None
+            and refine >= 2
+            and stop_after_saturation
+            and getattr(runner, "adaptive", False)
+        ):
+            return _refined_curve(
+                make_simulator, loads, warmup, measure, drain_max,
+                runner, refine,
+            )
         jobs = [
             OpenLoopJob(make_simulator, load, warmup, measure, drain_max)
             for load in loads
@@ -243,6 +267,71 @@ def latency_load_curve(
         if stop_after_saturation and result.saturated:
             break
     return results
+
+
+def _refined_curve(
+    spec: SimSpec,
+    loads: Sequence[float],
+    warmup: int,
+    measure: int,
+    drain_max: int,
+    runner: SweepRunner,
+    probes: int,
+) -> List[OpenLoopResult]:
+    """Coarse→refine evaluation of a latency-load grid.
+
+    A coarse round probes evenly spaced loads — at most one probe per
+    pool worker, so the round's wall time is one point (on a single
+    worker it degenerates to just the lowest load and the whole search
+    becomes the serial early-exit, executing zero extra points).  The
+    refinement then fills unevaluated indices in ascending pool-width
+    waves, never going past ``ub``, the lowest index observed
+    saturated.  Every index up to the first saturated one is simulated
+    before slicing (the bit-identical-to-serial invariant); indices
+    past the knee simply never run, saving their ``drain_max``-bounded
+    saturated drains.
+    """
+    n = len(loads)
+    done: Dict[int, OpenLoopResult] = {}
+    ub = n - 1  # lowest index known saturated (grid end if none yet)
+    workers = max(1, getattr(runner, "worker_budget", lambda: runner.jobs)())
+
+    def run_round(indices: List[int]) -> None:
+        nonlocal ub
+        jobs = [
+            OpenLoopJob(spec, loads[i], warmup, measure, drain_max)
+            for i in indices
+        ]
+        for i, result in zip(indices, runner.map(jobs)):
+            done[i] = result
+            if result.saturated and i < ub:
+                ub = i
+
+    # Coarse round: up to min(probes, workers) evenly spaced indices
+    # (speculation beyond the worker count cannot reduce wall time, it
+    # only burns extra saturated runs).
+    spread = max(1, min(probes, workers))
+    if spread > 1:
+        step = max(1, (n - 1) // (spread - 1))
+        coarse = sorted(set(list(range(0, n, step)) + [n - 1]))
+    else:
+        coarse = [0]
+    run_round(coarse)
+
+    # Refine: ascending pool-width waves over the still-missing
+    # indices at or below the bound.  A wave can lower the bound
+    # (its lowest saturated member), cutting off the rest.
+    while True:
+        missing = [i for i in range(ub + 1) if i not in done]
+        if not missing:
+            break
+        run_round(missing[:workers])
+
+    ordered = [done[i] for i in range(ub + 1)]
+    for i, result in enumerate(ordered):
+        if result.saturated:
+            return ordered[: i + 1]
+    return ordered
 
 
 def saturation_throughput(
@@ -368,11 +457,16 @@ def find_saturation_load(
 
 @dataclass(frozen=True)
 class Replicated:
-    """Mean and spread of a metric over independent seeds."""
+    """Mean and spread of a metric over independent seeds.
+
+    ``ci95`` is the half-width of the 95% confidence interval on the
+    mean (Student-t for small sample counts; 0.0 for a single sample).
+    """
 
     mean: float
     std: float
     samples: Tuple[float, ...]
+    ci95: float = 0.0
 
     @property
     def count(self) -> int:
@@ -386,13 +480,57 @@ def _summarize(samples: Tuple[float, ...]) -> Replicated:
         std = math.sqrt(variance)
     else:
         std = 0.0
-    return Replicated(mean=mean, std=std, samples=samples)
+    return Replicated(
+        mean=mean, std=std, samples=samples,
+        ci95=ci95_halfwidth(std, len(samples)),
+    )
+
+
+def _ci_tight(summary: Replicated, ci_target: float) -> bool:
+    """Whether the relative 95% CI half-width is within ``ci_target``.
+
+    The width is measured relative to ``|mean|``; a zero mean with any
+    spread is never tight (and a zero mean with zero spread is)."""
+    if summary.count < 2:
+        return False
+    if summary.mean == 0.0:
+        return summary.ci95 == 0.0
+    return summary.ci95 <= ci_target * abs(summary.mean)
+
+
+def _note_replicated(runner, summary, early_stopped: bool) -> None:
+    report = getattr(runner, "report", None) if runner is not None else None
+    if report is not None and hasattr(report, "note_replicated"):
+        report.note_replicated(summary, early_stopped)
+
+
+def _early_stop_waves(
+    items: Sequence,
+    run_wave: Callable[[Sequence], Tuple[float, ...]],
+    wave_size: int,
+    min_replicas: int,
+    ci_target: float,
+) -> Tuple[Replicated, bool]:
+    """Consume ``items`` in waves until the CI is tight or they run
+    out; returns ``(summary, stopped_early)``."""
+    samples: Tuple[float, ...] = ()
+    offset = 0
+    while offset < len(items):
+        wave = items[offset:offset + max(1, wave_size)]
+        offset += len(wave)
+        samples = samples + run_wave(wave)
+        if len(samples) >= min_replicas and _ci_tight(_summarize(samples), ci_target):
+            return _summarize(samples), offset < len(items)
+    return _summarize(samples), False
 
 
 def replicate(
     metric: Callable[[int], float],
     seeds: Sequence[int],
     runner: Optional[SweepRunner] = None,
+    *,
+    ci_target: Optional[float] = None,
+    min_replicas: int = 2,
 ) -> Replicated:
     """Run ``metric(seed)`` over ``seeds`` and summarize.
 
@@ -410,29 +548,86 @@ def replicate(
     module-level function or ``functools.partial``), seeds run
     concurrently; a lambda metric silently falls back to the serial
     path.
+
+    ``ci_target`` opts into sequential early stopping: seeds run in
+    waves (one wave per pool width) and the sweep stops once at least
+    ``min_replicas`` samples are in and the relative 95% CI half-width
+    on the mean is at or below ``ci_target``.  Off by default because
+    the sample *count* then depends on which seeds ran — byte-stable
+    outputs need the full fixed seed list.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     seeds = tuple(seeds)
-    if runner is not None and runner.jobs > 1 and len(seeds) > 1:
+    parallel = runner is not None and runner.jobs > 1 and len(seeds) > 1
+    if parallel:
         try:
             pickle.dumps(metric)
         except Exception:
-            pass  # unpicklable metric: run serially below
+            parallel = False  # unpicklable metric: run serially below
+
+    if ci_target is not None:
+        if parallel:
+            summary, stopped = _early_stop_waves(
+                seeds,
+                lambda wave: tuple(
+                    float(s)
+                    for s in runner.map([CallableJob.of(metric, s) for s in wave])
+                ),
+                runner.jobs, min_replicas, ci_target,
+            )
         else:
-            jobs = [CallableJob.of(metric, seed) for seed in seeds]
-            return _summarize(tuple(float(s) for s in runner.map(jobs)))
-    return _summarize(tuple(float(metric(seed)) for seed in seeds))
+            summary, stopped = _early_stop_waves(
+                seeds,
+                lambda wave: tuple(float(metric(s)) for s in wave),
+                1, min_replicas, ci_target,
+            )
+        _note_replicated(runner, summary, stopped)
+        return summary
+
+    if parallel:
+        jobs = [CallableJob.of(metric, seed) for seed in seeds]
+        summary = _summarize(tuple(float(s) for s in runner.map(jobs)))
+    else:
+        summary = _summarize(tuple(float(metric(seed)) for seed in seeds))
+    _note_replicated(runner, summary, False)
+    return summary
 
 
-def replicate_jobs(jobs: Sequence, runner: Optional[SweepRunner] = None) -> Replicated:
+def replicate_jobs(
+    jobs: Sequence,
+    runner: Optional[SweepRunner] = None,
+    *,
+    ci_target: Optional[float] = None,
+    min_replicas: int = 2,
+) -> Replicated:
     """Summarize a set of scalar-producing runner jobs (typically one
     :class:`~repro.runner.SaturationJob` per seed) as a
-    :class:`Replicated`."""
+    :class:`Replicated`.
+
+    ``ci_target`` enables the same opt-in sequential early stop as
+    :func:`replicate`: jobs run in pool-width waves and stop once
+    ``min_replicas`` samples give a relative 95% CI half-width at or
+    below the target.  Leave it off (the default) whenever outputs
+    must be byte-stable — the consumed-job count depends on the data.
+    """
     if not jobs:
         raise ValueError("need at least one job")
-    if runner is not None:
-        samples = tuple(float(s) for s in runner.map(list(jobs)))
-    else:
-        samples = tuple(float(execute_job(job)) for job in jobs)
-    return _summarize(samples)
+    jobs = list(jobs)
+
+    def run_wave(wave) -> Tuple[float, ...]:
+        if runner is not None:
+            return tuple(float(s) for s in runner.map(list(wave)))
+        return tuple(float(execute_job(job)) for job in wave)
+
+    if ci_target is not None:
+        wave_size = runner.jobs if runner is not None else 1
+        summary, stopped = _early_stop_waves(
+            jobs, run_wave, wave_size, min_replicas, ci_target
+        )
+        _note_replicated(runner, summary, stopped)
+        return summary
+
+    summary = _summarize(run_wave(jobs))
+    _note_replicated(runner, summary, False)
+    return summary

@@ -39,13 +39,13 @@ PATTERN_NAMES = (
 )
 
 
-def _build_pattern(name: str, k: int):
+def _build_pattern(name: str, topology):
     if name == "uniform random":
         return UniformRandom()
     if name == "worst case (g+1)":
         return adversarial()
     if name == "tornado":
-        return tornado_for(FlattenedButterfly(k, 2))
+        return tornado_for(topology)
     if name == "bit complement":
         return BitComplement()
     if name == "bit reverse":
@@ -59,11 +59,11 @@ def _build_pattern(name: str, k: int):
     raise ValueError(f"unknown pattern {name!r}")
 
 
-def _make(k: int, algorithm_cls, pattern_name: str) -> Simulator:
+def _make(topology, algorithm_cls, pattern_name: str) -> Simulator:
     return Simulator(
-        FlattenedButterfly(k, 2),
+        topology,
         algorithm_cls(),
-        _build_pattern(pattern_name, k),
+        _build_pattern(pattern_name, topology),
         SimulationConfig(seed=1),
     )
 
@@ -77,7 +77,9 @@ def run(scale=None, runner=None) -> ExperimentResult:
     )
     jobs = [
         SaturationJob(
-            SimSpec.of(_make, k, algorithm_cls, name),
+            SimSpec.of(_make, algorithm_cls, name).with_topology(
+                FlattenedButterfly, k, 2
+            ),
             scale.warmup,
             scale.measure,
         )

@@ -39,11 +39,12 @@ from ..faults import (
     FaultModel,
 )
 from ..network import SimulationConfig, Simulator
+from ..network.config import derive_seed
 from ..runner import OpenLoopJob, SimSpec, execute_job
 from ..topologies import Butterfly, FoldedClos
 from ..topologies.hyperx import HyperX
 from ..traffic import UniformRandom
-from .common import ExperimentResult, Table, resolve_scale
+from .common import ExperimentResult, Table, _summarize, resolve_scale
 
 #: Failed-link fractions swept (0 is the fault-free reference point).
 FAIL_FRACTIONS = (0.0, 0.02, 0.05, 0.10)
@@ -63,41 +64,72 @@ def fault_model(fraction: float, seed: int = FAULT_SEED) -> FaultModel:
     return FaultModel(link_failure_fraction=fraction, seed=seed)
 
 
-def _config(fraction: float) -> SimulationConfig:
+def replica_seeds(replica: int):
+    """``(traffic_seed, fault_seed)`` for one replica.  Replica 0 uses
+    the historical defaults (so its results stay byte-identical to the
+    single-replica experiment); later replicas draw independent
+    traffic *and* fault streams derived from the base seeds."""
+    if replica == 0:
+        return 1, FAULT_SEED
+    return (
+        derive_seed(1, "resilience-replica", replica),
+        derive_seed(FAULT_SEED, "fault-replica", replica),
+    )
+
+
+def _config(fraction: float, replica: int = 0) -> SimulationConfig:
+    traffic_seed, fault_seed = replica_seeds(replica)
     if fraction == 0.0:
-        return SimulationConfig()
-    return SimulationConfig(faults=fault_model(fraction))
-
-
-def _fb(k: int, fraction: float, algorithm_cls) -> Simulator:
-    return Simulator(
-        HyperX(concentration=k, dims=(k,)), algorithm_cls(), UniformRandom(),
-        _config(fraction),
+        return SimulationConfig(seed=traffic_seed)
+    return SimulationConfig(
+        seed=traffic_seed, faults=fault_model(fraction, fault_seed)
     )
 
 
-def _butterfly(k: int, fraction: float) -> Simulator:
+def _fb(topology, fraction: float, algorithm_cls, replica: int = 0) -> Simulator:
     return Simulator(
-        Butterfly(k, 2), FaultAwareDestinationTag(), UniformRandom(),
-        _config(fraction),
+        topology, algorithm_cls(), UniformRandom(),
+        _config(fraction, replica),
     )
 
 
-def _folded_clos(k: int, fraction: float) -> Simulator:
+def _butterfly(topology, fraction: float, replica: int = 0) -> Simulator:
     return Simulator(
-        FoldedClos(k * k, k, taper=2), FaultAwareFoldedClosAdaptive(),
-        UniformRandom(), _config(fraction),
+        topology, FaultAwareDestinationTag(), UniformRandom(),
+        _config(fraction, replica),
     )
 
 
-def system_specs(k: int, fraction: float) -> Dict[str, SimSpec]:
+def _folded_clos(topology, fraction: float, replica: int = 0) -> Simulator:
+    return Simulator(
+        topology, FaultAwareFoldedClosAdaptive(),
+        UniformRandom(), _config(fraction, replica),
+    )
+
+
+def system_specs(k: int, fraction: float, replica: int = 0) -> Dict[str, SimSpec]:
     """Picklable simulator specs for the compared systems at one
-    failed-link fraction."""
+    failed-link fraction.  The topology rides as a sub-spec, so warm
+    workers build each system's topology once for the whole sweep —
+    safe because the fault draw realizes into per-simulator state, not
+    into the topology object.  ``replica`` appears in the description
+    only when non-zero, keeping replica-0 cache keys (and results)
+    those of the single-replica experiment."""
+    extra = {"replica": replica} if replica else {}
+    fb = SimSpec.of(HyperX, concentration=k, dims=(k,))
     return {
-        "FB (UGAL)": SimSpec.of(_fb, k, fraction, FaultAwareUGAL),
-        "FB (MIN AD)": SimSpec.of(_fb, k, fraction, FaultAwareMinimalAdaptive),
-        "butterfly": SimSpec.of(_butterfly, k, fraction),
-        "folded Clos": SimSpec.of(_folded_clos, k, fraction),
+        "FB (UGAL)": SimSpec.of(
+            _fb, fraction, FaultAwareUGAL, **extra
+        ).with_topology(fb),
+        "FB (MIN AD)": SimSpec.of(
+            _fb, fraction, FaultAwareMinimalAdaptive, **extra
+        ).with_topology(fb),
+        "butterfly": SimSpec.of(
+            _butterfly, fraction, **extra
+        ).with_topology(Butterfly, k, 2),
+        "folded Clos": SimSpec.of(
+            _folded_clos, fraction, **extra
+        ).with_topology(FoldedClos, k * k, k, taper=2),
     }
 
 
@@ -109,7 +141,14 @@ def _topology_for(name: str, k: int):
     return FoldedClos(k * k, k, taper=2)
 
 
-def run(scale=None, runner=None) -> ExperimentResult:
+def run(scale=None, runner=None, replicas: int = 1) -> ExperimentResult:
+    """``replicas > 1`` reruns every (fraction, system) point under
+    independent traffic *and* fault seeds (see :func:`replica_seeds`)
+    and appends a mean ± 95% CI throughput table.  The base tables are
+    always built from replica 0 alone, so the default output is
+    byte-identical regardless of ``replicas``."""
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     scale = resolve_scale(scale)
     k = scale.fb_k
     result = ExperimentResult(
@@ -140,17 +179,20 @@ def run(scale=None, runner=None) -> ExperimentResult:
         headers=["failed_fraction"] + systems,
     )
 
-    # All (fraction, system) points as one flat job list so a parallel
-    # runner fans the whole sweep out at once; order is preserved.
+    # All (replica, fraction, system) points as one flat job list so a
+    # parallel runner fans the whole sweep out at once; order is
+    # preserved, and replica 0 comes first so the base tables read the
+    # same results they always did.
     jobs = []
-    for fraction in FAIL_FRACTIONS:
-        for name, spec in system_specs(k, fraction).items():
-            jobs.append(
-                OpenLoopJob(
-                    spec, MEASURE_LOAD, scale.warmup, scale.measure,
-                    scale.drain_max,
+    for replica in range(replicas):
+        for fraction in FAIL_FRACTIONS:
+            for name, spec in system_specs(k, fraction, replica).items():
+                jobs.append(
+                    OpenLoopJob(
+                        spec, MEASURE_LOAD, scale.warmup, scale.measure,
+                        scale.drain_max,
+                    )
                 )
-            )
     if runner is not None:
         results = runner.map(jobs)
     else:
@@ -180,6 +222,41 @@ def run(scale=None, runner=None) -> ExperimentResult:
                 row.append(view.disconnected_terminal_pairs())
         disconnected.add(fraction, *row)
     result.tables.extend([throughput, latency, undeliverable, disconnected])
+
+    if replicas > 1:
+        # Replica aggregate: accepted throughput over all replicas per
+        # (fraction, system), reported as mean and 95% CI half-width.
+        # Appended after the base tables so their CSVs are untouched.
+        per_point = {
+            (fraction, name): []
+            for fraction in FAIL_FRACTIONS for name in systems
+        }
+        cursor = iter(results)
+        for replica in range(replicas):
+            for fraction in FAIL_FRACTIONS:
+                for name in systems:
+                    per_point[(fraction, name)].append(
+                        next(cursor).accepted_throughput
+                    )
+        headers = ["failed_fraction"]
+        for name in systems:
+            headers += [f"{name} mean", f"{name} ci95"]
+        aggregate = Table(
+            title=f"accepted throughput over {replicas} fault replicas "
+            "(mean, 95% CI half-width)",
+            headers=headers,
+        )
+        for fraction in FAIL_FRACTIONS:
+            row = [fraction]
+            for name in systems:
+                summary = _summarize(tuple(per_point[(fraction, name)]))
+                row += [summary.mean, summary.ci95]
+            aggregate.add(*row)
+        result.tables.append(aggregate)
+        result.notes.append(
+            f"replicas: {replicas} independent (traffic seed, fault seed) "
+            "draws per point; replica 0 is the base tables' draw"
+        )
 
     result.notes.append(
         "same fault seed across systems: each faces the same failure draw "

@@ -36,12 +36,21 @@ ALGORITHMS: Dict[str, Callable] = {
 }
 
 
-def _make(k: int, algorithm_cls, pattern_factory, seed: int = 1) -> Simulator:
+def _make(topology, algorithm_cls, pattern_factory, seed: int = 1) -> Simulator:
     return Simulator(
-        FlattenedButterfly(k, 2),
+        topology,
         algorithm_cls(),
         pattern_factory(),
         SimulationConfig(seed=seed),
+    )
+
+
+def _spec(k: int, algorithm_cls, pattern_factory, **kwargs) -> SimSpec:
+    """A fig04 point: the topology rides as a sub-spec so warm workers
+    can share one FlattenedButterfly (and its route table) across every
+    algorithm, pattern, load and seed."""
+    return SimSpec.of(_make, algorithm_cls, pattern_factory, **kwargs).with_topology(
+        FlattenedButterfly, k, 2
     )
 
 
@@ -66,12 +75,13 @@ def run(scale=None, runner=None) -> ExperimentResult:
         )
         curves = {
             name: latency_load_curve(
-                SimSpec.of(_make, scale.fb_k, cls, pattern_factory),
+                _spec(scale.fb_k, cls, pattern_factory),
                 scale.loads,
                 scale.warmup,
                 scale.measure,
                 scale.drain_max,
                 runner=runner,
+                refine=4,
             )
             for name, cls in ALGORITHMS.items()
         }
@@ -94,9 +104,7 @@ def run(scale=None, runner=None) -> ExperimentResult:
             replicated = replicate_jobs(
                 [
                     SaturationJob(
-                        SimSpec.of(
-                            _make, scale.fb_k, cls, pattern_factory, seed=seed
-                        ),
+                        _spec(scale.fb_k, cls, pattern_factory, seed=seed),
                         scale.warmup,
                         scale.measure,
                     )

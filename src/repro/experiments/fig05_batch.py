@@ -28,9 +28,9 @@ ALGORITHMS: Dict[str, Callable] = {
 }
 
 
-def _make(k: int, algorithm_cls) -> Simulator:
+def _make(topology, algorithm_cls) -> Simulator:
     return Simulator(
-        FlattenedButterfly(k, 2),
+        topology,
         algorithm_cls(),
         adversarial(),
         SimulationConfig(),
@@ -44,7 +44,10 @@ def run(scale=None, runner=None) -> ExperimentResult:
         headers=["batch size"] + list(ALGORITHMS),
     )
     jobs = [
-        BatchJob(SimSpec.of(_make, scale.fb_k, cls), batch)
+        BatchJob(
+            SimSpec.of(_make, cls).with_topology(FlattenedButterfly, scale.fb_k, 2),
+            batch,
+        )
         for batch in scale.batch_sizes
         for cls in ALGORITHMS.values()
     ]

@@ -40,33 +40,33 @@ from .common import (
 )
 
 
-def _fb(k: int, algorithm_cls, pattern_factory) -> Simulator:
+def _fb(topology, algorithm_cls, pattern_factory) -> Simulator:
     return Simulator(
-        FlattenedButterfly(k, 2), algorithm_cls(), pattern_factory(),
+        topology, algorithm_cls(), pattern_factory(),
         SimulationConfig(),
     )
 
 
-def _butterfly(k: int, pattern_factory) -> Simulator:
+def _butterfly(topology, pattern_factory) -> Simulator:
     return Simulator(
-        Butterfly(k, 2), DestinationTag(), pattern_factory(),
+        topology, DestinationTag(), pattern_factory(),
         SimulationConfig(),
     )
 
 
-def _folded_clos(k: int, pattern_factory) -> Simulator:
+def _folded_clos(topology, pattern_factory) -> Simulator:
     return Simulator(
-        FoldedClos(k * k, k, taper=2), FoldedClosAdaptive(),
+        topology, FoldedClosAdaptive(),
         pattern_factory(), SimulationConfig(),
     )
 
 
-def _hypercube(n_cube: int, pattern_factory) -> Simulator:
+def _hypercube(topology, pattern_factory) -> Simulator:
     # The hypercube's natural bisection is twice the flattened
     # butterfly's; holding bisection constant halves its channel
     # bandwidth (channel_period=2).
     return Simulator(
-        Hypercube(n_cube), ECube(), pattern_factory(),
+        topology, ECube(), pattern_factory(),
         SimulationConfig(channel_period=2),
     )
 
@@ -82,13 +82,18 @@ def topology_suite(k: int) -> Callable[[Callable], Dict[str, SimSpec]]:
     if 2**n_cube != num_terminals:
         raise ValueError(f"N={num_terminals} must be a power of two")
 
+    fb = SimSpec.of(FlattenedButterfly, k, 2)
+    butterfly = SimSpec.of(Butterfly, k, 2)
+    clos = SimSpec.of(FoldedClos, k * k, k, taper=2)
+    hypercube = SimSpec.of(Hypercube, n_cube)
+
     def factories(pattern_factory):
         return {
-            "FB (CLOS AD)": SimSpec.of(_fb, k, ClosAD, pattern_factory),
-            "FB (MIN)": SimSpec.of(_fb, k, DimensionOrder, pattern_factory),
-            "butterfly": SimSpec.of(_butterfly, k, pattern_factory),
-            "folded Clos": SimSpec.of(_folded_clos, k, pattern_factory),
-            "hypercube": SimSpec.of(_hypercube, n_cube, pattern_factory),
+            "FB (CLOS AD)": SimSpec.of(_fb, ClosAD, pattern_factory).with_topology(fb),
+            "FB (MIN)": SimSpec.of(_fb, DimensionOrder, pattern_factory).with_topology(fb),
+            "butterfly": SimSpec.of(_butterfly, pattern_factory).with_topology(butterfly),
+            "folded Clos": SimSpec.of(_folded_clos, pattern_factory).with_topology(clos),
+            "hypercube": SimSpec.of(_hypercube, pattern_factory).with_topology(hypercube),
         }
 
     return factories
@@ -116,7 +121,7 @@ def run(scale=None, runner=None) -> ExperimentResult:
         curves = {
             name: latency_load_curve(
                 make, scale.loads, scale.warmup, scale.measure,
-                scale.drain_max, runner=runner,
+                scale.drain_max, runner=runner, refine=4,
             )
             for name, make in factories.items()
         }

@@ -25,9 +25,9 @@ from .common import ExperimentResult, Table, resolve_scale
 MIN_AD_BUFFER_PER_PORT = 64  # paper: 64 flit buffers per PC in Fig 12(b)
 
 
-def _make(k: int, n: int, algorithm_cls, buffer_per_port: int = 32) -> Simulator:
+def _make(topology, algorithm_cls, buffer_per_port: int = 32) -> Simulator:
     return Simulator(
-        FlattenedButterfly(k, n),
+        topology,
         algorithm_cls(),
         UniformRandom(),
         SimulationConfig(buffer_per_port=buffer_per_port),
@@ -66,11 +66,12 @@ def run(scale=None, runner=None) -> ExperimentResult:
     )
     jobs = []
     for cfg in configs:
-        val_spec = SimSpec.of(_make, cfg.k, cfg.n, Valiant)
+        topo = SimSpec.of(FlattenedButterfly, cfg.k, cfg.n)
+        val_spec = SimSpec.of(_make, Valiant).with_topology(topo)
         min_spec = SimSpec.of(
-            _make, cfg.k, cfg.n, MinimalAdaptive,
+            _make, MinimalAdaptive,
             buffer_per_port=MIN_AD_BUFFER_PER_PORT,
-        )
+        ).with_topology(topo)
         jobs.append(
             OpenLoopJob(val_spec, 0.1, scale.warmup, scale.measure,
                         scale.drain_max)

@@ -15,6 +15,33 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
+# Two-sided 95% Student-t critical values for df = 1..30; beyond that
+# the normal approximation (1.960) is within half a percent.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+
+
+def t95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of
+    freedom (normal approximation past df=30)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T95[df - 1] if df <= len(_T95) else 1.960
+
+
+def ci95_halfwidth(std: float, count: int) -> float:
+    """Half-width of the 95% confidence interval on a mean estimated
+    from ``count`` independent samples with sample standard deviation
+    ``std`` (0.0 for a single sample: no spread estimate exists)."""
+    if count < 2:
+        return 0.0
+    return t95(count - 1) * std / math.sqrt(count)
+
+
 def _percentile(sorted_values: List[int], q: float) -> float:
     """Nearest-rank percentile of an already-sorted list."""
     if not sorted_values:

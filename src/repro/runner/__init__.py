@@ -15,7 +15,10 @@ and discarded.  This package turns that independence into speed:
 
 Results are bit-identical between serial and parallel execution
 because each job carries its own deterministic seed and every
-simulator is freshly constructed inside the job.
+simulator is constructed inside the job from the same description.
+Warm workers (see :mod:`~repro.runner.jobs`) may reuse a topology
+object across jobs, which cannot perturb results because topologies
+are immutable after construction.
 """
 
 from .cache import CACHE_VERSION, ResultCache, describe, job_key
@@ -25,10 +28,18 @@ from .jobs import (
     OpenLoopJob,
     SaturationJob,
     SimSpec,
+    build_counters,
+    clear_warm_cache,
+    execute_chunk,
     execute_job,
+    init_worker,
     sim_build_count,
+    topology_build_count,
+    warm_enabled,
+    warm_hit_count,
+    warm_override,
 )
-from .sweep import SweepReport, SweepRunner, resolve_jobs
+from .sweep import SweepReport, SweepRunner, resolve_jobs, stderr_progress
 
 __all__ = [
     "BatchJob",
@@ -40,9 +51,18 @@ __all__ = [
     "SimSpec",
     "SweepReport",
     "SweepRunner",
+    "build_counters",
+    "clear_warm_cache",
     "describe",
+    "execute_chunk",
     "execute_job",
+    "init_worker",
     "job_key",
     "resolve_jobs",
     "sim_build_count",
+    "stderr_progress",
+    "topology_build_count",
+    "warm_enabled",
+    "warm_hit_count",
+    "warm_override",
 ]

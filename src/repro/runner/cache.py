@@ -36,7 +36,15 @@ from typing import Iterator, Optional, Tuple
 #: ``flits_allocated``, ``flits_reused``, ``phase_seconds``); v3
 #: entries would replay without them and silently zero the new sweep
 #: aggregates.
-CACHE_VERSION = "repro-results-v4"
+#: v5: ``SimSpec`` grew the ``topology`` sub-spec field, which appears
+#: in every job description (dataclass fields are expanded), so every
+#: key changed; results themselves are byte-identical to v4.
+CACHE_VERSION = "repro-results-v5"
+
+#: Sidecar file (inside the cache directory) accumulating hit/miss
+#: counters across runs.  The name deliberately does not end in
+#: ``.pkl`` so entry iteration, ``clear`` and ``prune`` skip it.
+COUNTERS_FILENAME = "counters.json"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -124,6 +132,10 @@ class ResultCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        # Portions of hits/misses already merged into the sidecar file
+        # by flush_counters(); only the delta is written next time.
+        self._flushed_hits = 0
+        self._flushed_misses = 0
 
     def key(self, job) -> str:
         return job_key(job, self.version)
@@ -181,30 +193,92 @@ class ResultCache:
         return removed
 
     def stats(self) -> dict:
-        """Summary of the on-disk state: entry count, total bytes, and
-        modification-time range (Unix timestamps, ``None`` if empty)."""
+        """Summary of the on-disk state: entry count, total bytes,
+        modification-time range (Unix timestamps, ``None`` if empty),
+        and the persisted hit/miss counters.
+
+        Uses one ``os.scandir`` pass over the directory — directory
+        entries carry their ``stat`` results, so this never opens or
+        re-stats an entry and stays cheap on large caches."""
         entries = 0
         total_bytes = 0
         oldest = newest = None
-        for path in self._entries():
-            try:
-                info = os.stat(path)
-            except OSError:
-                continue
-            entries += 1
-            total_bytes += info.st_size
-            mtime = info.st_mtime
-            if oldest is None or mtime < oldest:
-                oldest = mtime
-            if newest is None or mtime > newest:
-                newest = mtime
+        try:
+            scan = os.scandir(self.directory)
+        except FileNotFoundError:
+            scan = None
+        if scan is not None:
+            with scan:
+                for entry in scan:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        info = entry.stat()
+                    except OSError:
+                        continue
+                    entries += 1
+                    total_bytes += info.st_size
+                    mtime = info.st_mtime
+                    if oldest is None or mtime < oldest:
+                        oldest = mtime
+                    if newest is None or mtime > newest:
+                        newest = mtime
+        counters = self.persisted_counters()
         return {
             "directory": self.directory,
             "entries": entries,
             "total_bytes": total_bytes,
             "oldest_mtime": oldest,
             "newest_mtime": newest,
+            "hits": counters["hits"],
+            "misses": counters["misses"],
         }
+
+    # ------------------------------------------------------------------
+    # Persisted hit/miss counters
+    # ------------------------------------------------------------------
+    def _counters_path(self) -> str:
+        return os.path.join(self.directory, COUNTERS_FILENAME)
+
+    def persisted_counters(self) -> dict:
+        """The accumulated ``{"hits": int, "misses": int}`` sidecar
+        (zeros when absent or unreadable)."""
+        try:
+            with open(self._counters_path(), "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            return {
+                "hits": int(raw.get("hits", 0)),
+                "misses": int(raw.get("misses", 0)),
+            }
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def flush_counters(self) -> None:
+        """Merge this instance's unflushed hit/miss counts into the
+        sidecar file (atomic read-modify-rename; concurrent flushers
+        may lose each other's increments, which is acceptable for an
+        advisory statistic)."""
+        delta_hits = self.hits - self._flushed_hits
+        delta_misses = self.misses - self._flushed_misses
+        if delta_hits == 0 and delta_misses == 0:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        merged = self.persisted_counters()
+        merged["hits"] += delta_hits
+        merged["misses"] += delta_misses
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle)
+            os.replace(tmp, self._counters_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._flushed_hits = self.hits
+        self._flushed_misses = self.misses
 
     def prune(self, older_than_seconds: Optional[float] = None) -> int:
         """Delete entries older than the cutoff (every entry when no

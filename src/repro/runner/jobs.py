@@ -1,4 +1,5 @@
-"""Picklable job records for the sweep runner.
+"""Picklable job records for the sweep runner, plus the warm-worker
+execution layer.
 
 A :class:`SimSpec` describes *how to build* a simulator rather than
 holding a live one, so a job can cross a process boundary and can be
@@ -6,28 +7,60 @@ hashed into a stable cache key.  The factory must be a module-level
 callable (a function or class); its arguments must be picklable and
 describable by :func:`repro.runner.cache.describe`.
 
-:func:`execute_job` is the single worker entry point: it rebuilds the
-simulator inside the worker process and runs exactly one measurement,
-so results are independent of which process (or which order) ran them.
+A spec may carry a separate **topology sub-spec**
+(:meth:`SimSpec.with_topology`): the factory then receives the built
+topology as its first positional argument.  Splitting the topology out
+lets a worker process recognise that consecutive jobs share a topology
+(:meth:`SimSpec.topology_key`) and rebuild it once instead of per job —
+and because the shared :class:`~repro.core.routing.table.RouteTable` is
+keyed on the topology *object*, reusing the object also reuses every
+precomputed routing entry.  Reuse cannot change results: a topology is
+immutable once constructed, and the route-table layer is pinned
+bit-identical on/off by the kernel-equivalence tests.
+
+:func:`execute_job` is the single per-job worker entry point;
+:func:`execute_chunk` runs a batch of jobs and reports the worker's
+construction counters so the parent can prove (in
+:class:`~repro.runner.sweep.SweepReport`) that warm workers built each
+topology at most once.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..network import Simulator
 
-# Counts every simulator constructed through a SimSpec in *this*
-# process.  Tests use it to prove that a cache hit builds nothing.
-_sim_builds_lock = threading.Lock()
+#: Environment toggle for the per-process warm topology cache: set to
+#: ``"0"`` to rebuild the topology for every job (PR-4 behavior).
+WARM_ENV = "REPRO_WARM"
+
+# Per-process construction counters.  Tests and the sweep report use
+# them to prove that a cache hit builds nothing and that warm workers
+# build each topology at most once.
+_counter_lock = threading.Lock()
 _sim_builds_value = 0
+_topology_builds_value = 0
+_warm_hits_value = 0
+
+# The per-process warm cache: topology description -> topology object.
+# Holding the topology alive also keeps its shared RouteTable alive in
+# repro.core.routing.table's WeakKeyDictionary.
+_warm_topologies: Dict[str, object] = {}
+
+# Tri-state override installed by the pool initializer (and by the
+# runner around in-process execution): None defers to $REPRO_WARM.
+_warm_override: Optional[bool] = None
 
 
 def _record_build() -> None:
     global _sim_builds_value
-    with _sim_builds_lock:
+    with _counter_lock:
         _sim_builds_value += 1
 
 
@@ -35,6 +68,95 @@ def sim_build_count() -> int:
     """Number of simulators built via :meth:`SimSpec.build` in this
     process since import."""
     return _sim_builds_value
+
+
+def topology_build_count() -> int:
+    """Number of topologies constructed through topology sub-specs in
+    this process since import."""
+    return _topology_builds_value
+
+
+def warm_hit_count() -> int:
+    """Number of topology constructions avoided by the warm cache in
+    this process since import."""
+    return _warm_hits_value
+
+
+def warm_enabled() -> bool:
+    """Whether the per-process topology cache is active (override from
+    the pool initializer wins, else ``$REPRO_WARM``, default on)."""
+    if _warm_override is not None:
+        return _warm_override
+    return os.environ.get(WARM_ENV, "1") != "0"
+
+
+@contextmanager
+def warm_override(enabled: Optional[bool]):
+    """Temporarily force warm mode on/off (``None`` is a no-op).  The
+    runner wraps in-process job execution with this so a cold runner
+    stays cold even when the environment default is warm."""
+    global _warm_override
+    previous = _warm_override
+    _warm_override = enabled if enabled is None else bool(enabled)
+    try:
+        yield
+    finally:
+        _warm_override = previous
+
+
+def clear_warm_cache() -> None:
+    """Drop every cached topology (test hook; never required for
+    correctness)."""
+    _warm_topologies.clear()
+
+
+def init_worker(warm: Optional[bool]) -> None:
+    """Pool initializer: pin warm mode and zero the construction
+    counters so every worker reports totals since its own start
+    (forked workers otherwise inherit the parent's counts)."""
+    global _warm_override, _sim_builds_value, _topology_builds_value
+    global _warm_hits_value
+    _warm_override = warm if warm is None else bool(warm)
+    with _counter_lock:
+        _sim_builds_value = 0
+        _topology_builds_value = 0
+        _warm_hits_value = 0
+    _warm_topologies.clear()
+    from ..core.routing.table import reset_build_count
+
+    reset_build_count()
+
+
+def build_counters() -> Dict[str, int]:
+    """Snapshot of this process's construction counters."""
+    from ..core.routing.table import table_build_count
+
+    return {
+        "pid": os.getpid(),
+        "sim_builds": _sim_builds_value,
+        "topology_builds": _topology_builds_value,
+        "route_table_builds": table_build_count(),
+        "warm_topology_hits": _warm_hits_value,
+    }
+
+
+def _build_topology(topo_spec: "SimSpec"):
+    """Build (or fetch from the warm cache) the topology described by
+    ``topo_spec``."""
+    global _topology_builds_value, _warm_hits_value
+    key = topo_spec.describe_key()
+    if key is not None and warm_enabled():
+        topology = _warm_topologies.get(key)
+        if topology is not None:
+            with _counter_lock:
+                _warm_hits_value += 1
+            return topology
+    topology = topo_spec.factory(*topo_spec.args, **dict(topo_spec.kwargs))
+    with _counter_lock:
+        _topology_builds_value += 1
+    if key is not None and warm_enabled():
+        _warm_topologies[key] = topology
+    return topology
 
 
 @dataclass(frozen=True)
@@ -48,11 +170,16 @@ class SimSpec:
         kwargs: keyword arguments, stored as a sorted tuple of
             ``(name, value)`` pairs so the spec stays hashable and its
             cache key is order-independent.
+        topology: optional sub-spec describing the topology.  When set,
+            the built topology is passed to ``factory`` as its first
+            positional argument, and workers may serve it from their
+            warm cache (see module docstring).
     """
 
     factory: Callable[..., Simulator]
     args: Tuple = ()
     kwargs: Tuple[Tuple[str, object], ...] = ()
+    topology: Optional["SimSpec"] = None
 
     @classmethod
     def of(cls, factory: Callable[..., Simulator], *args, **kwargs) -> "SimSpec":
@@ -63,11 +190,48 @@ class SimSpec:
         merged = dict(self.kwargs)
         merged.update(kwargs)
         return SimSpec(self.factory, self.args + tuple(args),
-                       tuple(sorted(merged.items())))
+                       tuple(sorted(merged.items())), self.topology)
+
+    def with_topology(self, factory, *args, **kwargs) -> "SimSpec":
+        """Return a new spec carrying a topology sub-spec.  ``factory``
+        may be a topology class/factory (with its arguments) or an
+        already-built :class:`SimSpec`."""
+        if isinstance(factory, SimSpec):
+            if args or kwargs:
+                raise TypeError(
+                    "pass either a ready SimSpec or factory+arguments, not both"
+                )
+            sub = factory
+        else:
+            sub = SimSpec.of(factory, *args, **kwargs)
+        return SimSpec(self.factory, self.args, self.kwargs, sub)
+
+    def describe_key(self) -> Optional[str]:
+        """Canonical JSON string describing this spec, or ``None`` when
+        the spec has no stable description (e.g. a lambda factory)."""
+        from .cache import describe
+
+        try:
+            description = describe(self)
+        except TypeError:
+            return None
+        return json.dumps(description, sort_keys=True, separators=(",", ":"))
+
+    def topology_key(self) -> Optional[str]:
+        """Stable identity of this spec's topology sub-spec (``None``
+        when the spec builds its topology inside the factory).  Jobs
+        with equal topology keys share one topology instance — and one
+        bound route table — inside a warm worker."""
+        if self.topology is None:
+            return None
+        return self.topology.describe_key()
 
     def build(self) -> Simulator:
         _record_build()
-        return self.factory(*self.args, **dict(self.kwargs))
+        if self.topology is None:
+            return self.factory(*self.args, **dict(self.kwargs))
+        topology = _build_topology(self.topology)
+        return self.factory(topology, *self.args, **dict(self.kwargs))
 
     # Specs double as the zero-argument ``make_simulator`` callables
     # the experiment helpers historically accepted.
@@ -122,8 +286,9 @@ class CallableJob:
 def execute_job(job):
     """Run one job to completion and return its result record.
 
-    This is the sole entry point executed inside worker processes; it
-    must stay importable at module level so jobs pickle by reference.
+    This is the sole per-job entry point executed inside worker
+    processes; it must stay importable at module level so jobs pickle
+    by reference.
     """
     if isinstance(job, OpenLoopJob):
         return job.spec.build().run_open_loop(
@@ -139,3 +304,12 @@ def execute_job(job):
     if isinstance(job, CallableJob):
         return job.fn(*job.args, **dict(job.kwargs))
     raise TypeError(f"unknown job type {type(job).__name__}")
+
+
+def execute_chunk(jobs: List) -> Tuple[List, Dict[str, int]]:
+    """Run a batch of jobs in this worker and return ``(results,
+    counters)``, where ``counters`` are the worker's total construction
+    counts since it started (the parent diffs consecutive reports per
+    pid).  Chunking amortizes submit/pickle overhead and keeps the
+    per-future accounting cheap."""
+    return [execute_job(job) for job in jobs], build_counters()

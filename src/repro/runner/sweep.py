@@ -4,6 +4,29 @@
 before executing anything, and falls back to in-process execution for
 ``jobs=1`` (or for jobs that cannot cross a process boundary), so the
 serial and parallel paths return bit-identical results.
+
+Three sweep-scale mechanisms live here (all results-neutral — they
+change *when and where* a job runs, never what it computes):
+
+* **Warm workers.**  The worker pool is created once per runner and
+  reused across every ``map`` call, with an initializer that arms the
+  per-worker topology cache (see :mod:`repro.runner.jobs`): all jobs
+  whose specs share a topology sub-spec reuse one topology instance —
+  and therefore one bound
+  :class:`~repro.core.routing.table.RouteTable` — inside each worker.
+  The report's build counters prove it (``topology_builds`` stays at
+  or below workers x distinct topologies).
+* **Adaptive scheduling.**  Pending jobs are dispatched
+  longest-expected-first, using cycle counts observed from earlier
+  points at the same offered load as the cost signal (and the offered
+  load itself before any observation exists: points near saturation
+  run longest).  Jobs travel in small chunks to amortize submit
+  overhead.  Results are reassembled into input order, so ordering is
+  purely a wall-clock optimization.
+* **Replica statistics.**  ``SweepReport`` aggregates the replica
+  summaries produced by :func:`repro.experiments.common.replicate` /
+  ``replicate_jobs`` (sample counts, early stops) next to the kernel
+  stats.
 """
 
 from __future__ import annotations
@@ -12,11 +35,13 @@ import os
 import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from . import jobs as _jobs_module
 from .cache import ResultCache
-from .jobs import execute_job
+from .jobs import execute_chunk, execute_job, init_worker, warm_override
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -49,7 +74,9 @@ class SweepReport:
     Besides the point/caching counters, the report aggregates the
     :class:`~repro.network.KernelStats` attached to every result a
     sweep actually *executed* (cache hits are excluded — their stats
-    describe some earlier run's work, not this one's).
+    describe some earlier run's work, not this one's), the
+    construction counters that prove warm-worker reuse, and replica
+    summaries.
     """
 
     total: int = 0
@@ -67,6 +94,18 @@ class SweepReport:
     flits_allocated: int = 0
     flits_reused: int = 0
     phase_seconds: Optional[dict] = None
+    # Construction counters summed over the parent and every worker
+    # (each counted since its own start; see jobs.build_counters).
+    sim_builds: int = 0
+    topology_builds: int = 0
+    route_table_builds: int = 0
+    warm_topology_hits: int = 0
+    #: Distinct worker processes that have reported counters.
+    workers: int = 0
+    # Replica statistics (note_replicated).
+    replicated_metrics: int = 0
+    replica_samples: int = 0
+    replica_early_stops: int = 0
 
     def note(self, total: int, hits: int, executed: int, elapsed: float) -> None:
         self.total += total
@@ -96,6 +135,21 @@ class SweepReport:
                 self.phase_seconds = {}
             merge_phase_seconds(self.phase_seconds, phases)
 
+    def note_builds(self, delta: Dict[str, int]) -> None:
+        """Fold one process's construction-counter delta into the
+        totals."""
+        self.sim_builds += delta.get("sim_builds", 0)
+        self.topology_builds += delta.get("topology_builds", 0)
+        self.route_table_builds += delta.get("route_table_builds", 0)
+        self.warm_topology_hits += delta.get("warm_topology_hits", 0)
+
+    def note_replicated(self, replicated, early_stopped: bool = False) -> None:
+        """Record one replicate() / replicate_jobs() summary."""
+        self.replicated_metrics += 1
+        self.replica_samples += replicated.count
+        if early_stopped:
+            self.replica_early_stops += 1
+
     def summary(self) -> str:
         text = (
             f"{self.total} points, {self.cache_hits} cache hits, "
@@ -108,7 +162,36 @@ class SweepReport:
                 f"{self.router_phase_calls} router-phase calls, "
                 f"{self.events_dispatched} events"
             )
+        if self.sim_builds:
+            text += (
+                f"; {self.sim_builds} simulators built over "
+                f"{self.topology_builds} topologies / "
+                f"{self.route_table_builds} route tables "
+                f"({self.warm_topology_hits} warm hits"
+            )
+            text += f", {self.workers} workers)" if self.workers else ")"
+        if self.replicated_metrics:
+            text += (
+                f"; {self.replicated_metrics} replicated metrics over "
+                f"{self.replica_samples} samples"
+            )
+            if self.replica_early_stops:
+                text += f" ({self.replica_early_stops} early-stopped)"
         return text
+
+
+def _cost_signal(job) -> float:
+    """A load-like proxy for how long a job runs, comparable within one
+    job type: offered load for open-loop points (saturated points must
+    drain and run longest), 1.0 for saturation probes, the batch size
+    for batch runs."""
+    load = getattr(job, "load", None)
+    if load is not None:
+        return float(load)
+    batch = getattr(job, "batch_size", None)
+    if batch is not None:
+        return float(batch)
+    return 1.0
 
 
 class SweepRunner:
@@ -122,6 +205,20 @@ class SweepRunner:
         cache: a :class:`ResultCache`, or ``None`` to always execute.
         progress: optional callback ``progress(done, total, job)``
             invoked after every completed point (cache hits included).
+        warm: per-worker topology reuse (see
+            :mod:`repro.runner.jobs`); ``None`` reads ``$REPRO_WARM``
+            (default on).  ``warm=False`` rebuilds the topology for
+            every job — bit-identical results, PR-4 cost.
+        persistent: keep one worker pool alive across ``map`` calls
+            (default).  ``False`` restores the spawn-a-pool-per-map
+            behavior, which also empties each worker's topology cache
+            between maps.
+        adaptive: dispatch pending jobs longest-expected-first in small
+            chunks (default).  ``False`` submits one future per job in
+            input order.
+        chunk: jobs per worker submission under adaptive dispatch
+            (``None`` — size chosen from the batch: 1 for small maps,
+            up to 8 for paper-scale replica sweeps).
     """
 
     def __init__(
@@ -129,11 +226,73 @@ class SweepRunner:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[int, int, object], None]] = None,
+        warm: Optional[bool] = None,
+        persistent: bool = True,
+        adaptive: bool = True,
+        chunk: Optional[int] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.progress = progress
+        self.warm = _jobs_module.warm_enabled() if warm is None else bool(warm)
+        self.persistent = persistent
+        self.adaptive = adaptive
+        if chunk is not None and chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = chunk
         self.report = SweepReport()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # pid -> last reported construction totals for that worker.
+        self._worker_totals: Dict[int, Dict[str, int]] = {}
+        # job type name -> {cost signal -> observed simulated cycles}.
+        self._costs: Dict[str, Dict[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=init_worker,
+            initargs=(self.warm,),
+        )
+
+    def worker_budget(self) -> int:
+        """Worker processes the pool actually gets.  Under adaptive
+        scheduling this is capped at the machine's CPU count: the jobs
+        are pure CPU work, so extra workers only add context-switch
+        and cache-thrash overhead (``jobs`` beyond the core count made
+        a measurable sweep *slower*).  ``adaptive=False`` honors the
+        requested count verbatim, as the PR-4 runner did."""
+        if not self.adaptive:
+            return self.jobs
+        return min(self.jobs, os.cpu_count() or self.jobs)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = self._make_pool(self.worker_budget())
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (workers are respawned
+        on the next parallel ``map``)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._worker_totals.clear()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def run(self, job):
@@ -172,16 +331,10 @@ class SweepRunner:
         # 2. Execute the misses.
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                done = self._run_parallel(jobs, pending, results, done)
+                done = self._run_parallel(jobs, pending, results, done,
+                                          cacheable)
             else:
-                for i in pending:
-                    results[i] = execute_job(jobs[i])
-                    self._store(jobs[i], results[i], cacheable[i])
-                    done += 1
-                    self._tick(done, len(jobs), jobs[i])
-            if self.jobs > 1 and len(pending) > 1:
-                for i in pending:
-                    self._store(jobs[i], results[i], cacheable[i])
+                self._run_local(jobs, pending, results, done, cacheable)
 
         self.report.note(
             len(jobs), hits, len(pending), time.perf_counter() - start
@@ -190,10 +343,26 @@ class SweepRunner:
             stats = getattr(results[i], "kernel", None)
             if stats is not None:
                 self.report.note_kernel(stats)
+        if self.cache is not None:
+            self.cache.flush_counters()
         return results
 
     # ------------------------------------------------------------------
-    def _run_parallel(self, jobs, pending, results, done) -> int:
+    def _run_local(self, jobs, pending, results, done, cacheable) -> int:
+        """Execute ``pending`` in this process (serial path)."""
+        before = _jobs_module.build_counters()
+        with warm_override(self.warm):
+            for i in pending:
+                results[i] = execute_job(jobs[i])
+                self._store(jobs[i], results[i], cacheable[i])
+                self._observe_cost(jobs[i], results[i])
+                done += 1
+                self._tick(done, len(jobs), jobs[i])
+        self.report.note_builds(_diff_counters(before,
+                                               _jobs_module.build_counters()))
+        return done
+
+    def _run_parallel(self, jobs, pending, results, done, cacheable) -> int:
         # Jobs that cannot be pickled run in-process; everything else
         # goes to the pool.
         local: List[int] = []
@@ -209,10 +378,22 @@ class SweepRunner:
             local, remote = sorted(local + remote), []
 
         if remote:
-            workers = min(self.jobs, len(remote))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            if self.adaptive:
+                # Longest-expected-first: saturated / high-load points
+                # start immediately, so the pool never finishes its
+                # short jobs first and then waits on one straggler.
+                remote.sort(key=lambda i: self._expected_cost(jobs[i]),
+                            reverse=True)
+            chunk = self._chunk_size(len(remote))
+            chunks = [remote[o:o + chunk]
+                      for o in range(0, len(remote), chunk)]
+            pool = (self._ensure_pool() if self.persistent
+                    else self._make_pool(
+                        min(self.worker_budget(), len(remote))))
+            try:
                 futures = {
-                    pool.submit(execute_job, jobs[i]): i for i in remote
+                    pool.submit(execute_chunk, [jobs[i] for i in group]): group
+                    for group in chunks
                 }
                 outstanding = set(futures)
                 while outstanding:
@@ -220,15 +401,73 @@ class SweepRunner:
                         outstanding, return_when=FIRST_COMPLETED
                     )
                     for future in finished:
-                        i = futures[future]
-                        results[i] = future.result()
-                        done += 1
-                        self._tick(done, len(jobs), jobs[i])
-        for i in local:
-            results[i] = execute_job(jobs[i])
-            done += 1
-            self._tick(done, len(jobs), jobs[i])
+                        values, counters = future.result()
+                        self._note_worker(counters)
+                        for i, value in zip(futures[future], values):
+                            results[i] = value
+                            self._store(jobs[i], value, cacheable[i])
+                            self._observe_cost(jobs[i], value)
+                            done += 1
+                            self._tick(done, len(jobs), jobs[i])
+            except BrokenProcessPool:
+                # The pool is unusable; drop it so a later map starts
+                # fresh instead of failing forever.
+                if self.persistent:
+                    self._pool = None
+                    self._worker_totals.clear()
+                raise
+            finally:
+                if not self.persistent:
+                    pool.shutdown(wait=True)
+        if local:
+            done = self._run_local(jobs, local, results, done, cacheable)
         return done
+
+    # ------------------------------------------------------------------
+    def _chunk_size(self, n: int) -> int:
+        if self.chunk is not None:
+            return self.chunk
+        if not self.adaptive:
+            return 1
+        # Aim for several chunks per worker so dynamic scheduling can
+        # still balance, but never more than 8 jobs per submission.
+        return max(1, min(8, n // (self.worker_budget() * 4)))
+
+    def _expected_cost(self, job) -> float:
+        """Best-effort relative cost of ``job``: observed simulated
+        cycles at the same (job type, load) when available, the nearest
+        observed load scaled by saturation proximity otherwise, and the
+        raw load signal before any observation."""
+        kind = type(job).__name__
+        signal = _cost_signal(job)
+        history = self._costs.get(kind)
+        if history:
+            exact = history.get(signal)
+            if exact is not None:
+                return exact
+            nearest = min(history, key=lambda s: abs(s - signal))
+            return history[nearest] * (0.1 + signal) / (0.1 + nearest)
+        return signal
+
+    def _observe_cost(self, job, value) -> None:
+        stats = getattr(value, "kernel", None)
+        cycles = getattr(stats, "cycles", 0) if stats is not None else 0
+        if cycles:
+            self._costs.setdefault(type(job).__name__, {})[
+                _cost_signal(job)] = float(cycles)
+
+    def _note_worker(self, counters: Dict[str, int]) -> None:
+        pid = counters.get("pid", 0)
+        previous = self._worker_totals.get(pid)
+        if previous is None:
+            # First report from this worker: the initializer zeroed its
+            # counters, so the totals ARE the delta.
+            delta = counters
+            self.report.workers += 1
+        else:
+            delta = _diff_counters(previous, counters)
+        self._worker_totals[pid] = counters
+        self.report.note_builds(delta)
 
     def _store(self, job, value, cacheable: bool) -> None:
         if self.cache is not None and cacheable:
@@ -239,8 +478,19 @@ class SweepRunner:
             self.progress(done, total, job)
 
 
+def _diff_counters(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in ("sim_builds", "topology_builds", "route_table_builds",
+                    "warm_topology_hits")
+    }
+
+
 def stderr_progress(prefix: str = "sweep") -> Callable[[int, int, object], None]:
-    """A ready-made progress callback printing one line per point."""
+    """A ready-made progress callback printing one line per point, with
+    an ETA extrapolated from completed-point wall times.  Lines are
+    flushed immediately so progress stays visible under ``tee`` or any
+    other block-buffering consumer."""
     import sys
 
     start = time.perf_counter()
@@ -248,9 +498,15 @@ def stderr_progress(prefix: str = "sweep") -> Callable[[int, int, object], None]
     def report(done: int, total: int, job) -> None:
         elapsed = time.perf_counter() - start
         label = type(job).__name__
+        if 0 < done < total:
+            eta = elapsed / done * (total - done)
+            tail = f"{elapsed:.1f}s eta {eta:.1f}s"
+        else:
+            tail = f"{elapsed:.1f}s"
         print(
-            f"[{prefix}] {done}/{total} ({label}) {elapsed:.1f}s",
+            f"[{prefix}] {done}/{total} ({label}) {tail}",
             file=sys.stderr,
+            flush=True,
         )
 
     return report

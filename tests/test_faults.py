@@ -456,8 +456,9 @@ class TestFaultCacheKeys:
 
     def test_cache_version_bumped(self):
         # v3 introduced the faults field; v4 (profiling counters in
-        # KernelStats) must not replay v3 entries either.
-        assert CACHE_VERSION == "repro-results-v4"
+        # KernelStats) and v5 (SimSpec topology sub-spec changed every
+        # job description) must not replay older entries either.
+        assert CACHE_VERSION == "repro-results-v5"
 
     def test_same_fault_model_same_key(self):
         a = self._job(FaultModel(link_failure_fraction=0.05, seed=3))
@@ -499,7 +500,9 @@ class TestFaultCacheKeys:
         from repro.experiments.ext_resilience import _fb as make_fb
 
         cache = ResultCache(str(tmp_path))
-        spec = SimSpec.of(make_fb, 4, 0.05, FaultAwareUGAL)
+        spec = SimSpec.of(make_fb, 0.05, FaultAwareUGAL).with_topology(
+            HyperX, concentration=4, dims=(4,)
+        )
         job = OpenLoopJob(spec, 0.3, 50, 80, 1500)
         runner = SweepRunner(jobs=1, cache=cache)
         first = runner.run(job)
