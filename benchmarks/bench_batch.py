@@ -1,0 +1,268 @@
+"""Batch-kernel benchmark: lockstep replicas vs. serial event runs.
+
+Measures the wall-clock of one fig04-scale replica family — 16
+replicas of a MIN AD / uniform-random load point on the CI-scale
+8-ary 2-flat — executed two ways:
+
+* **event**: one serial ``run_open_loop`` per replica seed (what
+  ``replicate_jobs`` does on a single worker), and
+* **batch**: a single ``run_open_loop_batch`` advancing every replica
+  in lockstep on the vectorized backend.
+
+Repeats are **interleaved** (event, batch, event, batch, ...) so both
+sides sample the same machine-noise regime; the headline per side is
+the best (minimum) wall time over the repeats.  Emits
+``BENCH_batch.json``.
+
+Asserted (here and in the pytest CI smoke entry point):
+
+* the batch side is at least :data:`MIN_SPEEDUP` times faster at full
+  windows (the paper-relevant claim the batch kernel exists for), with
+  a softer floor under ``--quick``, and
+* both sides land statistically together: the replica-family means of
+  latency and accepted throughput agree within 5% (the thorough CI
+  check is ``tests/test_batch_kernel.py``; this guards the benchmark
+  itself from silently timing two different measurements).
+
+Usage::
+
+    python benchmarks/bench_batch.py [--out BENCH_batch.json]
+        [--repeat 3] [--quick] [--check-against BENCH_batch.json]
+
+or via pytest (CI smoke: quick windows, one repeat)::
+
+    python -m pytest benchmarks/bench_batch.py -q
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.core import MinimalAdaptive
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator, replica_seeds
+from repro.traffic import UniformRandom
+
+#: fig04 CI-scale topology and measurement point (experiments/common.py
+#: CI_SCALE windows; load 0.5 sits below the MIN AD/UR knee).
+FB_K = 8
+LOAD = 0.5
+WARMUP = 500
+MEASURE = 500
+DRAIN_MAX = 6000
+REPLICAS = 16
+BASE_SEED = 1
+
+#: Acceptance floor for the batched speedup at full windows.  The
+#: committed baseline shows ~5-7x on a development machine; 3x keeps
+#: the gate meaningful while absorbing runner variance.
+MIN_SPEEDUP = 3.0
+
+#: Softer floor for --quick smoke windows, where fixed per-call
+#: overhead eats into the vectorization win.
+MIN_SPEEDUP_QUICK = 1.5
+
+
+def _build(kernel, seed=BASE_SEED):
+    return Simulator(
+        FlattenedButterfly(FB_K, 2),
+        MinimalAdaptive(),
+        UniformRandom(),
+        SimulationConfig(seed=seed),
+        kernel=kernel,
+    )
+
+
+def _run_event(seeds, warmup, measure, drain_max):
+    """Serial event-kernel replicas; returns (wall, results)."""
+    started = time.perf_counter()
+    results = []
+    for seed in seeds:
+        results.append(_build("event", seed).run_open_loop(
+            LOAD, warmup=warmup, measure=measure, drain_max=drain_max
+        ))
+    return time.perf_counter() - started, results
+
+
+def _run_batch(seeds, warmup, measure, drain_max):
+    """One lockstep batched run; returns (wall, results)."""
+    started = time.perf_counter()
+    batch = _build("batch").run_open_loop_batch(
+        LOAD, seeds=seeds, warmup=warmup, measure=measure,
+        drain_max=drain_max,
+    )
+    return time.perf_counter() - started, batch.results
+
+
+def _family_stats(results):
+    n = len(results)
+    return {
+        "mean_latency": sum(r.latency.mean for r in results) / n,
+        "mean_throughput": sum(r.accepted_throughput for r in results) / n,
+        "saturated": sum(1 for r in results if r.saturated),
+    }
+
+
+def collect(repeat=3, quick=False):
+    """Interleaved A/B measurement; returns the report dict."""
+    warmup = 100 if quick else WARMUP
+    measure = 100 if quick else MEASURE
+    drain_max = 1500 if quick else DRAIN_MAX
+    replicas = 8 if quick else REPLICAS
+    seeds = replica_seeds(BASE_SEED, replicas)
+
+    event_walls, batch_walls = [], []
+    event_stats = batch_stats = None
+    for _ in range(repeat):
+        wall, results = _run_event(seeds, warmup, measure, drain_max)
+        event_walls.append(wall)
+        event_stats = _family_stats(results)
+        wall, results = _run_batch(seeds, warmup, measure, drain_max)
+        batch_walls.append(wall)
+        batch_stats = _family_stats(results)
+
+    best_event = min(event_walls)
+    best_batch = min(batch_walls)
+    return {
+        "benchmark": "batch-kernel",
+        "config": {
+            "topology": f"{FB_K}-ary 2-flat",
+            "algorithm": "MIN AD",
+            "pattern": "UR",
+            "offered_load": LOAD,
+            "replicas": replicas,
+            "base_seed": BASE_SEED,
+            "warmup": warmup,
+            "measure": measure,
+            "drain_max": drain_max,
+            "repeat": repeat,
+            "quick": quick,
+        },
+        "event": {
+            "wall_seconds": best_event,
+            "wall_seconds_mean": sum(event_walls) / len(event_walls),
+            "wall_seconds_max": max(event_walls),
+            **event_stats,
+        },
+        "batch": {
+            "wall_seconds": best_batch,
+            "wall_seconds_mean": sum(batch_walls) / len(batch_walls),
+            "wall_seconds_max": max(batch_walls),
+            **batch_stats,
+        },
+        "speedup": best_event / best_batch,
+    }
+
+
+def check(report):
+    """Acceptance: the batched run is a real speedup and measures the
+    same physical point."""
+    floor = MIN_SPEEDUP_QUICK if report["config"]["quick"] else MIN_SPEEDUP
+    assert report["speedup"] >= floor, (
+        f"batch kernel speedup {report['speedup']:.2f}x is below the "
+        f"{floor}x floor (event {report['event']['wall_seconds']:.2f}s, "
+        f"batch {report['batch']['wall_seconds']:.2f}s)"
+    )
+    assert report["event"]["saturated"] == 0
+    assert report["batch"]["saturated"] == 0
+    for metric in ("mean_latency", "mean_throughput"):
+        a = report["event"][metric]
+        b = report["batch"][metric]
+        assert abs(a - b) <= 0.05 * max(abs(a), abs(b)), (
+            f"{metric} diverges between kernels: event {a:.4f} vs "
+            f"batch {b:.4f}"
+        )
+
+
+def check_against(report, baseline_path, tolerance=0.35):
+    """Regression gate: fail when the measured speedup falls more than
+    ``tolerance`` below the committed baseline's.  Speedup is a ratio
+    of two walls from the same box, so unlike absolute rates it
+    transfers across machines; the tolerance absorbs scheduler noise
+    on shared runners."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    if report["config"]["quick"] != baseline["config"]["quick"]:
+        raise ValueError(
+            f"cannot gate a quick={report['config']['quick']} run against "
+            f"a quick={baseline['config']['quick']} baseline; window "
+            f"length changes the speedup — rerun with matching windows"
+        )
+    new = report["speedup"]
+    old = baseline["speedup"]
+    if new < (1.0 - tolerance) * old:
+        raise AssertionError(
+            f"batch-kernel speedup regression vs {baseline_path}: "
+            f"{new:.2f}x is below {100 * (1 - tolerance):.0f}% of the "
+            f"baseline {old:.2f}x"
+        )
+    print(
+        f"regression gate passed: {new:.2f}x vs baseline {old:.2f}x "
+        f"(tolerance {tolerance:.0%})"
+    )
+
+
+def _print(report):
+    print(
+        f"{report['config']['replicas']} replicas @ load {LOAD}: "
+        f"event {report['event']['wall_seconds']:.2f}s vs "
+        f"batch {report['batch']['wall_seconds']:.2f}s "
+        f"({report['speedup']:.2f}x)"
+    )
+
+
+def test_batch_benchmark():
+    """CI smoke: quick windows, one repetition."""
+    import pytest
+
+    pytest.importorskip("numpy")
+    report = collect(repeat=1, quick=True)
+    check(report)
+    _print(report)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_batch.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions per side"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter windows (CI smoke)"
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        default=None,
+        help="fail if the speedup regresses more than --tolerance below "
+        "this committed baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional speedup regression for --check-against "
+        "(default 0.35)",
+    )
+    args = parser.parse_args(argv)
+    report = collect(repeat=args.repeat, quick=args.quick)
+    check(report)
+    if args.check_against:
+        check_against(report, args.check_against, tolerance=args.tolerance)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    _print(report)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

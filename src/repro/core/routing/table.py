@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import weakref
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .dor import dor_next_channel
@@ -190,6 +191,146 @@ class RouteTable:
             port = self._port_of[channel.index]
             self._dtag[key] = port
         return port
+
+    # ------------------------------------------------------------------
+    # Dense array export (batch backend)
+    # ------------------------------------------------------------------
+    def ensure_ports(self) -> Dict[int, int]:
+        """The ``channel -> port`` map, synthesized from the topology
+        when no simulator has bound this table yet.
+
+        ``RouterEngine`` construction assigns output ports by walking
+        ``topology.out_channels(r)`` in order (channel outputs first,
+        ejection outputs after), so the port of a channel is simply its
+        position in that enumeration.  :meth:`bind` verifies this
+        synthesized map against every real engine set, so a drift in
+        engine construction fails loudly rather than silently skewing
+        exported arrays.
+        """
+        if self._port_of is None:
+            port_of: Dict[int, int] = {}
+            for r in range(self.topology.num_routers):
+                for port, channel in enumerate(self.topology.out_channels(r)):
+                    port_of[channel.index] = port
+            self._port_of = port_of
+        return self._port_of
+
+    def as_arrays(self) -> "RouteArrays":
+        """Export every routing family this topology supports as dense
+        numpy arrays (see :class:`RouteArrays`).
+
+        The export is built *through* the memoized accessors
+        (:meth:`minimal`, :meth:`dor_next`, :meth:`destination_tag_next`,
+        :meth:`hops`), so the arrays are by construction a re-encoding
+        of exactly the entries the scalar kernels consume — the
+        round-trip test in ``tests/test_routing_decisions.py`` decodes
+        them back and compares.  Requires numpy (``pip install
+        repro[batch]``).
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy-less env
+            raise ImportError(
+                "RouteTable.as_arrays() requires numpy; install the batch "
+                "extra (pip install repro[batch])"
+            ) from exc
+
+        self.ensure_ports()
+        topo = self.topology
+        R = topo.num_routers
+        arrays = RouteArrays(num_routers=R, num_channels=len(topo.channels))
+
+        # Unreachable ordered pairs (e.g. backward through butterfly
+        # stages) stay -1.
+        hops = np.full((R, R), -1, dtype=np.int16)
+        for a in range(R):
+            for b in range(R):
+                try:
+                    hops[a, b] = self.hops(a, b)
+                except ValueError:
+                    pass
+        arrays.hops = hops
+
+        if hasattr(topo, "differing_dims"):
+            # HyperX family: minimal candidate sets and the unique
+            # dimension-order hop, for every ordered router pair.
+            entries = {
+                (a, b): self.minimal(a, b)
+                for a in range(R)
+                for b in range(R)
+                if a != b
+            }
+            width = max(
+                (len(cands) for _, cands in entries.values()), default=0
+            )
+            arrays.minimal_vc = np.full((R, R), -1, dtype=np.int16)
+            arrays.minimal_count = np.zeros((R, R), dtype=np.int16)
+            arrays.minimal_port = np.full((R, R, width), -1, dtype=np.int32)
+            arrays.minimal_channel = np.full((R, R, width), -1, dtype=np.int32)
+            arrays.dor_port = np.full((R, R), -1, dtype=np.int32)
+            arrays.dor_channel = np.full((R, R), -1, dtype=np.int32)
+            arrays.dor_hops = np.full((R, R), -1, dtype=np.int16)
+            for (a, b), (vc, cands) in entries.items():
+                arrays.minimal_vc[a, b] = vc
+                arrays.minimal_count[a, b] = len(cands)
+                for i, (port, channel) in enumerate(cands):
+                    arrays.minimal_port[a, b, i] = port
+                    arrays.minimal_channel[a, b, i] = channel.index
+                port, channel, remaining = self.dor_next(a, b)
+                arrays.dor_port[a, b] = port
+                arrays.dor_channel[a, b] = channel.index
+                arrays.dor_hops[a, b] = remaining
+
+        if hasattr(topo, "destination_tag_next"):
+            # Conventional butterfly: the unique destination-tag hop,
+            # keyed by the destination's position address (dst // k).
+            # Last-stage routers eject instead of forwarding, so their
+            # rows stay -1.
+            positions = topo.num_terminals // topo.k
+            arrays.dtag_positions = positions
+            arrays.dtag_port = np.full((R, positions), -1, dtype=np.int32)
+            arrays.dtag_channel = np.full((R, positions), -1, dtype=np.int32)
+            port_of = self._port_of
+            for r in range(R):
+                if topo.stage_of(r) == topo.n - 1:
+                    continue
+                for pos in range(positions):
+                    dst_terminal = pos * topo.k
+                    channel = topo.destination_tag_next(r, dst_terminal)
+                    arrays.dtag_port[r, pos] = self.destination_tag_next(
+                        r, dst_terminal
+                    )
+                    arrays.dtag_channel[r, pos] = channel.index
+                    assert port_of[channel.index] == arrays.dtag_port[r, pos]
+
+        return arrays
+
+
+@dataclass
+class RouteArrays:
+    """Dense numpy encoding of a :class:`RouteTable`.
+
+    Families absent from the table's topology stay ``None``:
+    ``minimal_*``/``dor_*`` exist for HyperX-family topologies,
+    ``dtag_*`` for conventional butterflies, ``hops`` always.  Padding
+    value is -1 throughout; ``minimal_count[a, b]`` gives the number of
+    valid leading entries of ``minimal_port[a, b]`` /
+    ``minimal_channel[a, b]``.
+    """
+
+    num_routers: int
+    num_channels: int
+    hops: Optional[object] = None  # [R, R] minimal inter-router hops
+    minimal_vc: Optional[object] = None  # [R, R] hops_remaining - 1
+    minimal_count: Optional[object] = None  # [R, R]
+    minimal_port: Optional[object] = None  # [R, R, width]
+    minimal_channel: Optional[object] = None  # [R, R, width]
+    dor_port: Optional[object] = None  # [R, R]
+    dor_channel: Optional[object] = None  # [R, R]
+    dor_hops: Optional[object] = None  # [R, R]
+    dtag_positions: Optional[int] = None
+    dtag_port: Optional[object] = None  # [R, positions]
+    dtag_channel: Optional[object] = None  # [R, positions]
 
 
 def maybe_route_table(algorithm, topology) -> Optional[RouteTable]:

@@ -24,6 +24,7 @@ import sys
 import time
 
 from . import ALL_EXPERIMENTS
+from ..network import KERNELS
 from ..profiling import PROFILE_ENV, format_phase_report
 from ..runner import ResultCache, SweepRunner, resolve_jobs
 from ..runner.sweep import stderr_progress
@@ -109,8 +110,17 @@ def main(argv=None) -> int:
         default=None,
         metavar="N",
         help="independent replicas per point, for experiments that "
-        "support replica statistics (currently ext_resilience); "
-        "replica 0 reproduces the default output",
+        "support replica statistics (currently ext_resilience and "
+        "fig04 with --kernel batch); replica 0 reproduces the default "
+        "output",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help="simulation kernel for experiments that support the "
+        "option (currently fig04; 'batch' runs replicas in lockstep "
+        "on the vectorized backend and requires numpy)",
     )
     parser.add_argument(
         "--profile",
@@ -154,6 +164,12 @@ def main(argv=None) -> int:
             kwargs["runner"] = runner
         if args.replicas is not None and "replicas" in parameters:
             kwargs["replicas"] = args.replicas
+        if args.kernel is not None:
+            if "kernel" not in parameters:
+                parser.error(
+                    f"experiment {name!r} does not support --kernel"
+                )
+            kwargs["kernel"] = args.kernel
         profiler = None
         if args.profile:
             import cProfile

@@ -40,6 +40,7 @@ from ..faults import (
 )
 from ..network import SimulationConfig, Simulator
 from ..network.config import derive_seed
+from ..network.config import replica_seeds as _traffic_replica_seeds
 from ..runner import OpenLoopJob, SimSpec, execute_job
 from ..topologies import Butterfly, FoldedClos
 from ..topologies.hyperx import HyperX
@@ -68,11 +69,21 @@ def replica_seeds(replica: int):
     """``(traffic_seed, fault_seed)`` for one replica.  Replica 0 uses
     the historical defaults (so its results stay byte-identical to the
     single-replica experiment); later replicas draw independent
-    traffic *and* fault streams derived from the base seeds."""
+    traffic *and* fault streams derived from the base seeds.
+
+    The traffic side is the canonical per-replica family from
+    :func:`repro.network.config.replica_seeds` — the same family the
+    batch kernel and ``replicate`` use — so replica ``i`` of this
+    experiment drives the identical traffic RNG stream no matter which
+    kernel or replication path runs it.  (Earlier revisions derived a
+    private ``"resilience-replica"`` stream here, silently decoupling
+    this experiment's replicas from every other replica family.)
+    """
+    traffic_seed = _traffic_replica_seeds(1, replica + 1)[replica]
     if replica == 0:
-        return 1, FAULT_SEED
+        return traffic_seed, FAULT_SEED
     return (
-        derive_seed(1, "resilience-replica", replica),
+        traffic_seed,
         derive_seed(FAULT_SEED, "fault-replica", replica),
     )
 

@@ -16,12 +16,13 @@ from typing import Callable, Dict
 
 from ..core import ClosAD, MinimalAdaptive, UGAL, UGALSequential, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
-from ..network import SimulationConfig, Simulator
-from ..runner import SaturationJob, SimSpec
+from ..network import KERNELS, SimulationConfig, Simulator, replica_seeds
+from ..runner import BatchSaturationJob, SaturationJob, SimSpec, execute_job
 from ..traffic import UniformRandom, adversarial
 from .common import (
     ExperimentResult,
     Table,
+    _summarize,
     latency_load_curve,
     replicate_jobs,
     resolve_scale,
@@ -35,27 +36,46 @@ ALGORITHMS: Dict[str, Callable] = {
     "CLOS AD": ClosAD,
 }
 
+#: Algorithms the vectorized batch kernel can run (the rest need
+#: non-minimal candidates or UGAL's dual-path comparison; see
+#: ``repro.network.batch``).  ``fig04 --kernel batch`` restricts its
+#: tables to this subset and says so in the result notes.
+BATCH_ALGORITHMS = ("MIN AD",)
 
-def _make(topology, algorithm_cls, pattern_factory, seed: int = 1) -> Simulator:
+
+def _make(topology, algorithm_cls, pattern_factory, seed: int = 1,
+          kernel: str = None) -> Simulator:
     return Simulator(
         topology,
         algorithm_cls(),
         pattern_factory(),
         SimulationConfig(seed=seed),
+        kernel=kernel,
     )
 
 
-def _spec(k: int, algorithm_cls, pattern_factory, **kwargs) -> SimSpec:
+def _spec(k: int, algorithm_cls, pattern_factory, kernel=None,
+          **kwargs) -> SimSpec:
     """A fig04 point: the topology rides as a sub-spec so warm workers
     can share one FlattenedButterfly (and its route table) across every
-    algorithm, pattern, load and seed."""
+    algorithm, pattern, load and seed.  ``kernel`` is added to the spec
+    only when explicitly chosen, so default-kernel cache keys are
+    unchanged from before the option existed."""
+    if kernel is not None:
+        kwargs["kernel"] = kernel
     return SimSpec.of(_make, algorithm_cls, pattern_factory, **kwargs).with_topology(
         FlattenedButterfly, k, 2
     )
 
 
-def run(scale=None, runner=None) -> ExperimentResult:
+def run(scale=None, runner=None, kernel=None, replicas=None) -> ExperimentResult:
     scale = resolve_scale(scale)
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    batch = kernel == "batch"
+    algorithms = dict(ALGORITHMS)
+    if batch:
+        algorithms = {name: ALGORITHMS[name] for name in BATCH_ALGORITHMS}
     result = ExperimentResult(
         experiment="fig04",
         description=(
@@ -71,11 +91,11 @@ def run(scale=None, runner=None) -> ExperimentResult:
         latency = Table(
             title=f"({'a' if pattern_name == 'UR' else 'b'}) "
             f"latency vs offered load, {pattern_name} traffic",
-            headers=["load"] + list(ALGORITHMS),
+            headers=["load"] + list(algorithms),
         )
         curves = {
             name: latency_load_curve(
-                _spec(scale.fb_k, cls, pattern_factory),
+                _spec(scale.fb_k, cls, pattern_factory, kernel=kernel),
                 scale.loads,
                 scale.warmup,
                 scale.measure,
@@ -83,11 +103,11 @@ def run(scale=None, runner=None) -> ExperimentResult:
                 runner=runner,
                 refine=4,
             )
-            for name, cls in ALGORITHMS.items()
+            for name, cls in algorithms.items()
         }
         for i, load in enumerate(scale.loads):
             row = [load]
-            for name in ALGORITHMS:
+            for name in algorithms:
                 curve = curves[name]
                 if i < len(curve) and not curve[i].saturated:
                     row.append(curve[i].latency.mean)
@@ -100,24 +120,52 @@ def run(scale=None, runner=None) -> ExperimentResult:
             title=f"saturation throughput, {pattern_name} traffic",
             headers=["algorithm", "accepted throughput"],
         )
-        for name, cls in ALGORITHMS.items():
-            replicated = replicate_jobs(
-                [
-                    SaturationJob(
-                        _spec(scale.fb_k, cls, pattern_factory, seed=seed),
-                        scale.warmup,
-                        scale.measure,
-                    )
-                    for seed in scale.seeds
-                ],
-                runner=runner,
-            )
+        for name, cls in algorithms.items():
+            if batch:
+                # One lockstep job advances every replica of the load
+                # point together; the seed family is the canonical
+                # per-replica family, so replica i here is the same
+                # RNG stream the event kernel's replicate path runs.
+                seeds = (
+                    replica_seeds(scale.seeds[0], replicas)
+                    if replicas is not None
+                    else tuple(scale.seeds)
+                )
+                job = BatchSaturationJob(
+                    _spec(scale.fb_k, cls, pattern_factory, kernel=kernel),
+                    seeds,
+                    scale.warmup,
+                    scale.measure,
+                )
+                if runner is not None:
+                    throughputs = runner.map([job])[0]
+                else:
+                    throughputs = execute_job(job)
+                replicated = _summarize(tuple(float(x) for x in throughputs))
+            else:
+                replicated = replicate_jobs(
+                    [
+                        SaturationJob(
+                            _spec(scale.fb_k, cls, pattern_factory, seed=seed),
+                            scale.warmup,
+                            scale.measure,
+                        )
+                        for seed in scale.seeds
+                    ],
+                    runner=runner,
+                )
             throughput.add(name, replicated.mean)
         result.tables.append(throughput)
     result.notes.append(
         f"paper anchors: UR — all but VAL ~100%, VAL ~50%; "
         f"WC — MIN ~1/{scale.fb_k} = {1 / scale.fb_k:.3f}, non-minimal ~0.5"
     )
+    if batch:
+        result.notes.append(
+            f"kernel=batch: restricted to {', '.join(algorithms)} "
+            f"(the vectorized kernel covers minimal/deterministic "
+            f"algorithms only; see docs/BATCH.md)"
+        )
     return result
 
 

@@ -2,7 +2,8 @@
 methodology)."""
 
 from .allocators import Allocator, GreedyAllocator, SequentialAllocator, make_allocator
-from .config import SimulationConfig, derive_seed
+from .batch import BatchBackend, BatchRunResult
+from .config import SimulationConfig, derive_seed, replica_seeds
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .packet import Flit, Packet
 from .simulator import KERNEL_ENV, KERNELS, Simulator, resolve_kernel
@@ -22,6 +23,9 @@ __all__ = [
     "make_allocator",
     "SimulationConfig",
     "derive_seed",
+    "replica_seeds",
+    "BatchBackend",
+    "BatchRunResult",
     "BatchInjection",
     "BernoulliInjection",
     "InjectionProcess",

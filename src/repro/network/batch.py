@@ -1,0 +1,829 @@
+"""Vectorized structure-of-arrays batch backend (``kernel="batch"``).
+
+Advances a whole *batch* of independent runs — all replicas of a load
+point sharing one topology — as one array program per cycle.  Where the
+event kernel moves Python flit objects between per-VC FIFOs, this
+backend represents every flit queue by a single **virtual service
+time**: each output channel and each ejection port of the exact
+simulator is a rate-1-flit-per-``period`` FIFO server, so a flit
+arriving at cycle ``t`` departs at ``max(t, next_free[q]) + rank *
+period`` and the queue's whole state is the scalar ``next_free[q]``.
+Flits themselves live in a cycle-indexed event calendar whose entries
+are numpy arrays over ``(run, router, dst, ...)``; per-cycle work is
+one vector program over every arrival of that cycle across every run.
+
+The model reproduces the exact kernel's timing rules (verified against
+``repro.network.router``): with single-flit packets and sufficient
+speedup a flit is routed, staged, and wired in its arrival cycle, so
+zero-load latency equals the number of channel traversals; channels
+add ``channel_latency`` cycles; each output port sends at most one
+flit per ``channel_period`` (channels) or per cycle (ejection).
+Deliberate, mean-preserving approximations (documented in
+``docs/BATCH.md``):
+
+* Credit stalls are not modeled — with the default 32-flit buffers a
+  channel's credit loop never throttles its 1-flit/cycle service below
+  the saturation knee.
+* VC partitioning is merged into one FIFO per output port.
+* Occupancy for adaptive routing is estimated as the queue backlog
+  plus the credit-loop lag (``max(0, next_free - t + channel_latency +
+  credit_latency - 1)``) rather than the exact per-VC counter.
+* Source queues never back-pressure: a packet enters its injection
+  router the cycle it is created, so ``network_latency`` equals total
+  latency (the event kernel attributes saturated-queueing differently,
+  which is why validation is statistical and below the knee).
+
+Supported envelope: single-flit packets, no faults, ``speedup=None``,
+``UniformRandom``/``GroupShift`` traffic, and the DOR / dest-tag /
+MIN AD / clos-adaptive algorithms.  Everything else raises
+``NotImplementedError`` cleanly (UGAL, Valiant, multi-flit packets,
+fault models, ...).
+
+Randomness: run ``i`` draws everything (injection gaps, destinations,
+tie-breaks) from one ``numpy`` Generator seeded with its own replica
+seed (see :func:`repro.network.config.replica_seeds`), and every
+per-packet tie-break value is pre-drawn from that run's stream at
+packet creation.  Per-run results are therefore a pure function of the
+run's seed — **permutation-invariant** across the batch axis and
+identical whether the run executes alone or inside a larger batch.
+
+numpy is an optional extra (``pip install repro[batch]``); importing
+this module without numpy works, using the backend raises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import SimulationConfig, replica_seeds
+from .stats import KernelStats, LatencySummary, OpenLoopResult
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+    HAVE_NUMPY = False
+
+#: Cycles of Bernoulli injections generated per vectorized chunk.
+INJECTION_CHUNK = 256
+
+#: Sentinel occupancy for padded candidate slots.
+_OCC_INF = 1 << 40
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise ImportError(
+            "kernel='batch' requires numpy; install the batch extra "
+            "(pip install repro[batch])"
+        )
+
+
+@dataclass
+class BatchRunResult:
+    """Results of one batched open-loop measurement.
+
+    ``results[i]`` is the ordinary :class:`OpenLoopResult` of run ``i``
+    (seed ``seeds[i]``), so everything downstream of the event kernel —
+    ``SweepRunner``, ``replicate_jobs``, report counters — consumes
+    batch output unchanged.  The conservation fields are exact per-run
+    packet accounts frozen at each run's final cycle.
+    """
+
+    offered_load: float
+    seeds: Tuple[int, ...]
+    warmup: int
+    measure: int
+    drain_max: int
+    results: List[OpenLoopResult]
+    packets_created: Tuple[int, ...]
+    packets_delivered: Tuple[int, ...]
+    packets_in_flight: Tuple[int, ...]
+    packets_dropped: Tuple[int, ...]
+    wall_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+@dataclass
+class _Program:
+    """Topology + algorithm compiled to dense routing arrays.
+
+    One routing step reads ``cand[router, key_of_dst[dst]]`` — a padded
+    row of candidate channel indices (-1 pad, ``cand_n`` valid) — or
+    ejects when ``router == ej_router[dst]``.
+    """
+
+    T: int  # terminals
+    R: int  # routers
+    C: int  # channels
+    hmax: int  # max channel hops on any used path
+    adaptive: bool
+    sequential: bool  # same-cycle decisions see each other's debits
+    inj_router: "np.ndarray"  # [T]
+    ej_router: "np.ndarray"  # [T]
+    key_of_dst: "np.ndarray"  # [T]
+    cand: "np.ndarray"  # [R, K, W] channel ids
+    cand_n: "np.ndarray"  # [R, K]
+    channel_dst: "np.ndarray"  # [C]
+
+
+def _validate_config(config: SimulationConfig) -> None:
+    if config.packet_size != 1:
+        raise NotImplementedError(
+            f"kernel='batch' supports single-flit packets only, got "
+            f"packet_size={config.packet_size}"
+        )
+    if config.speedup is not None:
+        raise NotImplementedError(
+            "kernel='batch' models sufficient switch speedup only "
+            "(speedup=None)"
+        )
+    faults = config.faults
+    if faults is not None and not faults.trivial:
+        raise NotImplementedError(
+            "kernel='batch' does not support fault injection; use the "
+            "event kernel"
+        )
+
+
+def _build_program(topology, algorithm, table) -> _Program:
+    """Compile ``(topology, algorithm)`` into a :class:`_Program`, or
+    raise ``NotImplementedError`` for unsupported algorithms."""
+    from ..core.routing.dor import DimensionOrder
+    from ..core.routing.min_adaptive import MinimalAdaptive
+    from ..topologies.routing import DestinationTag, FoldedClosAdaptive
+
+    T = topology.num_terminals
+    R = topology.num_routers
+    C = len(topology.channels)
+    inj_router = np.array(
+        [topology.injection_router(t) for t in range(T)], dtype=np.int32
+    )
+    ej_router = np.array(
+        [topology.ejection_router(t) for t in range(T)], dtype=np.int32
+    )
+    channel_dst = np.array(
+        [channel.dst for channel in topology.channels], dtype=np.int32
+    )
+
+    kind = type(algorithm)
+    if kind is MinimalAdaptive:
+        arrays = table.as_arrays()
+        if arrays.minimal_channel is None:
+            raise NotImplementedError(
+                f"{algorithm.name} on {type(topology).__name__} has no "
+                f"minimal-candidate export"
+            )
+        cand = arrays.minimal_channel.astype(np.int32)  # [R, R, W]
+        cand_n = arrays.minimal_count.astype(np.int16)
+        key_of_dst = ej_router.astype(np.int32)
+        adaptive = int(cand_n.max()) > 1
+        hmax = int(arrays.hops.max())
+    elif kind is DimensionOrder:
+        arrays = table.as_arrays()
+        if arrays.dor_channel is None:
+            raise NotImplementedError(
+                f"{algorithm.name} on {type(topology).__name__} has no "
+                f"DOR export"
+            )
+        cand = arrays.dor_channel.astype(np.int32)[:, :, None]
+        cand_n = (arrays.dor_channel >= 0).astype(np.int16)
+        key_of_dst = ej_router.astype(np.int32)
+        adaptive = False
+        hmax = int(arrays.hops.max())
+    elif kind is DestinationTag:
+        arrays = table.as_arrays()
+        if arrays.dtag_channel is None:
+            raise NotImplementedError(
+                f"{algorithm.name} on {type(topology).__name__} has no "
+                f"destination-tag export"
+            )
+        cand = arrays.dtag_channel.astype(np.int32)[:, :, None]
+        cand_n = (arrays.dtag_channel >= 0).astype(np.int16)
+        key_of_dst = (np.arange(T, dtype=np.int32) // topology.k).astype(
+            np.int32
+        )
+        adaptive = False
+        hmax = topology.n - 1
+    elif kind is FoldedClosAdaptive:
+        # Not served by RouteTable (no HyperX/butterfly family): built
+        # directly from the topology's uplink/downlink structure.
+        leaves = topology.num_leaves
+        spines = topology.num_spines
+        W = max(spines, 1)
+        cand = np.full((R, leaves, W), -1, dtype=np.int32)
+        cand_n = np.zeros((R, leaves), dtype=np.int16)
+        for leaf in range(leaves):
+            ups = [ch.index for ch in topology.uplinks(leaf)]
+            for key in range(leaves):
+                if key == leaf:
+                    continue  # at the destination leaf the packet ejects
+                cand[leaf, key, : len(ups)] = ups
+                cand_n[leaf, key] = len(ups)
+        for s in range(spines):
+            spine = leaves + s
+            for key in range(leaves):
+                cand[spine, key, 0] = topology.downlink(spine, key).index
+                cand_n[spine, key] = 1
+        key_of_dst = (
+            np.array(
+                [topology.leaf_of_terminal(t) for t in range(T)],
+                dtype=np.int32,
+            )
+        )
+        adaptive = spines > 1
+        hmax = 2
+    else:
+        raise NotImplementedError(
+            f"kernel='batch' does not implement {algorithm.name!r}; "
+            f"supported: MIN AD, DOR, dest-tag, clos-adaptive (use the "
+            f"event kernel for the rest)"
+        )
+
+    return _Program(
+        T=T,
+        R=R,
+        C=C,
+        hmax=max(int(hmax), 1),
+        adaptive=adaptive,
+        sequential=bool(algorithm.sequential),
+        inj_router=inj_router,
+        ej_router=ej_router,
+        key_of_dst=key_of_dst,
+        cand=np.ascontiguousarray(cand),
+        cand_n=cand_n,
+        channel_dst=channel_dst,
+    )
+
+
+class BatchBackend:
+    """A compiled batch simulator for one ``(topology, algorithm,
+    pattern, config)`` combination; run methods take the batch's seed
+    list and may be called once per instance."""
+
+    def __init__(
+        self,
+        topology,
+        algorithm,
+        pattern,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        _require_numpy()
+        self.topology = topology
+        self.algorithm = algorithm
+        self.pattern = pattern
+        self.config = config or SimulationConfig()
+        _validate_config(self.config)
+        pattern.bind(topology)
+        self._pattern_mode = self._compile_pattern(pattern)
+        from ..core.routing.table import shared_route_table
+
+        self.program = _build_program(
+            topology, algorithm, shared_route_table(topology)
+        )
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    def _compile_pattern(self, pattern) -> str:
+        from ..traffic.patterns import GroupShift, UniformRandom
+
+        if type(pattern) is UniformRandom:
+            return "uniform"
+        if type(pattern) is GroupShift:
+            groups = pattern._groups
+            G = len(groups)
+            lmax = max(len(g) for g in groups)
+            members = np.zeros((G, lmax), dtype=np.int32)
+            glen = np.zeros(G, dtype=np.int64)
+            for g, ts in enumerate(groups):
+                members[g, : len(ts)] = ts
+                glen[g] = len(ts)
+            group_of = np.array(pattern._group_of, dtype=np.int32)
+            self._groups = (members, glen, group_of, pattern.shift)
+            return "group"
+        raise NotImplementedError(
+            f"kernel='batch' does not implement the {pattern.name!r} "
+            f"traffic pattern (supported: UR, group-shift)"
+        )
+
+    def _draw_dsts(self, gen, srcs):
+        """Destinations for creation-ordered sources ``srcs``, matching
+        the event kernel's per-pattern distribution."""
+        n = srcs.size
+        T = self.program.T
+        if self._pattern_mode == "uniform":
+            d = gen.integers(0, T - 1, size=n)
+            return (d + (d >= srcs)).astype(np.int32)
+        members, glen, group_of, shift = self._groups
+        target = (group_of[srcs] + shift) % len(glen)
+        pick = gen.integers(0, glen[target])
+        return members[target, pick]
+
+    def _consume(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "this BatchBackend has already executed a run; build a "
+                "fresh one per measurement"
+            )
+        self._consumed = True
+
+    # ------------------------------------------------------------------
+    def run_open_loop(
+        self,
+        load: float,
+        seeds: Sequence[int],
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ) -> BatchRunResult:
+        """Batched analogue of :meth:`Simulator.run_open_loop`: one
+        warmup/label/drain measurement per seed, advanced in lockstep."""
+        end = warmup + measure
+        if drain_max <= end:
+            raise ValueError(
+                f"drain_max={drain_max} must exceed warmup+measure={end}: "
+                f"the run would be cut off before the measurement window "
+                f"ends and its labeled packets could never all be observed "
+                f"draining"
+            )
+        return self._run(load, tuple(seeds), warmup, measure, drain_max, True)
+
+    def measure_saturation(
+        self,
+        seeds: Sequence[int],
+        warmup: int = 1000,
+        measure: int = 1000,
+    ) -> List[float]:
+        """Accepted throughput at offered load 1.0, one value per seed
+        (batched :meth:`Simulator.measure_saturation_throughput`)."""
+        result = self._run(
+            1.0, tuple(seeds), warmup, measure, warmup + measure, False
+        )
+        return [r.accepted_throughput for r in result.results]
+
+    # ------------------------------------------------------------------
+    # The cycle loop
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        load: float,
+        seeds: Tuple[int, ...],
+        warmup: int,
+        measure: int,
+        drain_max: int,
+        drain: bool,
+    ) -> BatchRunResult:
+        if not 0.0 < load <= 1.0:
+            raise ValueError(f"offered load must be in (0, 1], got {load}")
+        if not seeds:
+            raise ValueError("need at least one seed")
+        self._consume()
+        started = time.perf_counter()
+        prog = self.program
+        cfg = self.config
+        B = len(seeds)
+        T, C = prog.T, prog.C
+        Q = C + T  # channel queues then per-terminal ejection queues
+        end = warmup + measure
+        rate = load  # packet_size == 1
+        ucols = prog.hmax + 1
+
+        gens = [np.random.default_rng(int(seed)) for seed in seeds]
+
+        # Virtual-service-time state, flattened over (run, queue).
+        next_free = np.zeros(B * Q, dtype=np.int64)
+        period_q = np.ones(Q, dtype=np.int64)
+        period_q[:C] = cfg.channel_period
+        period_flat = np.tile(period_q, B)
+        occ_grace = cfg.channel_latency + cfg.credit_latency - 1
+
+        # Pending next injection time per (run, terminal): the
+        # geometric-gap calendar of BernoulliInjection, vectorized.
+        next_inj = np.empty((B, T), dtype=np.int64)
+        for b, gen in enumerate(gens):
+            next_inj[b] = -1 + gen.geometric(rate, size=T)
+
+        # Event calendars: cycle -> list of array blocks.
+        cal: Dict[int, list] = {}
+        inj_cal: Dict[int, list] = {}
+
+        done = np.zeros(B, dtype=bool)
+        saturated = np.zeros(B, dtype=bool)
+        cycles = np.zeros(B, dtype=np.int64)
+        created = np.zeros(B, dtype=np.int64)
+        delivered = np.zeros(B, dtype=np.int64)
+        frozen_created = np.zeros(B, dtype=np.int64)
+        frozen_delivered = np.zeros(B, dtype=np.int64)
+        labeled_created = np.zeros(B, dtype=np.int64)
+        labeled_done = np.zeros(B, dtype=np.int64)
+        win_ejects = np.zeros(B, dtype=np.int64)
+        n_events = np.zeros(B, dtype=np.int64)
+        n_routes = np.zeros(B, dtype=np.int64)
+        eject_at: Dict[int, "np.ndarray"] = {}
+        labeled_eject_at: Dict[int, "np.ndarray"] = {}
+
+        # Labeled-ejection records for latency/hops summaries.
+        rec_run: List["np.ndarray"] = []
+        rec_created: List["np.ndarray"] = []
+        rec_dep: List["np.ndarray"] = []
+        rec_hops: List["np.ndarray"] = []
+
+        chunk_end = 0
+        t = 0
+        while not done.all():
+            if t >= chunk_end:
+                c1 = chunk_end + INJECTION_CHUNK
+                for b, gen in enumerate(gens):
+                    if not done[b]:
+                        self._gen_chunk(b, gen, rate, c1, next_inj, inj_cal,
+                                        ucols)
+                chunk_end = c1
+
+            blocks = cal.pop(t, [])
+            for blk in inj_cal.pop(t, ()):
+                b = blk[0]
+                if done[b]:
+                    continue
+                routers, dsts, u_route, u_rank = blk[1:]
+                n = routers.size
+                created[b] += n
+                if warmup <= t < end:
+                    labeled_created[b] += n
+                blocks.append((
+                    np.full(n, b, dtype=np.int32),
+                    routers,
+                    dsts,
+                    np.full(n, t, dtype=np.int64),
+                    np.zeros(n, dtype=np.int16),
+                    u_route,
+                    u_rank,
+                ))
+
+            if blocks:
+                if len(blocks) == 1:
+                    run, router, dst, born, hops, u_route, u_rank = blocks[0]
+                else:
+                    run = np.concatenate([blk[0] for blk in blocks])
+                    router = np.concatenate([blk[1] for blk in blocks])
+                    dst = np.concatenate([blk[2] for blk in blocks])
+                    born = np.concatenate([blk[3] for blk in blocks])
+                    hops = np.concatenate([blk[4] for blk in blocks])
+                    u_route = np.concatenate([blk[5] for blk in blocks])
+                    u_rank = np.concatenate([blk[6] for blk in blocks])
+                n_events += np.bincount(run, minlength=B)
+
+                ej = prog.ej_router[dst] == router
+                fwd = np.flatnonzero(~ej)
+                ej = np.flatnonzero(ej)
+
+                # Queue choice: ejection port of dst, or a routed channel.
+                q = np.empty(run.size, dtype=np.int64)
+                q[ej] = run[ej].astype(np.int64) * Q + C + dst[ej]
+                if fwd.size:
+                    chan = self._route(
+                        run, router, dst, hops, u_route, u_rank, fwd,
+                        next_free, Q, t, occ_grace,
+                    )
+                    n_routes += np.bincount(run[fwd], minlength=B)
+                    q[fwd] = run[fwd].astype(np.int64) * Q + chan
+
+                # FIFO service: rank same-cycle arrivals per queue by
+                # their pre-drawn per-run tie-break value, then serve at
+                # one flit per period.
+                rank_u = u_rank[np.arange(run.size), hops]
+                order = np.lexsort((rank_u, q))
+                sq = q[order]
+                starts = np.empty(sq.size, dtype=bool)
+                starts[0] = True
+                np.not_equal(sq[1:], sq[:-1], out=starts[1:])
+                start_idx = np.flatnonzero(starts)
+                seg = np.cumsum(starts) - 1
+                rank = np.arange(sq.size) - start_idx[seg]
+                base = np.maximum(t, next_free[sq[start_idx]])
+                dep_sorted = base[seg] + rank * period_flat[sq]
+                counts = np.diff(np.append(start_idx, sq.size))
+                next_free[sq[start_idx]] = (
+                    base + counts * period_flat[sq[start_idx]]
+                )
+                dep = np.empty_like(dep_sorted)
+                dep[order] = dep_sorted
+
+                if ej.size:
+                    self._record_ejections(
+                        run[ej], born[ej], dep[ej], hops[ej], warmup, end,
+                        B, win_ejects, eject_at, labeled_eject_at,
+                        rec_run, rec_created, rec_dep, rec_hops,
+                    )
+                if fwd.size:
+                    arrival = dep[fwd] + cfg.channel_latency
+                    self._push(
+                        cal, arrival, run[fwd], prog.channel_dst[chan],
+                        dst[fwd], born[fwd], (hops[fwd] + 1).astype(np.int16),
+                        u_route[fwd], u_rank[fwd],
+                    )
+
+            arr = eject_at.pop(t, None)
+            if arr is not None:
+                delivered += arr
+            arr = labeled_eject_at.pop(t, None)
+            if arr is not None:
+                labeled_done += arr
+
+            now = t + 1
+            if drain:
+                newly = (
+                    (~done)
+                    & (now >= end)
+                    & (labeled_done >= labeled_created)
+                )
+                cut = (~done) & (~newly) & (now >= drain_max)
+                saturated |= cut
+                newly |= cut
+            else:
+                newly = (~done) & (now >= end)
+            if newly.any():
+                cycles[newly] = now
+                frozen_created[newly] = created[newly]
+                frozen_delivered[newly] = delivered[newly]
+                done |= newly
+            t += 1
+
+        wall = time.perf_counter() - started
+        return self._finalize(
+            load, seeds, warmup, measure, drain_max, cycles, saturated,
+            frozen_created, frozen_delivered, labeled_created, win_ejects,
+            n_events, n_routes, rec_run, rec_created, rec_dep, rec_hops,
+            wall,
+        )
+
+    # ------------------------------------------------------------------
+    def _gen_chunk(self, b, gen, rate, c1, next_inj, inj_cal, ucols) -> None:
+        """Generate run ``b``'s injections with cycle < ``c1`` into
+        ``inj_cal`` (vectorized geometric gaps continuing the per-run
+        calendar), together with each packet's destination and pre-drawn
+        tie-break uniforms, all from run ``b``'s own generator in a
+        canonical (cycle, terminal) order."""
+        nt = next_inj[b]
+        times_parts: List["np.ndarray"] = []
+        terms_parts: List["np.ndarray"] = []
+        while True:
+            idx = np.flatnonzero(nt < c1)
+            if idx.size == 0:
+                break
+            span = int((c1 - nt[idx]).max())
+            mean = span * rate
+            m = max(4, int(mean + 6.0 * (mean + 1.0) ** 0.5))
+            gaps = gen.geometric(rate, size=(idx.size, m)).astype(np.int64)
+            times = np.concatenate(
+                [nt[idx, None], nt[idx, None] + np.cumsum(gaps, axis=1)],
+                axis=1,
+            )
+            valid = times < c1
+            rows, cols = np.nonzero(valid)
+            times_parts.append(times[rows, cols])
+            terms_parts.append(idx[rows].astype(np.int32))
+            nvalid = valid.sum(axis=1)
+            bounded = nvalid <= m
+            rsel = np.flatnonzero(bounded)
+            nt[idx[rsel]] = times[rsel, nvalid[rsel]]
+            # Rows whose whole draw block lands before c1: continue from
+            # the last drawn time with a fresh gap and loop again.
+            rem = np.flatnonzero(~bounded)
+            if rem.size:
+                nt[idx[rem]] = times[rem, m] + gen.geometric(
+                    rate, size=rem.size
+                )
+        if not times_parts:
+            return
+        t_all = np.concatenate(times_parts)
+        j_all = np.concatenate(terms_parts)
+        order = np.lexsort((j_all, t_all))
+        t_all = t_all[order]
+        j_all = j_all[order]
+        n = t_all.size
+        dsts = self._draw_dsts(gen, j_all)
+        if self.program.adaptive:
+            u_route = gen.random((n, ucols), dtype=np.float32)
+        else:
+            u_route = np.zeros((n, ucols), dtype=np.float32)
+        u_rank = gen.random((n, ucols), dtype=np.float32)
+        routers = self.program.inj_router[j_all]
+        cuts = np.flatnonzero(
+            np.r_[True, t_all[1:] != t_all[:-1]]
+        )
+        bounds = np.append(cuts, n)
+        for i, start in enumerate(cuts):
+            stop = bounds[i + 1]
+            cycle = int(t_all[start])
+            inj_cal.setdefault(cycle, []).append((
+                b,
+                routers[start:stop],
+                dsts[start:stop],
+                u_route[start:stop],
+                u_rank[start:stop],
+            ))
+
+    def _route(self, run, router, dst, hops, u_route, u_rank, fwd, next_free,
+               Q, t, occ_grace):
+        """Channel choice for the forwarded events ``fwd``: the single
+        table candidate, or (adaptive) a uniform draw among the
+        minimum-occupancy candidates — the vectorized twin of
+        ``pick_min_cost`` over ``port_occupancy``.
+
+        For sequential-allocator algorithms (clos-adaptive), same-cycle
+        decisions at one router must see each other's debits — each
+        earlier pick makes its uplink one flit deeper.  That is
+        emulated by routing in *waves*: events are ranked within their
+        ``(run, router)`` group (by their pre-drawn per-run uniform, so
+        the order is random yet batch-composition independent) and wave
+        ``w`` routes with the debits of waves ``< w`` added in.  Within
+        one wave every group contributes at most one event and no two
+        groups share an output channel, so the scatter-add is
+        conflict-free.
+        """
+        prog = self.program
+        r = router[fwd]
+        key = prog.key_of_dst[dst[fwd]]
+        cands = prog.cand[r, key]  # (m, W)
+        if not prog.adaptive or cands.shape[1] == 1:
+            return cands[:, 0].astype(np.int64)
+        m = fwd.size
+        valid = cands >= 0
+        qidx = run[fwd, None].astype(np.int64) * Q + np.where(valid, cands, 0)
+        occ = next_free[qidx] - (t - occ_grace)
+        np.clip(occ, 0, None, out=occ)
+        occ[~valid] = _OCC_INF
+        rows = np.arange(m)
+        u = u_route[fwd, hops[fwd]]
+
+        def pick(occ_w, sel):
+            mn = occ_w.min(axis=1, keepdims=True)
+            tied = occ_w == mn
+            ties = tied.sum(axis=1)
+            j = np.minimum((u[sel] * ties).astype(np.int64), ties - 1)
+            pos = np.cumsum(tied, axis=1) - 1
+            return (tied & (pos == j[:, None])).argmax(axis=1)
+
+        if not prog.sequential:
+            choice = pick(occ, rows)
+            return cands[rows, choice].astype(np.int64)
+
+        group = run[fwd].astype(np.int64) * prog.R + r
+        order = np.lexsort((u_rank[fwd, hops[fwd]], group))
+        g_sorted = group[order]
+        starts = np.r_[True, g_sorted[1:] != g_sorted[:-1]]
+        start_idx = np.flatnonzero(starts)
+        seg = np.cumsum(starts) - 1
+        wave = np.arange(m) - start_idx[seg]
+        wave_of = np.empty(m, dtype=np.int64)
+        wave_of[order] = wave
+        wmax = int(wave_of.max())
+        if wmax == 0:
+            choice = pick(occ, rows)
+            return cands[rows, choice].astype(np.int64)
+        chan = np.empty(m, dtype=np.int64)
+        debit_arr = np.zeros(next_free.size, dtype=np.int64)
+        period = self.config.channel_period
+        for w in range(wmax + 1):
+            sel = np.flatnonzero(wave_of == w)
+            occ_w = occ[sel] + np.where(
+                valid[sel], debit_arr[qidx[sel]], 0
+            )
+            choice = pick(occ_w, sel)
+            picked = cands[sel, choice].astype(np.int64)
+            chan[sel] = picked
+            debit_arr[run[fwd[sel]].astype(np.int64) * Q + picked] += period
+        return chan
+
+    @staticmethod
+    def _record_ejections(runs, born, dep, hops, warmup, end, B, win_ejects,
+                          eject_at, labeled_eject_at, rec_run, rec_created,
+                          rec_dep, rec_hops) -> None:
+        in_window = (dep >= warmup) & (dep < end)
+        if in_window.any():
+            win_ejects += np.bincount(runs[in_window], minlength=B)
+        for cycle in np.unique(dep):
+            sel = dep == cycle
+            counts = np.bincount(runs[sel], minlength=B)
+            slot = eject_at.get(int(cycle))
+            if slot is None:
+                eject_at[int(cycle)] = counts
+            else:
+                slot += counts
+        labeled = (born >= warmup) & (born < end)
+        if not labeled.any():
+            return
+        lruns = runs[labeled]
+        ldep = dep[labeled]
+        for cycle in np.unique(ldep):
+            sel = ldep == cycle
+            counts = np.bincount(lruns[sel], minlength=B)
+            slot = labeled_eject_at.get(int(cycle))
+            if slot is None:
+                labeled_eject_at[int(cycle)] = counts
+            else:
+                slot += counts
+        rec_run.append(lruns)
+        rec_created.append(born[labeled])
+        rec_dep.append(ldep)
+        rec_hops.append(hops[labeled])
+
+    @staticmethod
+    def _push(cal, arrival, run, router, dst, born, hops, u_route,
+              u_rank) -> None:
+        """File forwarded events into the calendar, grouped by arrival
+        cycle."""
+        order = np.argsort(arrival, kind="stable")
+        a_sorted = arrival[order]
+        cuts = np.flatnonzero(np.r_[True, a_sorted[1:] != a_sorted[:-1]])
+        bounds = np.append(cuts, a_sorted.size)
+        for i, start in enumerate(cuts):
+            stop = bounds[i + 1]
+            sel = order[start:stop]
+            cycle = int(a_sorted[start])
+            cal.setdefault(cycle, []).append((
+                run[sel], router[sel], dst[sel], born[sel], hops[sel],
+                u_route[sel], u_rank[sel],
+            ))
+
+    # ------------------------------------------------------------------
+    def _finalize(self, load, seeds, warmup, measure, drain_max, cycles,
+                  saturated, frozen_created, frozen_delivered,
+                  labeled_created, win_ejects, n_events, n_routes,
+                  rec_run, rec_created, rec_dep, rec_hops,
+                  wall) -> BatchRunResult:
+        B = len(seeds)
+        T = self.program.T
+        if rec_run:
+            all_run = np.concatenate(rec_run)
+            all_created = np.concatenate(rec_created)
+            all_dep = np.concatenate(rec_dep)
+            all_hops = np.concatenate(rec_hops)
+        else:
+            all_run = np.zeros(0, dtype=np.int32)
+            all_created = all_dep = np.zeros(0, dtype=np.int64)
+            all_hops = np.zeros(0, dtype=np.int16)
+        results = []
+        for b in range(B):
+            # Mirror the event kernel's break semantics: an ejection
+            # counts only if it happened strictly before the run's
+            # final ``now`` (relevant for saturated cutoffs).
+            sel = (all_run == b) & (all_dep < cycles[b])
+            lat = (all_dep[sel] - all_created[sel]).tolist()
+            hop_samples = all_hops[sel]
+            summary = LatencySummary.from_samples(lat)
+            stats = KernelStats(
+                kernel="batch",
+                cycles=int(cycles[b]),
+                events_dispatched=int(n_events[b]),
+                wall_seconds=wall / B,
+                route_calls=int(n_routes[b]),
+            )
+            results.append(OpenLoopResult(
+                offered_load=load,
+                accepted_throughput=float(win_ejects[b]) / (measure * T),
+                latency=summary,
+                network_latency=LatencySummary.from_samples(lat),
+                saturated=bool(saturated[b]),
+                cycles=int(cycles[b]),
+                packets_labeled=int(labeled_created[b]),
+                packets_delivered=int(frozen_delivered[b]),
+                mean_hops=(
+                    float(hop_samples.mean())
+                    if hop_samples.size
+                    else float("nan")
+                ),
+                packets_undeliverable=0,
+                kernel=stats,
+            ))
+        return BatchRunResult(
+            offered_load=load,
+            seeds=tuple(int(s) for s in seeds),
+            warmup=warmup,
+            measure=measure,
+            drain_max=drain_max,
+            results=results,
+            packets_created=tuple(int(v) for v in frozen_created),
+            packets_delivered=tuple(int(v) for v in frozen_delivered),
+            packets_in_flight=tuple(
+                int(c - d) for c, d in zip(frozen_created, frozen_delivered)
+            ),
+            packets_dropped=(0,) * B,
+            wall_seconds=wall,
+        )
+
+
+def batch_seeds(config: SimulationConfig, replicas: int) -> Tuple[int, ...]:
+    """The seed list a batch of ``replicas`` runs rooted at
+    ``config.seed`` must use: :func:`replica_seeds`, so replica ``i``
+    belongs to the same stream family under every backend."""
+    return replica_seeds(config.seed, replicas)

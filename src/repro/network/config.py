@@ -51,6 +51,29 @@ def _flatten(components):
             yield component
 
 
+def replica_seeds(base: int, count: int) -> tuple:
+    """The canonical per-replica seed family rooted at ``base``.
+
+    Replica 0 **is** the base seed — a single replica is byte-identical
+    to a plain run with ``seed=base`` — and replica ``i > 0`` gets the
+    independent stream ``derive_seed(base, "replica", i)``.  Every
+    layer that fans one configuration out into replicas (the event
+    kernel's ``replicate_jobs``, the batch backend's run axis) must
+    draw its seeds from this function so replica ``i`` consumes the
+    same stream family no matter which backend executes it.
+
+    >>> replica_seeds(7, 2)[0]
+    7
+    >>> replica_seeds(7, 3) == replica_seeds(7, 3)
+    True
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return (int(base),) + tuple(
+        derive_seed(base, "replica", i) for i in range(1, count)
+    )
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Knobs of the cycle-accurate simulator.

@@ -63,8 +63,11 @@ from .stats import (
 #: Environment variable selecting the simulation kernel.
 KERNEL_ENV = "REPRO_KERNEL"
 
-#: Recognized kernel names.
-KERNELS = ("event", "polling")
+#: Recognized kernel names.  ``"batch"`` selects the vectorized
+#: structure-of-arrays backend (:mod:`repro.network.batch`), which is
+#: validated statistically rather than bit-exactly against the other
+#: two and requires numpy (``pip install repro[batch]``).
+KERNELS = ("event", "polling", "batch")
 
 
 def resolve_kernel(kernel: Optional[str] = None) -> str:
@@ -998,6 +1001,12 @@ class Simulator:
                 f"run would be cut off before the measurement window ends and "
                 f"its labeled packets could never all be observed draining"
             )
+        if self.kernel == "batch":
+            batched = self.run_open_loop_batch(
+                load, seeds=(self.config.seed,), warmup=warmup,
+                measure=measure, drain_max=drain_max,
+            )
+            return batched.results[0]
         self._consume()
         started = time.perf_counter()
         process = BernoulliInjection(load)
@@ -1047,6 +1056,11 @@ class Simulator:
     def run_batch(self, batch_size: int, max_cycles: int = 1_000_000) -> BatchResult:
         """Deliver a batch of ``batch_size`` packets per terminal and
         report the completion time (Figure 5)."""
+        if self.kernel == "batch":
+            raise NotImplementedError(
+                "kernel='batch' does not implement the dynamic-response "
+                "(Figure 5) batch run; use the event kernel"
+            )
         self._consume()
         started = time.perf_counter()
         process = BatchInjection(batch_size)
@@ -1076,6 +1090,10 @@ class Simulator:
     ) -> float:
         """Accepted throughput at an offered load of 1.0 — the
         throughput plateau of the latency-load curves."""
+        if self.kernel == "batch":
+            return self.measure_saturation_throughput_batch(
+                seeds=(self.config.seed,), warmup=warmup, measure=measure
+            )[0]
         self._consume()
         started = time.perf_counter()
         process = BernoulliInjection(1.0)
@@ -1089,3 +1107,65 @@ class Simulator:
             step(process)
         self._finish_stats(started)
         return window.throughput(self.topology.num_terminals)
+
+    # ------------------------------------------------------------------
+    # Batched runs (kernel="batch")
+    # ------------------------------------------------------------------
+    def _batch_backend(self):
+        if self.kernel != "batch":
+            raise ValueError(
+                f"batched runs require kernel='batch', this simulator was "
+                f"built with kernel={self.kernel!r}"
+            )
+        self._consume()
+        from .batch import BatchBackend
+
+        return BatchBackend(
+            self.topology, self.algorithm, self.pattern, self.config
+        )
+
+    def _batch_seeds(self, replicas, seeds) -> Tuple[int, ...]:
+        from .config import replica_seeds
+
+        if (replicas is None) == (seeds is None):
+            raise ValueError("pass exactly one of replicas= or seeds=")
+        if seeds is not None:
+            return tuple(seeds)
+        return replica_seeds(self.config.seed, replicas)
+
+    def run_open_loop_batch(
+        self,
+        load: float,
+        replicas: Optional[int] = None,
+        seeds: Optional[Tuple[int, ...]] = None,
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ):
+        """Batched :meth:`run_open_loop`: one measurement per replica
+        seed, advanced in lockstep by the vectorized backend.
+
+        Pass either ``replicas`` (seeds come from
+        :func:`repro.network.config.replica_seeds`, so replica 0 uses
+        this config's own seed) or an explicit ``seeds`` tuple.
+        Returns a :class:`repro.network.batch.BatchRunResult`.
+        """
+        run_seeds = self._batch_seeds(replicas, seeds)
+        return self._batch_backend().run_open_loop(
+            load, run_seeds, warmup=warmup, measure=measure,
+            drain_max=drain_max,
+        )
+
+    def measure_saturation_throughput_batch(
+        self,
+        replicas: Optional[int] = None,
+        seeds: Optional[Tuple[int, ...]] = None,
+        warmup: int = 1000,
+        measure: int = 1000,
+    ) -> List[float]:
+        """Batched :meth:`measure_saturation_throughput`: one
+        accepted-throughput value per replica seed."""
+        run_seeds = self._batch_seeds(replicas, seeds)
+        return self._batch_backend().measure_saturation(
+            run_seeds, warmup=warmup, measure=measure
+        )

@@ -24,6 +24,8 @@ are immutable after construction.
 from .cache import CACHE_VERSION, ResultCache, describe, job_key
 from .jobs import (
     BatchJob,
+    BatchOpenLoopJob,
+    BatchSaturationJob,
     CallableJob,
     OpenLoopJob,
     SaturationJob,
@@ -43,6 +45,8 @@ from .sweep import SweepReport, SweepRunner, resolve_jobs, stderr_progress
 
 __all__ = [
     "BatchJob",
+    "BatchOpenLoopJob",
+    "BatchSaturationJob",
     "CACHE_VERSION",
     "CallableJob",
     "OpenLoopJob",

@@ -39,7 +39,11 @@ from typing import Iterator, Optional, Tuple
 #: v5: ``SimSpec`` grew the ``topology`` sub-spec field, which appears
 #: in every job description (dataclass fields are expanded), so every
 #: key changed; results themselves are byte-identical to v4.
-CACHE_VERSION = "repro-results-v5"
+#: v6: the ``kernel="batch"`` backend landed and experiment specs may
+#: now carry an explicit ``kernel`` kwarg; bumping keeps any entry
+#: cached before the kernel kwarg existed from being replayed for a
+#: spec that now means a different backend.
+CACHE_VERSION = "repro-results-v6"
 
 #: Sidecar file (inside the cache directory) accumulating hit/miss
 #: counters across runs.  The name deliberately does not end in

@@ -269,6 +269,32 @@ class BatchJob:
 
 
 @dataclass(frozen=True)
+class BatchOpenLoopJob:
+    """A whole batch of open-loop replicas at one load point, executed
+    in lockstep by the vectorized backend (the spec must build a
+    ``kernel="batch"`` simulator).  Returns a
+    :class:`~repro.network.batch.BatchRunResult`."""
+
+    spec: SimSpec
+    load: float
+    seeds: Tuple[int, ...]
+    warmup: int
+    measure: int
+    drain_max: int
+
+
+@dataclass(frozen=True)
+class BatchSaturationJob:
+    """A batch of saturation-throughput replicas (offered load 1.0)
+    executed in lockstep; returns one float per seed."""
+
+    spec: SimSpec
+    seeds: Tuple[int, ...]
+    warmup: int
+    measure: int
+
+
+@dataclass(frozen=True)
 class CallableJob:
     """An arbitrary metric evaluation, e.g. one seed of a
     :func:`~repro.experiments.common.replicate` call.  The callable
@@ -301,6 +327,15 @@ def execute_job(job):
         )
     if isinstance(job, BatchJob):
         return job.spec.build().run_batch(job.batch_size, job.max_cycles)
+    if isinstance(job, BatchOpenLoopJob):
+        return job.spec.build().run_open_loop_batch(
+            job.load, seeds=job.seeds, warmup=job.warmup,
+            measure=job.measure, drain_max=job.drain_max,
+        )
+    if isinstance(job, BatchSaturationJob):
+        return job.spec.build().measure_saturation_throughput_batch(
+            seeds=job.seeds, warmup=job.warmup, measure=job.measure
+        )
     if isinstance(job, CallableJob):
         return job.fn(*job.args, **dict(job.kwargs))
     raise TypeError(f"unknown job type {type(job).__name__}")

@@ -1,0 +1,339 @@
+"""Statistical equivalence and contract tests for the batch kernel.
+
+The vectorized batch backend (``repro.network.batch``) is validated
+*statistically* against the event kernel: over matched families of
+N >= 20 independent replicas, the 95% confidence intervals of mean
+latency and accepted throughput must overlap (see
+``tests/statcheck.py``) for every supported (topology, algorithm)
+cell of the equivalence matrix, at loads below the saturation knee.
+
+Also covered: exact per-run packet conservation, the canonical
+replica-seed family (pinned values, cross-path agreement), the
+unsupported-feature ``NotImplementedError`` envelope, and kernel
+selection plumbing.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import DimensionOrder, MinimalAdaptive, UGAL
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.experiments import ext_resilience
+from repro.faults import FaultModel
+from repro.network import (
+    KERNELS,
+    SimulationConfig,
+    Simulator,
+    replica_seeds,
+    resolve_kernel,
+)
+from repro.network.batch import BatchBackend, BatchRunResult, batch_seeds
+from repro.network.config import derive_seed
+from repro.topologies import Butterfly, FoldedClos
+from repro.topologies.routing import DestinationTag, FoldedClosAdaptive
+from repro.traffic import RandomPermutation, UniformRandom
+
+from tests.statcheck import assert_statistically_equal
+
+#: Replicas per side of each statistical comparison.
+N_REPLICAS = 20
+
+#: Measurement window of the statistical matrix: short enough to keep
+#: the matrix fast, long enough that per-replica means are stable (the
+#: CI machinery absorbs the residual noise).
+WARMUP, MEASURE, DRAIN = 300, 400, 4000
+
+#: The equivalence matrix: every supported algorithm family on its
+#: home topology, below saturation.
+MATRIX = [
+    ("dor-fb", lambda: FlattenedButterfly(4, 2), DimensionOrder, 0.3),
+    ("minad-fb", lambda: FlattenedButterfly(4, 3), MinimalAdaptive, 0.3),
+    ("dtag-butterfly", lambda: Butterfly(4, 2), DestinationTag, 0.3),
+    ("clos-ad", lambda: FoldedClos(16, 4), FoldedClosAdaptive, 0.3),
+]
+
+
+def _event_replicas(make_topo, algorithm_cls, load, seeds):
+    results = []
+    for seed in seeds:
+        sim = Simulator(
+            make_topo(), algorithm_cls(), UniformRandom(),
+            SimulationConfig(seed=seed), kernel="event",
+        )
+        results.append(sim.run_open_loop(
+            load, warmup=WARMUP, measure=MEASURE, drain_max=DRAIN
+        ))
+    return results
+
+
+def _batch_replicas(make_topo, algorithm_cls, load, seeds):
+    sim = Simulator(
+        make_topo(), algorithm_cls(), UniformRandom(),
+        SimulationConfig(seed=seeds[0]), kernel="batch",
+    )
+    return sim.run_open_loop_batch(
+        load, seeds=seeds, warmup=WARMUP, measure=MEASURE, drain_max=DRAIN
+    )
+
+
+class TestStatisticalMatrix:
+    @pytest.mark.parametrize(
+        "name,make_topo,algorithm_cls,load",
+        MATRIX,
+        ids=[row[0] for row in MATRIX],
+    )
+    def test_matches_event_kernel(self, name, make_topo, algorithm_cls, load):
+        seeds = replica_seeds(1234, N_REPLICAS)
+        event = _event_replicas(make_topo, algorithm_cls, load, seeds)
+        batch = _batch_replicas(make_topo, algorithm_cls, load, seeds)
+        assert len(batch) == N_REPLICAS
+        assert not any(r.saturated for r in event), (
+            f"{name}: load {load} saturates the event kernel; the "
+            f"statistical comparison is only valid below the knee"
+        )
+        assert not any(r.saturated for r in batch)
+        assert_statistically_equal(
+            [r.latency.mean for r in event],
+            [r.latency.mean for r in batch.results],
+            f"{name}: mean latency",
+        )
+        assert_statistically_equal(
+            [r.accepted_throughput for r in event],
+            [r.accepted_throughput for r in batch.results],
+            f"{name}: accepted throughput",
+        )
+        assert_statistically_equal(
+            [r.mean_hops for r in event],
+            [r.mean_hops for r in batch.results],
+            f"{name}: mean hops",
+        )
+
+    def test_conservation_exact(self):
+        seeds = replica_seeds(55, 8)
+        batch = _batch_replicas(
+            lambda: FlattenedButterfly(4, 2), DimensionOrder, 0.4, seeds
+        )
+        for b in range(len(batch)):
+            created = batch.packets_created[b]
+            delivered = batch.packets_delivered[b]
+            in_flight = batch.packets_in_flight[b]
+            dropped = batch.packets_dropped[b]
+            assert created == delivered + in_flight + dropped
+            assert dropped == 0
+            assert 0 <= delivered <= created
+            result = batch.results[b]
+            assert result.kernel.kernel == "batch"
+            assert result.packets_delivered == delivered
+            if not result.saturated:
+                # A drained run observed every labeled packet eject.
+                assert result.latency.count == result.packets_labeled
+                assert result.packets_labeled > 0
+
+    def test_batch_result_metadata(self):
+        seeds = replica_seeds(9, 3)
+        batch = _batch_replicas(
+            lambda: FlattenedButterfly(4, 2), DimensionOrder, 0.2, seeds
+        )
+        assert isinstance(batch, BatchRunResult)
+        assert batch.seeds == seeds
+        assert batch.offered_load == 0.2
+        assert (batch.warmup, batch.measure) == (WARMUP, MEASURE)
+        assert list(batch) == batch.results
+        assert batch.wall_seconds > 0
+        for result in batch:
+            assert result.cycles >= WARMUP + MEASURE
+            assert result.kernel.events_dispatched > 0
+            assert result.kernel.route_calls > 0
+
+    def test_saturation_batch_matches_event(self):
+        seeds = replica_seeds(77, N_REPLICAS)
+        event = []
+        for seed in seeds:
+            sim = Simulator(
+                FlattenedButterfly(4, 2), DimensionOrder(), UniformRandom(),
+                SimulationConfig(seed=seed), kernel="event",
+            )
+            event.append(sim.measure_saturation_throughput(WARMUP, MEASURE))
+        sim = Simulator(
+            FlattenedButterfly(4, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=seeds[0]), kernel="batch",
+        )
+        batch = sim.measure_saturation_throughput_batch(
+            seeds=seeds, warmup=WARMUP, measure=MEASURE
+        )
+        assert len(batch) == N_REPLICAS
+        assert_statistically_equal(
+            event, batch, "saturation throughput", rel_slack=0.03
+        )
+
+
+class TestSeedFamily:
+    def test_replica_seeds_pinned(self):
+        # Pinned literals: any change to the derivation silently
+        # decouples batch replicas from event-kernel replicas, so the
+        # family is frozen here byte-for-byte.
+        assert replica_seeds(1, 4) == (
+            1,
+            11340906639259149990,
+            8148806329698258183,
+            15378539652167375039,
+        )
+        assert replica_seeds(7, 3) == (
+            7,
+            11732661365298342040,
+            2918442744165200352,
+        )
+
+    def test_replica_zero_is_base_seed(self):
+        assert replica_seeds(42, 1) == (42,)
+        assert replica_seeds(42, 5)[0] == 42
+
+    def test_matches_derive_seed_family(self):
+        base = 1234
+        family = replica_seeds(base, 6)
+        for i in range(1, 6):
+            assert family[i] == derive_seed(base, "replica", i)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            replica_seeds(1, 0)
+
+    def test_batch_seeds_uses_canonical_family(self):
+        config = SimulationConfig(seed=77)
+        assert batch_seeds(config, 4) == replica_seeds(77, 4)
+
+    def test_simulator_replicas_use_canonical_family(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=31), kernel="batch",
+        )
+        batch = sim.run_open_loop_batch(
+            0.2, replicas=3, warmup=50, measure=80, drain_max=1000
+        )
+        assert batch.seeds == replica_seeds(31, 3)
+
+    def test_ext_resilience_traffic_seeds_rebased(self):
+        # The seed-coupling fix: ext_resilience replicas must draw
+        # their traffic stream from the same canonical family as every
+        # other replication path (they historically used a private
+        # "resilience-replica" stream).
+        assert ext_resilience.replica_seeds(0) == (
+            1, ext_resilience.FAULT_SEED
+        )
+        for replica in range(1, 4):
+            traffic_seed, fault_seed = ext_resilience.replica_seeds(replica)
+            assert traffic_seed == replica_seeds(1, replica + 1)[replica]
+            assert fault_seed == derive_seed(
+                ext_resilience.FAULT_SEED, "fault-replica", replica
+            )
+        # Replicas stay pairwise distinct on both streams.
+        drawn = [ext_resilience.replica_seeds(r) for r in range(4)]
+        assert len({t for t, _ in drawn}) == 4
+        assert len({f for _, f in drawn}) == 4
+
+
+class TestUnsupportedFeatures:
+    def _sim(self, algorithm=None, pattern=None, config=None, topo=None):
+        return Simulator(
+            topo or FlattenedButterfly(4, 2),
+            algorithm or DimensionOrder(),
+            pattern or UniformRandom(),
+            config or SimulationConfig(seed=1),
+            kernel="batch",
+        )
+
+    def test_ugal_raises_cleanly(self):
+        sim = self._sim(algorithm=UGAL())
+        with pytest.raises(NotImplementedError, match="UGAL"):
+            sim.run_open_loop_batch(
+                0.2, replicas=2, warmup=50, measure=50, drain_max=1000
+            )
+
+    def test_multiflit_packets_raise(self):
+        sim = self._sim(config=SimulationConfig(seed=1, packet_size=4))
+        with pytest.raises(NotImplementedError, match="single-flit"):
+            sim.run_open_loop_batch(
+                0.2, replicas=2, warmup=50, measure=50, drain_max=1000
+            )
+
+    def test_faults_raise(self):
+        # A fault-aware algorithm gets past the Simulator's own
+        # fault-awareness check; the batch backend must then refuse
+        # the non-trivial fault model itself.
+        from repro.faults import FaultAwareMinimalAdaptive
+
+        config = SimulationConfig(
+            seed=1, faults=FaultModel(link_failure_fraction=0.05)
+        )
+        sim = self._sim(
+            algorithm=FaultAwareMinimalAdaptive(), config=config
+        )
+        with pytest.raises(NotImplementedError, match="fault"):
+            sim.run_open_loop_batch(
+                0.2, replicas=2, warmup=50, measure=50, drain_max=1000
+            )
+
+    def test_unsupported_pattern_raises(self):
+        sim = self._sim(pattern=RandomPermutation())
+        with pytest.raises(NotImplementedError, match="pattern"):
+            sim.run_open_loop_batch(
+                0.2, replicas=2, warmup=50, measure=50, drain_max=1000
+            )
+
+    def test_run_batch_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            self._sim().run_batch(4)
+
+    def test_event_kernel_rejects_batch_methods(self):
+        sim = Simulator(
+            FlattenedButterfly(2, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=1), kernel="event",
+        )
+        with pytest.raises(ValueError, match="kernel"):
+            sim.run_open_loop_batch(0.2, replicas=2)
+
+    def test_replicas_xor_seeds(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            self._sim().run_open_loop_batch(0.2)
+        with pytest.raises(ValueError, match="exactly one"):
+            self._sim().run_open_loop_batch(0.2, replicas=2, seeds=(1, 2))
+
+    def test_drain_max_validation(self):
+        with pytest.raises(ValueError, match="drain_max"):
+            self._sim().run_open_loop_batch(
+                0.2, replicas=2, warmup=100, measure=100, drain_max=200
+            )
+
+    def test_backend_single_use(self):
+        backend = BatchBackend(
+            FlattenedButterfly(2, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        backend.run_open_loop(0.2, (1, 2), warmup=50, measure=50,
+                              drain_max=1000)
+        with pytest.raises(RuntimeError, match="already executed"):
+            backend.run_open_loop(0.2, (1, 2), warmup=50, measure=50,
+                                  drain_max=1000)
+
+
+class TestKernelSelection:
+    def test_batch_in_kernels(self):
+        assert "batch" in KERNELS
+
+    def test_resolve(self, monkeypatch):
+        assert resolve_kernel("batch") == "batch"
+        monkeypatch.setenv("REPRO_KERNEL", "batch")
+        assert resolve_kernel(None) == "batch"
+
+    def test_single_seed_dispatch(self):
+        """``run_open_loop`` on a batch-kernel simulator is the B=1
+        reshape of the batched path: an ordinary OpenLoopResult."""
+        sim = Simulator(
+            FlattenedButterfly(2, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=3), kernel="batch",
+        )
+        result = sim.run_open_loop(0.2, warmup=50, measure=80,
+                                   drain_max=1000)
+        assert result.kernel.kernel == "batch"
+        assert result.latency.count > 0

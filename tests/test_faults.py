@@ -456,9 +456,10 @@ class TestFaultCacheKeys:
 
     def test_cache_version_bumped(self):
         # v3 introduced the faults field; v4 (profiling counters in
-        # KernelStats) and v5 (SimSpec topology sub-spec changed every
-        # job description) must not replay older entries either.
-        assert CACHE_VERSION == "repro-results-v5"
+        # KernelStats), v5 (SimSpec topology sub-spec changed every
+        # job description), and v6 (kernel field in SimSpec kwargs for
+        # batch-kernel jobs) must not replay older entries either.
+        assert CACHE_VERSION == "repro-results-v6"
 
     def test_same_fault_model_same_key(self):
         a = self._job(FaultModel(link_failure_fraction=0.05, seed=3))

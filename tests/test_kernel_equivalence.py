@@ -48,6 +48,12 @@ from repro.network import (
     ThroughputTrace,
     resolve_kernel,
 )
+
+#: Kernels that must agree bit-for-bit.  The vectorized batch
+#: kernel models queues statistically rather than replaying the
+#: event kernel exactly; its equivalence tests live in
+#: tests/test_batch_kernel.py.
+EXACT_KERNELS = ("event", "polling")
 from repro.network.config import derive_seed
 from repro.network.buffers import CHANNEL_PORT
 from repro.topologies import Butterfly, FoldedClos
@@ -211,7 +217,7 @@ class TestKernelSelection:
             )
 
     def test_kernel_names_exported(self):
-        assert KERNELS == ("event", "polling")
+        assert KERNELS == ("event", "polling", "batch")
 
 
 class TestBitIdenticalResults:
@@ -276,7 +282,7 @@ class TestBitIdenticalResults:
 
     def test_batch_runs_identical(self):
         results = []
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 FlattenedButterfly(4, 2),
                 MinimalAdaptive(),
@@ -315,7 +321,7 @@ class TestIdleSkip:
         """Idle-skipped runs must agree with the polling kernel, which
         never skips anything."""
         outcomes = []
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 FlattenedButterfly(4, 2),
                 MinimalAdaptive(),
@@ -339,7 +345,7 @@ class TestIdleSkip:
 
     def test_skip_preserves_throughput_trace(self):
         series = []
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 FlattenedButterfly(4, 2),
                 MinimalAdaptive(),
@@ -379,7 +385,7 @@ class TestIdleSkip:
 
 class TestKernelStats:
     def test_stats_attached_and_consistent(self):
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 FlattenedButterfly(4, 2),
                 MinimalAdaptive(),
@@ -403,7 +409,7 @@ class TestKernelStats:
         from different kernels (different wall time) still compare
         equal field-for-field."""
         results = []
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 FlattenedButterfly(4, 2),
                 MinimalAdaptive(),
@@ -650,7 +656,7 @@ class TestFaultedBitIdentical:
         """Undeliverable pairs never enter the network, so the drain
         phase completes even when the fault set severs many pairs."""
         faults = FaultModel(link_failure_fraction=0.10, seed=3)
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 Butterfly(4, 2),
                 FaultAwareDestinationTag(),
@@ -783,7 +789,7 @@ class TestRouteTableParity:
         original code compute the same function."""
         monkeypatch.setenv(ROUTE_TABLE_ENV, "1")
         outcomes = []
-        for kernel in KERNELS:
+        for kernel in EXACT_KERNELS:
             sim = Simulator(
                 topo_factory(),
                 algo_cls(),
@@ -886,7 +892,7 @@ class TestCreditStarvedWirePort:
             out.credits[vc] = 0
         return sim, engine, out, flit, saved_credits
 
-    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("kernel", EXACT_KERNELS)
     def test_starved_port_stays_staged(self, kernel):
         sim, engine, out, flit, saved = self._starved_engine(kernel)
         wire = engine.wire_event if kernel == "event" else engine.wire_phase
@@ -896,7 +902,7 @@ class TestCreditStarvedWirePort:
         assert engine.router_id in sim._wire_engines
         assert not sim.pipes[out.channel_index].flits
 
-    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("kernel", EXACT_KERNELS)
     def test_credit_return_releases_port(self, kernel):
         sim, engine, out, flit, saved = self._starved_engine(kernel)
         wire = engine.wire_event if kernel == "event" else engine.wire_phase

@@ -98,3 +98,119 @@ def test_flit_conservation(algorithm_cls, seed, packet_size):
     result = sim.run_batch(3, max_cycles=100_000)
     assert sim.flits_ejected == result.packets * packet_size
     assert sim.flits_accounted() == 0
+
+
+# ----------------------------------------------------------------------
+# Batch-kernel properties (requires the numpy extra)
+# ----------------------------------------------------------------------
+
+#: Algorithm families the batch kernel implements (see
+#: ``repro.network.batch``); sampled over small flattened butterflies.
+BATCH_ALGORITHMS = [MinimalAdaptive, DimensionOrder]
+
+batch_algorithm_st = st.sampled_from(BATCH_ALGORITHMS)
+
+
+def _batch_run(algorithm_cls, k, n, seeds, load=0.25):
+    np = pytest.importorskip("numpy")  # noqa: F841 - guard only
+    sim = Simulator(
+        FlattenedButterfly(k, n),
+        algorithm_cls(),
+        UniformRandom(),
+        SimulationConfig(seed=seeds[0]),
+        kernel="batch",
+    )
+    return sim.run_open_loop_batch(
+        load, seeds=tuple(seeds), warmup=100, measure=150, drain_max=2000
+    )
+
+
+def _fingerprint(result):
+    """Everything a run reports, as a comparable tuple."""
+    return (
+        result.latency.count,
+        result.latency.mean,
+        result.latency.p50,
+        result.latency.p95,
+        result.latency.max,
+        result.accepted_throughput,
+        result.mean_hops,
+        result.cycles,
+        result.saturated,
+        result.packets_labeled,
+        result.packets_delivered,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    algorithm_cls=batch_algorithm_st,
+    k=st.integers(min_value=2, max_value=4),
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        min_size=2, max_size=5, unique=True,
+    ),
+    data=st.data(),
+)
+def test_batch_permutation_invariance(algorithm_cls, k, seeds, data):
+    """Per-run results are a pure function of the run's seed: shuffling
+    the batch axis permutes the results and changes nothing else."""
+    perm = data.draw(st.permutations(list(range(len(seeds)))))
+    forward = _batch_run(algorithm_cls, k, 2, seeds)
+    shuffled = _batch_run(algorithm_cls, k, 2, [seeds[i] for i in perm])
+    for pos, i in enumerate(perm):
+        assert _fingerprint(shuffled.results[pos]) == _fingerprint(
+            forward.results[i]
+        )
+        assert shuffled.packets_created[pos] == forward.packets_created[i]
+        assert shuffled.packets_delivered[pos] == forward.packets_delivered[i]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    algorithm_cls=batch_algorithm_st,
+    k=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    extra=st.lists(
+        st.integers(min_value=2**32, max_value=2**33),
+        min_size=1, max_size=4, unique=True,
+    ),
+)
+def test_batch_size_one_matches_embedded_run(algorithm_cls, k, seed, extra):
+    """A run executed alone (batch of one) is bit-identical to the same
+    seed embedded in a larger batch."""
+    alone = _batch_run(algorithm_cls, k, 2, [seed])
+    embedded = _batch_run(algorithm_cls, k, 2, [seed] + extra)
+    assert _fingerprint(alone.results[0]) == _fingerprint(embedded.results[0])
+    assert alone.packets_created[0] == embedded.packets_created[0]
+    assert alone.packets_delivered[0] == embedded.packets_delivered[0]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    algorithm_cls=batch_algorithm_st,
+    k=st.integers(min_value=2, max_value=4),
+    batch_size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_batch_open_loop_physics(algorithm_cls, k, batch_size, seed):
+    """The event-kernel physics bounds hold for every run of a batch."""
+    np = pytest.importorskip("numpy")  # noqa: F841 - guard only
+    sim = Simulator(
+        FlattenedButterfly(k, 2),
+        algorithm_cls(),
+        UniformRandom(),
+        SimulationConfig(seed=seed),
+        kernel="batch",
+    )
+    batch = sim.run_open_loop_batch(
+        0.2, replicas=batch_size, warmup=150, measure=150, drain_max=4000
+    )
+    assert len(batch) == batch_size
+    for result in batch:
+        if result.saturated:
+            continue
+        assert result.accepted_throughput <= 1.0 + 1e-9
+        assert result.accepted_throughput == pytest.approx(0.2, abs=0.08)
+        assert result.latency.mean >= result.mean_hops - 1e-9
+        assert result.latency.p50 <= result.latency.p95 <= result.latency.max

@@ -9,8 +9,11 @@ import pytest
 
 from repro.core import ClosAD, MinimalAdaptive, UGAL, Valiant
 from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.core.routing.table import shared_route_table
 from repro.network import SimulationConfig, Simulator
 from repro.network.packet import Packet
+from repro.topologies import Butterfly
+from repro.topologies.hyperx import HyperX
 from repro.traffic import UniformRandom
 
 
@@ -216,3 +219,109 @@ class TestClosADDecisions:
                 chosen = channel
         assert chosen is not None
         assert chosen.dim == 1  # only the unaligned dimension is touched
+
+
+# ----------------------------------------------------------------------
+# Dense-array export round-trip (RouteTable.as_arrays)
+# ----------------------------------------------------------------------
+
+#: Every topology of the kernel-equivalence matrix that the HyperX
+#: family export covers, plus conventional butterflies for the
+#: destination-tag family.
+HYPERX_TOPOLOGIES = {
+    "fb4": lambda: FlattenedButterfly(4, 2),
+    "fb2x3": lambda: FlattenedButterfly(2, 3),
+    "hx222": lambda: HyperX(concentration=2, dims=(2, 2)),
+    "hx2222": lambda: HyperX(concentration=2, dims=(2, 2, 2)),
+    "hx4m2": lambda: HyperX(concentration=4, dims=(4,), multiplicity=(2,)),
+}
+
+BUTTERFLY_TOPOLOGIES = {
+    "bf42": lambda: Butterfly(4, 2),
+    "bf23": lambda: Butterfly(2, 3),
+}
+
+
+class TestRouteArraysRoundTrip:
+    """``as_arrays()`` must be a lossless re-encoding of the memoized
+    scalar entries the event kernel consumes: decode every dense cell
+    back and compare against :meth:`RouteTable.minimal`,
+    :meth:`RouteTable.dor_next` and
+    :meth:`RouteTable.destination_tag_next`."""
+
+    @pytest.mark.parametrize("name", sorted(HYPERX_TOPOLOGIES))
+    def test_hyperx_family(self, name):
+        pytest.importorskip("numpy")
+        topo = HYPERX_TOPOLOGIES[name]()
+        table = shared_route_table(topo)
+        arrays = table.as_arrays()
+        R = topo.num_routers
+        assert arrays.num_routers == R
+        assert arrays.num_channels == len(topo.channels)
+        for a in range(R):
+            for b in range(R):
+                assert arrays.hops[a, b] == table.hops(a, b)
+                if a == b:
+                    continue
+                vc, cands = table.minimal(a, b)
+                assert arrays.minimal_vc[a, b] == vc
+                assert arrays.minimal_count[a, b] == len(cands)
+                for i, (port, channel) in enumerate(cands):
+                    assert arrays.minimal_port[a, b, i] == port
+                    assert arrays.minimal_channel[a, b, i] == channel.index
+                # Padding beyond the candidate count stays -1.
+                assert (arrays.minimal_port[a, b, len(cands):] == -1).all()
+                port, channel, remaining = table.dor_next(a, b)
+                assert arrays.dor_port[a, b] == port
+                assert arrays.dor_channel[a, b] == channel.index
+                assert arrays.dor_hops[a, b] == remaining
+                # The DOR hop is one of the minimal candidates.
+                assert channel.index in {
+                    ch.index for _, ch in cands
+                }
+
+    @pytest.mark.parametrize("name", sorted(BUTTERFLY_TOPOLOGIES))
+    def test_destination_tag_family(self, name):
+        pytest.importorskip("numpy")
+        topo = BUTTERFLY_TOPOLOGIES[name]()
+        table = shared_route_table(topo)
+        arrays = table.as_arrays()
+        R = topo.num_routers
+        positions = topo.num_terminals // topo.k
+        assert arrays.dtag_positions == positions
+        assert arrays.dtag_port.shape == (R, positions)
+        last_stage = topo.n - 1
+        for r in range(R):
+            if topo.stage_of(r) == last_stage:
+                # Last-stage routers eject; their rows stay padding.
+                assert (arrays.dtag_port[r] == -1).all()
+                assert (arrays.dtag_channel[r] == -1).all()
+                continue
+            for pos in range(positions):
+                dst_terminal = pos * topo.k
+                port = table.destination_tag_next(r, dst_terminal)
+                channel = topo.destination_tag_next(r, dst_terminal)
+                assert arrays.dtag_port[r, pos] == port
+                assert arrays.dtag_channel[r, pos] == channel.index
+        # Backward stage pairs are unreachable: hops rows record -1.
+        assert (arrays.hops >= -1).all()
+        for a in range(R):
+            for b in range(R):
+                if topo.stage_of(a) > topo.stage_of(b):
+                    assert arrays.hops[a, b] == -1
+
+    def test_ports_match_bound_engines(self):
+        """The synthesized channel->port map agrees with the map real
+        engines record at bind time (ensure_ports' invariant)."""
+        pytest.importorskip("numpy")
+        topo = FlattenedButterfly(4, 2)
+        table = shared_route_table(topo)
+        synthesized = dict(table.ensure_ports())
+        sim = Simulator(
+            topo, MinimalAdaptive(), UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        bound = {}
+        for engine in sim.engines:
+            bound.update(engine._port_of_channel)
+        assert synthesized == bound
