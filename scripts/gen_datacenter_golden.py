@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the ext_datacenter golden CSV (tests/golden/).
+
+Run after an intentional, numerically-understood change to the
+simulator or the datacenter workloads — and bump
+``repro.runner.cache.CACHE_VERSION`` at the same time::
+
+    PYTHONPATH=src python scripts/gen_datacenter_golden.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.experiments.ext_datacenter import golden_point  # noqa: E402
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), os.pardir, "tests", "golden",
+    "ext_datacenter_golden-point.csv",
+)
+
+
+def main() -> int:
+    result = golden_point("ci")
+    with open(GOLDEN, "w") as handle:
+        handle.write(result.tables[0].to_csv())
+    print(f"wrote {os.path.normpath(GOLDEN)}")
+    print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ from the command line with ``python -m repro.experiments <id>``.
 """
 
 from . import (
+    ext_datacenter,
     ext_layout,
     ext_packet_size,
     ext_patterns,
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "table02": table02_constants,
     "table04": table04_configs,
     "ext_torus": ext_torus,
+    "ext_datacenter": ext_datacenter,
     "ext_layout": ext_layout,
     "ext_patterns": ext_patterns,
     "ext_packet_size": ext_packet_size,

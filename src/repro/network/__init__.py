@@ -7,13 +7,29 @@ from .config import SimulationConfig, derive_seed, replica_seeds
 from .injection import BatchInjection, BernoulliInjection, InjectionProcess
 from .packet import Flit, Packet
 from .simulator import KERNEL_ENV, KERNELS, Simulator, resolve_kernel
-from .stats import BatchResult, KernelStats, LatencySummary, OpenLoopResult
+from .stats import (
+    BatchResult,
+    ClassStats,
+    KernelStats,
+    LatencySummary,
+    OpenLoopResult,
+)
 from .trace import (
     ChannelLoadTrace,
     PacketJourneyTrace,
     QueueTrace,
     ThroughputTrace,
     Tracer,
+)
+from .workload import (
+    Message,
+    RequestReply,
+    SyntheticWorkload,
+    UnsupportedWorkloadError,
+    Workload,
+    WorkloadSpec,
+    register_workload,
+    registered_workloads,
 )
 
 __all__ = [
@@ -36,6 +52,7 @@ __all__ = [
     "KERNELS",
     "resolve_kernel",
     "BatchResult",
+    "ClassStats",
     "KernelStats",
     "LatencySummary",
     "OpenLoopResult",
@@ -44,4 +61,12 @@ __all__ = [
     "QueueTrace",
     "ThroughputTrace",
     "Tracer",
+    "Message",
+    "RequestReply",
+    "SyntheticWorkload",
+    "UnsupportedWorkloadError",
+    "Workload",
+    "WorkloadSpec",
+    "register_workload",
+    "registered_workloads",
 ]

@@ -117,6 +117,13 @@ class SimulationConfig:
             config field, the fault scenario travels through
             ``SimSpec`` pickling and into the result-cache key like any
             other knob.
+        workload: optional :class:`repro.network.workload.WorkloadSpec`
+            describing the traffic source for workload-driven runs
+            (``Simulator.run_workload``).  ``None`` (default) leaves
+            traffic to the classic pattern argument, so default-path
+            cache keys are unchanged.  Like ``faults``, the spec is a
+            frozen dataclass of primitives and travels through
+            ``SimSpec`` pickling and the result-cache key.
     """
 
     buffer_per_port: int = 32
@@ -130,6 +137,7 @@ class SimulationConfig:
     seed: int = 1
     rng_streams: str = "legacy"
     faults: Optional[object] = None
+    workload: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.buffer_per_port < 1:
@@ -165,6 +173,15 @@ class SimulationConfig:
                     f"faults must be a repro.faults.FaultModel or None, "
                     f"got {type(self.faults).__name__}"
                 )
+        if self.workload is not None:
+            # Lazy import: repro.network.workload imports this module.
+            from .workload import WorkloadSpec
+
+            if not isinstance(self.workload, WorkloadSpec):
+                raise TypeError(
+                    f"workload must be a repro.network.workload."
+                    f"WorkloadSpec or None, got {type(self.workload).__name__}"
+                )
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Copy of this config with a different base seed."""
@@ -174,6 +191,11 @@ class SimulationConfig:
         """Copy of this config with a different fault model (or
         ``None`` for a fault-free network)."""
         return dataclasses.replace(self, faults=faults)
+
+    def with_workload(self, workload) -> "SimulationConfig":
+        """Copy of this config with a different workload spec (or
+        ``None`` for classic pattern-driven traffic)."""
+        return dataclasses.replace(self, workload=workload)
 
     def derived(self, *components: object) -> "SimulationConfig":
         """Copy of this config whose seed is derived from the current

@@ -33,10 +33,33 @@ class InjectionProcess(abc.ABC):
         """Earliest cycle ``>= now`` at which this process may inject,
         or ``None`` if no further packets will ever be injected.
 
-        The event kernel uses this to jump over quiescent stretches.
+        The event kernel uses this to jump over quiescent stretches:
+        whenever the network holds no flit at all, it advances ``now``
+        straight to this cycle without executing the cycles in between.
+        The contract is therefore:
+
+        * The returned cycle must be a **lower bound**: ``injections``
+          must return ``[]`` for every cycle in ``[now, returned)``.
+          Returning a cycle later than the true next injection makes
+          the kernel *swallow* injections; returning one earlier is
+          merely slower (the kernel steps idle cycles it could have
+          skipped).
+        * ``None`` is a promise that ``injections`` returns ``[]``
+          forever after — the run may terminate as soon as the network
+          drains.
+        * The method must not mutate state or draw RNG: it may be
+          called on cycles that are subsequently skipped, and is never
+          called under the polling kernel, so any side effect would
+          desynchronize the two (bit-identical) kernels.
+
         The conservative default returns ``now`` ("an injection may
-        happen immediately"), which keeps custom processes correct by
-        disabling idle-skipping for them.
+        happen immediately"), which keeps custom subclasses *correct*
+        but **silently disables idle-skipping** for them — at low load
+        the event kernel then executes every quiescent cycle one by
+        one.  Subclasses that know their schedule (calendar-based
+        processes like :class:`BernoulliInjection`, or workload sources
+        with reply calendars) should override it;
+        ``tests/test_workloads.py`` pins both behaviors.
         """
         return now
 

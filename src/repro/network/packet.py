@@ -27,6 +27,7 @@ class Packet:
         "dst_router",
         "size",
         "time_created",
+        "msg_class",
         "time_injected",
         "time_ejected",
         "labeled",
@@ -45,6 +46,7 @@ class Packet:
         dst_router: int,
         size: int,
         time_created: int,
+        msg_class: int = 0,
     ) -> None:
         self.pid = pid
         self.src = src
@@ -52,6 +54,10 @@ class Packet:
         self.dst_router = dst_router
         self.size = size
         self.time_created = time_created
+        # Message class (workload plane): selects the VC partition the
+        # packet rides on inter-router channels.  0 for all legacy
+        # open-loop traffic.
+        self.msg_class = msg_class
         self.time_injected: Optional[int] = None
         self.time_ejected: Optional[int] = None
         self.labeled = False

@@ -69,6 +69,7 @@ class RouterEngine:
         "_channel_latency",
         "_period",
         "_fault_state",
+        "_base_vcs",
     )
 
     def __init__(self, sim: "Simulator", router_id: int) -> None:
@@ -123,6 +124,10 @@ class RouterEngine:
         self._channel_latency = cfg.channel_latency
         self._period = cfg.channel_period
         self._fault_state = sim.fault_state
+        # VCs per message class: routing algorithms pick a vc within
+        # their own count, and a packet's msg_class shifts it into that
+        # class's disjoint VC partition on inter-router channels.
+        self._base_vcs = sim.algorithm.num_vcs
 
     def add_channel_input(self, channel_index: int, num_vcs: int, depth: int) -> int:
         port = len(self.in_ports)
@@ -247,6 +252,13 @@ class RouterEngine:
             packet = head.packet
             port, vc = algorithm.route(self, packet)
             out = self.out_ports[port]
+            if packet.msg_class and out.kind == CHANNEL_PORT:
+                # Message-class VC partitioning: the algorithm's choice
+                # lands in the packet's own class partition.  Ejection
+                # ports are exempt (the sink always drains, so classes
+                # cannot deadlock through it — and the fused kernel's
+                # inline ejection assumes vc 0).
+                vc += packet.msg_class * self._base_vcs
             if not 0 <= vc < out.num_vcs:
                 raise AssertionError(
                     f"{algorithm.name} chose vc {vc} outside 0..{out.num_vcs - 1}"
@@ -344,6 +356,10 @@ class RouterEngine:
                     else:
                         port, vc = route(self, packet)
                         out = out_ports[port]
+                        if packet.msg_class and out.kind == CHANNEL_PORT:
+                            # Shift into the class's VC partition
+                            # (mirrors routing_phase; ejection exempt).
+                            vc += packet.msg_class * self._base_vcs
                         if not 0 <= vc < out.num_vcs:
                             raise AssertionError(
                                 f"{algorithm.name} chose vc {vc} outside "

@@ -59,6 +59,7 @@ from .stats import (
     MeasurementWindow,
     OpenLoopResult,
 )
+from .workload import UnsupportedWorkloadError, Workload
 
 #: Environment variable selecting the simulation kernel.
 KERNEL_ENV = "REPRO_KERNEL"
@@ -82,12 +83,44 @@ def resolve_kernel(kernel: Optional[str] = None) -> str:
     return kernel
 
 
+class _NullInjection(InjectionProcess):
+    """An injection process that never fires.
+
+    Workload runs create their packets in ``_enqueue_messages`` before
+    each step; the kernels' inject phase still runs to advance source
+    queues into the injection buffers, driven by this process so its
+    creation half is a no-op.
+    """
+
+    def start(self, num_terminals: int, packet_size: int, rng) -> None:
+        pass
+
+    def injections(self, now: int):
+        return []
+
+    def exhausted(self) -> bool:
+        return True
+
+    def next_injection_cycle(self, now: int) -> Optional[int]:
+        return None
+
+
+_NULL_PROCESS = _NullInjection()
+
+
 class Simulator:
     """A single simulation instance.
 
-    Build one per (topology, routing algorithm, traffic pattern,
+    Build one per (topology, routing algorithm, traffic source,
     config) combination; run methods may be invoked once per instance
     (construct a fresh simulator for each measurement point).
+
+    The traffic source is either a classic
+    :class:`~repro.traffic.patterns.TrafficPattern` (driven by the
+    open-loop run methods) or a
+    :class:`~repro.network.workload.Workload` — passed in the same
+    positional slot, or described by ``config.workload`` (in which
+    case pass ``None``) — driven by :meth:`run_workload`.
 
     Args:
         kernel: ``"event"`` or ``"polling"``; ``None`` (default) reads
@@ -101,15 +134,44 @@ class Simulator:
         self,
         topology: Topology,
         algorithm: RoutingAlgorithm,
-        pattern: TrafficPattern,
+        pattern: Optional[TrafficPattern],
         config: Optional[SimulationConfig] = None,
         kernel: Optional[str] = None,
         profile: Optional[bool] = None,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
-        self.pattern = pattern
         self.config = config or SimulationConfig()
+        # Resolve the traffic source: a Workload may ride the pattern
+        # argument, or a WorkloadSpec may come in through the config.
+        workload = None
+        if isinstance(pattern, Workload):
+            workload = pattern
+            pattern = None
+        spec = self.config.workload
+        if spec is not None:
+            if workload is not None or pattern is not None:
+                raise ValueError(
+                    "pass the traffic source either as the pattern/workload "
+                    "argument or via config.workload, not both"
+                )
+            workload = spec.build()
+        if pattern is None and workload is None:
+            raise ValueError(
+                "a traffic source is required: pass a TrafficPattern or a "
+                "Workload (or set config.workload)"
+            )
+        self.pattern = pattern
+        self.workload = workload
+        self._num_vc_classes = 1 if workload is None else workload.num_classes
+        if self._num_vc_classes < 1:
+            raise ValueError(
+                f"workload {workload.name!r} declares num_classes="
+                f"{self._num_vc_classes}; must be >= 1"
+            )
+        # Delivery hook resolved at run time (run_workload): non-None
+        # only when the workload overrides Workload.on_delivered.
+        self._on_delivered = None
         self.allocator = make_allocator(algorithm.sequential)
         self.kernel = resolve_kernel(kernel)
         self._event_driven = self.kernel == "event"
@@ -125,7 +187,8 @@ class Simulator:
             self.route_rng = random.Random(derive_seed(seed, "route"))
             self.injection_rng = random.Random(derive_seed(seed, "injection"))
 
-        self.pattern.bind(topology)
+        if self.pattern is not None:
+            self.pattern.bind(topology)
 
         # Fault injection: sample the configured fault model against
         # the topology before the algorithm attaches (fault-aware
@@ -206,7 +269,12 @@ class Simulator:
     def _build(self) -> None:
         topo = self.topology
         cfg = self.config
-        num_vcs = self.algorithm.num_vcs
+        # Message-class VC partitioning: each class gets its own full
+        # copy of the algorithm's VC set on every channel, so request
+        # and reply traffic can never block each other's buffers
+        # (protocol deadlock freedom).  Single-class sources (all
+        # legacy traffic) multiply by 1 and build identical networks.
+        num_vcs = self.algorithm.num_vcs * self._num_vc_classes
         vc_depth = cfg.vc_depth(num_vcs)
 
         self.engines: List[RouterEngine] = [
@@ -313,6 +381,8 @@ class Simulator:
         window = self._window
         if window is not None and window.start <= now < window.end:
             window.ejected_flits += 1
+            if window.class_ejected is not None:
+                window.class_ejected[flit.packet.msg_class] += 1
         if flit.is_tail:
             packet = flit.packet
             packet.time_ejected = now
@@ -323,6 +393,16 @@ class Simulator:
                 window.latencies.append(now - packet.time_created)
                 window.network_latencies.append(now - packet.time_injected)
                 window.hops.append(packet.hops)
+                if window.class_latencies is not None:
+                    window.class_latencies[packet.msg_class].append(
+                        now - packet.time_created
+                    )
+                    window.class_network_latencies[packet.msg_class].append(
+                        now - packet.time_injected
+                    )
+            hook = self._on_delivered
+            if hook is not None:
+                hook(packet, now)
         # The flit is dead: nothing downstream of ejection holds a
         # reference, so recycle it.  The stale ``packet`` reference is
         # left in place (overwritten on reuse) so observers wrapping
@@ -635,6 +715,64 @@ class Simulator:
         if done is not None:
             for terminal in done:
                 del active_sources[terminal]
+
+    def _enqueue_messages(self, workload: Workload, now: int) -> None:
+        """Create the packets for ``workload``'s cycle-``now`` messages
+        and append them to their source queues.
+
+        The workload-run analogue of the creation half of
+        :meth:`_inject` / :meth:`_inject_event`, shared by both exact
+        kernels: identical packet numbering, labeling, fault handling
+        and source-activation transitions, with the destination chosen
+        by the workload instead of a pattern (``SyntheticWorkload``
+        reproduces the legacy pattern draws bit-for-bit).
+        """
+        msgs = workload.messages(now)
+        if not msgs:
+            return
+        sources = self._sources
+        active_sources = self._active_sources
+        window = self._window
+        algorithm = self.algorithm
+        check_faults = self.fault_state is not None
+        ejection_router = self.topology.ejection_router
+        default_size = self.config.packet_size
+        on_created = self._on_created
+        labeling = window is not None and window.start <= now < window.end
+        pid = self.packets_created
+        pid0 = pid
+        for msg in msgs:
+            src = msg.src
+            if check_faults and not algorithm.deliverable(src, msg.dst):
+                self.packets_undeliverable += 1
+                continue
+            size = msg.size
+            packet = Packet(
+                pid,
+                src,
+                msg.dst,
+                ejection_router(msg.dst),
+                default_size if size is None else size,
+                now,
+                msg.msg_class,
+            )
+            pid += 1
+            if labeling:
+                packet.labeled = True
+                window.labeled_outstanding += 1
+                window.labeled_total += 1
+            if on_created is not None:
+                on_created(packet)
+            queue = sources[src]
+            if not queue:
+                # Empty -> non-empty: activate the terminal.  A stalled
+                # terminal always has a non-empty queue, so this can
+                # never double-book a terminal as active and stalled.
+                active_sources[src] = None
+            queue.append(packet)
+        if pid != pid0:
+            self.packets_created = pid
+            self.in_flight += pid - pid0
 
     def step(self, process: InjectionProcess) -> None:
         """Advance the network by one cycle."""
@@ -994,6 +1132,7 @@ class Simulator:
                 it the run is reported as saturated.  Must exceed
                 ``warmup + measure`` or labeling could never complete.
         """
+        self._require_pattern("run_open_loop")
         end = warmup + measure
         if drain_max <= end:
             raise ValueError(
@@ -1053,9 +1192,150 @@ class Simulator:
             kernel=stats,
         )
 
+    def _require_pattern(self, method: str) -> None:
+        if self.pattern is None:
+            raise ValueError(
+                f"{method}() drives a TrafficPattern, but this simulator "
+                f"was built with the workload {self.workload.name!r}; use "
+                f"run_workload() instead"
+            )
+
+    def run_workload(
+        self,
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ) -> OpenLoopResult:
+        """Drive this simulator's :class:`~repro.network.workload.Workload`
+        through the measurement methodology of :meth:`run_open_loop`:
+        warm up, label the packets created during the measurement
+        window, and drain.
+
+        Two behaviors extend the open-loop contract:
+
+        * **Closed loops.**  If the workload overrides ``on_delivered``
+          it receives a callback for every delivered packet and may
+          schedule dependent messages (request→reply).  Idle-skipping
+          stays exact because a quiescent network implies no
+          outstanding delivery, so ``next_message_cycle`` bounds all
+          future messages.
+        * **Finite workloads** (trace replay, bounded request counts)
+          may end the run before the window closes: the run stops as
+          soon as the workload is exhausted and the network drained.
+
+        For workloads with ``num_classes > 1`` the result carries
+        per-message-class latency/throughput in ``per_class``.
+
+        Under ``kernel="batch"`` only workloads reducible to the
+        open-loop Bernoulli×pattern form run (via their
+        ``batch_delegate``); closed-loop and trace sources raise
+        :class:`~repro.network.workload.UnsupportedWorkloadError`.
+        """
+        wl = self.workload
+        if wl is None:
+            raise ValueError(
+                "this simulator was built with a TrafficPattern; "
+                "run_workload() needs a Workload (pass one in place of the "
+                "pattern, or set config.workload)"
+            )
+        end = warmup + measure
+        if drain_max <= end:
+            raise ValueError(
+                f"drain_max={drain_max} must exceed warmup+measure={end}: the "
+                f"run would be cut off before the measurement window ends and "
+                f"its labeled packets could never all be observed draining"
+            )
+        if self.kernel == "batch":
+            delegate = wl.batch_delegate()
+            if delegate is None:
+                raise UnsupportedWorkloadError(
+                    f"kernel='batch' cannot run the workload {wl.name!r}: "
+                    f"the vectorized backend implements only open-loop "
+                    f"Bernoulli traffic over a compiled pattern "
+                    f"(closed-loop and trace-driven sources need the exact "
+                    f"kernels' delivery hooks and per-cycle timing); use "
+                    f"kernel='event' or kernel='polling'"
+                )
+            load, pattern = delegate
+            self._consume()
+            from .batch import BatchBackend
+
+            backend = BatchBackend(
+                self.topology, self.algorithm, pattern, self.config
+            )
+            return backend.run_open_loop(
+                load, (self.config.seed,), warmup=warmup, measure=measure,
+                drain_max=drain_max,
+            ).results[0]
+        self._consume()
+        started = time.perf_counter()
+        wl.start(
+            self.topology,
+            self.config.packet_size,
+            self.traffic_rng,
+            self.injection_rng,
+        )
+        # Resolve the delivery hook only for workloads that override
+        # the base no-op, so open-loop workloads pay nothing per tail.
+        if type(wl).on_delivered is not Workload.on_delivered:
+            self._on_delivered = wl.on_delivered
+        window = MeasurementWindow(warmup, end, num_classes=wl.num_classes)
+        self._window = window
+        saturated = False
+        skip_ok = self._skip_ok()
+        step = self._select_step()
+        process = _NULL_PROCESS
+        while True:
+            self._enqueue_messages(wl, self.now)
+            step(process)
+            if self.now >= end and window.drained():
+                break
+            if self.in_flight == 0 and wl.exhausted():
+                # Finite workload fully delivered before the window
+                # closed (every labeled packet is out: drained()).
+                break
+            if self.now >= drain_max:
+                saturated = not window.drained()
+                break
+            if skip_ok and self.in_flight == 0 and not self._active_sources:
+                # Quiescent network: with nothing in flight there is no
+                # pending delivery, so no on_delivered callback can
+                # schedule anything the workload's own calendars don't
+                # already know about — next_message_cycle bounds every
+                # future message even for closed loops.
+                nxt = wl.next_message_cycle(self.now)
+                bound = end if self.now < end else drain_max
+                target = bound if nxt is None else min(nxt, bound)
+                if target > self.now:
+                    self._skip_idle_to(target)
+                    if self.now >= end and window.drained():
+                        break
+                    if self.now >= drain_max:
+                        saturated = not window.drained()
+                        break
+        stats = self._finish_stats(started)
+        num_terminals = self.topology.num_terminals
+        return OpenLoopResult(
+            offered_load=wl.offered_load,
+            accepted_throughput=window.throughput(num_terminals),
+            latency=LatencySummary.from_samples(window.latencies),
+            network_latency=LatencySummary.from_samples(window.network_latencies),
+            saturated=saturated,
+            cycles=self.now,
+            packets_labeled=window.labeled_total,
+            packets_delivered=self.packets_delivered,
+            mean_hops=(
+                sum(window.hops) / len(window.hops) if window.hops else float("nan")
+            ),
+            packets_undeliverable=self.packets_undeliverable,
+            kernel=stats,
+            per_class=window.per_class_stats(num_terminals),
+        )
+
     def run_batch(self, batch_size: int, max_cycles: int = 1_000_000) -> BatchResult:
         """Deliver a batch of ``batch_size`` packets per terminal and
         report the completion time (Figure 5)."""
+        self._require_pattern("run_batch")
         if self.kernel == "batch":
             raise NotImplementedError(
                 "kernel='batch' does not implement the dynamic-response "
@@ -1090,6 +1370,7 @@ class Simulator:
     ) -> float:
         """Accepted throughput at an offered load of 1.0 — the
         throughput plateau of the latency-load curves."""
+        self._require_pattern("measure_saturation_throughput")
         if self.kernel == "batch":
             return self.measure_saturation_throughput_batch(
                 seeds=(self.config.seed,), warmup=warmup, measure=measure
@@ -1112,6 +1393,7 @@ class Simulator:
     # Batched runs (kernel="batch")
     # ------------------------------------------------------------------
     def _batch_backend(self):
+        self._require_pattern("run_open_loop_batch")
         if self.kernel != "batch":
             raise ValueError(
                 f"batched runs require kernel='batch', this simulator was "

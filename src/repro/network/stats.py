@@ -115,6 +115,22 @@ class KernelStats:
 
 
 @dataclass
+class ClassStats:
+    """Per-message-class slice of one measurement window.
+
+    Produced by workload runs whose source emits more than one message
+    class (e.g. request/reply); ``throughput`` is accepted flits of
+    this class per terminal per cycle over the window.
+    """
+
+    msg_class: int
+    latency: LatencySummary
+    network_latency: LatencySummary
+    throughput: float
+    packets: int
+
+
+@dataclass
 class OpenLoopResult:
     """Result of one open-loop (Bernoulli) simulation."""
 
@@ -129,6 +145,9 @@ class OpenLoopResult:
     mean_hops: float
     packets_undeliverable: int = 0
     kernel: Optional[KernelStats] = field(default=None, compare=False, repr=False)
+    # Per-message-class statistics, present only for workload runs with
+    # num_classes > 1 (a tuple of ClassStats indexed by msg_class).
+    per_class: Optional[tuple] = None
 
     @property
     def avg_latency(self) -> float:
@@ -156,7 +175,7 @@ class BatchResult:
 class MeasurementWindow:
     """Tracks labeling and throughput accounting for one run."""
 
-    def __init__(self, start: int, end: int) -> None:
+    def __init__(self, start: int, end: int, num_classes: int = 1) -> None:
         if end <= start:
             raise ValueError(f"empty measurement window [{start}, {end})")
         self.start = start
@@ -167,6 +186,21 @@ class MeasurementWindow:
         self.latencies: List[int] = []
         self.network_latencies: List[int] = []
         self.hops: List[int] = []
+        # Per-message-class accounting, allocated only for multi-class
+        # workload runs so the single-class hot path stays unchanged.
+        self.num_classes = num_classes
+        if num_classes > 1:
+            self.class_latencies: Optional[List[List[int]]] = [
+                [] for _ in range(num_classes)
+            ]
+            self.class_network_latencies: Optional[List[List[int]]] = [
+                [] for _ in range(num_classes)
+            ]
+            self.class_ejected: Optional[List[int]] = [0] * num_classes
+        else:
+            self.class_latencies = None
+            self.class_network_latencies = None
+            self.class_ejected = None
 
     def in_window(self, now: int) -> bool:
         return self.start <= now < self.end
@@ -187,6 +221,13 @@ class MeasurementWindow:
             self.latencies.append(packet.total_latency)
             self.network_latencies.append(packet.network_latency)
             self.hops.append(packet.hops)
+            if self.class_latencies is not None:
+                self.class_latencies[packet.msg_class].append(
+                    packet.total_latency
+                )
+                self.class_network_latencies[packet.msg_class].append(
+                    packet.network_latency
+                )
 
     def drained(self) -> bool:
         return self.labeled_outstanding == 0
@@ -194,3 +235,22 @@ class MeasurementWindow:
     def throughput(self, num_terminals: int) -> float:
         """Accepted flits per terminal per cycle during the window."""
         return self.ejected_flits / ((self.end - self.start) * num_terminals)
+
+    def per_class_stats(self, num_terminals: int) -> Optional[tuple]:
+        """Per-class :class:`ClassStats`, or ``None`` for single-class
+        windows."""
+        if self.class_latencies is None:
+            return None
+        span = (self.end - self.start) * num_terminals
+        return tuple(
+            ClassStats(
+                msg_class=cls,
+                latency=LatencySummary.from_samples(self.class_latencies[cls]),
+                network_latency=LatencySummary.from_samples(
+                    self.class_network_latencies[cls]
+                ),
+                throughput=self.class_ejected[cls] / span,
+                packets=len(self.class_latencies[cls]),
+            )
+            for cls in range(self.num_classes)
+        )

@@ -30,6 +30,7 @@ from .jobs import (
     OpenLoopJob,
     SaturationJob,
     SimSpec,
+    WorkloadJob,
     build_counters,
     clear_warm_cache,
     execute_chunk,
@@ -55,6 +56,7 @@ __all__ = [
     "SimSpec",
     "SweepReport",
     "SweepRunner",
+    "WorkloadJob",
     "build_counters",
     "clear_warm_cache",
     "describe",

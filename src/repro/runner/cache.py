@@ -43,7 +43,12 @@ from typing import Iterator, Optional, Tuple
 #: now carry an explicit ``kernel`` kwarg; bumping keeps any entry
 #: cached before the kernel kwarg existed from being replayed for a
 #: spec that now means a different backend.
-CACHE_VERSION = "repro-results-v6"
+#: v7: the unified workload plane: ``SimulationConfig`` grew the
+#: ``workload`` field (expanded into every job description),
+#: ``OpenLoopResult`` grew ``per_class``, and workload-driven points
+#: use the new ``WorkloadJob``; entries cached by v6 binaries lack the
+#: fields and must not be replayed.
+CACHE_VERSION = "repro-results-v7"
 
 #: Sidecar file (inside the cache directory) accumulating hit/miss
 #: counters across runs.  The name deliberately does not end in

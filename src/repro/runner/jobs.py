@@ -251,6 +251,21 @@ class OpenLoopJob:
 
 
 @dataclass(frozen=True)
+class WorkloadJob:
+    """One workload-driven measurement (``Simulator.run_workload``).
+
+    The workload itself travels inside the spec — as a
+    :class:`~repro.network.workload.WorkloadSpec` in the simulator
+    config (or a factory building the Workload) — so the job's cache
+    key covers the full traffic description."""
+
+    spec: SimSpec
+    warmup: int
+    measure: int
+    drain_max: int
+
+
+@dataclass(frozen=True)
 class SaturationJob:
     """One accepted-throughput measurement at offered load 1.0."""
 
@@ -320,6 +335,10 @@ def execute_job(job):
         return job.spec.build().run_open_loop(
             job.load, warmup=job.warmup, measure=job.measure,
             drain_max=job.drain_max,
+        )
+    if isinstance(job, WorkloadJob):
+        return job.spec.build().run_workload(
+            warmup=job.warmup, measure=job.measure, drain_max=job.drain_max
         )
     if isinstance(job, SaturationJob):
         return job.spec.build().measure_saturation_throughput(

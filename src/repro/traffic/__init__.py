@@ -1,5 +1,7 @@
-"""Synthetic traffic patterns (Section 3.2)."""
+"""Synthetic traffic patterns (Section 3.2), datacenter workloads, and
+trace-driven sources."""
 
+from .datacenter import HotSpotSkew, Incast, PermutationChurn
 from .patterns import (
     BitComplement,
     BitReverse,
@@ -13,17 +15,34 @@ from .patterns import (
     adversarial,
     tornado_for,
 )
+from .tracefile import (
+    TraceFormatError,
+    TraceRecord,
+    TraceReplay,
+    generate_coherence_trace,
+    load_trace,
+    write_trace,
+)
 
 __all__ = [
     "BitComplement",
     "BitReverse",
     "GroupShift",
     "HotSpot",
+    "HotSpotSkew",
+    "Incast",
+    "PermutationChurn",
     "RandomPermutation",
     "Shuffle",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceReplay",
     "TrafficPattern",
     "Transpose",
     "UniformRandom",
     "adversarial",
+    "generate_coherence_trace",
+    "load_trace",
     "tornado_for",
+    "write_trace",
 ]

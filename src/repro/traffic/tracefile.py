@@ -1,0 +1,295 @@
+"""Trace-driven workloads: a simple on-disk trace format, a replay
+source, and a coherence-style trace generator.
+
+Trace format
+------------
+
+A trace is a sequence of timed messages.  Two encodings are accepted,
+auto-detected per file (the first non-blank, non-comment line decides):
+
+* **Text** (whitespace-separated columns)::
+
+      # cycle src dst [size] [class]
+      0 3 12
+      0 7 1 4
+      5 12 3 1 1
+
+  ``size`` defaults to the simulation's ``packet_size`` and ``class``
+  to 0.  Blank lines and ``#`` comments are ignored.
+
+* **JSONL** — one JSON object per line with keys ``cycle``, ``src``,
+  ``dst`` and optional ``size``, ``class``::
+
+      {"cycle": 0, "src": 3, "dst": 12}
+      {"cycle": 5, "src": 12, "dst": 3, "size": 1, "class": 1}
+
+Cycles must be non-decreasing from line to line.  Malformed lines
+raise :class:`TraceFormatError` carrying the file path and 1-based
+line number.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import List, NamedTuple, Optional
+
+from ..network.config import derive_seed
+from ..network.workload import Message, Workload, register_workload
+
+
+class TraceFormatError(ValueError):
+    """A trace file violated the format; pinpoints the offending line.
+
+    Attributes:
+        path: the trace file.
+        line: 1-based line number (0 for file-level problems).
+    """
+
+    def __init__(self, path: str, line: int, reason: str) -> None:
+        self.path = path
+        self.line = line
+        where = f"{path}:{line}" if line else str(path)
+        super().__init__(f"{where}: {reason}")
+
+
+class TraceRecord(NamedTuple):
+    """One timed message of a trace."""
+
+    cycle: int
+    src: int
+    dst: int
+    size: Optional[int] = None
+    msg_class: int = 0
+
+
+def _parse_text_line(path: str, lineno: int, line: str) -> TraceRecord:
+    fields = line.split()
+    if not 3 <= len(fields) <= 5:
+        raise TraceFormatError(
+            path, lineno,
+            f"expected 'cycle src dst [size] [class]' (3-5 columns), "
+            f"got {len(fields)} columns",
+        )
+    try:
+        values = [int(f) for f in fields]
+    except ValueError as exc:
+        raise TraceFormatError(path, lineno, f"non-integer column: {exc}")
+    cycle, src, dst = values[:3]
+    size = values[3] if len(values) >= 4 else None
+    msg_class = values[4] if len(values) == 5 else 0
+    return TraceRecord(cycle, src, dst, size, msg_class)
+
+
+def _parse_jsonl_line(path: str, lineno: int, line: str) -> TraceRecord:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(path, lineno, f"invalid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise TraceFormatError(
+            path, lineno, f"expected a JSON object, got {type(obj).__name__}"
+        )
+    unknown = set(obj) - {"cycle", "src", "dst", "size", "class"}
+    if unknown:
+        raise TraceFormatError(
+            path, lineno, f"unknown keys: {', '.join(sorted(unknown))}"
+        )
+    try:
+        cycle = obj["cycle"]
+        src = obj["src"]
+        dst = obj["dst"]
+    except KeyError as exc:
+        raise TraceFormatError(path, lineno, f"missing key {exc.args[0]!r}")
+    size = obj.get("size")
+    msg_class = obj.get("class", 0)
+    for name, value in (
+        ("cycle", cycle), ("src", src), ("dst", dst), ("class", msg_class),
+    ):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TraceFormatError(
+                path, lineno, f"{name!r} must be an integer, got {value!r}"
+            )
+    if size is not None and (not isinstance(size, int) or isinstance(size, bool)):
+        raise TraceFormatError(
+            path, lineno, f"'size' must be an integer, got {size!r}"
+        )
+    return TraceRecord(cycle, src, dst, size, msg_class)
+
+
+def _validate(path: str, lineno: int, record: TraceRecord, prev_cycle: int) -> None:
+    if record.cycle < 0:
+        raise TraceFormatError(path, lineno, f"negative cycle {record.cycle}")
+    if record.cycle < prev_cycle:
+        raise TraceFormatError(
+            path, lineno,
+            f"cycle {record.cycle} goes backwards (previous line was "
+            f"cycle {prev_cycle}); traces must be sorted by cycle",
+        )
+    if record.src < 0 or record.dst < 0:
+        raise TraceFormatError(
+            path, lineno, f"negative terminal id ({record.src} -> {record.dst})"
+        )
+    if record.size is not None and record.size < 1:
+        raise TraceFormatError(path, lineno, f"size must be >= 1, got {record.size}")
+    if record.msg_class < 0:
+        raise TraceFormatError(
+            path, lineno, f"negative message class {record.msg_class}"
+        )
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Parse a trace file (text or JSONL, auto-detected); raises
+    :class:`TraceFormatError` with the offending line number on any
+    malformed input."""
+    records: List[TraceRecord] = []
+    parse = None
+    prev_cycle = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if parse is None:
+                parse = (
+                    _parse_jsonl_line if line.startswith("{") else _parse_text_line
+                )
+            record = parse(path, lineno, line)
+            _validate(path, lineno, record, prev_cycle)
+            prev_cycle = record.cycle
+            records.append(record)
+    return records
+
+
+def write_trace(path: str, records, format: str = "text") -> None:
+    """Write ``records`` (an iterable of :class:`TraceRecord` or
+    equivalent tuples) as a trace file in the given ``format``."""
+    if format not in ("text", "jsonl"):
+        raise ValueError(f"format must be 'text' or 'jsonl', got {format!r}")
+    with open(path, "w", encoding="utf-8") as handle:
+        if format == "text":
+            handle.write("# cycle src dst [size] [class]\n")
+        for record in records:
+            record = TraceRecord(*record)
+            if format == "text":
+                fields = [record.cycle, record.src, record.dst]
+                if record.size is not None or record.msg_class:
+                    fields.append(1 if record.size is None else record.size)
+                if record.msg_class:
+                    fields.append(record.msg_class)
+                handle.write(" ".join(str(f) for f in fields) + "\n")
+            else:
+                obj = {
+                    "cycle": record.cycle,
+                    "src": record.src,
+                    "dst": record.dst,
+                }
+                if record.size is not None:
+                    obj["size"] = record.size
+                if record.msg_class:
+                    obj["class"] = record.msg_class
+                handle.write(json.dumps(obj) + "\n")
+
+
+@register_workload("trace_replay")
+class TraceReplay(Workload):
+    """Replay a trace file: each record becomes a message entering its
+    source queue at the recorded cycle.
+
+    The trace is loaded eagerly at construction (format errors surface
+    immediately, with line numbers); terminal ids are validated against
+    the topology at :meth:`start`.  A finite workload: the run ends
+    once the last record is delivered.
+    """
+
+    closed_loop = False
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.name = f"trace({path})"
+        self._records = load_trace(path)
+        self.num_classes = (
+            max((r.msg_class for r in self._records), default=0) + 1
+        )
+
+    def start(self, topology, packet_size, traffic_rng, injection_rng) -> None:
+        n = topology.num_terminals
+        for i, record in enumerate(self._records):
+            if record.src >= n or record.dst >= n:
+                raise TraceFormatError(
+                    self.path, 0,
+                    f"record {i} ({record.src} -> {record.dst} at cycle "
+                    f"{record.cycle}) references a terminal outside this "
+                    f"topology's 0..{n - 1}",
+                )
+        self._cursor = 0
+
+    def messages(self, now: int) -> List[Message]:
+        records = self._records
+        cursor = self._cursor
+        if cursor >= len(records) or records[cursor].cycle > now:
+            return []
+        out = []
+        while cursor < len(records) and records[cursor].cycle <= now:
+            record = records[cursor]
+            out.append(Message(record.src, record.dst, record.msg_class, record.size))
+            cursor += 1
+        self._cursor = cursor
+        return out
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._records)
+
+    def next_message_cycle(self, now: int) -> Optional[int]:
+        if self._cursor >= len(self._records):
+            return None
+        return max(now, self._records[self._cursor].cycle)
+
+
+def generate_coherence_trace(
+    num_terminals: int,
+    requests: int,
+    seed: int = 1,
+    request_rate: float = 0.1,
+    service_delay: int = 8,
+    request_size: int = 1,
+    reply_size: int = 1,
+) -> List[TraceRecord]:
+    """A coherence-style request/reply trace: ``requests`` requests
+    (class 0) at Bernoulli-like arrival times, each followed by its
+    reply (class 1) from the destination back to the source
+    ``service_delay`` cycles after the request *enters the network* —
+    a static stand-in for true closed-loop behavior (for the real
+    feedback loop use :class:`repro.network.workload.RequestReply`).
+
+    Deterministic in ``(seed, parameters)`` via a private RNG; the
+    records come back sorted by cycle, ready for :func:`write_trace`.
+    """
+    if num_terminals < 2:
+        raise ValueError(f"need at least 2 terminals, got {num_terminals}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not 0.0 < request_rate <= 1.0:
+        raise ValueError(f"request_rate must be in (0, 1], got {request_rate}")
+    if service_delay < 1:
+        raise ValueError(f"service_delay must be >= 1, got {service_delay}")
+    rng = random.Random(derive_seed(seed, "coherence-trace"))
+    records: List[TraceRecord] = []
+    cycle = 0
+    issued = 0
+    while issued < requests:
+        count = sum(1 for _ in range(num_terminals) if rng.random() < request_rate)
+        count = min(count, requests - issued)
+        for _ in range(count):
+            src = rng.randrange(num_terminals)
+            dst = rng.randrange(num_terminals - 1)
+            if dst >= src:
+                dst += 1
+            records.append(TraceRecord(cycle, src, dst, request_size, 0))
+            records.append(
+                TraceRecord(cycle + service_delay, dst, src, reply_size, 1)
+            )
+            issued += 1
+        cycle += 1
+    records.sort(key=lambda r: r.cycle)
+    return records

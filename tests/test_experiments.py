@@ -283,7 +283,7 @@ def test_registry_complete():
         "fig10", "fig11", "fig12", "fig13", "fig15",
         "table02", "table04",
         "ext_torus", "ext_layout", "ext_wire_delay", "ext_patterns",
-        "ext_packet_size", "ext_resilience",
+        "ext_packet_size", "ext_resilience", "ext_datacenter",
     }
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")

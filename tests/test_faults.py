@@ -457,9 +457,11 @@ class TestFaultCacheKeys:
     def test_cache_version_bumped(self):
         # v3 introduced the faults field; v4 (profiling counters in
         # KernelStats), v5 (SimSpec topology sub-spec changed every
-        # job description), and v6 (kernel field in SimSpec kwargs for
-        # batch-kernel jobs) must not replay older entries either.
-        assert CACHE_VERSION == "repro-results-v6"
+        # job description), v6 (kernel field in SimSpec kwargs for
+        # batch-kernel jobs), and v7 (workload field in
+        # SimulationConfig, per_class in OpenLoopResult, WorkloadJob)
+        # must not replay older entries either.
+        assert CACHE_VERSION == "repro-results-v7"
 
     def test_same_fault_model_same_key(self):
         a = self._job(FaultModel(link_failure_fraction=0.05, seed=3))
