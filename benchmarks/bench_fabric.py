@@ -1,0 +1,73 @@
+"""Distributed-fabric benchmarks: dispatch overhead and parity.
+
+Runs the standard load sweep through a localhost coordinator with two
+worker processes and compares against the serial runner.  The
+equivalence assertion doubles as an end-to-end check that fabric
+execution — TCP transport, pickled payloads, lease chunking — is
+byte-invisible in the results at benchmark scale; the timing shows
+what the fabric costs over the in-process pool for jobs this small
+(real campaigns amortize the per-job transport over much longer
+simulations).
+"""
+
+import dataclasses
+import multiprocessing
+import pickle
+
+from conftest import run_once
+
+from repro.core import ClosAD
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.fabric import FabricRunner
+from repro.fabric.worker import run_worker
+from repro.network import SimulationConfig, Simulator
+from repro.runner import OpenLoopJob, ResultCache, SimSpec, SweepRunner
+from repro.traffic import adversarial
+
+
+def _make(k, seed=1):
+    return Simulator(
+        FlattenedButterfly(k, 2), ClosAD(), adversarial(),
+        SimulationConfig(seed=seed),
+    )
+
+
+def _jobs(bench_scale):
+    spec = SimSpec.of(_make, bench_scale.fb_k)
+    return [
+        OpenLoopJob(spec, load, bench_scale.warmup, bench_scale.measure,
+                    bench_scale.drain_max)
+        for load in bench_scale.loads
+    ]
+
+
+def _payload(results):
+    return pickle.dumps(
+        [dataclasses.replace(r, kernel=None) for r in results]
+    )
+
+
+def test_fabric_two_workers(benchmark, bench_scale, tmp_path):
+    """Sweep over the fabric; byte-identical to the serial sweep."""
+    jobs = _jobs(bench_scale)
+    serial = SweepRunner(jobs=1).map(jobs)
+
+    runner = FabricRunner(
+        listen="127.0.0.1:0",
+        cache=ResultCache(str(tmp_path / "cache")),
+        campaign="bench",
+    )
+    context = multiprocessing.get_context("spawn")
+    workers = [
+        context.Process(target=run_worker, args=(runner.address,))
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        fabric = run_once(benchmark, lambda: runner.map(jobs))
+    finally:
+        runner.close()
+        for worker in workers:
+            worker.join(timeout=60)
+    assert _payload(fabric) == _payload(serial)

@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""CI smoke test of the distributed sweep fabric.
+
+Drives the real CLI surface end to end on localhost:
+
+1. start two persistent ``repro fabric worker`` processes;
+2. run CI-scale fig04 over ``--fabric`` with a named campaign, and
+   SIGKILL the coordinator process once a few results are cached —
+   the abrupt-death checkpoint case;
+3. rerun the identical command: it reloads the campaign manifest,
+   serves everything already cached as hits, and finishes only the
+   missing jobs (the persisted cache miss counter proves it);
+4. rerun once more: a pure cache replay, zero new misses;
+5. byte-compare the CSVs of the completed runs against the committed
+   golden tables — fabric execution, worker death, and resume must be
+   byte-invisible in the results.
+
+Run from the repository root::
+
+    python scripts/fabric_smoke.py [--port N] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.runner import ResultCache  # noqa: E402
+
+GOLDEN_DIR = os.path.join(ROOT, "tests", "golden")
+GOLDEN_PREFIX = "fig04_"
+
+
+def log(text: str) -> None:
+    print(f"[fabric-smoke] {text}", flush=True)
+
+
+def experiment_cmd(port: int, cache_dir: str, csv_dir: str) -> list:
+    return [
+        sys.executable, "-m", "repro.experiments", "fig04",
+        "--fabric", f"127.0.0.1:{port}",
+        "--campaign", "fabric-smoke",
+        "--cache-dir", cache_dir,
+        "--csv", csv_dir,
+        "--progress",
+    ]
+
+
+def cache_entries(cache_dir: str) -> int:
+    return ResultCache(cache_dir).stats()["entries"]
+
+
+def persisted_misses(cache_dir: str) -> int:
+    return ResultCache(cache_dir).persisted_counters()["misses"]
+
+
+def compare_with_golden(csv_dir: str) -> int:
+    """Byte-compare every golden fig04 table against the run's CSV."""
+    compared = 0
+    for name in sorted(os.listdir(GOLDEN_DIR)):
+        if not name.startswith(GOLDEN_PREFIX):
+            continue
+        golden_path = os.path.join(GOLDEN_DIR, name)
+        got_path = os.path.join(csv_dir, name)
+        if not os.path.exists(got_path):
+            raise SystemExit(f"missing CSV {name} in {csv_dir}")
+        with open(golden_path, "rb") as handle:
+            golden = handle.read()
+        with open(got_path, "rb") as handle:
+            got = handle.read()
+        if golden != got:
+            raise SystemExit(f"CSV {name} differs from the golden table")
+        compared += 1
+    if not compared:
+        raise SystemExit(f"no golden {GOLDEN_PREFIX}*.csv found")
+    return compared
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--port", type=int, default=17421)
+    parser.add_argument(
+        "--kill-after-entries", type=int, default=2,
+        help="SIGKILL the first run once this many results are cached",
+    )
+    parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the scratch directory for inspection",
+    )
+    args = parser.parse_args()
+
+    scratch = tempfile.mkdtemp(prefix="fabric-smoke-")
+    cache_dir = os.path.join(scratch, "cache")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(ROOT, "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "fabric", "worker",
+             "--connect", f"127.0.0.1:{args.port}",
+             "--persist", "--retry-for", "120",
+             "--name", f"smoke-{index}"],
+            cwd=ROOT, env=env,
+        )
+        for index in range(2)
+    ]
+    log(f"started {len(workers)} persistent workers on port {args.port}")
+
+    status = 1
+    try:
+        # -- run 1: killed mid-campaign --------------------------------
+        csv1 = os.path.join(scratch, "csv-killed")
+        first = subprocess.Popen(
+            experiment_cmd(args.port, cache_dir, csv1), cwd=ROOT, env=env
+        )
+        deadline = time.monotonic() + 300
+        while (cache_entries(cache_dir) < args.kill_after_entries
+               and first.poll() is None):
+            if time.monotonic() > deadline:
+                raise SystemExit("first run produced no results in time")
+            time.sleep(0.05)
+        if first.poll() is None:
+            first.send_signal(signal.SIGKILL)
+            first.wait(timeout=60)
+            log(
+                f"killed coordinator (pid {first.pid}) with "
+                f"{cache_entries(cache_dir)} results cached"
+            )
+        else:
+            # Tiny CI machines can finish before the kill threshold
+            # trips; the resume below then degenerates to a full cache
+            # replay, which is still a valid (weaker) check.
+            log("first run finished before the kill threshold; "
+                "continuing with a replay-only resume check")
+        entries_at_kill = cache_entries(cache_dir)
+        misses_at_kill = persisted_misses(cache_dir)
+        if entries_at_kill == 0:
+            raise SystemExit("nothing was cached before the kill")
+
+        # -- run 2: same command resumes the campaign ------------------
+        csv2 = os.path.join(scratch, "csv-resumed")
+        subprocess.run(
+            experiment_cmd(args.port, cache_dir, csv2),
+            cwd=ROOT, env=env, check=True, timeout=1200,
+        )
+        total = cache_entries(cache_dir)
+        executed = persisted_misses(cache_dir) - misses_at_kill
+        log(
+            f"resume executed {executed} jobs "
+            f"({entries_at_kill} of {total} were already cached)"
+        )
+        if executed > total - entries_at_kill:
+            raise SystemExit(
+                f"resume re-executed cached jobs: {executed} misses for "
+                f"{total - entries_at_kill} missing results"
+            )
+        compared = compare_with_golden(csv2)
+        log(f"resumed run matches {compared} golden CSVs byte-for-byte")
+
+        # -- run 3: pure replay, zero new misses -----------------------
+        csv3 = os.path.join(scratch, "csv-replay")
+        misses_before = persisted_misses(cache_dir)
+        subprocess.run(
+            experiment_cmd(args.port, cache_dir, csv3),
+            cwd=ROOT, env=env, check=True, timeout=600,
+        )
+        replay_misses = persisted_misses(cache_dir) - misses_before
+        if replay_misses:
+            raise SystemExit(
+                f"replay run missed the cache {replay_misses} times"
+            )
+        compare_with_golden(csv3)
+        log("replay run executed nothing and matches the golden CSVs")
+
+        status_out = subprocess.run(
+            [sys.executable, "-m", "repro", "fabric", "list",
+             "--cache-dir", cache_dir],
+            cwd=ROOT, env=env, check=True, capture_output=True, text=True,
+            timeout=120,
+        ).stdout
+        log(f"fabric list:\n{status_out.rstrip()}")
+        status = 0
+        log("OK")
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+        if args.keep:
+            log(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Distributed sweep fabric: a multi-host work queue for simulation
+sweeps with durable checkpoints, lease-based work-stealing, and
+byte-identical resume.
+
+One process runs the :class:`Coordinator` (usually embedded in a
+:class:`FabricRunner`, which speaks the standard sweep-runner map
+contract so every experiment works over the fabric unchanged); any
+number of :class:`FabricWorker` processes — on this host or others —
+pull job chunks over TCP, execute them against the warm per-process
+topology cache, and write results into the shared content-addressed
+:class:`~repro.runner.ResultCache`.
+
+The campaign manifest (:mod:`repro.fabric.manifest`) plus the cache
+*are* the checkpoint: ``repro fabric resume <campaign>`` re-executes
+only jobs whose results are not cached, and the output is
+byte-identical to an uninterrupted run.
+
+Security: the coordinator's TCP listener is unauthenticated and the
+protocol carries pickles — expose it on trusted networks only (see
+``docs/FABRIC.md``).
+"""
+
+from .coordinator import Coordinator
+from .manifest import (
+    Campaign,
+    CampaignError,
+    campaigns_root,
+    default_campaign_name,
+    list_campaigns,
+    resolve_campaign_dir,
+)
+from .protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    connect,
+    format_address,
+    parse_address,
+)
+from .runner import FabricRunner, resume_campaign
+from .worker import FabricWorker, run_worker
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "Coordinator",
+    "DEFAULT_PORT",
+    "FabricRunner",
+    "FabricWorker",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "campaigns_root",
+    "connect",
+    "default_campaign_name",
+    "format_address",
+    "list_campaigns",
+    "parse_address",
+    "resolve_campaign_dir",
+    "resume_campaign",
+    "run_worker",
+]

@@ -1,0 +1,286 @@
+"""``repro fabric`` subcommands.
+
+* ``repro fabric worker --connect host:port`` — join a campaign as a
+  worker; ``--procs N`` starts N worker processes on this host.
+* ``repro fabric resume <campaign>`` — finish an interrupted campaign
+  from its manifest; already-cached jobs execute nothing.
+* ``repro fabric status host:port`` — live snapshot of a running
+  coordinator (progress, leases, per-worker rates).
+* ``repro fabric list`` — campaigns recorded under the cache directory.
+
+The coordinator side of a campaign is started implicitly by the
+experiments CLI (``repro experiments fig04 --fabric :7421``) or
+programmatically via :class:`repro.fabric.FabricRunner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..runner import ResultCache, SweepRunner
+from ..runner.sweep import stderr_progress
+from .manifest import Campaign, CampaignError, list_campaigns, resolve_campaign_dir
+from .protocol import ProtocolError, connect, format_address, parse_address
+from .runner import FabricRunner, resume_campaign
+from .worker import run_worker, stderr_log
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    address = parse_address(args.connect)
+    kwargs = dict(
+        cache_dir=args.cache_dir,
+        poll=args.poll,
+        retry_for=args.retry_for,
+        persist=args.persist,
+        max_jobs=args.max_jobs,
+    )
+    if args.procs < 1:
+        print("--procs must be >= 1", file=sys.stderr)
+        return 2
+    children = []
+    if args.procs > 1:
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        for index in range(1, args.procs):
+            name = f"{args.name}-{index}" if args.name else None
+            child = context.Process(
+                target=run_worker,
+                args=(address,),
+                kwargs=dict(kwargs, name=name),
+                daemon=False,
+            )
+            child.start()
+            children.append(child)
+    name = f"{args.name}-0" if args.name and args.procs > 1 else args.name
+    status = 0
+    try:
+        run_worker(address, name=name, log=stderr_log, **kwargs)
+    except OSError as exc:
+        print(f"[fabric] could not reach coordinator at "
+              f"{format_address(address)}: {exc}", file=sys.stderr)
+        status = 1
+    except ProtocolError as exc:
+        print(f"[fabric] coordinator at {format_address(address)} "
+              f"refused this worker: {exc}", file=sys.stderr)
+        status = 1
+    finally:
+        for child in children:
+            child.join()
+    return status
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    directory = resolve_campaign_dir(args.campaign, args.cache_dir)
+    try:
+        campaign = Campaign.load(directory)
+    except CampaignError as exc:
+        print(f"[fabric] {exc}", file=sys.stderr)
+        return 1
+    cache = ResultCache(
+        args.cache_dir or campaign.meta.get("cache_dir") or None
+    )
+    progress = stderr_progress(campaign.name) if args.progress else None
+    if args.listen is not None:
+        runner = FabricRunner(
+            listen=args.listen,
+            cache=cache,
+            progress=progress,
+            campaign_dir=False,
+            jobs=args.workers,
+        )
+        print(
+            f"[fabric] resuming {campaign.name!r} at "
+            f"{format_address(runner.address)} — workers connect with: "
+            f"repro fabric worker --connect {format_address(runner.address)}",
+            file=sys.stderr,
+        )
+    else:
+        runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    try:
+        summary = resume_campaign(directory, runner, cache=cache)
+    finally:
+        runner.close()
+    print(
+        f"resumed campaign {summary['campaign']!r}: "
+        f"{summary['total']} jobs, {summary['cached']} already cached, "
+        f"{summary['executed']} executed"
+    )
+    if summary["summary"]:
+        print(summary["summary"])
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    address = parse_address(args.address)
+    try:
+        conn = connect(address, timeout=10.0)
+    except OSError as exc:
+        print(f"[fabric] no coordinator at {format_address(address)}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        status = conn.request({"type": "status"})
+    finally:
+        conn.close()
+    if args.json:
+        status.pop("type", None)
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign  : {status.get('campaign') or '(unnamed)'}")
+    print(f"address   : {status.get('address')}")
+    print(f"elapsed   : {status.get('elapsed', 0.0):.1f}s"
+          + ("  (closing)" if status.get("closing") else ""))
+    admitted = status.get("admitted", 0)
+    hits = status.get("cache_hits", 0)
+    print(f"admitted  : {admitted} jobs ({hits} cache hits)")
+    print(
+        f"dispatch  : {status.get('done', 0)}/{status.get('submitted', 0)} "
+        f"done, {status.get('leased', 0)} leased, "
+        f"{status.get('pending', 0)} queued, "
+        f"{status.get('reissues', 0)} leases re-issued"
+    )
+    workers = status.get("workers", [])
+    print(f"workers   : {len(workers)}")
+    for worker in workers:
+        rate = worker.get("rate")
+        rate_text = f"{rate:.2f} jobs/s" if rate else "-"
+        print(
+            f"  {worker.get('name')}  pid={worker.get('pid')}  "
+            f"done={worker.get('jobs_done', 0)}  {rate_text}  "
+            f"seen {worker.get('last_seen_seconds', 0.0):.1f}s ago"
+        )
+    if status.get("report"):
+        print(f"report    : {status['report']}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    cache_dir = ResultCache(args.cache_dir).directory
+    names = list_campaigns(cache_dir)
+    if not names:
+        print(f"no campaigns under {cache_dir}")
+        return 0
+    cache = ResultCache(cache_dir)
+    for name in names:
+        directory = resolve_campaign_dir(name, cache_dir)
+        try:
+            campaign = Campaign.load(directory)
+            total = campaign.total_jobs()
+            left = len(campaign.pending(cache))
+            state = "complete" if campaign.complete else (
+                f"{total - left}/{total} cached")
+            print(f"{name:40s} {total:6d} jobs  {state}")
+        except CampaignError as exc:
+            print(f"{name:40s} (unreadable: {exc})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fabric",
+        description="Distributed sweep fabric: workers, campaign resume, "
+        "and status. The coordinator listens unauthenticated and "
+        "exchanges pickles — trusted networks only.",
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    worker = commands.add_parser(
+        "worker", help="serve a coordinator as a worker process"
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    worker.add_argument(
+        "--procs", type=int, default=1, metavar="N",
+        help="worker processes to run on this host (default 1)",
+    )
+    worker.add_argument("--name", default=None, help="worker display name")
+    worker.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache to write payloads into (default: the "
+        "directory the coordinator announces)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=None, metavar="SECONDS",
+        help="idle poll interval (default: coordinator's suggestion)",
+    )
+    worker.add_argument(
+        "--retry-for", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the initial connection this long (default 30)",
+    )
+    worker.add_argument(
+        "--persist", action="store_true",
+        help="after a campaign finishes, reconnect and wait for the next",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after executing N jobs",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    resume = commands.add_parser(
+        "resume", help="finish an interrupted campaign from its manifest"
+    )
+    resume.add_argument(
+        "campaign",
+        help="campaign name (under the cache's campaigns/ root) or "
+        "manifest directory path",
+    )
+    resume.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache (default: the one recorded in the manifest)",
+    )
+    resume.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="local worker processes when resuming without --listen "
+        "(0 = all CPUs; default: $REPRO_JOBS or 1)",
+    )
+    resume.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="resume over the fabric instead: start a coordinator here "
+        "and wait for `repro fabric worker` processes",
+    )
+    resume.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="expected fabric workers with --listen (default 2)",
+    )
+    resume.add_argument(
+        "--progress", action="store_true",
+        help="print per-job progress to stderr",
+    )
+    resume.set_defaults(func=_cmd_resume)
+
+    status = commands.add_parser(
+        "status", help="snapshot a running coordinator"
+    )
+    status.add_argument("address", metavar="HOST:PORT")
+    status.add_argument(
+        "--json", action="store_true", help="emit the raw status object"
+    )
+    status.set_defaults(func=_cmd_status)
+
+    listing = commands.add_parser(
+        "list", help="list campaigns recorded under the cache directory"
+    )
+    listing.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-flatbfly)",
+    )
+    listing.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,544 @@
+"""The fabric coordinator: a lease-based multi-host work queue.
+
+One :class:`Coordinator` owns the authoritative state of a campaign's
+in-flight portion: a queue of submitted jobs, the leases currently held
+by workers, and the results that have come back.  Workers connect over
+TCP (:mod:`repro.fabric.protocol`), pull chunks, and stream back one
+result message per finished job; the coordinator lands every payload in
+the shared content-addressed :class:`~repro.runner.ResultCache` and
+wakes whoever is waiting on the batch.
+
+**Leases and stealing.**  A chunk is handed out under a lease with an
+adaptive deadline (an EWMA of observed per-job seconds, scaled by
+``steal_factor``, floored at ``min_lease_seconds``; every returned
+result renews it).  When an idle worker asks for work and the queue is
+empty, the coordinator re-issues the incomplete jobs of the most
+overdue expired lease — the multi-host generalization of the sweep
+runner's longest-expected-first dispatch.  The superseded worker is
+told to abandon the remainder of its chunk at its next message; any
+result either worker still delivers is accepted exactly once
+(first-completion-wins, enforced both in coordinator state and by the
+cache's atomic ``overwrite=False`` payload writes).  A worker whose
+connection drops has its leases requeued immediately.
+
+Dispatch order is longest-expected-first using the same
+:class:`~repro.runner.sweep.CostModel` the process-pool runner uses,
+fed by the kernel stats of completed results.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..runner.cache import ResultCache
+from ..runner.sweep import CostModel, SweepReport, _diff_counters
+from .protocol import (
+    PROTOCOL_VERSION,
+    Connection,
+    ProtocolError,
+    decode_bytes,
+    encode_obj,
+    format_address,
+)
+
+
+class _Job:
+    __slots__ = ("id", "job", "key", "batch")
+
+    def __init__(self, id: int, job, key: Optional[str], batch: "Batch"):
+        self.id = id
+        self.job = job
+        self.key = key
+        self.batch = batch
+
+
+class _Lease:
+    __slots__ = ("id", "worker", "job_ids", "total", "issued", "deadline",
+                 "superseded")
+
+    def __init__(self, id: str, worker: str, job_ids: List[int],
+                 issued: float, deadline: float):
+        self.id = id
+        self.worker = worker
+        self.job_ids = job_ids  # not yet completed
+        self.total = len(job_ids)
+        self.issued = issued
+        self.deadline = deadline
+        self.superseded = False
+
+
+class _WorkerInfo:
+    __slots__ = ("name", "pid", "connected", "last_seen", "jobs_done",
+                 "counters")
+
+    def __init__(self, name: str, pid: int):
+        self.name = name
+        self.pid = pid
+        self.connected = time.monotonic()
+        self.last_seen = self.connected
+        self.jobs_done = 0
+        self.counters: Dict[str, int] = {}
+
+
+class Batch:
+    """One ``map`` call's submitted jobs, awaited by the runner.
+
+    The coordinator fills ``results`` (job id -> value) as workers
+    deliver; :meth:`drain` hands newly completed jobs to the waiting
+    thread in completion order so it can fire progress callbacks."""
+
+    def __init__(self, jobs: List[_Job], condition: threading.Condition):
+        self.jobs = jobs
+        self.results: Dict[int, object] = {}
+        self._completed_order: List[int] = []
+        self._drained = 0
+        self._condition = condition
+
+    def done(self) -> bool:
+        return len(self.results) == len(self.jobs)
+
+    def drain(self, timeout: float) -> List[_Job]:
+        """Jobs newly completed since the last drain (blocking up to
+        ``timeout`` when there are none yet)."""
+        with self._condition:
+            if self._drained == len(self._completed_order) and not self.done():
+                self._condition.wait(timeout)
+            fresh = self._completed_order[self._drained:]
+            self._drained = len(self._completed_order)
+        by_id = {job.id: job for job in self.jobs}
+        return [by_id[i] for i in fresh]
+
+
+class Coordinator:
+    """Serves one campaign's jobs to fabric workers over TCP.
+
+    Args:
+        cache: the shared result cache payloads are written into.
+        host/port: listen address (port 0 binds an ephemeral port;
+            read it back from :attr:`address`).
+        campaign: campaign name announced to workers (cosmetic here;
+            the durable manifest is the runner's concern).
+        warm: per-worker topology reuse flag forwarded to workers
+            (``None`` = worker's own ``$REPRO_WARM`` default).
+        chunk: jobs per lease (``None`` = adaptive: split the queue in
+            ~4 waves per connected worker, capped at 8).
+        min_lease_seconds: floor of every lease deadline; stealing can
+            never trigger faster than this.
+        steal_factor: deadline multiplier over the observed per-job
+            EWMA seconds.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        campaign: str = "",
+        warm: Optional[bool] = None,
+        chunk: Optional[int] = None,
+        min_lease_seconds: float = 30.0,
+        steal_factor: float = 4.0,
+        poll_interval: float = 0.5,
+    ) -> None:
+        self.cache = cache
+        self.campaign = campaign
+        self.warm = warm
+        self.chunk = chunk
+        self.min_lease_seconds = min_lease_seconds
+        self.steal_factor = steal_factor
+        self.poll_interval = poll_interval
+        self.report = SweepReport()
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._jobs: Dict[int, _Job] = {}
+        self._queue: List[int] = []
+        self._leases: Dict[str, _Lease] = {}
+        self._batches: List[Batch] = []
+        self._workers: Dict[str, _WorkerInfo] = {}
+        self._worker_totals: Dict[str, Dict[str, int]] = {}
+        self._cost_model = CostModel()
+        self._next_job_id = 0
+        self._next_lease_id = 0
+        self._reissues = 0
+        self._done_count = 0
+        self._admitted = 0
+        self._admitted_hits = 0
+        self._ewma_job_seconds: Optional[float] = None
+        self._started = time.monotonic()
+        self._closing = False
+        self._listen_host = host
+        self._listen_port = port
+        self._server: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and start accepting workers; returns the bound
+        address."""
+        server = socket.create_server(
+            (self._listen_host, self._listen_port), reuse_port=False
+        )
+        server.listen(64)
+        self._server = server
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("coordinator not started")
+        host, port = self._server.getsockname()[:2]
+        return host, port
+
+    def stop(self) -> None:
+        """Stop accepting and tell workers (at their next message) that
+        the campaign is over."""
+        with self._lock:
+            self._closing = True
+            self._condition.notify_all()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Runner-facing API
+    # ------------------------------------------------------------------
+    def submit(self, jobs: List, keys: List[Optional[str]]) -> Batch:
+        """Enqueue one batch of (job, cache key) pairs; returns the
+        :class:`Batch` to wait on."""
+        with self._lock:
+            records = []
+            batch = Batch([], self._condition)
+            for job, key in zip(jobs, keys):
+                record = _Job(self._next_job_id, job, key, batch)
+                self._next_job_id += 1
+                self._jobs[record.id] = record
+                records.append(record)
+            batch.jobs.extend(records)
+            self._batches.append(batch)
+            self._queue.extend(record.id for record in records)
+            return batch
+
+    def note_admitted(self, total: int, hits: int) -> None:
+        """Record cache-hit admission stats (for ``fabric status``)."""
+        with self._lock:
+            self._admitted += total
+            self._admitted_hits += hits
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._queue) + sum(
+                len(lease.job_ids) for lease in self._leases.values()
+                if not lease.superseded
+            )
+
+    # ------------------------------------------------------------------
+    # Accept / connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._server.accept()
+            except OSError:
+                return  # listener closed by stop()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(Connection(sock),),
+                name="fabric-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: Connection) -> None:
+        worker_name: Optional[str] = None
+        try:
+            while True:
+                try:
+                    message = conn.recv()
+                except ProtocolError as exc:
+                    conn.send({"type": "error", "error": str(exc)})
+                    return
+                if message is None:
+                    return  # peer closed
+                reply = self._dispatch(message)
+                if message.get("type") == "hello" and reply.get("type") == "welcome":
+                    worker_name = str(message.get("worker"))
+                conn.send(reply)
+        except OSError:
+            pass  # connection torn down mid-write
+        finally:
+            conn.close()
+            if worker_name is not None:
+                self._worker_disconnected(worker_name)
+
+    def _dispatch(self, message: dict) -> dict:
+        kind = message.get("type")
+        if kind == "hello":
+            return self._on_hello(message)
+        if kind == "request":
+            return self._on_request(message)
+        if kind == "result":
+            return self._on_result(message)
+        if kind == "status":
+            return self._on_status()
+        return {"type": "error", "error": f"unknown message type {kind!r}"}
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _on_hello(self, message: dict) -> dict:
+        if message.get("protocol") != PROTOCOL_VERSION:
+            return {
+                "type": "error",
+                "error": f"protocol version {message.get('protocol')!r} != "
+                f"{PROTOCOL_VERSION}",
+            }
+        if message.get("cache_version") != self.cache.version:
+            return {
+                "type": "error",
+                "error": f"cache version {message.get('cache_version')!r} != "
+                f"{self.cache.version} (mismatched repro builds would "
+                f"compute different job keys)",
+            }
+        name = str(message.get("worker") or f"worker-{message.get('pid')}")
+        with self._lock:
+            self._workers[name] = _WorkerInfo(
+                name, int(message.get("pid") or 0)
+            )
+        return {
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "campaign": self.campaign,
+            "cache_dir": self.cache.directory,
+            "warm": self.warm,
+            "poll": self.poll_interval,
+        }
+
+    def _on_request(self, message: dict) -> dict:
+        worker = str(message.get("worker", ""))
+        with self._lock:
+            info = self._workers.get(worker)
+            if info is not None:
+                info.last_seen = time.monotonic()
+            if self._closing:
+                return {"type": "shutdown"}
+            lease = self._next_lease(worker)
+            if lease is None:
+                # Everything is leased out (or the campaign is between
+                # map batches / drained); workers poll, the runner
+                # decides when the campaign ends.
+                return {"type": "idle", "delay": self.poll_interval}
+            payload = [
+                [job_id, encode_obj(self._jobs[job_id].job)]
+                for job_id in lease.job_ids
+            ]
+            return {"type": "lease", "lease": lease.id, "jobs": payload}
+
+    def _next_lease(self, worker: str) -> Optional[_Lease]:
+        """Pick the next chunk for ``worker`` (caller holds the lock):
+        queued jobs longest-expected-first, else steal the incomplete
+        remainder of the most overdue expired lease."""
+        now = time.monotonic()
+        if self._queue:
+            self._queue.sort(
+                key=lambda i: self._cost_model.expected(self._jobs[i].job),
+                reverse=True,
+            )
+            size = self._chunk_size()
+            chunk, self._queue = self._queue[:size], self._queue[size:]
+            return self._issue(worker, chunk, now)
+        expired = [
+            lease for lease in self._leases.values()
+            if not lease.superseded and lease.worker != worker
+            and now > lease.deadline and lease.job_ids
+        ]
+        if expired:
+            victim = min(expired, key=lambda lease: lease.deadline)
+            victim.superseded = True
+            self._reissues += 1
+            return self._issue(worker, list(victim.job_ids), now)
+        return None
+
+    def _issue(self, worker: str, job_ids: List[int], now: float) -> _Lease:
+        lease = _Lease(
+            f"L{self._next_lease_id}", worker, job_ids, now,
+            now + self._deadline_budget(len(job_ids)),
+        )
+        self._next_lease_id += 1
+        self._leases[lease.id] = lease
+        return lease
+
+    def _chunk_size(self) -> int:
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        workers = max(1, len(self._workers))
+        return max(1, min(8, len(self._queue) // (workers * 4)))
+
+    def _deadline_budget(self, njobs: int) -> float:
+        per_job = self._ewma_job_seconds or 0.0
+        return max(self.min_lease_seconds,
+                   self.steal_factor * per_job * max(1, njobs))
+
+    def _on_result(self, message: dict) -> dict:
+        worker = str(message.get("worker", ""))
+        lease_id = message.get("lease")
+        job_id = message.get("job")
+        with self._lock:
+            info = self._workers.get(worker)
+            if info is not None:
+                info.last_seen = time.monotonic()
+            counters = message.get("counters")
+            if isinstance(counters, dict):
+                self._note_worker_counters(worker, counters)
+            record = self._jobs.get(job_id)
+            if record is None:
+                return {"type": "error", "error": f"unknown job id {job_id!r}"}
+            lease = self._leases.get(lease_id)
+            abandon = lease is None or lease.superseded
+            if record.id in record.batch.results:
+                # First completion already recorded (stolen lease or a
+                # retransmit); the payload on disk is the first
+                # writer's too.
+                self._retire_from_lease(lease, job_id)
+                return {"type": "ack", "duplicate": True, "abandon": abandon}
+            raw = decode_bytes(message["payload"])
+            value = pickle.loads(raw)
+            if record.key is not None:
+                self.cache.put_payload(record.key, raw, overwrite=False)
+            record.batch.results[record.id] = value
+            record.batch._completed_order.append(record.id)
+            self._done_count += 1
+            if info is not None:
+                info.jobs_done += 1
+            self._cost_model.observe(record.job, value)
+            stats = getattr(value, "kernel", None)
+            if stats is not None:
+                self.report.note_kernel(stats)
+            self._observe_lease_progress(lease, job_id)
+            self._condition.notify_all()
+            return {"type": "ack", "duplicate": False, "abandon": abandon}
+
+    def _observe_lease_progress(self, lease: Optional[_Lease],
+                                job_id: int) -> None:
+        if lease is None:
+            return
+        now = time.monotonic()
+        self._retire_from_lease(lease, job_id)
+        remaining = len(lease.job_ids)
+        completed = lease.total - remaining
+        if completed > 0:
+            # EWMA over per-job wall seconds as seen by the coordinator
+            # (includes transport, which is what deadline budgets must
+            # cover).
+            observed = (now - lease.issued) / completed
+            if self._ewma_job_seconds is None:
+                self._ewma_job_seconds = observed
+            else:
+                self._ewma_job_seconds = (
+                    0.7 * self._ewma_job_seconds + 0.3 * observed
+                )
+        if remaining:
+            lease.deadline = now + self._deadline_budget(remaining)
+
+    def _retire_from_lease(self, lease: Optional[_Lease],
+                           job_id: int) -> None:
+        if lease is None:
+            return
+        try:
+            lease.job_ids.remove(job_id)
+        except ValueError:
+            pass
+        if not lease.job_ids:
+            self._leases.pop(lease.id, None)
+
+    def _worker_disconnected(self, name: str) -> None:
+        """Requeue every incomplete job of the dead worker's live
+        leases — the fast path of lease recovery (no deadline wait)."""
+        with self._lock:
+            self._workers.pop(name, None)
+            for lease in list(self._leases.values()):
+                if lease.worker != name or lease.superseded:
+                    continue
+                requeue = [
+                    job_id for job_id in lease.job_ids
+                    if job_id not in self._jobs[job_id].batch.results
+                ]
+                self._queue[:0] = requeue
+                self._leases.pop(lease.id, None)
+            self._condition.notify_all()
+
+    def _note_worker_counters(self, worker: str, counters: Dict) -> None:
+        totals = {
+            key: int(counters.get(key, 0))
+            for key in ("sim_builds", "topology_builds",
+                        "route_table_builds", "warm_topology_hits")
+        }
+        previous = self._worker_totals.get(worker)
+        if previous is None:
+            self.report.workers += 1
+            delta = totals
+        else:
+            delta = _diff_counters(previous, totals)
+        self._worker_totals[worker] = totals
+        self.report.note_builds(delta)
+        info = self._workers.get(worker)
+        if info is not None:
+            info.counters = totals
+
+    def _on_status(self) -> dict:
+        with self._lock:
+            now = time.monotonic()
+            elapsed = now - self._started
+            leased = sum(
+                len(lease.job_ids) for lease in self._leases.values()
+                if not lease.superseded
+            )
+            workers = []
+            for info in self._workers.values():
+                alive_for = max(1e-9, now - info.connected)
+                workers.append({
+                    "name": info.name,
+                    "pid": info.pid,
+                    "jobs_done": info.jobs_done,
+                    "rate": info.jobs_done / alive_for,
+                    "last_seen_seconds": now - info.last_seen,
+                    "counters": dict(info.counters),
+                })
+            return {
+                "type": "status",
+                "campaign": self.campaign,
+                "address": format_address(self.address),
+                "admitted": self._admitted,
+                "cache_hits": self._admitted_hits,
+                "submitted": len(self._jobs),
+                "done": self._done_count,
+                "leased": leased,
+                "pending": len(self._queue),
+                "reissues": self._reissues,
+                "elapsed": elapsed,
+                "closing": self._closing,
+                "workers": workers,
+                "report": self.report.summary(),
+            }

@@ -1,0 +1,239 @@
+"""Durable campaign manifests: the checkpoint half of checkpoint/resume.
+
+A **campaign** is every job one fabric run was asked to execute.  The
+manifest is a directory holding
+
+* ``manifest.json`` — campaign metadata (name, creation time, the
+  :data:`~repro.runner.cache.CACHE_VERSION` the keys were computed
+  under, the cache directory, one record per submitted batch, and a
+  ``complete`` flag), rewritten atomically on every change;
+* ``batches/batch-NNNN.pkl`` — one pickle per ``map`` call, holding
+  the job objects and their precomputed cache keys in submission
+  order.
+
+Together with the content-addressed
+:class:`~repro.runner.ResultCache` this *is* the campaign checkpoint:
+the manifest says which jobs exist, the cache says which are done, and
+nothing else needs to be saved.  Killing the coordinator at any moment
+loses at most the in-flight jobs; ``repro fabric resume <campaign>``
+replays the manifest through a runner, where every finished job is a
+cache hit and only the genuinely unfinished ones execute.
+
+Manifests contain pickled job objects, so (like the wire protocol)
+they must only be read from trusted directories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import tempfile
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from ..runner.cache import CACHE_VERSION, ResultCache
+
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Subdirectory of the cache directory holding named campaigns.
+CAMPAIGNS_DIRNAME = "campaigns"
+
+
+def campaigns_root(cache_dir: str) -> str:
+    """Where named campaigns live for a given cache directory."""
+    return os.path.join(cache_dir, CAMPAIGNS_DIRNAME)
+
+
+def default_campaign_name(prefix: str = "campaign") -> str:
+    """A fresh, human-sortable campaign name."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{prefix}-{stamp}-{os.getpid()}"
+
+
+def resolve_campaign_dir(name_or_path: str,
+                         cache_dir: Optional[str] = None) -> str:
+    """A campaign argument is either a directory path or a bare name
+    under the cache's campaigns root."""
+    if os.path.isdir(name_or_path) or os.sep in name_or_path:
+        return name_or_path
+    root = campaigns_root(cache_dir or ResultCache().directory)
+    return os.path.join(root, name_or_path)
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignError(Exception):
+    """A campaign directory is missing, corrupt, or incompatible."""
+
+
+class Campaign:
+    """One durable campaign manifest rooted at ``directory``."""
+
+    def __init__(self, directory: str, meta: dict) -> None:
+        self.directory = directory
+        self.meta = meta
+
+    # ------------------------------------------------------------------
+    # Creation / loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, directory: str, name: str, cache_dir: str,
+               description: str = "") -> "Campaign":
+        """Start a new campaign (refuses to overwrite an existing
+        manifest — resume it or pick another name)."""
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        if os.path.exists(path):
+            raise CampaignError(
+                f"campaign already exists at {directory}; resume it with "
+                f"`repro fabric resume` or choose a different --campaign name"
+            )
+        meta = {
+            "version": MANIFEST_VERSION,
+            "name": name,
+            "description": description,
+            "created": time.time(),
+            "cache_version": CACHE_VERSION,
+            "cache_dir": cache_dir,
+            "batches": [],
+            "complete": False,
+        }
+        campaign = cls(directory, meta)
+        campaign._save()
+        return campaign
+
+    @classmethod
+    def load(cls, directory: str) -> "Campaign":
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            raise CampaignError(f"no campaign manifest at {path}")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable campaign manifest {path}: {exc}")
+        if meta.get("version") != MANIFEST_VERSION:
+            raise CampaignError(
+                f"campaign manifest version {meta.get('version')!r} is not "
+                f"{MANIFEST_VERSION} ({path})"
+            )
+        return cls(directory, meta)
+
+    def _save(self) -> None:
+        _atomic_write_json(
+            os.path.join(self.directory, MANIFEST_FILENAME), self.meta
+        )
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.meta.get("name", os.path.basename(self.directory))
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.meta.get("complete"))
+
+    @property
+    def cache_version(self) -> str:
+        return self.meta.get("cache_version", "")
+
+    def total_jobs(self) -> int:
+        return sum(batch["jobs"] for batch in self.meta["batches"])
+
+    def append_batch(self, jobs: Iterable, keys: Iterable[Optional[str]]) -> int:
+        """Persist one ``map`` call's jobs (with their cache keys)
+        *before* any of them is dispatched, so a coordinator killed a
+        millisecond later already has the full work list on disk.
+        Returns the batch index."""
+        jobs = list(jobs)
+        keys = list(keys)
+        if len(jobs) != len(keys):
+            raise ValueError("jobs and keys must align")
+        index = len(self.meta["batches"])
+        filename = f"batch-{index:04d}.pkl"
+        directory = os.path.join(self.directory, "batches")
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump({"jobs": jobs, "keys": keys}, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, os.path.join(directory, filename))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.meta["batches"].append({"file": filename, "jobs": len(jobs)})
+        self.meta["complete"] = False
+        self._save()
+        return index
+
+    def jobs(self) -> List[Tuple[Optional[str], object]]:
+        """Every ``(cache_key, job)`` of the campaign, in submission
+        order across batches."""
+        out: List[Tuple[Optional[str], object]] = []
+        for batch in self.meta["batches"]:
+            path = os.path.join(self.directory, "batches", batch["file"])
+            try:
+                with open(path, "rb") as handle:
+                    record = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError) as exc:
+                raise CampaignError(f"unreadable campaign batch {path}: {exc}")
+            out.extend(zip(record["keys"], record["jobs"]))
+        return out
+
+    def pending(self, cache: ResultCache) -> List[Tuple[Optional[str], object]]:
+        """The subset of :meth:`jobs` whose payload is not yet in
+        ``cache`` (uncacheable jobs — ``key is None`` — always count as
+        pending)."""
+        return [
+            (key, job) for key, job in self.jobs()
+            if key is None or not cache.has(key)
+        ]
+
+    def mark_complete(self) -> None:
+        self.meta["complete"] = True
+        self._save()
+
+
+def list_campaigns(cache_dir: str) -> List[str]:
+    """Names of campaigns recorded under ``cache_dir`` (sorted)."""
+    root = campaigns_root(cache_dir)
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    out = []
+    for name in names:
+        if os.path.exists(os.path.join(root, name, MANIFEST_FILENAME)):
+            out.append(name)
+    return sorted(out)
+
+
+def safe_campaign_name(name: str) -> str:
+    """Reject campaign names that would escape the campaigns root."""
+    if not re.fullmatch(r"[A-Za-z0-9._-]+", name) or name in (".", ".."):
+        raise ValueError(
+            f"campaign name must be [A-Za-z0-9._-]+, got {name!r}"
+        )
+    return name

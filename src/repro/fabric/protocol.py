@@ -1,0 +1,152 @@
+"""Wire protocol of the sweep fabric: JSON lines over TCP.
+
+Every message is one JSON object per ``\\n``-terminated line.  The
+conversation is strictly request/reply — a client (worker or status
+probe) sends one message and reads exactly one reply — which keeps the
+framing trivial and lets the coordinator serve each connection from a
+single blocking thread.
+
+Job and result objects cross the wire pickled and base64-encoded
+inside JSON strings (:func:`encode_obj` / :func:`decode_obj`).  Jobs
+are already required to be picklable for the process-pool runner, so
+the fabric adds no new constraints — but **pickle implies trust**: a
+coordinator must only be exposed on networks where every peer is
+trusted, exactly like a shared NFS cache directory.  There is no
+authentication and no transport encryption; see ``docs/FABRIC.md``.
+
+Message vocabulary (``type`` field):
+
+===========  =========  ==================================================
+type         direction  meaning
+===========  =========  ==================================================
+hello        w -> c     worker announces itself (name, pid, versions)
+welcome      c -> w     accepted: campaign name, cache dir, warm flag
+request      w -> c     give me work
+lease        c -> w     a chunk of jobs under a lease id
+idle         c -> w     nothing pending right now; retry after ``delay``
+shutdown     c -> w     campaign finished (or coordinator closing)
+result       w -> c     one finished job: payload bytes + build counters
+ack          c -> w     result recorded (``duplicate`` if already done)
+cancel       c -> w     lease superseded; abandon its remaining jobs
+status       any -> c   one-shot campaign snapshot (CLI ``fabric status``)
+error        c -> any   refusal (version mismatch, malformed message)
+===========  =========  ==================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from typing import Optional, Tuple
+
+#: Version of the message vocabulary; a coordinator refuses workers
+#: speaking a different one.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``repro fabric`` examples (any free port works;
+#: the coordinator binds whatever ``host:port`` it is given).
+DEFAULT_PORT = 7421
+
+
+class ProtocolError(Exception):
+    """A malformed or unexpected fabric message."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection mid-conversation (for a worker:
+    the coordinator went away — retry or treat the campaign as over)."""
+
+
+def encode_obj(obj) -> str:
+    """Pickle ``obj`` and wrap it base64 for transport inside JSON."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_obj(text: str):
+    """Inverse of :func:`encode_obj`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def encode_bytes(data: bytes) -> str:
+    """Base64-wrap already-serialized payload bytes."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; bare ``":port"`` binds all
+    interfaces and a bare port number means localhost."""
+    if ":" not in address:
+        try:
+            return "127.0.0.1", int(address)
+        except ValueError:
+            raise ValueError(
+                f"fabric address must be host:port, got {address!r}"
+            )
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"fabric address must be host:port, got {address!r}")
+    return host or "0.0.0.0", port
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+class Connection:
+    """A line-framed JSON connection over one TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._reader = sock.makefile("rb")
+
+    def send(self, message: dict) -> None:
+        line = json.dumps(message, separators=(",", ":")) + "\n"
+        self.sock.sendall(line.encode("utf-8"))
+
+    def recv(self) -> Optional[dict]:
+        """Next message, or ``None`` when the peer closed the
+        connection."""
+        line = self._reader.readline()
+        if not line:
+            return None
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable fabric message: {exc}")
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError(f"fabric message lacks a type: {message!r}")
+        return message
+
+    def request(self, message: dict) -> dict:
+        """Send one message and wait for its reply."""
+        self.send(message)
+        reply = self.recv()
+        if reply is None:
+            raise ConnectionClosed("connection closed while awaiting reply")
+        if reply.get("type") == "error":
+            raise ProtocolError(reply.get("error", "unspecified fabric error"))
+        return reply
+
+    def close(self) -> None:
+        for closer in (self._reader.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+def connect(address: Tuple[str, int], timeout: Optional[float] = None) -> Connection:
+    """Open a client connection to a coordinator."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)  # blocking request/reply after connect
+    return Connection(sock)

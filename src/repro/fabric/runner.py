@@ -1,0 +1,332 @@
+"""``FabricRunner``: the sweep-runner map contract over a multi-host
+fabric, plus campaign resume.
+
+``FabricRunner.map`` behaves exactly like
+:meth:`repro.runner.SweepRunner.map` — cache lookups first, results in
+input order, progress callbacks, a :class:`~repro.runner.SweepReport`
+— but executes the misses on whatever fabric workers are connected to
+its embedded :class:`~repro.fabric.coordinator.Coordinator` instead of
+a local process pool.  Every experiment that takes a ``runner=``
+therefore works over the fabric unchanged
+(``repro experiments fig04 --fabric host:port``).
+
+Durability: before any job is dispatched, the full batch (job objects
+plus their cache keys) is appended to the campaign manifest
+(:mod:`repro.fabric.manifest`).  The manifest plus the
+content-addressed cache *are* the checkpoint — killing the coordinator
+loses nothing but in-flight work, and :func:`resume_campaign` (or
+rerunning the same experiment command) finishes the remainder with
+every completed job served as a cache hit.
+
+Jobs that cannot cross the wire (unpicklable) or cannot be content-
+addressed (lambda metrics) run locally in the coordinator process,
+mirroring the process-pool runner's local fallback; they are not
+recorded in the manifest because they cannot be resumed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import time
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..runner import jobs as _jobs_module
+from ..runner.cache import CACHE_VERSION, ResultCache
+from ..runner.jobs import execute_job, warm_override
+from ..runner.sweep import SweepReport, _diff_counters
+from .coordinator import Coordinator
+from .manifest import (
+    Campaign,
+    CampaignError,
+    campaigns_root,
+    default_campaign_name,
+)
+from .protocol import format_address, parse_address
+
+import os
+
+
+class FabricRunner:
+    """Executes sweep jobs on fabric workers behind the standard
+    runner interface.
+
+    Args:
+        listen: ``"host:port"`` (or a ``(host, port)`` tuple) the
+            embedded coordinator binds; port 0 picks a free port
+            (read :attr:`address` back).
+        cache: shared result cache — **required** infrastructure for
+            the fabric (it is the artifact store and the checkpoint);
+            ``None`` builds the default :class:`ResultCache`.
+        progress: ``progress(done, total, job)`` callback, as for
+            :class:`~repro.runner.SweepRunner`.
+        campaign: campaign name (under the cache's campaigns root) or
+            ``None`` for a fresh auto-named campaign.  Naming the
+            campaign of a long run is what makes targeted
+            ``repro fabric resume`` possible.
+        campaign_dir: explicit manifest directory (overrides
+            ``campaign``); ``False`` disables manifest recording
+            (used by resume itself).
+        jobs: *expected* concurrent workers — sizes speculative
+            scheduling in the experiment helpers (``runner.jobs``);
+            actual parallelism is however many workers connect.
+        warm: forwarded to workers (per-worker topology reuse).
+        chunk / min_lease_seconds / steal_factor: see
+            :class:`~repro.fabric.coordinator.Coordinator`.
+    """
+
+    def __init__(
+        self,
+        listen: Union[str, Tuple[str, int]] = "127.0.0.1:0",
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[int, int, object], None]] = None,
+        campaign: Optional[str] = None,
+        campaign_dir: Union[str, None, bool] = None,
+        jobs: int = 2,
+        warm: Optional[bool] = None,
+        chunk: Optional[int] = None,
+        min_lease_seconds: float = 30.0,
+        steal_factor: float = 4.0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.progress = progress
+        self.jobs = jobs
+        self.adaptive = True  # longest-expected-first, like SweepRunner
+        self.warm = warm
+
+        self.campaign: Optional[Campaign] = None
+        if campaign_dir is not False:
+            if campaign_dir is None:
+                name = campaign or default_campaign_name()
+                campaign_dir = os.path.join(
+                    campaigns_root(self.cache.directory), name
+                )
+            else:
+                name = campaign or os.path.basename(str(campaign_dir))
+            try:
+                self.campaign = Campaign.load(str(campaign_dir))
+                if self.campaign.cache_version != CACHE_VERSION:
+                    raise CampaignError(
+                        f"campaign {name!r} was recorded under cache version "
+                        f"{self.campaign.cache_version!r}, this build is "
+                        f"{CACHE_VERSION!r}; its cached results are stale"
+                    )
+            except CampaignError as exc:
+                if "no campaign manifest" not in str(exc):
+                    raise
+                self.campaign = Campaign.create(
+                    str(campaign_dir), name, self.cache.directory
+                )
+
+        address = parse_address(listen) if isinstance(listen, str) else listen
+        self.coordinator = Coordinator(
+            self.cache,
+            host=address[0],
+            port=address[1],
+            campaign=self.campaign.name if self.campaign else (campaign or ""),
+            warm=warm,
+            chunk=chunk,
+            min_lease_seconds=min_lease_seconds,
+            steal_factor=steal_factor,
+        )
+        self.coordinator.start()
+        # One report shared with the coordinator: the coordinator folds
+        # in kernel stats and worker build counters as results arrive,
+        # the runner adds the per-map point/hit/elapsed totals.
+        self.report: SweepReport = self.coordinator.report
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The coordinator's bound ``(host, port)``."""
+        return self.coordinator.address
+
+    def worker_budget(self) -> int:
+        """Concurrency hint for speculative scheduling: the connected
+        worker count, floored at the configured expectation."""
+        return max(self.jobs, self.coordinator.worker_count())
+
+    def run(self, job):
+        return self.map([job])[0]
+
+    def map(self, jobs: Sequence) -> List:
+        jobs = list(jobs)
+        start = time.perf_counter()
+        results: List = [None] * len(jobs)
+        done = 0
+
+        # 1. Cache lookups (identical policy to SweepRunner.map).
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+        hits = 0
+        for i, job in enumerate(jobs):
+            hit = False
+            if self.cache is not None:
+                try:
+                    keys[i] = self.cache.key(job)
+                    hit, value = self.cache.get(job)
+                except TypeError:
+                    hit = False
+            if hit:
+                results[i] = value
+                hits += 1
+                done += 1
+                self._tick(done, len(jobs), job)
+            else:
+                pending.append(i)
+        self.coordinator.note_admitted(len(jobs), hits)
+
+        # 2. Split the misses: manifested+remote vs local-only.
+        remote: List[int] = []
+        local: List[int] = []
+        for i in pending:
+            if keys[i] is None:
+                local.append(i)  # unkeyable: uncacheable, unresumable
+                continue
+            try:
+                pickle.dumps(jobs[i])
+                remote.append(i)
+            except Exception:
+                local.append(i)
+
+        if remote:
+            if self.campaign is not None:
+                self.campaign.append_batch(
+                    [jobs[i] for i in remote], [keys[i] for i in remote]
+                )
+            batch = self.coordinator.submit(
+                [jobs[i] for i in remote], [keys[i] for i in remote]
+            )
+            position = {
+                record.id: index
+                for record, index in zip(batch.jobs, remote)
+            }
+            warned = False
+            while not batch.done():
+                for record in batch.drain(timeout=0.2):
+                    index = position[record.id]
+                    results[index] = batch.results[record.id]
+                    done += 1
+                    self._tick(done, len(jobs), jobs[index])
+                if (not warned and self.coordinator.worker_count() == 0
+                        and time.perf_counter() - start > 10.0):
+                    warned = True
+                    print(
+                        f"[fabric] waiting for workers — start some with: "
+                        f"repro fabric worker --connect "
+                        f"{format_address(self.address)}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+            for record in batch.drain(timeout=0.0):
+                index = position[record.id]
+                results[index] = batch.results[record.id]
+                done += 1
+                self._tick(done, len(jobs), jobs[index])
+
+        if local:
+            done = self._run_local(jobs, local, results, done, keys)
+
+        self.report.note(
+            len(jobs), hits, len(pending), time.perf_counter() - start
+        )
+        if self.cache is not None:
+            self.cache.flush_counters()
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_local(self, jobs, pending, results, done, keys) -> int:
+        """Coordinator-process fallback for jobs that cannot travel."""
+        before = _jobs_module.build_counters()
+        with warm_override(self.warm):
+            for i in pending:
+                results[i] = execute_job(jobs[i])
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(jobs[i], results[i])
+                stats = getattr(results[i], "kernel", None)
+                if stats is not None:
+                    self.report.note_kernel(stats)
+                done += 1
+                self._tick(done, len(jobs), jobs[i])
+        self.report.note_builds(
+            _diff_counters(before, _jobs_module.build_counters())
+        )
+        return done
+
+    def _tick(self, done: int, total: int, job) -> None:
+        if self.progress is not None:
+            self.progress(done, total, job)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the coordinator down (workers see ``shutdown`` at their
+        next request) and mark the campaign complete when nothing is
+        outstanding."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.campaign is not None and self.coordinator.outstanding() == 0:
+            self.campaign.mark_complete()
+        self.coordinator.stop()
+        if self.cache is not None:
+            self.cache.flush_counters()
+
+    def __enter__(self) -> "FabricRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def resume_campaign(
+    directory: str,
+    runner,
+    cache: Optional[ResultCache] = None,
+) -> dict:
+    """Finish an interrupted campaign: replay its manifest through
+    ``runner`` (a :class:`~repro.runner.SweepRunner` or a
+    :class:`FabricRunner` built with ``campaign_dir=False``).
+
+    Every job already in the cache is a hit and executes nothing; only
+    genuinely unfinished jobs run.  Returns a summary dict with the
+    campaign name, total/cached/executed counts, and the runner's
+    report summary.  The caller owns the runner (and must close it).
+    """
+    campaign = Campaign.load(directory)
+    if campaign.cache_version != CACHE_VERSION:
+        raise CampaignError(
+            f"campaign {campaign.name!r} was recorded under cache version "
+            f"{campaign.cache_version!r}, this build is {CACHE_VERSION!r}; "
+            f"its keys no longer address the same results"
+        )
+    cache = cache if cache is not None else getattr(runner, "cache", None)
+    if cache is None:
+        raise ValueError("resume needs the campaign's result cache")
+
+    # Deduplicate by key (a rerun-extended campaign records a job once
+    # per submission) while preserving first-appearance order.
+    seen = set()
+    jobs = []
+    for key, job in campaign.jobs():
+        if key is not None and key in seen:
+            continue
+        if key is not None:
+            seen.add(key)
+        jobs.append(job)
+
+    cached_before = sum(1 for key in seen if cache.has(key))
+    results = runner.map(jobs) if jobs else []
+    campaign.mark_complete()
+    report = getattr(runner, "report", None)
+    return {
+        "campaign": campaign.name,
+        "directory": campaign.directory,
+        "total": len(jobs),
+        "cached": cached_before,
+        "executed": len(jobs) - cached_before,
+        "results": results,
+        "summary": report.summary() if report is not None else "",
+    }

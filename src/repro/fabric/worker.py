@@ -1,0 +1,207 @@
+"""The fabric worker: pulls job chunks, executes them warm, streams
+results back.
+
+A worker is one OS process (start several per host for parallelism —
+``repro fabric worker --connect host:port --procs N``).  It reuses the
+exact per-process warm layer of the process-pool runner
+(:mod:`repro.runner.jobs`): :func:`~repro.runner.jobs.init_worker`
+arms the topology cache, :func:`~repro.runner.jobs.execute_job` runs
+each job, and :func:`~repro.runner.jobs.build_counters` reports the
+construction counters that prove one topology + one bound route table
+per (worker, topology) — the counters travel inside every result
+message so the coordinator's :class:`~repro.runner.sweep.SweepReport`
+aggregates them exactly like pool workers' counters.
+
+Every finished job is pickled once; the bytes are written into the
+worker's result cache under the job's content address
+(``overwrite=False`` — first writer wins) *and* shipped to the
+coordinator, so the system works both with a genuinely shared cache
+directory (NFS, same host) and with per-host disks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket as _socket
+import sys
+import time
+from typing import Optional, Tuple
+
+from ..runner.cache import CACHE_VERSION, ResultCache
+from ..runner.jobs import build_counters, execute_job, init_worker
+from .protocol import (
+    PROTOCOL_VERSION,
+    Connection,
+    ConnectionClosed,
+    ProtocolError,
+    connect,
+    encode_bytes,
+    decode_obj,
+    format_address,
+)
+
+#: Test hook: a worker started with this environment variable set to N
+#: executes N jobs and then dies abruptly (``os._exit``) *before*
+#: reporting the N-th result — simulating a worker killed mid-chunk.
+DIE_AFTER_ENV = "REPRO_FABRIC_DIE_AFTER"
+
+
+class FabricWorker:
+    """One worker process's connection loop.
+
+    Args:
+        address: coordinator ``(host, port)``.
+        name: worker identity shown in ``fabric status`` (default
+            ``<hostname>-<pid>``).
+        cache_dir: where result payloads are written (default: the
+            cache directory the coordinator announces in its welcome
+            — correct whenever the two share a filesystem).
+        poll: idle poll interval override (default: the coordinator's
+            suggestion).
+        retry_for: seconds to keep retrying the initial connection
+            (workers are often started before the coordinator).
+        persist: after a campaign shuts down, reconnect and wait for
+            the next one instead of exiting.
+        max_jobs: stop after executing this many jobs (``None`` =
+            unlimited; test/benchmark hook).
+        die_after: abrupt-death test hook, see :data:`DIE_AFTER_ENV`.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        name: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        poll: Optional[float] = None,
+        retry_for: float = 30.0,
+        persist: bool = False,
+        max_jobs: Optional[int] = None,
+        die_after: Optional[int] = None,
+        log=None,
+    ) -> None:
+        self.address = address
+        self.name = name or f"{_socket.gethostname()}-{os.getpid()}"
+        self.cache_dir = cache_dir
+        self.poll = poll
+        self.retry_for = retry_for
+        self.persist = persist
+        self.max_jobs = max_jobs
+        if die_after is None and os.environ.get(DIE_AFTER_ENV):
+            die_after = int(os.environ[DIE_AFTER_ENV])
+        self.die_after = die_after
+        self.jobs_executed = 0
+        self._log = log or (lambda text: None)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> Connection:
+        deadline = time.monotonic() + self.retry_for
+        while True:
+            try:
+                return connect(self.address, timeout=10.0)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
+
+    def run(self) -> int:
+        """Serve campaigns until told to stop; returns the number of
+        jobs executed."""
+        while True:
+            finished = self._serve_one_campaign()
+            if not (self.persist and finished):
+                return self.jobs_executed
+
+    def _serve_one_campaign(self) -> bool:
+        """One connect/serve cycle; returns whether a clean shutdown
+        (vs. a job budget exhaustion) ended it."""
+        conn = self._connect()
+        try:
+            welcome = conn.request({
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "cache_version": CACHE_VERSION,
+                "worker": self.name,
+                "pid": os.getpid(),
+            })
+            if welcome.get("type") != "welcome":
+                raise ProtocolError(f"unexpected welcome {welcome!r}")
+            cache = ResultCache(self.cache_dir or welcome.get("cache_dir"))
+            warm = welcome.get("warm")
+            init_worker(warm if warm is None else bool(warm))
+            poll = self.poll if self.poll is not None else float(
+                welcome.get("poll") or 0.5)
+            self._log(
+                f"worker {self.name} joined campaign "
+                f"{welcome.get('campaign') or '(unnamed)'} at "
+                f"{format_address(self.address)}"
+            )
+            while True:
+                reply = conn.request({"type": "request", "worker": self.name})
+                kind = reply.get("type")
+                if kind == "shutdown":
+                    return True
+                if kind == "idle":
+                    time.sleep(float(reply.get("delay") or poll))
+                    continue
+                if kind != "lease":
+                    raise ProtocolError(f"unexpected reply {reply!r}")
+                if not self._run_lease(conn, cache, reply):
+                    return False  # job budget exhausted
+        except (OSError, ConnectionClosed):
+            return True  # coordinator went away; treat as campaign end
+        finally:
+            conn.close()
+
+    def _run_lease(self, conn: Connection, cache: ResultCache,
+                   lease: dict) -> bool:
+        lease_id = lease.get("lease")
+        for job_id, encoded in lease.get("jobs", ()):
+            job = decode_obj(encoded)
+            value = execute_job(job)
+            self.jobs_executed += 1
+            if self.die_after is not None and \
+                    self.jobs_executed >= self.die_after:
+                # Test hook: die mid-chunk, after the simulation ran
+                # but before its result was reported or cached — the
+                # lease must be re-issued and the job re-executed
+                # elsewhere with an identical outcome.
+                os._exit(17)
+            raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            key = self._key_of(cache, job)
+            if key is not None:
+                cache.put_payload(key, raw, overwrite=False)
+            ack = conn.request({
+                "type": "result",
+                "worker": self.name,
+                "lease": lease_id,
+                "job": job_id,
+                "key": key,
+                "payload": encode_bytes(raw),
+                "counters": build_counters(),
+            })
+            if self.max_jobs is not None and \
+                    self.jobs_executed >= self.max_jobs:
+                return False
+            if ack.get("abandon"):
+                # Lease was stolen while we ran: drop the rest of the
+                # chunk (the thief has it) and ask for fresh work.
+                return True
+        return True
+
+    @staticmethod
+    def _key_of(cache: ResultCache, job) -> Optional[str]:
+        try:
+            return cache.key(job)
+        except TypeError:
+            return None
+
+
+def run_worker(address: Tuple[str, int], **kwargs) -> int:
+    """Module-level convenience used by the CLI and by
+    ``multiprocessing`` spawns in tests."""
+    return FabricWorker(address, **kwargs).run()
+
+
+def stderr_log(text: str) -> None:
+    print(f"[fabric] {text}", file=sys.stderr, flush=True)

@@ -55,6 +55,14 @@ CACHE_VERSION = "repro-results-v7"
 #: ``.pkl`` so entry iteration, ``clear`` and ``prune`` skip it.
 COUNTERS_FILENAME = "counters.json"
 
+#: Lock file serializing read-modify-write updates of the counters
+#: sidecar across processes (fabric workers, parallel sweeps, CLI).
+COUNTERS_LOCK_FILENAME = "counters.lock"
+
+#: A counters lock older than this is considered abandoned (its holder
+#: died between acquire and release) and is broken by the next writer.
+LOCK_STALE_SECONDS = 30.0
+
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -164,19 +172,71 @@ class ResultCache:
         return True, value
 
     def put(self, job, value) -> None:
+        self.put_payload(
+            self.key(job),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            overwrite=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Payload-level API (multi-writer safe)
+    # ------------------------------------------------------------------
+    # The fabric moves *serialized* results between hosts: a worker
+    # pickles a result once, ships the bytes, and both ends land them
+    # under the job's content address.  Writes are temp-file + atomic
+    # rename, so concurrent writers can never produce a torn entry;
+    # ``overwrite=False`` additionally makes the first completed writer
+    # win (duplicate completions of a stolen lease leave exactly the
+    # payload that arrived first).
+
+    def has(self, key: str) -> bool:
+        """Whether an entry for ``key`` is present on disk."""
+        return os.path.exists(self._path(key))
+
+    def put_payload(self, key: str, data: bytes,
+                    overwrite: bool = False) -> bool:
+        """Store already-pickled ``data`` under ``key``; returns whether
+        this call wrote the entry (``False`` when ``overwrite`` is off
+        and another writer got there first)."""
+        if not overwrite and self.has(key):
+            return False
         os.makedirs(self.directory, exist_ok=True)
-        path = self._path(self.key(job))
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+                handle.write(data)
+            if not overwrite and self.has(key):
+                os.unlink(tmp)
+                return False
+            os.replace(tmp, self._path(key))
+            return True
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    def read_payload(self, key: str) -> Optional[bytes]:
+        """The raw pickled bytes stored under ``key`` (``None`` when
+        absent)."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def get_by_key(self, key: str) -> Tuple[bool, object]:
+        """Like :meth:`get` but addressed by a precomputed key.  Does
+        not touch the hit/miss counters — fabric coordinators account
+        for hits at job-admission time, not on payload reads."""
+        data = self.read_payload(key)
+        if data is None:
+            return False, None
+        try:
+            return True, pickle.loads(data)
+        except (EOFError, pickle.UnpicklingError):
+            return False, None
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -262,30 +322,75 @@ class ResultCache:
         except (OSError, ValueError):
             return {"hits": 0, "misses": 0}
 
+    def _lock_path(self) -> str:
+        return os.path.join(self.directory, COUNTERS_LOCK_FILENAME)
+
+    def _acquire_counters_lock(self, timeout: float = 5.0) -> bool:
+        """Take the cross-process counters lock (an ``O_EXCL`` lock
+        file).  Returns ``False`` on timeout; locks whose holder
+        apparently died (older than :data:`LOCK_STALE_SECONDS`) are
+        broken rather than waited out."""
+        path = self._lock_path()
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return True
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(path).st_mtime
+                    if age > LOCK_STALE_SECONDS:
+                        os.unlink(path)
+                        continue
+                except OSError:
+                    continue  # holder released it; retry immediately
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.005)
+
+    def _release_counters_lock(self) -> None:
+        try:
+            os.unlink(self._lock_path())
+        except OSError:
+            pass
+
     def flush_counters(self) -> None:
         """Merge this instance's unflushed hit/miss counts into the
-        sidecar file (atomic read-modify-rename; concurrent flushers
-        may lose each other's increments, which is acceptable for an
-        advisory statistic)."""
+        sidecar file.
+
+        The read-modify-rename runs under a cross-process lock file, so
+        concurrent flushers (fabric workers, parallel sweeps on one
+        cache directory) serialize instead of clobbering each other's
+        increments.  If the lock cannot be acquired within the timeout
+        the flush is skipped — the delta stays unflushed and rides
+        along with the next flush, so counts are delayed, never lost.
+        """
         delta_hits = self.hits - self._flushed_hits
         delta_misses = self.misses - self._flushed_misses
         if delta_hits == 0 and delta_misses == 0:
             return
         os.makedirs(self.directory, exist_ok=True)
-        merged = self.persisted_counters()
-        merged["hits"] += delta_hits
-        merged["misses"] += delta_misses
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        if not self._acquire_counters_lock():
+            return
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(merged, handle)
-            os.replace(tmp, self._counters_path())
-        except BaseException:
+            merged = self.persisted_counters()
+            merged["hits"] += delta_hits
+            merged["misses"] += delta_misses
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(merged, handle)
+                os.replace(tmp, self._counters_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            self._release_counters_lock()
         self._flushed_hits = self.hits
         self._flushed_misses = self.misses
 

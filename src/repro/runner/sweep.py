@@ -194,6 +194,40 @@ def _cost_signal(job) -> float:
     return 1.0
 
 
+class CostModel:
+    """Observed-cost estimator behind longest-expected-first dispatch.
+
+    Records the simulated cycle count of completed jobs per (job type,
+    cost signal) and predicts relative cost for unseen jobs: the exact
+    observation when one exists, the nearest observed signal scaled by
+    saturation proximity otherwise, and the raw signal before any
+    observation.  Shared by :class:`SweepRunner` (process pool) and the
+    fabric coordinator (multi-host lease queue)."""
+
+    def __init__(self) -> None:
+        # job type name -> {cost signal -> observed simulated cycles}.
+        self._costs: Dict[str, Dict[float, float]] = {}
+
+    def expected(self, job) -> float:
+        kind = type(job).__name__
+        signal = _cost_signal(job)
+        history = self._costs.get(kind)
+        if history:
+            exact = history.get(signal)
+            if exact is not None:
+                return exact
+            nearest = min(history, key=lambda s: abs(s - signal))
+            return history[nearest] * (0.1 + signal) / (0.1 + nearest)
+        return signal
+
+    def observe(self, job, value) -> None:
+        stats = getattr(value, "kernel", None)
+        cycles = getattr(stats, "cycles", 0) if stats is not None else 0
+        if cycles:
+            self._costs.setdefault(type(job).__name__, {})[
+                _cost_signal(job)] = float(cycles)
+
+
 class SweepRunner:
     """Executes independent simulation jobs, optionally in parallel
     and optionally through a :class:`ResultCache`.
@@ -219,6 +253,10 @@ class SweepRunner:
         chunk: jobs per worker submission under adaptive dispatch
             (``None`` — size chosen from the batch: 1 for small maps,
             up to 8 for paper-scale replica sweeps).
+        pool_rebuilds: how many times one ``map`` call may rebuild a
+            pool that broke (a worker process was killed or died) and
+            resubmit the lost chunks before giving up and raising
+            ``BrokenProcessPool``.
     """
 
     def __init__(
@@ -230,6 +268,7 @@ class SweepRunner:
         persistent: bool = True,
         adaptive: bool = True,
         chunk: Optional[int] = None,
+        pool_rebuilds: int = 2,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
@@ -240,12 +279,14 @@ class SweepRunner:
         if chunk is not None and chunk < 1:
             raise ValueError(f"chunk must be >= 1, got {chunk}")
         self.chunk = chunk
+        if pool_rebuilds < 0:
+            raise ValueError(f"pool_rebuilds must be >= 0, got {pool_rebuilds}")
+        self.pool_rebuilds = pool_rebuilds
         self.report = SweepReport()
         self._pool: Optional[ProcessPoolExecutor] = None
         # pid -> last reported construction totals for that worker.
         self._worker_totals: Dict[int, Dict[str, int]] = {}
-        # job type name -> {cost signal -> observed simulated cycles}.
-        self._costs: Dict[str, Dict[float, float]] = {}
+        self._cost_model = CostModel()
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -387,40 +428,81 @@ class SweepRunner:
             chunk = self._chunk_size(len(remote))
             chunks = [remote[o:o + chunk]
                       for o in range(0, len(remote), chunk)]
+            done = self._run_chunks(jobs, chunks, results, done, cacheable)
+        if local:
+            done = self._run_local(jobs, local, results, done, cacheable)
+        return done
+
+    def _run_chunks(self, jobs, chunks, results, done, cacheable) -> int:
+        """Fan ``chunks`` over the pool, surviving worker death.
+
+        A killed worker process breaks the whole ``ProcessPoolExecutor``
+        — every outstanding future raises ``BrokenProcessPool`` even
+        though most chunks were simply queued.  Rather than wedging the
+        sweep, the broken pool is replaced and only the chunks whose
+        results never arrived are resubmitted (completed chunks keep
+        their results; re-running a lost chunk is safe because jobs are
+        deterministic).  This is the single-box degenerate case of the
+        fabric's lease re-issue.  ``pool_rebuilds`` bounds the retries
+        so a job that reliably kills its worker still surfaces as
+        ``BrokenProcessPool`` instead of looping forever.
+        """
+        remaining = [list(group) for group in chunks]
+        rebuilds = 0
+        while remaining:
             pool = (self._ensure_pool() if self.persistent
                     else self._make_pool(
-                        min(self.worker_budget(), len(remote))))
+                        min(self.worker_budget(),
+                            sum(len(g) for g in remaining))))
+            broken = False
             try:
-                futures = {
-                    pool.submit(execute_chunk, [jobs[i] for i in group]): group
-                    for group in chunks
-                }
+                try:
+                    futures = {
+                        pool.submit(execute_chunk,
+                                    [jobs[i] for i in group]): group
+                        for group in remaining
+                    }
+                except BrokenProcessPool:
+                    futures = {}
+                    broken = True
                 outstanding = set(futures)
                 while outstanding:
                     finished, outstanding = wait(
                         outstanding, return_when=FIRST_COMPLETED
                     )
                     for future in finished:
-                        values, counters = future.result()
+                        try:
+                            values, counters = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            continue
                         self._note_worker(counters)
-                        for i, value in zip(futures[future], values):
+                        group = futures[future]
+                        for i, value in zip(group, values):
                             results[i] = value
                             self._store(jobs[i], value, cacheable[i])
                             self._observe_cost(jobs[i], value)
                             done += 1
                             self._tick(done, len(jobs), jobs[i])
-            except BrokenProcessPool:
-                # The pool is unusable; drop it so a later map starts
-                # fresh instead of failing forever.
-                if self.persistent:
-                    self._pool = None
-                    self._worker_totals.clear()
-                raise
+                        remaining.remove(group)
             finally:
                 if not self.persistent:
                     pool.shutdown(wait=True)
-        if local:
-            done = self._run_local(jobs, local, results, done, cacheable)
+            if not broken:
+                break
+            # The dead workers' counter totals are gone with their
+            # pids; drop the bookkeeping so fresh workers (re)count
+            # from zero, then retry the unfinished chunks.
+            pool.shutdown(wait=False)
+            if self.persistent:
+                self._pool = None
+            self._worker_totals.clear()
+            rebuilds += 1
+            if rebuilds > self.pool_rebuilds:
+                raise BrokenProcessPool(
+                    f"worker pool died {rebuilds} times; giving up on "
+                    f"{sum(len(g) for g in remaining)} unfinished job(s)"
+                )
         return done
 
     # ------------------------------------------------------------------
@@ -434,27 +516,12 @@ class SweepRunner:
         return max(1, min(8, n // (self.worker_budget() * 4)))
 
     def _expected_cost(self, job) -> float:
-        """Best-effort relative cost of ``job``: observed simulated
-        cycles at the same (job type, load) when available, the nearest
-        observed load scaled by saturation proximity otherwise, and the
-        raw load signal before any observation."""
-        kind = type(job).__name__
-        signal = _cost_signal(job)
-        history = self._costs.get(kind)
-        if history:
-            exact = history.get(signal)
-            if exact is not None:
-                return exact
-            nearest = min(history, key=lambda s: abs(s - signal))
-            return history[nearest] * (0.1 + signal) / (0.1 + nearest)
-        return signal
+        """Best-effort relative cost of ``job`` (see
+        :class:`CostModel`)."""
+        return self._cost_model.expected(job)
 
     def _observe_cost(self, job, value) -> None:
-        stats = getattr(value, "kernel", None)
-        cycles = getattr(stats, "cycles", 0) if stats is not None else 0
-        if cycles:
-            self._costs.setdefault(type(job).__name__, {})[
-                _cost_signal(job)] = float(cycles)
+        self._cost_model.observe(job, value)
 
     def _note_worker(self, counters: Dict[str, int]) -> None:
         pid = counters.get("pid", 0)

@@ -1,0 +1,89 @@
+"""Shared job factories for the fabric tests, plus a subprocess driver
+that starts a real coordinator + worker and kills itself mid-campaign.
+
+The driver exists so the checkpoint/resume test can exercise the real
+failure mode — the coordinator *process* dying without any cleanup —
+rather than a polite in-process shutdown.  ``main`` builds a
+``FabricRunner`` on an ephemeral port, spawns one worker process, maps
+the standard job curve, and ``os._exit(42)``s the moment
+``$FAB_DIE_AFTER_RESULTS`` points have completed.  The campaign
+manifest (written before dispatch) and the payloads the worker cached
+before the kill are all that survives — which is the entire point.
+
+Everything job-related lives at module level (imported as
+``tests._fabric_driver``, never run as ``__main__``) so pickled specs
+resolve identically in the driver, its worker, and the resuming test
+process.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+
+from repro.core import DimensionOrder
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import SimulationConfig, Simulator
+from repro.runner import OpenLoopJob, ResultCache, SimSpec
+from repro.traffic import UniformRandom
+
+LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
+WINDOW = dict(warmup=50, measure=50, drain_max=400)
+
+
+def make_fb_on(topology, algorithm_cls, pattern_factory, seed=1):
+    """Module-level factory taking the topology first, so specs carry
+    it as a warm-cacheable sub-spec."""
+    return Simulator(
+        topology, algorithm_cls(), pattern_factory(),
+        SimulationConfig(seed=seed),
+    )
+
+
+def warm_spec():
+    return SimSpec.of(
+        make_fb_on, DimensionOrder, UniformRandom
+    ).with_topology(FlattenedButterfly, 4, 2)
+
+
+def curve_jobs():
+    return [OpenLoopJob(warm_spec(), load, **WINDOW) for load in LOADS]
+
+
+def payload_bytes(results):
+    """Byte-level identity of the measurement payload (per-run kernel
+    stats legitimately differ between execution modes)."""
+    return pickle.dumps(
+        [dataclasses.replace(r, kernel=None) for r in results]
+    )
+
+
+def main() -> int:
+    from repro.fabric import FabricRunner
+    from repro.fabric.worker import run_worker
+
+    campaign_dir = os.environ["FAB_CAMPAIGN_DIR"]
+    cache_dir = os.environ["FAB_CACHE_DIR"]
+    die_after = int(os.environ.get("FAB_DIE_AFTER_RESULTS", "0"))
+
+    def progress(done, total, job):
+        if die_after and done >= die_after:
+            os._exit(42)  # abrupt coordinator death, no cleanup at all
+
+    runner = FabricRunner(
+        listen="127.0.0.1:0",
+        cache=ResultCache(cache_dir),
+        campaign_dir=campaign_dir,
+        progress=progress,
+    )
+    context = multiprocessing.get_context("spawn")
+    worker = context.Process(
+        target=run_worker, args=(runner.address,), daemon=True
+    )
+    worker.start()
+    try:
+        runner.map(curve_jobs())
+    finally:
+        runner.close()
+        worker.join(timeout=30)
+    return 0

@@ -1,0 +1,471 @@
+"""Tests for the distributed sweep fabric: protocol, campaign
+manifests, coordinator/worker execution, lease stealing, and
+checkpoint/resume.
+
+The invariants pinned here mirror the guarantees ``docs/FABRIC.md``
+advertises:
+
+* a campaign executed by fabric workers is byte-identical to a serial
+  run, whatever the worker count and however leases were chunked;
+* a worker killed mid-chunk never loses a job and never duplicates a
+  result — the campaign completes with exactly one payload per job;
+* a stolen lease accepts the first completion and rejects the second,
+  both in coordinator state and in the content-addressed cache;
+* killing the coordinator process mid-campaign loses nothing that was
+  cached: resume executes exactly the missing jobs, proven by the
+  sweep report's build counters and the persisted cache counters.
+"""
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fabric import (
+    Campaign,
+    CampaignError,
+    Coordinator,
+    FabricRunner,
+    ProtocolError,
+    connect,
+    format_address,
+    list_campaigns,
+    parse_address,
+    resolve_campaign_dir,
+    resume_campaign,
+)
+from repro.fabric.manifest import safe_campaign_name
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    decode_obj,
+    encode_bytes,
+    encode_obj,
+)
+from repro.fabric.worker import run_worker
+from repro.runner import CallableJob, ResultCache, SweepRunner
+from repro.runner.cache import CACHE_VERSION
+
+from tests._fabric_driver import curve_jobs, payload_bytes
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def spawn_workers(address, count, **kwargs):
+    """Start real worker processes against ``address``."""
+    context = multiprocessing.get_context("spawn")
+    workers = []
+    for index in range(count):
+        worker = context.Process(
+            target=run_worker,
+            args=(address,),
+            kwargs=dict(kwargs, name=f"test-worker-{index}"),
+        )
+        worker.start()
+        workers.append(worker)
+    return workers
+
+
+def join_workers(workers, timeout=60):
+    for worker in workers:
+        worker.join(timeout=timeout)
+        assert worker.exitcode is not None, "worker did not exit"
+
+
+@pytest.fixture()
+def serial_curve():
+    return SweepRunner(jobs=1, cache=None).map(curve_jobs())
+
+
+# ----------------------------------------------------------------------
+# Protocol units
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_address_forms(self):
+        assert parse_address("10.0.0.1:99") == ("10.0.0.1", 99)
+        assert parse_address(":7421") == ("0.0.0.0", 7421)
+        assert parse_address("7421") == ("127.0.0.1", 7421)
+        assert format_address(("h", 1)) == "h:1"
+
+    def test_parse_address_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_address("nope")
+        with pytest.raises(ValueError):
+            parse_address("host:port")
+
+    def test_object_roundtrip(self):
+        job = curve_jobs()[0]
+        assert decode_obj(encode_obj(job)) == job
+
+
+# ----------------------------------------------------------------------
+# Campaign manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_create_append_load_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, "camp", str(tmp_path / "cache"))
+        campaign.append_batch([("job", 1), ("job", 2)], ["k1", "k2"])
+        campaign.append_batch([("job", 3)], [None])
+        loaded = Campaign.load(directory)
+        assert loaded.name == "camp"
+        assert loaded.cache_version == CACHE_VERSION
+        assert loaded.total_jobs() == 3
+        assert not loaded.complete
+        assert loaded.jobs() == [
+            ("k1", ("job", 1)), ("k2", ("job", 2)), (None, ("job", 3))
+        ]
+        loaded.mark_complete()
+        assert Campaign.load(directory).complete
+
+    def test_pending_tracks_cache_contents(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        cache = ResultCache(str(tmp_path / "cache"))
+        campaign = Campaign.create(directory, "camp", cache.directory)
+        campaign.append_batch([("a",), ("b",), ("c",)], ["ka", "kb", None])
+        cache.put_payload("ka", b"done")
+        pending = campaign.pending(cache)
+        # the cached job drops out; the unkeyable one always stays
+        assert pending == [("kb", ("b",)), (None, ("c",))]
+
+    def test_create_refuses_existing_manifest(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        Campaign.create(directory, "camp", "cache")
+        with pytest.raises(CampaignError, match="already exists"):
+            Campaign.create(directory, "camp", "cache")
+
+    def test_load_missing_or_wrong_version(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            Campaign.load(str(tmp_path / "absent"))
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, "camp", "cache")
+        campaign.meta["version"] = 999
+        campaign._save()
+        with pytest.raises(CampaignError, match="manifest version"):
+            Campaign.load(directory)
+
+    def test_resume_rejects_stale_cache_version(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, "camp", str(tmp_path / "cache"))
+        campaign.meta["cache_version"] = "repro-results-v0"
+        campaign._save()
+        runner = SweepRunner(jobs=1, cache=ResultCache(str(tmp_path / "cache")))
+        with pytest.raises(CampaignError, match="cache version"):
+            resume_campaign(directory, runner)
+
+    def test_safe_names_and_listing(self, tmp_path):
+        assert safe_campaign_name("fig04-a_b.c") == "fig04-a_b.c"
+        for bad in ("../x", "a/b", "", "..", "a b"):
+            with pytest.raises(ValueError):
+                safe_campaign_name(bad)
+        cache_dir = str(tmp_path / "cache")
+        assert list_campaigns(cache_dir) == []
+        directory = resolve_campaign_dir("one", cache_dir)
+        Campaign.create(directory, "one", cache_dir)
+        assert list_campaigns(cache_dir) == ["one"]
+        # explicit paths pass through untouched
+        assert resolve_campaign_dir(directory, cache_dir) == directory
+
+
+# ----------------------------------------------------------------------
+# Handshake screening
+# ----------------------------------------------------------------------
+class TestHandshake:
+    def test_version_mismatches_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with Coordinator(cache) as coordinator:
+            conn = connect(coordinator.address, timeout=5.0)
+            try:
+                with pytest.raises(ProtocolError, match="protocol version"):
+                    conn.request({
+                        "type": "hello", "protocol": PROTOCOL_VERSION + 1,
+                        "cache_version": CACHE_VERSION, "worker": "w", "pid": 1,
+                    })
+                with pytest.raises(ProtocolError, match="cache version"):
+                    conn.request({
+                        "type": "hello", "protocol": PROTOCOL_VERSION,
+                        "cache_version": "repro-results-v0",
+                        "worker": "w", "pid": 1,
+                    })
+                assert coordinator.worker_count() == 0
+                welcome = conn.request({
+                    "type": "hello", "protocol": PROTOCOL_VERSION,
+                    "cache_version": CACHE_VERSION, "worker": "w", "pid": 1,
+                })
+                assert welcome["type"] == "welcome"
+                assert welcome["cache_dir"] == cache.directory
+                assert coordinator.worker_count() == 1
+            finally:
+                conn.close()
+
+
+# ----------------------------------------------------------------------
+# End-to-end execution parity
+# ----------------------------------------------------------------------
+class TestFabricParity:
+    def test_two_workers_byte_identical_then_cached(
+        self, tmp_path, serial_curve
+    ):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = FabricRunner(
+            listen="127.0.0.1:0", cache=cache, campaign="parity"
+        )
+        workers = spawn_workers(runner.address, 2)
+        try:
+            first = runner.map(curve_jobs())
+            assert payload_bytes(first) == payload_bytes(serial_curve)
+            hits_before = runner.report.cache_hits
+            second = runner.map(curve_jobs())
+            assert payload_bytes(second) == payload_bytes(serial_curve)
+            assert runner.report.cache_hits == hits_before + len(second)
+        finally:
+            runner.close()
+            join_workers(workers)
+        # one payload per job, never more (first-writer-wins)
+        assert cache.stats()["entries"] == len(serial_curve)
+        campaign = Campaign.load(
+            resolve_campaign_dir("parity", cache.directory)
+        )
+        assert campaign.total_jobs() == len(serial_curve)
+        assert campaign.complete
+
+    def test_unkeyable_jobs_run_locally_without_workers(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = FabricRunner(
+            listen="127.0.0.1:0", cache=cache, campaign="local"
+        )
+        try:
+            metric = lambda: 0.75  # noqa: E731 - deliberately unpicklable
+            results = runner.map([CallableJob.of(metric)])
+            assert results == [0.75]
+            assert runner.report.executed == 1
+        finally:
+            runner.close()
+
+
+# ----------------------------------------------------------------------
+# Worker death mid-chunk
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_killed_worker_loses_nothing(self, tmp_path, serial_curve):
+        cache = ResultCache(str(tmp_path / "cache"))
+        # chunk=2 forces multi-job leases so the death happens with an
+        # unfinished remainder on the lease.
+        runner = FabricRunner(
+            listen="127.0.0.1:0", cache=cache, campaign="deathmatch",
+            chunk=2,
+        )
+        doomed = spawn_workers(runner.address, 1, die_after=2)
+        survivors = spawn_workers(runner.address, 1)
+        try:
+            results = runner.map(curve_jobs())
+            assert payload_bytes(results) == payload_bytes(serial_curve)
+        finally:
+            runner.close()
+            join_workers(doomed + survivors)
+        assert doomed[0].exitcode == 17  # really died via the hook
+        assert survivors[0].exitcode == 0
+        # exactly one payload per job despite the re-execution
+        assert cache.stats()["entries"] == len(serial_curve)
+
+
+# ----------------------------------------------------------------------
+# Lease stealing and duplicate suppression (scripted fake workers)
+# ----------------------------------------------------------------------
+class FakeWorker:
+    """A hand-driven protocol client for deterministic lease tests."""
+
+    def __init__(self, coordinator, name):
+        self.name = name
+        self.conn = connect(coordinator.address, timeout=5.0)
+        welcome = self.conn.request({
+            "type": "hello", "protocol": PROTOCOL_VERSION,
+            "cache_version": CACHE_VERSION, "worker": name, "pid": os.getpid(),
+        })
+        assert welcome["type"] == "welcome"
+
+    def request(self):
+        return self.conn.request({"type": "request", "worker": self.name})
+
+    def send_result(self, lease_id, job_id, value):
+        return self.conn.request({
+            "type": "result", "worker": self.name, "lease": lease_id,
+            "job": job_id, "key": f"k{job_id}",
+            "payload": encode_bytes(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            ),
+        })
+
+    def close(self):
+        self.conn.close()
+
+
+class TestStealing:
+    def test_expired_lease_stolen_first_completion_wins(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        coordinator = Coordinator(
+            cache, chunk=4, min_lease_seconds=0.05, steal_factor=0.0
+        )
+        with coordinator:
+            jobs = [f"job{i}" for i in range(4)]
+            batch = coordinator.submit(jobs, [f"k{i}" for i in range(4)])
+            ids = [record.id for record in batch.jobs]
+            slow = FakeWorker(coordinator, "slow")
+            thief = FakeWorker(coordinator, "thief")
+            try:
+                lease1 = slow.request()
+                assert lease1["type"] == "lease"
+                assert len(lease1["jobs"]) == 4
+                time.sleep(0.1)  # let the lease deadline expire
+
+                lease2 = thief.request()
+                assert lease2["type"] == "lease"
+                assert sorted(j for j, _enc in lease2["jobs"]) == sorted(ids)
+                assert coordinator._reissues == 1
+
+                # Thief completes job 0 first; the slow worker's copy is
+                # a duplicate and its lease is flagged for abandonment.
+                ack = thief.send_result(lease2["lease"], ids[0], "thief-0")
+                assert ack == {
+                    "type": "ack", "duplicate": False, "abandon": False
+                }
+                ack = slow.send_result(lease1["lease"], ids[0], "slow-0")
+                assert ack["duplicate"] is True
+                assert ack["abandon"] is True
+                assert pickle.loads(cache.read_payload(f"k{ids[0]}")) == "thief-0"
+
+                # The slow worker wins job 1 — first completion counts
+                # even from a superseded lease.
+                ack = slow.send_result(lease1["lease"], ids[1], "slow-1")
+                assert ack["duplicate"] is False
+                assert ack["abandon"] is True
+                ack = thief.send_result(lease2["lease"], ids[1], "thief-1")
+                assert ack["duplicate"] is True
+                assert pickle.loads(cache.read_payload(f"k{ids[1]}")) == "slow-1"
+
+                for job_id in ids[2:]:
+                    thief.send_result(lease2["lease"], job_id, f"t-{job_id}")
+                assert batch.done()
+                assert batch.results[ids[0]] == "thief-0"
+                assert batch.results[ids[1]] == "slow-1"
+            finally:
+                slow.close()
+                thief.close()
+
+    def test_disconnect_requeues_immediately(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        coordinator = Coordinator(cache, chunk=2, min_lease_seconds=60.0)
+        with coordinator:
+            batch = coordinator.submit(["a", "b"], [None, None])
+            dying = FakeWorker(coordinator, "dying")
+            lease = dying.request()
+            assert lease["type"] == "lease"
+            dying.close()  # abrupt disconnect, lease deadline far away
+            deadline = time.monotonic() + 5.0
+            while coordinator.worker_count() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            healthy = FakeWorker(coordinator, "healthy")
+            try:
+                lease2 = healthy.request()
+                assert lease2["type"] == "lease"  # no 60s wait needed
+                for job_id, _enc in lease2["jobs"]:
+                    healthy.send_result(lease2["lease"], job_id, "v")
+                assert batch.done()
+            finally:
+                healthy.close()
+
+    def test_status_snapshot(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with Coordinator(cache, campaign="statusy") as coordinator:
+            coordinator.submit(["a", "b", "c"], [None, None, None])
+            coordinator.note_admitted(4, 1)
+            worker = FakeWorker(coordinator, "w1")
+            try:
+                lease = worker.request()
+                worker.send_result(lease["lease"], lease["jobs"][0][0], "v")
+                conn = connect(coordinator.address, timeout=5.0)
+                try:
+                    status = conn.request({"type": "status"})
+                finally:
+                    conn.close()
+            finally:
+                worker.close()
+        assert status["campaign"] == "statusy"
+        assert status["admitted"] == 4
+        assert status["cache_hits"] == 1
+        assert status["submitted"] == 3
+        assert status["done"] == 1
+        assert [w["name"] for w in status["workers"]] == ["w1"]
+        assert status["workers"][0]["jobs_done"] == 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume: kill the coordinator process mid-campaign
+# ----------------------------------------------------------------------
+class TestResume:
+    def _run_driver(self, campaign_dir, cache_dir, die_after):
+        env = dict(
+            os.environ,
+            FAB_CAMPAIGN_DIR=campaign_dir,
+            FAB_CACHE_DIR=cache_dir,
+            FAB_DIE_AFTER_RESULTS=str(die_after),
+            PYTHONPATH=os.pathsep.join(
+                [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+            ),
+        )
+        return subprocess.run(
+            [sys.executable, "-c",
+             "from tests._fabric_driver import main; raise SystemExit(main())"],
+            cwd=REPO_ROOT, env=env, timeout=180,
+        )
+
+    def test_coordinator_kill_then_resume_runs_only_missing(
+        self, tmp_path, serial_curve
+    ):
+        campaign_dir = str(tmp_path / "camp")
+        cache_dir = str(tmp_path / "cache")
+        proc = self._run_driver(campaign_dir, cache_dir, die_after=2)
+        assert proc.returncode == 42  # died via the driver's kill hook
+
+        cache = ResultCache(cache_dir)
+        campaign = Campaign.load(campaign_dir)
+        total = len(curve_jobs())
+        assert campaign.total_jobs() == total  # manifest preceded dispatch
+        assert not campaign.complete
+        cached_before = total - len(campaign.pending(cache))
+        # at least the two completions that triggered the kill survive;
+        # the campaign must be genuinely unfinished
+        assert 2 <= cached_before < total
+
+        runner = SweepRunner(jobs=1, cache=cache)
+        summary = resume_campaign(campaign_dir, runner)
+        runner.close()
+        assert summary["total"] == total
+        assert summary["cached"] == cached_before
+        assert summary["executed"] == total - cached_before
+        assert payload_bytes(summary["results"]) == payload_bytes(serial_curve)
+        # zero re-execution of cached jobs, proven three ways: the
+        # report's hit/executed split, the build counters (one
+        # simulator per executed job only), and the counters persisted
+        # into the cache directory.
+        assert runner.report.cache_hits == cached_before
+        assert runner.report.executed == total - cached_before
+        assert runner.report.sim_builds == total - cached_before
+        persisted = cache.persisted_counters()
+        assert persisted["hits"] == cached_before
+        assert persisted["misses"] == total - cached_before
+        assert Campaign.load(campaign_dir).complete
+
+        # resuming again is a pure cache replay
+        cache2 = ResultCache(cache_dir)
+        runner2 = SweepRunner(jobs=1, cache=cache2)
+        summary2 = resume_campaign(campaign_dir, runner2)
+        runner2.close()
+        assert summary2["cached"] == total
+        assert summary2["executed"] == 0
+        assert runner2.report.sim_builds == 0
+        assert payload_bytes(summary2["results"]) == payload_bytes(serial_curve)
+        assert cache2.persisted_counters()["hits"] == cached_before + total

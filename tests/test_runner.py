@@ -2,8 +2,11 @@
 the determinism guarantees of the experiment helpers built on them."""
 
 import functools
+import multiprocessing
 import os
 import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -19,6 +22,7 @@ from repro.network import SimulationConfig, Simulator, derive_seed
 from repro.network.stats import LatencySummary, OpenLoopResult
 from repro.runner import (
     BatchJob,
+    CallableJob,
     OpenLoopJob,
     ResultCache,
     SaturationJob,
@@ -437,3 +441,122 @@ class TestDeriveSeed:
 
     def test_with_seed(self):
         assert SimulationConfig(seed=1).with_seed(9).seed == 9
+
+
+# ----------------------------------------------------------------------
+# Multi-writer cache hardening (payload API + locked counters)
+# ----------------------------------------------------------------------
+def _flush_counter_deltas(cache_dir, rounds, per_round):
+    """Worker body for the concurrent-flush test: accumulate hit/miss
+    deltas in several small flushes racing the sibling processes."""
+    cache = ResultCache(cache_dir)
+    for _ in range(rounds):
+        cache.hits += per_round
+        cache.misses += per_round * 2
+        cache.flush_counters()
+    # a timed-out flush keeps its delta on the instance; drain it
+    # before exiting so no increment is lost with the process
+    while cache._flushed_hits < cache.hits:
+        cache.flush_counters()
+
+
+class TestCacheMultiWriter:
+    def test_payload_first_writer_wins(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert not cache.has("key1")
+        assert cache.read_payload("key1") is None
+        assert cache.put_payload("key1", pickle.dumps("first"))
+        assert cache.has("key1")
+        # second writer loses silently; the stored bytes stay intact
+        assert not cache.put_payload("key1", pickle.dumps("second"))
+        assert pickle.loads(cache.read_payload("key1")) == "first"
+        # explicit overwrite is still available (used by put())
+        assert cache.put_payload("key1", pickle.dumps("third"), overwrite=True)
+        hit, value = cache.get_by_key("key1")
+        assert (hit, value) == (True, "third")
+        assert cache.get_by_key("missing") == (False, None)
+        # the payload API never touches the hit/miss counters
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_concurrent_counter_flushes_lose_nothing(self, tmp_path):
+        cache_dir = str(tmp_path)
+        rounds, per_round, procs = 5, 3, 6
+        context = multiprocessing.get_context("spawn")
+        writers = [
+            context.Process(
+                target=_flush_counter_deltas,
+                args=(cache_dir, rounds, per_round),
+            )
+            for _ in range(procs)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+            assert writer.exitcode == 0
+        persisted = ResultCache(cache_dir).persisted_counters()
+        assert persisted["hits"] == procs * rounds * per_round
+        assert persisted["misses"] == procs * rounds * per_round * 2
+
+    def test_stale_lock_is_broken(self, tmp_path, monkeypatch):
+        from repro.runner import cache as cache_module
+
+        cache = ResultCache(str(tmp_path))
+        lock = os.path.join(str(tmp_path), cache_module.COUNTERS_LOCK_FILENAME)
+        with open(lock, "w"):
+            pass
+        old = time.time() - 2 * cache_module.LOCK_STALE_SECONDS
+        os.utime(lock, (old, old))
+        cache.hits = 4
+        cache.flush_counters()  # must not dead-wait on the orphan lock
+        assert ResultCache(str(tmp_path)).persisted_counters()["hits"] == 4
+
+
+# ----------------------------------------------------------------------
+# Worker-death recovery in the process-pool runner
+# ----------------------------------------------------------------------
+def _return_value(value):
+    return value
+
+
+def _die_once(flag_path):
+    """Kill the worker process on first execution, succeed after."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os._exit(1)
+    return "survived"
+
+
+def _always_die():
+    os._exit(1)
+
+
+class TestBrokenPoolRecovery:
+    def test_pool_rebuilt_and_lost_chunk_resubmitted(self, tmp_path):
+        flag = str(tmp_path / "died-once")
+        jobs = [CallableJob.of(_die_once, flag)] + [
+            CallableJob.of(_return_value, i) for i in range(4)
+        ]
+        with SweepRunner(jobs=2, cache=None) as runner:
+            results = runner.map(jobs)
+        assert results == ["survived", 0, 1, 2, 3]
+        assert os.path.exists(flag)
+        # the rebuilt pool still serves later maps
+        with SweepRunner(jobs=2, cache=None) as runner:
+            first = runner.map(jobs)
+            second = runner.map(
+                [CallableJob.of(_return_value, i) for i in range(4)]
+            )
+        assert first == ["survived", 0, 1, 2, 3]
+        assert second == [0, 1, 2, 3]
+
+    def test_rebuild_budget_exhausted_raises(self):
+        jobs = [CallableJob.of(_always_die) for _ in range(2)]
+        with SweepRunner(jobs=2, cache=None, pool_rebuilds=1) as runner:
+            with pytest.raises(BrokenProcessPool, match="giving up"):
+                runner.map(jobs)
+
+    def test_pool_rebuilds_validated(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=2, pool_rebuilds=-1)
