@@ -161,11 +161,30 @@ class RouteTable:
 
     def dor_next(self, current: int, target: int):
         """``(port, channel, hops_remaining)`` for the unique
-        dimension-order hop from ``current`` toward ``target``."""
+        dimension-order hop from ``current`` toward ``target``.
+
+        On HyperX-family topologies this is the flattened-butterfly DOR
+        hop (the per-phase hop of VAL and of UGAL's non-minimal mode);
+        on a torus it is the minimal-ring dimension-order hop of
+        :class:`~repro.topologies.torus.TorusDOR`.
+        """
         key = (current, target)
         entry = self._dor.get(key)
         if entry is None:
-            channel, remaining = dor_next_channel(self.topology, current, target)
+            topo = self.topology
+            if hasattr(topo, "differing_dims"):
+                channel, remaining = dor_next_channel(topo, current, target)
+            elif hasattr(topo, "ring_direction"):
+                from ...topologies.torus import torus_dor_next_channel
+
+                channel, remaining = torus_dor_next_channel(
+                    topo, current, target
+                )
+            else:
+                raise TypeError(
+                    f"{type(topo).__name__} has no dimension-order hop "
+                    f"family (needs differing_dims or ring_direction)"
+                )
             entry = (self._port_of[channel.index], channel, remaining)
             self._dor[key] = entry
         return entry
@@ -253,7 +272,14 @@ class RouteTable:
 
         if hasattr(topo, "differing_dims"):
             # HyperX family: minimal candidate sets and the unique
-            # dimension-order hop, for every ordered router pair.
+            # dimension-order hop, for every ordered router pair.  The
+            # ``dor_*``/``hops`` pair doubles as the non-minimal export:
+            # a Valiant route through intermediate m is the phase-0 walk
+            # along ``dor_channel[a, m]`` followed by the phase-1 walk
+            # along ``dor_channel[m, b]``, with ``hops[a, m] +
+            # hops[m, b]`` total channel hops — exactly the candidate
+            # arrays the batch kernel's vectorized UGAL compare and
+            # Valiant stepper index.
             entries = {
                 (a, b): self.minimal(a, b)
                 for a in range(R)
@@ -280,6 +306,23 @@ class RouteTable:
                 arrays.dor_port[a, b] = port
                 arrays.dor_channel[a, b] = channel.index
                 arrays.dor_hops[a, b] = remaining
+
+        elif hasattr(topo, "ring_direction"):
+            # Torus: the unique minimal-ring dimension-order hop of
+            # TorusDOR (VC/dateline state factored out), for every
+            # ordered router pair.  No minimal-candidate family — the
+            # torus algorithms here are oblivious.
+            arrays.dor_port = np.full((R, R), -1, dtype=np.int32)
+            arrays.dor_channel = np.full((R, R), -1, dtype=np.int32)
+            arrays.dor_hops = np.full((R, R), -1, dtype=np.int16)
+            for a in range(R):
+                for b in range(R):
+                    if a == b:
+                        continue
+                    port, channel, remaining = self.dor_next(a, b)
+                    arrays.dor_port[a, b] = port
+                    arrays.dor_channel[a, b] = channel.index
+                    arrays.dor_hops[a, b] = remaining
 
         if hasattr(topo, "destination_tag_next"):
             # Conventional butterfly: the unique destination-tag hop,
@@ -311,11 +354,19 @@ class RouteArrays:
     """Dense numpy encoding of a :class:`RouteTable`.
 
     Families absent from the table's topology stay ``None``:
-    ``minimal_*``/``dor_*`` exist for HyperX-family topologies,
-    ``dtag_*`` for conventional butterflies, ``hops`` always.  Padding
-    value is -1 throughout; ``minimal_count[a, b]`` gives the number of
-    valid leading entries of ``minimal_port[a, b]`` /
-    ``minimal_channel[a, b]``.
+    ``minimal_*`` exists for HyperX-family topologies, ``dor_*`` for
+    HyperX *and* torus topologies, ``dtag_*`` for conventional
+    butterflies, ``hops`` always.  Padding value is -1 throughout;
+    ``minimal_count[a, b]`` gives the number of valid leading entries
+    of ``minimal_port[a, b]`` / ``minimal_channel[a, b]``.
+
+    ``dor_*`` together with ``hops`` is also the **non-minimal /
+    Valiant-intermediate export**: for any intermediate router ``m``,
+    ``dor_channel[a, m]`` is the first hop of the to-intermediate
+    phase, ``dor_channel[m, b]`` the first hop of the to-destination
+    phase, and ``hops[a, m] + hops[m, b]`` the Valiant path length that
+    UGAL's delay estimate multiplies against the queue occupancy of
+    ``dor_channel[a, m]``.
     """
 
     num_routers: int

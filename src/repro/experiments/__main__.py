@@ -141,8 +141,10 @@ def main(argv=None) -> int:
         choices=list(KERNELS),
         default=None,
         help="simulation kernel for experiments that support the "
-        "option (currently fig04; 'batch' runs replicas in lockstep "
-        "on the vectorized backend and requires numpy)",
+        "option (fig04, fig05, fig06, fig12, ext_patterns; 'batch' "
+        "runs whole load grids and replica sets in lockstep on the "
+        "vectorized backend and requires numpy — experiments outside "
+        "its envelope say so and name the event-kernel fallback)",
     )
     parser.add_argument(
         "--profile",
@@ -238,6 +240,14 @@ def main(argv=None) -> int:
             profiler.enable()
         try:
             result = run(args.scale, **kwargs)
+        except NotImplementedError as exc:
+            if args.kernel is None:
+                raise
+            # The experiment (or a config inside it) is outside the
+            # requested kernel's envelope; the message already names
+            # the supported alternative.
+            print(f"[{name}] --kernel {args.kernel}: {exc}", file=sys.stderr)
+            return 2
         finally:
             runner.close()
         if profiler is not None:

@@ -26,6 +26,7 @@ from ..runner import (
     SimSpec,
     SweepRunner,
     execute_job,
+    run_batch_grid,
 )
 
 #: ``make_simulator`` arguments accepted by the sweep helpers: either a
@@ -266,6 +267,38 @@ def latency_load_curve(
         results.append(result)
         if stop_after_saturation and result.saturated:
             break
+    return results
+
+
+def batch_latency_load_curve(
+    spec: SimSpec,
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    warmup: int,
+    measure: int,
+    drain_max: int,
+    runner: Optional[SweepRunner] = None,
+    stop_after_saturation: bool = True,
+) -> List:
+    """Batched analogue of :func:`latency_load_curve`: the whole
+    ``(load x seed)`` grid compiles into **one** lockstep array program
+    (see :func:`repro.runner.run_batch_grid`), with cached points
+    served per-load under their unchanged per-point keys.
+
+    Returns one :class:`~repro.network.batch.BatchRunResult` per load.
+    With ``stop_after_saturation`` the curve is truncated at (and
+    including) the first load where *any* replica saturated — the grid
+    still simulates the points past the knee speculatively, exactly
+    like the parallel event-kernel sweep, and discards them for
+    output parity with the serial early-exit sweep.
+    """
+    results = run_batch_grid(
+        spec, loads, seeds, warmup, measure, drain_max, runner=runner
+    )
+    if stop_after_saturation:
+        for i, batch in enumerate(results):
+            if any(r.saturated for r in batch.results):
+                return results[: i + 1]
     return results
 
 

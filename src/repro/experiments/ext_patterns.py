@@ -10,9 +10,9 @@ not just the canonical one.
 
 from __future__ import annotations
 
-from ..core import ClosAD, MinimalAdaptive
+from ..core import ClosAD, MinimalAdaptive, UGAL
 from ..core.flattened_butterfly import FlattenedButterfly
-from ..network import SimulationConfig, Simulator
+from ..network import KERNELS, SimulationConfig, Simulator
 from ..runner import SaturationJob, SimSpec, execute_job
 from ..traffic import (
     BitComplement,
@@ -59,39 +59,66 @@ def _build_pattern(name: str, topology):
     raise ValueError(f"unknown pattern {name!r}")
 
 
-def _make(topology, algorithm_cls, pattern_name: str) -> Simulator:
+def _make(topology, algorithm_cls, pattern_name: str,
+          kernel: str = None) -> Simulator:
     return Simulator(
         topology,
         algorithm_cls(),
         _build_pattern(pattern_name, topology),
         SimulationConfig(seed=1),
+        kernel=kernel,
     )
 
 
-def run(scale=None, runner=None) -> ExperimentResult:
+def run(scale=None, runner=None, kernel=None) -> ExperimentResult:
     scale = resolve_scale(scale)
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    batch = kernel == "batch"
     k = scale.fb_k
+    dropped = []
+    if batch:
+        # Keep only the patterns the lockstep backend can draw, and
+        # swap the event-only CLOS AD column for UGAL — a global
+        # adaptive non-minimal algorithm inside the batch envelope, so
+        # the extension's robustness claim stays testable.
+        from ..network.batch import unsupported_reason
+
+        probe = FlattenedButterfly(k, 2)
+        pattern_names = []
+        for name in PATTERN_NAMES:
+            reason = unsupported_reason(pattern=_build_pattern(name, probe))
+            if reason is None:
+                pattern_names.append(name)
+            else:
+                dropped.append((name, reason))
+        algorithms = (("MIN AD", MinimalAdaptive), ("UGAL", UGAL))
+    else:
+        pattern_names = list(PATTERN_NAMES)
+        algorithms = (("MIN AD", MinimalAdaptive), ("CLOS AD", ClosAD))
+    nonmin_name = algorithms[1][0]
+    extra = {} if kernel is None else {"kernel": kernel}
     table = Table(
         title="saturation throughput by traffic pattern",
-        headers=["pattern", "MIN AD", "CLOS AD", "CLOS AD advantage"],
+        headers=["pattern", "MIN AD", nonmin_name, f"{nonmin_name} advantage"],
     )
     jobs = [
         SaturationJob(
-            SimSpec.of(_make, algorithm_cls, name).with_topology(
+            SimSpec.of(_make, algorithm_cls, name, **extra).with_topology(
                 FlattenedButterfly, k, 2
             ),
             scale.warmup,
             scale.measure,
         )
-        for name in PATTERN_NAMES
-        for algorithm_cls in (MinimalAdaptive, ClosAD)
+        for name in pattern_names
+        for _label, algorithm_cls in algorithms
     ]
     if runner is not None:
         outcomes = runner.map(jobs)
     else:
         outcomes = [execute_job(job) for job in jobs]
     point = iter(outcomes)
-    for name in PATTERN_NAMES:
+    for name in pattern_names:
         row = [next(point), next(point)]
         advantage = row[1] / row[0] if row[0] else float("inf")
         table.add(name, row[0], row[1], f"{advantage:.1f}x")
@@ -105,10 +132,17 @@ def run(scale=None, runner=None) -> ExperimentResult:
     )
     result.notes.append(
         "minimal routing collapses on every pattern that concentrates a "
-        "router's traffic on few inter-router channels; CLOS AD holds "
-        ">= ~0.5 throughout while matching minimal routing on benign "
-        "patterns"
+        f"router's traffic on few inter-router channels; {nonmin_name} "
+        "holds >= ~0.5 throughout while matching minimal routing on "
+        "benign patterns"
     )
+    if batch:
+        result.notes.append(
+            "kernel=batch: CLOS AD needs the event kernel — comparing "
+            "MIN AD vs UGAL instead"
+        )
+        for name, reason in dropped:
+            result.notes.append(f"kernel=batch: dropped {name!r} — {reason}")
     return result
 
 

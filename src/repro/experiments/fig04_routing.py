@@ -23,6 +23,7 @@ from .common import (
     ExperimentResult,
     Table,
     _summarize,
+    batch_latency_load_curve,
     latency_load_curve,
     replicate_jobs,
     resolve_scale,
@@ -36,11 +37,13 @@ ALGORITHMS: Dict[str, Callable] = {
     "CLOS AD": ClosAD,
 }
 
-#: Algorithms the vectorized batch kernel can run (the rest need
-#: non-minimal candidates or UGAL's dual-path comparison; see
-#: ``repro.network.batch``).  ``fig04 --kernel batch`` restricts its
-#: tables to this subset and says so in the result notes.
-BATCH_ALGORITHMS = ("MIN AD",)
+#: Algorithms the vectorized batch kernel can run — since the
+#: UGAL/Valiant vectorization this is everything except CLOS AD (whose
+#: two-phase Clos ascent has no dense-array program yet; see
+#: ``repro.network.batch.supported_algorithms``).  ``fig04 --kernel
+#: batch`` restricts its tables to this subset and says so in the
+#: result notes.
+BATCH_ALGORITHMS = ("MIN AD", "VAL", "UGAL", "UGAL-S")
 
 
 def _make(topology, algorithm_cls, pattern_factory, seed: int = 1,
@@ -93,24 +96,63 @@ def run(scale=None, runner=None, kernel=None, replicas=None) -> ExperimentResult
             f"latency vs offered load, {pattern_name} traffic",
             headers=["load"] + list(algorithms),
         )
-        curves = {
-            name: latency_load_curve(
-                _spec(scale.fb_k, cls, pattern_factory, kernel=kernel),
-                scale.loads,
-                scale.warmup,
-                scale.measure,
-                scale.drain_max,
-                runner=runner,
-                refine=4,
+        if batch:
+            # The whole (load x replica) grid per algorithm compiles
+            # into one lockstep array program; the per-point cache
+            # entries it fills are the same BatchOpenLoopJob keys a
+            # pointwise run would write (grid results are bit-identical
+            # per run).  Replica seeds come from the canonical family,
+            # so replica i is the same RNG stream everywhere.
+            curve_seeds = (
+                replica_seeds(scale.seeds[0], replicas)
+                if replicas is not None
+                else (scale.seeds[0],)
             )
-            for name, cls in algorithms.items()
-        }
+            curves = {
+                name: batch_latency_load_curve(
+                    _spec(scale.fb_k, cls, pattern_factory, kernel=kernel),
+                    scale.loads,
+                    curve_seeds,
+                    scale.warmup,
+                    scale.measure,
+                    scale.drain_max,
+                    runner=runner,
+                )
+                for name, cls in algorithms.items()
+            }
+        else:
+            curves = {
+                name: latency_load_curve(
+                    _spec(scale.fb_k, cls, pattern_factory, kernel=kernel),
+                    scale.loads,
+                    scale.warmup,
+                    scale.measure,
+                    scale.drain_max,
+                    runner=runner,
+                    refine=4,
+                )
+                for name, cls in algorithms.items()
+            }
         for i, load in enumerate(scale.loads):
             row = [load]
             for name in algorithms:
                 curve = curves[name]
-                if i < len(curve) and not curve[i].saturated:
-                    row.append(curve[i].latency.mean)
+                if i >= len(curve):
+                    row.append(float("inf"))
+                    continue
+                point = curve[i]
+                if batch:
+                    # A point is saturated if any replica saturated;
+                    # its latency cell is the replica-mean latency.
+                    if any(r.saturated for r in point.results):
+                        row.append(float("inf"))
+                    else:
+                        row.append(
+                            sum(r.latency.mean for r in point.results)
+                            / len(point.results)
+                        )
+                elif not point.saturated:
+                    row.append(point.latency.mean)
                 else:
                     row.append(float("inf"))
             latency.add(*row)
@@ -163,8 +205,8 @@ def run(scale=None, runner=None, kernel=None, replicas=None) -> ExperimentResult
     if batch:
         result.notes.append(
             f"kernel=batch: restricted to {', '.join(algorithms)} "
-            f"(the vectorized kernel covers minimal/deterministic "
-            f"algorithms only; see docs/BATCH.md)"
+            f"(CLOS AD needs the event kernel; latency curves ran as "
+            f"one lockstep load-grid per algorithm — see docs/BATCH.md)"
         )
     return result
 

@@ -14,7 +14,7 @@ from typing import Callable, Dict
 
 from ..core import ClosAD, MinimalAdaptive, UGAL, UGALSequential, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
-from ..network import SimulationConfig, Simulator
+from ..network import KERNELS, SimulationConfig, Simulator
 from ..runner import BatchJob, SimSpec, execute_job
 from ..traffic import adversarial
 from .common import ExperimentResult, Table, resolve_scale
@@ -28,24 +28,38 @@ ALGORITHMS: Dict[str, Callable] = {
 }
 
 
-def _make(topology, algorithm_cls) -> Simulator:
+def _make(topology, algorithm_cls, kernel: str = None) -> Simulator:
     return Simulator(
         topology,
         algorithm_cls(),
         adversarial(),
         SimulationConfig(),
+        kernel=kernel,
     )
 
 
-def run(scale=None, runner=None) -> ExperimentResult:
+def run(scale=None, runner=None, kernel=None) -> ExperimentResult:
     scale = resolve_scale(scale)
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    if kernel == "batch":
+        # The dynamic-response measurement drains one fixed batch of
+        # packets and watches the transient — a per-cycle delivery-hook
+        # workload the lockstep array backend has no program for.
+        raise NotImplementedError(
+            "fig05 measures dynamic batch response (Simulator.run_batch), "
+            "which kernel='batch' does not implement; use kernel='event'"
+        )
+    extra = {} if kernel is None else {"kernel": kernel}
     table = Table(
         title="batch latency / batch size (WC traffic)",
         headers=["batch size"] + list(ALGORITHMS),
     )
     jobs = [
         BatchJob(
-            SimSpec.of(_make, cls).with_topology(FlattenedButterfly, scale.fb_k, 2),
+            SimSpec.of(_make, cls, **extra).with_topology(
+                FlattenedButterfly, scale.fb_k, 2
+            ),
             batch,
         )
         for batch in scale.batch_sizes

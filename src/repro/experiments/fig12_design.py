@@ -17,7 +17,7 @@ from __future__ import annotations
 from ..analysis.scaling import table4_configs
 from ..core import MinimalAdaptive, Valiant
 from ..core.flattened_butterfly import FlattenedButterfly
-from ..network import SimulationConfig, Simulator
+from ..network import KERNELS, SimulationConfig, Simulator
 from ..runner import OpenLoopJob, SaturationJob, SimSpec, execute_job
 from ..traffic import UniformRandom
 from .common import ExperimentResult, Table, resolve_scale
@@ -25,17 +25,22 @@ from .common import ExperimentResult, Table, resolve_scale
 MIN_AD_BUFFER_PER_PORT = 64  # paper: 64 flit buffers per PC in Fig 12(b)
 
 
-def _make(topology, algorithm_cls, buffer_per_port: int = 32) -> Simulator:
+def _make(topology, algorithm_cls, buffer_per_port: int = 32,
+          kernel: str = None) -> Simulator:
     return Simulator(
         topology,
         algorithm_cls(),
         UniformRandom(),
         SimulationConfig(buffer_per_port=buffer_per_port),
+        kernel=kernel,
     )
 
 
-def run(scale=None, runner=None) -> ExperimentResult:
+def run(scale=None, runner=None, kernel=None) -> ExperimentResult:
     scale = resolve_scale(scale)
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; pick one of {KERNELS}")
+    extra = {} if kernel is None else {"kernel": kernel}
     configs = [
         cfg for cfg in table4_configs(scale.design_study_n) if cfg.n_prime <= 8
     ]
@@ -67,10 +72,11 @@ def run(scale=None, runner=None) -> ExperimentResult:
     jobs = []
     for cfg in configs:
         topo = SimSpec.of(FlattenedButterfly, cfg.k, cfg.n)
-        val_spec = SimSpec.of(_make, Valiant).with_topology(topo)
+        val_spec = SimSpec.of(_make, Valiant, **extra).with_topology(topo)
         min_spec = SimSpec.of(
             _make, MinimalAdaptive,
             buffer_per_port=MIN_AD_BUFFER_PER_PORT,
+            **extra,
         ).with_topology(topo)
         jobs.append(
             OpenLoopJob(val_spec, 0.1, scale.warmup, scale.measure,
@@ -105,6 +111,14 @@ def run(scale=None, runner=None) -> ExperimentResult:
         "long as several VCs are active; the paper's deeper router pipeline "
         "makes per-VC depth binding"
     )
+    if kernel == "batch":
+        result.notes.append(
+            "kernel=batch: the lockstep backend models sufficient "
+            "buffering, so the 64-flit-per-PC setting of Fig 12(b) does "
+            "not bind at all there; VAL saturation probes at offered "
+            "load 1.0 read a few points low (no-backpressure FIFO model "
+            "under deep saturation) — see docs/BATCH.md"
+        )
     return result
 
 

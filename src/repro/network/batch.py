@@ -1,16 +1,17 @@
 """Vectorized structure-of-arrays batch backend (``kernel="batch"``).
 
 Advances a whole *batch* of independent runs — all replicas of a load
-point sharing one topology — as one array program per cycle.  Where the
-event kernel moves Python flit objects between per-VC FIFOs, this
-backend represents every flit queue by a single **virtual service
-time**: each output channel and each ejection port of the exact
-simulator is a rate-1-flit-per-``period`` FIFO server, so a flit
-arriving at cycle ``t`` departs at ``max(t, next_free[q]) + rank *
-period`` and the queue's whole state is the scalar ``next_free[q]``.
-Flits themselves live in a cycle-indexed event calendar whose entries
-are numpy arrays over ``(run, router, dst, ...)``; per-cycle work is
-one vector program over every arrival of that cycle across every run.
+point, or a whole (load x replica) grid, sharing one topology — as one
+array program per cycle.  Where the event kernel moves Python flit
+objects between per-VC FIFOs, this backend represents every flit queue
+by a single **virtual service time**: each output channel and each
+ejection port of the exact simulator is a rate-1-flit-per-``period``
+FIFO server, so a flit arriving at cycle ``t`` departs at ``max(t,
+next_free[q]) + rank * period`` and the queue's whole state is the
+scalar ``next_free[q]``.  Flits themselves live in a cycle-indexed
+event calendar whose entries are numpy arrays over ``(run, router,
+dst, ...)``; per-cycle work is one vector program over every arrival
+of that cycle across every run.
 
 The model reproduces the exact kernel's timing rules (verified against
 ``repro.network.router``): with single-flit packets and sufficient
@@ -25,27 +26,53 @@ Deliberate, mean-preserving approximations (documented in
   channel's credit loop never throttles its 1-flit/cycle service below
   the saturation knee.
 * VC partitioning is merged into one FIFO per output port.
-* Occupancy for adaptive routing is estimated as the queue backlog
-  plus the credit-loop lag (``max(0, next_free - t + channel_latency +
+* Occupancy for adaptive routing — including UGAL's minimal-vs-Valiant
+  delay compare — is estimated as the queue backlog plus the
+  credit-loop lag (``max(0, next_free - t + channel_latency +
   credit_latency - 1)``) rather than the exact per-VC counter.
 * Source queues never back-pressure: a packet enters its injection
   router the cycle it is created, so ``network_latency`` equals total
   latency (the event kernel attributes saturated-queueing differently,
   which is why validation is statistical and below the knee).
 
+Non-minimal routing (VAL, UGAL, UGAL-S) is vectorized by giving every
+in-flight packet two extra columns: a pre-drawn **intermediate router**
+``imd`` and a **mode** (:data:`MODE_TABLE` minimal/oblivious table
+routing, :data:`MODE_VAL0` dimension order toward the intermediate,
+:data:`MODE_VAL1` dimension order toward the destination,
+:data:`MODE_UNDEC` awaiting UGAL's source-router decision).  Each
+cycle first flips ``VAL0 -> VAL1`` at the intermediate, then ejects
+(phase-0 packets pass *through* their destination, mirroring
+``inline_eject = False``), then resolves every undecided UGAL packet
+with one vectorized ``q_min * h_min <= q_val * h_val + threshold``
+compare over the occupancy estimate, then routes each mode through the
+dense DOR / minimal-candidate exports of
+:meth:`repro.core.routing.table.RouteTable.as_arrays`.  UGAL-S runs
+the decision *and* the routing inside the wave-ranked sequential
+emulation, so same-cycle decisions at one router see each other's
+allocator debits.
+
 Supported envelope: single-flit packets, no faults, ``speedup=None``,
-``UniformRandom``/``GroupShift`` traffic, and the DOR / dest-tag /
-MIN AD / clos-adaptive algorithms.  Everything else raises
-``NotImplementedError`` cleanly (UGAL, Valiant, multi-flit packets,
-fault models, ...).
+``UniformRandom``/``GroupShift`` traffic, and the algorithms listed by
+:func:`supported_algorithms` (DOR, torus-DOR, dest-tag, MIN AD,
+clos-adaptive, VAL, UGAL, UGAL-S).  Everything else raises
+``NotImplementedError`` cleanly, naming ``kernel='event'`` as the
+fallback; :func:`unsupported_reason` exposes the same check without
+raising so sweep layers can filter configurations up front.
 
 Randomness: run ``i`` draws everything (injection gaps, destinations,
-tie-breaks) from one ``numpy`` Generator seeded with its own replica
-seed (see :func:`repro.network.config.replica_seeds`), and every
-per-packet tie-break value is pre-drawn from that run's stream at
-packet creation.  Per-run results are therefore a pure function of the
-run's seed — **permutation-invariant** across the batch axis and
-identical whether the run executes alone or inside a larger batch.
+tie-breaks, Valiant intermediates) from one ``numpy`` Generator seeded
+with its own replica seed (see
+:func:`repro.network.config.replica_seeds`), and every per-packet
+value is pre-drawn from that run's stream at packet creation — the
+intermediate draw is appended *after* the destination and tie-break
+draws, so table-routed algorithms consume exactly the streams they
+always did.  Per-run results are therefore a pure function of the
+run's ``(seed, load)`` — **permutation-invariant** across the batch
+axis and identical whether the run executes alone, inside a replica
+batch, or inside a whole load grid (:meth:`BatchBackend.run_load_grid`
+is bit-identical to pointwise :meth:`BatchBackend.run_open_loop`
+calls, per run).
 
 numpy is an optional extra (``pip install repro[batch]``); importing
 this module without numpy works, using the backend raises.
@@ -73,6 +100,15 @@ INJECTION_CHUNK = 256
 
 #: Sentinel occupancy for padded candidate slots.
 _OCC_INF = 1 << 40
+
+#: Per-packet routing modes (the ``mode`` column of every calendar
+#: block).  Table-compiled algorithms keep every packet at
+#: ``MODE_TABLE``; VAL starts at ``MODE_VAL0``; UGAL starts at
+#: ``MODE_UNDEC`` and decides at the source router.
+MODE_TABLE = 0
+MODE_VAL0 = 1
+MODE_VAL1 = 2
+MODE_UNDEC = 3
 
 
 def _require_numpy() -> None:
@@ -117,9 +153,12 @@ class BatchRunResult:
 class _Program:
     """Topology + algorithm compiled to dense routing arrays.
 
-    One routing step reads ``cand[router, key_of_dst[dst]]`` — a padded
-    row of candidate channel indices (-1 pad, ``cand_n`` valid) — or
-    ejects when ``router == ej_router[dst]``.
+    One table routing step reads ``cand[router, key_of_dst[dst]]`` — a
+    padded row of candidate channel indices (-1 pad, ``cand_n`` valid)
+    — or ejects when ``router == ej_router[dst]``.  Non-minimal kinds
+    (``"val"``, ``"ugal"``) additionally carry the dense DOR hop
+    ``dor_chan[a, b]`` and inter-router hop counts ``hops_rr[a, b]``
+    that the Valiant phases walk and UGAL's delay estimate multiplies.
     """
 
     T: int  # terminals
@@ -128,39 +167,257 @@ class _Program:
     hmax: int  # max channel hops on any used path
     adaptive: bool
     sequential: bool  # same-cycle decisions see each other's debits
+    kind: str  # "table" | "val" | "ugal"
+    mode0: int  # mode every packet is born with
+    threshold: int  # UGAL minimal-path bias (flits)
     inj_router: "np.ndarray"  # [T]
     ej_router: "np.ndarray"  # [T]
     key_of_dst: "np.ndarray"  # [T]
     cand: "np.ndarray"  # [R, K, W] channel ids
     cand_n: "np.ndarray"  # [R, K]
     channel_dst: "np.ndarray"  # [C]
+    dor_chan: Optional["np.ndarray"] = None  # [R, R] channel ids
+    hops_rr: Optional["np.ndarray"] = None  # [R, R] int64 router hops
 
 
 def _validate_config(config: SimulationConfig) -> None:
     if config.packet_size != 1:
         raise NotImplementedError(
-            f"kernel='batch' supports single-flit packets only, got "
-            f"packet_size={config.packet_size}"
+            f"multi-flit packets: use kernel='event' (kernel='batch' is "
+            f"single-flit only, got packet_size={config.packet_size})"
         )
     if config.speedup is not None:
         raise NotImplementedError(
-            "kernel='batch' models sufficient switch speedup only "
-            "(speedup=None)"
+            "finite switch speedup: use kernel='event' (kernel='batch' "
+            "models sufficient speedup only, speedup=None)"
         )
     faults = config.faults
     if faults is not None and not faults.trivial:
         raise NotImplementedError(
-            "kernel='batch' does not support fault injection; use the "
-            "event kernel"
+            "fault injection: use kernel='event' (kernel='batch' has no "
+            "fault model)"
         )
+
+
+# ----------------------------------------------------------------------
+# Program builders: one per supported algorithm class.
+# ----------------------------------------------------------------------
+def _build_min_adaptive(topology, algorithm, table):
+    arrays = table.as_arrays()
+    if arrays.minimal_channel is None:
+        raise NotImplementedError(
+            f"{algorithm.name} on {type(topology).__name__} has no "
+            f"minimal-candidate export"
+        )
+    cand_n = arrays.minimal_count.astype(np.int16)
+    return dict(
+        cand=arrays.minimal_channel.astype(np.int32),
+        cand_n=cand_n,
+        key_of_dst=None,  # ej_router
+        adaptive=int(cand_n.max()) > 1,
+        hmax=int(arrays.hops.max()),
+    )
+
+
+def _build_dor(topology, algorithm, table):
+    arrays = table.as_arrays()
+    if arrays.dor_channel is None:
+        raise NotImplementedError(
+            f"{algorithm.name} on {type(topology).__name__} has no "
+            f"DOR export"
+        )
+    return dict(
+        cand=arrays.dor_channel.astype(np.int32)[:, :, None],
+        cand_n=(arrays.dor_channel >= 0).astype(np.int16),
+        key_of_dst=None,
+        adaptive=False,
+        hmax=int(arrays.hops.max()),
+    )
+
+
+def _build_torus_dor(topology, algorithm, table):
+    # Identical table shape to HyperX DOR: the torus export is the
+    # unique minimal-ring dimension-order hop with the VC/dateline
+    # state factored out (VCs are merged in this backend anyway).
+    return _build_dor(topology, algorithm, table)
+
+
+def _build_dtag(topology, algorithm, table):
+    arrays = table.as_arrays()
+    if arrays.dtag_channel is None:
+        raise NotImplementedError(
+            f"{algorithm.name} on {type(topology).__name__} has no "
+            f"destination-tag export"
+        )
+    T = topology.num_terminals
+    return dict(
+        cand=arrays.dtag_channel.astype(np.int32)[:, :, None],
+        cand_n=(arrays.dtag_channel >= 0).astype(np.int16),
+        key_of_dst=(np.arange(T, dtype=np.int32) // topology.k).astype(
+            np.int32
+        ),
+        adaptive=False,
+        hmax=topology.n - 1,
+    )
+
+
+def _build_folded_clos(topology, algorithm, table):
+    # Not served by RouteTable (no HyperX/butterfly family): built
+    # directly from the topology's uplink/downlink structure.
+    T = topology.num_terminals
+    R = topology.num_routers
+    leaves = topology.num_leaves
+    spines = topology.num_spines
+    W = max(spines, 1)
+    cand = np.full((R, leaves, W), -1, dtype=np.int32)
+    cand_n = np.zeros((R, leaves), dtype=np.int16)
+    for leaf in range(leaves):
+        ups = [ch.index for ch in topology.uplinks(leaf)]
+        for key in range(leaves):
+            if key == leaf:
+                continue  # at the destination leaf the packet ejects
+            cand[leaf, key, : len(ups)] = ups
+            cand_n[leaf, key] = len(ups)
+    for s in range(spines):
+        spine = leaves + s
+        for key in range(leaves):
+            cand[spine, key, 0] = topology.downlink(spine, key).index
+            cand_n[spine, key] = 1
+    key_of_dst = np.array(
+        [topology.leaf_of_terminal(t) for t in range(T)], dtype=np.int32
+    )
+    return dict(
+        cand=cand,
+        cand_n=cand_n,
+        key_of_dst=key_of_dst,
+        adaptive=spines > 1,
+        hmax=2,
+    )
+
+
+def _nonminimal_exports(topology, algorithm, table):
+    if not hasattr(topology, "differing_dims"):
+        raise TypeError(
+            f"{algorithm.name} requires a HyperX-family topology"
+        )
+    arrays = table.as_arrays()
+    return arrays, arrays.dor_channel.astype(np.int32), arrays.hops.astype(
+        np.int64
+    )
+
+
+def _build_valiant(topology, algorithm, table):
+    arrays, dor_chan, hops_rr = _nonminimal_exports(
+        topology, algorithm, table
+    )
+    return dict(
+        # Valiant packets never route by table (both phases are DOR),
+        # but a well-formed table keeps the program uniform.
+        cand=dor_chan[:, :, None],
+        cand_n=(dor_chan >= 0).astype(np.int16),
+        key_of_dst=None,
+        adaptive=False,  # oblivious: no tie-break draws
+        hmax=2 * int(arrays.hops.max()),
+        kind="val",
+        mode0=MODE_VAL0,
+        dor_chan=dor_chan,
+        hops_rr=hops_rr,
+    )
+
+
+def _build_ugal(topology, algorithm, table):
+    arrays, dor_chan, hops_rr = _nonminimal_exports(
+        topology, algorithm, table
+    )
+    if arrays.minimal_channel is None:
+        raise NotImplementedError(
+            f"{algorithm.name} on {type(topology).__name__} has no "
+            f"minimal-candidate export"
+        )
+    return dict(
+        cand=arrays.minimal_channel.astype(np.int32),
+        cand_n=arrays.minimal_count.astype(np.int16),
+        key_of_dst=None,
+        adaptive=True,  # minimal mode is MIN AD's tie-broken pick
+        hmax=2 * int(arrays.hops.max()),
+        kind="ugal",
+        mode0=MODE_UNDEC,
+        threshold=int(algorithm.threshold),
+        dor_chan=dor_chan,
+        hops_rr=hops_rr,
+    )
+
+
+def _builder_registry():
+    """``{algorithm class: builder}`` for every algorithm this backend
+    compiles.  Lazy so importing :mod:`repro.network.batch` stays
+    cheap and numpy-free."""
+    from ..core.routing.dor import DimensionOrder
+    from ..core.routing.min_adaptive import MinimalAdaptive
+    from ..core.routing.ugal import UGAL, UGALSequential
+    from ..core.routing.valiant import Valiant
+    from ..topologies.routing import DestinationTag, FoldedClosAdaptive
+    from ..topologies.torus import TorusDOR
+
+    return {
+        MinimalAdaptive: _build_min_adaptive,
+        DimensionOrder: _build_dor,
+        TorusDOR: _build_torus_dor,
+        DestinationTag: _build_dtag,
+        FoldedClosAdaptive: _build_folded_clos,
+        Valiant: _build_valiant,
+        UGAL: _build_ugal,
+        UGALSequential: _build_ugal,
+    }
+
+
+def supported_algorithms() -> Tuple[str, ...]:
+    """Names of every routing algorithm ``kernel='batch'`` compiles,
+    sorted (derived from the builder registry, never hardcoded)."""
+    return tuple(sorted({cls.name for cls in _builder_registry()}))
+
+
+def unsupported_reason(
+    algorithm=None, pattern=None, config=None
+) -> Optional[str]:
+    """Why ``kernel='batch'`` cannot run this combination, or ``None``
+    if it can.  Checks the algorithm class, traffic-pattern class, and
+    config envelope without compiling anything, so sweep layers can
+    filter configurations up front; topology-specific export gaps
+    (e.g. UGAL on a torus) still raise at build time."""
+    if config is not None:
+        try:
+            _validate_config(config)
+        except NotImplementedError as exc:
+            return str(exc)
+    if algorithm is not None and type(algorithm) not in _builder_registry():
+        return (
+            f"kernel='batch' does not implement {algorithm.name!r} "
+            f"(supported: {', '.join(supported_algorithms())}); use "
+            f"kernel='event'"
+        )
+    if pattern is not None:
+        from ..traffic.patterns import GroupShift, UniformRandom
+
+        if type(pattern) not in (UniformRandom, GroupShift):
+            return (
+                f"kernel='batch' does not implement the {pattern.name!r} "
+                f"traffic pattern (supported: UR, group-shift); use "
+                f"kernel='event'"
+            )
+    return None
 
 
 def _build_program(topology, algorithm, table) -> _Program:
     """Compile ``(topology, algorithm)`` into a :class:`_Program`, or
     raise ``NotImplementedError`` for unsupported algorithms."""
-    from ..core.routing.dor import DimensionOrder
-    from ..core.routing.min_adaptive import MinimalAdaptive
-    from ..topologies.routing import DestinationTag, FoldedClosAdaptive
+    builder = _builder_registry().get(type(algorithm))
+    if builder is None:
+        raise NotImplementedError(
+            f"kernel='batch' does not implement {algorithm.name!r} "
+            f"(supported: {', '.join(supported_algorithms())}); use "
+            f"kernel='event'"
+        )
 
     T = topology.num_terminals
     R = topology.num_routers
@@ -175,93 +432,28 @@ def _build_program(topology, algorithm, table) -> _Program:
         [channel.dst for channel in topology.channels], dtype=np.int32
     )
 
-    kind = type(algorithm)
-    if kind is MinimalAdaptive:
-        arrays = table.as_arrays()
-        if arrays.minimal_channel is None:
-            raise NotImplementedError(
-                f"{algorithm.name} on {type(topology).__name__} has no "
-                f"minimal-candidate export"
-            )
-        cand = arrays.minimal_channel.astype(np.int32)  # [R, R, W]
-        cand_n = arrays.minimal_count.astype(np.int16)
+    built = builder(topology, algorithm, table)
+    key_of_dst = built["key_of_dst"]
+    if key_of_dst is None:
         key_of_dst = ej_router.astype(np.int32)
-        adaptive = int(cand_n.max()) > 1
-        hmax = int(arrays.hops.max())
-    elif kind is DimensionOrder:
-        arrays = table.as_arrays()
-        if arrays.dor_channel is None:
-            raise NotImplementedError(
-                f"{algorithm.name} on {type(topology).__name__} has no "
-                f"DOR export"
-            )
-        cand = arrays.dor_channel.astype(np.int32)[:, :, None]
-        cand_n = (arrays.dor_channel >= 0).astype(np.int16)
-        key_of_dst = ej_router.astype(np.int32)
-        adaptive = False
-        hmax = int(arrays.hops.max())
-    elif kind is DestinationTag:
-        arrays = table.as_arrays()
-        if arrays.dtag_channel is None:
-            raise NotImplementedError(
-                f"{algorithm.name} on {type(topology).__name__} has no "
-                f"destination-tag export"
-            )
-        cand = arrays.dtag_channel.astype(np.int32)[:, :, None]
-        cand_n = (arrays.dtag_channel >= 0).astype(np.int16)
-        key_of_dst = (np.arange(T, dtype=np.int32) // topology.k).astype(
-            np.int32
-        )
-        adaptive = False
-        hmax = topology.n - 1
-    elif kind is FoldedClosAdaptive:
-        # Not served by RouteTable (no HyperX/butterfly family): built
-        # directly from the topology's uplink/downlink structure.
-        leaves = topology.num_leaves
-        spines = topology.num_spines
-        W = max(spines, 1)
-        cand = np.full((R, leaves, W), -1, dtype=np.int32)
-        cand_n = np.zeros((R, leaves), dtype=np.int16)
-        for leaf in range(leaves):
-            ups = [ch.index for ch in topology.uplinks(leaf)]
-            for key in range(leaves):
-                if key == leaf:
-                    continue  # at the destination leaf the packet ejects
-                cand[leaf, key, : len(ups)] = ups
-                cand_n[leaf, key] = len(ups)
-        for s in range(spines):
-            spine = leaves + s
-            for key in range(leaves):
-                cand[spine, key, 0] = topology.downlink(spine, key).index
-                cand_n[spine, key] = 1
-        key_of_dst = (
-            np.array(
-                [topology.leaf_of_terminal(t) for t in range(T)],
-                dtype=np.int32,
-            )
-        )
-        adaptive = spines > 1
-        hmax = 2
-    else:
-        raise NotImplementedError(
-            f"kernel='batch' does not implement {algorithm.name!r}; "
-            f"supported: MIN AD, DOR, dest-tag, clos-adaptive (use the "
-            f"event kernel for the rest)"
-        )
-
     return _Program(
         T=T,
         R=R,
         C=C,
-        hmax=max(int(hmax), 1),
-        adaptive=adaptive,
+        hmax=max(int(built["hmax"]), 1),
+        adaptive=bool(built["adaptive"]),
         sequential=bool(algorithm.sequential),
+        kind=built.get("kind", "table"),
+        mode0=int(built.get("mode0", MODE_TABLE)),
+        threshold=int(built.get("threshold", 0)),
         inj_router=inj_router,
         ej_router=ej_router,
         key_of_dst=key_of_dst,
-        cand=np.ascontiguousarray(cand),
-        cand_n=cand_n,
+        cand=np.ascontiguousarray(built["cand"]),
+        cand_n=built["cand_n"],
         channel_dst=channel_dst,
+        dor_chan=built.get("dor_chan"),
+        hops_rr=built.get("hops_rr"),
     )
 
 
@@ -312,7 +504,8 @@ class BatchBackend:
             return "group"
         raise NotImplementedError(
             f"kernel='batch' does not implement the {pattern.name!r} "
-            f"traffic pattern (supported: UR, group-shift)"
+            f"traffic pattern (supported: UR, group-shift); use "
+            f"kernel='event'"
         )
 
     def _draw_dsts(self, gen, srcs):
@@ -347,15 +540,53 @@ class BatchBackend:
     ) -> BatchRunResult:
         """Batched analogue of :meth:`Simulator.run_open_loop`: one
         warmup/label/drain measurement per seed, advanced in lockstep."""
-        end = warmup + measure
-        if drain_max <= end:
-            raise ValueError(
-                f"drain_max={drain_max} must exceed warmup+measure={end}: "
-                f"the run would be cut off before the measurement window "
-                f"ends and its labeled packets could never all be observed "
-                f"draining"
-            )
-        return self._run(load, tuple(seeds), warmup, measure, drain_max, True)
+        seeds = tuple(seeds)
+        self._check_window(warmup, measure, drain_max)
+        load_of_run = np.full(len(seeds) or 1, float(load))
+        results, created, delivered, wall = self._run(
+            load_of_run, seeds, warmup, measure, drain_max, True
+        )
+        return self._wrap(
+            float(load), seeds, warmup, measure, drain_max,
+            results, created, delivered, wall,
+        )
+
+    def run_load_grid(
+        self,
+        loads: Sequence[float],
+        seeds: Sequence[int],
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ) -> List[BatchRunResult]:
+        """One lockstep array program over the whole ``(load x seed)``
+        grid: every load point's replicas advance together, and the
+        result is reshaped into one :class:`BatchRunResult` per load —
+        element ``i`` is **bit-identical** to
+        ``run_open_loop(loads[i], seeds, ...)`` on a fresh backend,
+        because each run's state and random stream are its own (the
+        batch axis only shares the cycle loop and the compiled
+        program)."""
+        loads = [float(load) for load in loads]
+        seeds = tuple(seeds)
+        if not loads:
+            raise ValueError("need at least one load")
+        self._check_window(warmup, measure, drain_max)
+        S = len(seeds) or 1
+        load_of_run = np.repeat(np.asarray(loads), S)
+        all_seeds = seeds * len(loads)
+        results, created, delivered, wall = self._run(
+            load_of_run, all_seeds, warmup, measure, drain_max, True
+        )
+        out = []
+        for i, load in enumerate(loads):
+            cut = slice(i * S, (i + 1) * S)
+            out.append(self._wrap(
+                load, seeds, warmup, measure, drain_max,
+                results[cut], created[cut], delivered[cut],
+                wall / len(loads),
+            ))
+        return out
 
     def measure_saturation(
         self,
@@ -365,25 +596,60 @@ class BatchBackend:
     ) -> List[float]:
         """Accepted throughput at offered load 1.0, one value per seed
         (batched :meth:`Simulator.measure_saturation_throughput`)."""
-        result = self._run(
-            1.0, tuple(seeds), warmup, measure, warmup + measure, False
+        seeds = tuple(seeds)
+        load_of_run = np.ones(len(seeds) or 1)
+        results, _created, _delivered, _wall = self._run(
+            load_of_run, seeds, warmup, measure, warmup + measure, False
         )
-        return [r.accepted_throughput for r in result.results]
+        return [r.accepted_throughput for r in results]
+
+    @staticmethod
+    def _check_window(warmup: int, measure: int, drain_max: int) -> None:
+        end = warmup + measure
+        if drain_max <= end:
+            raise ValueError(
+                f"drain_max={drain_max} must exceed warmup+measure={end}: "
+                f"the run would be cut off before the measurement window "
+                f"ends and its labeled packets could never all be observed "
+                f"draining"
+            )
+
+    def _wrap(self, load, seeds, warmup, measure, drain_max, results,
+              created, delivered, wall) -> BatchRunResult:
+        B = len(results)
+        return BatchRunResult(
+            offered_load=load,
+            seeds=tuple(int(s) for s in seeds),
+            warmup=warmup,
+            measure=measure,
+            drain_max=drain_max,
+            results=list(results),
+            packets_created=tuple(int(v) for v in created),
+            packets_delivered=tuple(int(v) for v in delivered),
+            packets_in_flight=tuple(
+                int(c - d) for c, d in zip(created, delivered)
+            ),
+            packets_dropped=(0,) * B,
+            wall_seconds=wall,
+        )
 
     # ------------------------------------------------------------------
     # The cycle loop
     # ------------------------------------------------------------------
     def _run(
         self,
-        load: float,
+        load_of_run: "np.ndarray",
         seeds: Tuple[int, ...],
         warmup: int,
         measure: int,
         drain_max: int,
         drain: bool,
-    ) -> BatchRunResult:
-        if not 0.0 < load <= 1.0:
-            raise ValueError(f"offered load must be in (0, 1], got {load}")
+    ):
+        for load in np.unique(load_of_run):
+            if not 0.0 < load <= 1.0:
+                raise ValueError(
+                    f"offered load must be in (0, 1], got {load}"
+                )
         if not seeds:
             raise ValueError("need at least one seed")
         self._consume()
@@ -394,8 +660,9 @@ class BatchBackend:
         T, C = prog.T, prog.C
         Q = C + T  # channel queues then per-terminal ejection queues
         end = warmup + measure
-        rate = load  # packet_size == 1
+        rates = load_of_run.astype(float)  # packet_size == 1
         ucols = prog.hmax + 1
+        nonmin = prog.kind != "table"
 
         gens = [np.random.default_rng(int(seed)) for seed in seeds]
 
@@ -410,7 +677,7 @@ class BatchBackend:
         # geometric-gap calendar of BernoulliInjection, vectorized.
         next_inj = np.empty((B, T), dtype=np.int64)
         for b, gen in enumerate(gens):
-            next_inj[b] = -1 + gen.geometric(rate, size=T)
+            next_inj[b] = -1 + gen.geometric(rates[b], size=T)
 
         # Event calendars: cycle -> list of array blocks.
         cal: Dict[int, list] = {}
@@ -444,8 +711,8 @@ class BatchBackend:
                 c1 = chunk_end + INJECTION_CHUNK
                 for b, gen in enumerate(gens):
                     if not done[b]:
-                        self._gen_chunk(b, gen, rate, c1, next_inj, inj_cal,
-                                        ucols)
+                        self._gen_chunk(b, gen, rates[b], c1, next_inj,
+                                        inj_cal, ucols)
                 chunk_end = c1
 
             blocks = cal.pop(t, [])
@@ -453,7 +720,7 @@ class BatchBackend:
                 b = blk[0]
                 if done[b]:
                     continue
-                routers, dsts, u_route, u_rank = blk[1:]
+                routers, dsts, imds, u_route, u_rank = blk[1:]
                 n = routers.size
                 created[b] += n
                 if warmup <= t < end:
@@ -464,24 +731,38 @@ class BatchBackend:
                     dsts,
                     np.full(n, t, dtype=np.int64),
                     np.zeros(n, dtype=np.int16),
+                    imds,
+                    np.full(n, prog.mode0, dtype=np.int8),
                     u_route,
                     u_rank,
                 ))
 
             if blocks:
                 if len(blocks) == 1:
-                    run, router, dst, born, hops, u_route, u_rank = blocks[0]
+                    (run, router, dst, born, hops, imd, mode, u_route,
+                     u_rank) = blocks[0]
                 else:
                     run = np.concatenate([blk[0] for blk in blocks])
                     router = np.concatenate([blk[1] for blk in blocks])
                     dst = np.concatenate([blk[2] for blk in blocks])
                     born = np.concatenate([blk[3] for blk in blocks])
                     hops = np.concatenate([blk[4] for blk in blocks])
-                    u_route = np.concatenate([blk[5] for blk in blocks])
-                    u_rank = np.concatenate([blk[6] for blk in blocks])
+                    imd = np.concatenate([blk[5] for blk in blocks])
+                    mode = np.concatenate([blk[6] for blk in blocks])
+                    u_route = np.concatenate([blk[7] for blk in blocks])
+                    u_rank = np.concatenate([blk[8] for blk in blocks])
                 n_events += np.bincount(run, minlength=B)
 
                 ej = prog.ej_router[dst] == router
+                if nonmin:
+                    # Event-kernel route() order: the VAL0 -> VAL1 flip
+                    # at the intermediate happens *before* the ejection
+                    # test, and phase-0 packets pass through their
+                    # destination router (inline_eject = False).
+                    flip = (mode == MODE_VAL0) & (imd == router)
+                    if flip.any():
+                        mode[flip] = MODE_VAL1
+                    ej &= mode != MODE_VAL0
                 fwd = np.flatnonzero(~ej)
                 ej = np.flatnonzero(ej)
 
@@ -490,8 +771,8 @@ class BatchBackend:
                 q[ej] = run[ej].astype(np.int64) * Q + C + dst[ej]
                 if fwd.size:
                     chan = self._route(
-                        run, router, dst, hops, u_route, u_rank, fwd,
-                        next_free, Q, t, occ_grace,
+                        run, router, dst, hops, imd, mode, u_route,
+                        u_rank, fwd, next_free, Q, t, occ_grace,
                     )
                     n_routes += np.bincount(run[fwd], minlength=B)
                     q[fwd] = run[fwd].astype(np.int64) * Q + chan
@@ -528,7 +809,7 @@ class BatchBackend:
                     self._push(
                         cal, arrival, run[fwd], prog.channel_dst[chan],
                         dst[fwd], born[fwd], (hops[fwd] + 1).astype(np.int16),
-                        u_route[fwd], u_rank[fwd],
+                        imd[fwd], mode[fwd], u_route[fwd], u_rank[fwd],
                     )
 
             arr = eject_at.pop(t, None)
@@ -558,20 +839,21 @@ class BatchBackend:
             t += 1
 
         wall = time.perf_counter() - started
-        return self._finalize(
-            load, seeds, warmup, measure, drain_max, cycles, saturated,
-            frozen_created, frozen_delivered, labeled_created, win_ejects,
-            n_events, n_routes, rec_run, rec_created, rec_dep, rec_hops,
-            wall,
+        results = self._finalize(
+            load_of_run, measure, cycles, saturated, labeled_created,
+            frozen_delivered, win_ejects, n_events, n_routes, rec_run,
+            rec_created, rec_dep, rec_hops, wall,
         )
+        return results, frozen_created, frozen_delivered, wall
 
     # ------------------------------------------------------------------
     def _gen_chunk(self, b, gen, rate, c1, next_inj, inj_cal, ucols) -> None:
         """Generate run ``b``'s injections with cycle < ``c1`` into
         ``inj_cal`` (vectorized geometric gaps continuing the per-run
-        calendar), together with each packet's destination and pre-drawn
-        tie-break uniforms, all from run ``b``'s own generator in a
-        canonical (cycle, terminal) order."""
+        calendar), together with each packet's destination, pre-drawn
+        tie-break uniforms, and (non-minimal algorithms) Valiant
+        intermediate, all from run ``b``'s own generator in a canonical
+        (cycle, terminal) order."""
         nt = next_inj[b]
         times_parts: List["np.ndarray"] = []
         terms_parts: List["np.ndarray"] = []
@@ -610,13 +892,21 @@ class BatchBackend:
         t_all = t_all[order]
         j_all = j_all[order]
         n = t_all.size
+        prog = self.program
         dsts = self._draw_dsts(gen, j_all)
-        if self.program.adaptive:
+        if prog.adaptive:
             u_route = gen.random((n, ucols), dtype=np.float32)
         else:
             u_route = np.zeros((n, ucols), dtype=np.float32)
         u_rank = gen.random((n, ucols), dtype=np.float32)
-        routers = self.program.inj_router[j_all]
+        if prog.kind != "table":
+            # Drawn *after* the destination/tie-break draws so
+            # table-compiled algorithms consume exactly the streams
+            # they always did (bit-compatibility of the pinned runs).
+            imds = gen.integers(0, prog.R, size=n).astype(np.int32)
+        else:
+            imds = np.zeros(n, dtype=np.int32)
+        routers = prog.inj_router[j_all]
         cuts = np.flatnonzero(
             np.r_[True, t_all[1:] != t_all[:-1]]
         )
@@ -628,80 +918,236 @@ class BatchBackend:
                 b,
                 routers[start:stop],
                 dsts[start:stop],
+                imds[start:stop],
                 u_route[start:stop],
                 u_rank[start:stop],
             ))
 
-    def _route(self, run, router, dst, hops, u_route, u_rank, fwd, next_free,
-               Q, t, occ_grace):
-        """Channel choice for the forwarded events ``fwd``: the single
-        table candidate, or (adaptive) a uniform draw among the
-        minimum-occupancy candidates — the vectorized twin of
-        ``pick_min_cost`` over ``port_occupancy``.
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, run, router, dst, hops, imd, mode, u_route, u_rank,
+               fwd, next_free, Q, t, occ_grace):
+        """Channel choice for the forwarded events ``fwd``."""
+        if self.program.kind == "table":
+            return self._route_table(
+                run, router, dst, hops, u_route, u_rank, fwd, next_free,
+                Q, t, occ_grace,
+            )
+        return self._route_nonminimal(
+            run, router, dst, hops, imd, mode, u_route, u_rank, fwd,
+            next_free, Q, t, occ_grace,
+        )
 
-        For sequential-allocator algorithms (clos-adaptive), same-cycle
-        decisions at one router must see each other's debits — each
-        earlier pick makes its uplink one flit deeper.  That is
-        emulated by routing in *waves*: events are ranked within their
-        ``(run, router)`` group (by their pre-drawn per-run uniform, so
-        the order is random yet batch-composition independent) and wave
-        ``w`` routes with the debits of waves ``< w`` added in.  Within
-        one wave every group contributes at most one event and no two
-        groups share an output channel, so the scatter-add is
-        conflict-free.
-        """
+    def _pick_table(self, run, router, dst, hops, u_route, sel, next_free,
+                    Q, t, occ_grace, debit_arr):
+        """Table-candidate channel choice for the events ``sel``: the
+        single candidate, or (adaptive) a uniform draw among the
+        minimum-occupancy candidates — the vectorized twin of
+        ``pick_min_cost`` over ``port_occupancy``, with the sequential
+        allocator's same-cycle debits added in when ``debit_arr`` is
+        given."""
         prog = self.program
-        r = router[fwd]
-        key = prog.key_of_dst[dst[fwd]]
+        r = router[sel]
+        key = prog.key_of_dst[dst[sel]]
         cands = prog.cand[r, key]  # (m, W)
         if not prog.adaptive or cands.shape[1] == 1:
             return cands[:, 0].astype(np.int64)
-        m = fwd.size
         valid = cands >= 0
-        qidx = run[fwd, None].astype(np.int64) * Q + np.where(valid, cands, 0)
+        qidx = run[sel, None].astype(np.int64) * Q + np.where(valid, cands, 0)
         occ = next_free[qidx] - (t - occ_grace)
         np.clip(occ, 0, None, out=occ)
+        if debit_arr is not None:
+            occ += np.where(valid, debit_arr[qidx], 0)
         occ[~valid] = _OCC_INF
-        rows = np.arange(m)
-        u = u_route[fwd, hops[fwd]]
+        u = u_route[sel, hops[sel]]
+        mn = occ.min(axis=1, keepdims=True)
+        tied = occ == mn
+        ties = tied.sum(axis=1)
+        j = np.minimum((u * ties).astype(np.int64), ties - 1)
+        pos = np.cumsum(tied, axis=1) - 1
+        choice = (tied & (pos == j[:, None])).argmax(axis=1)
+        return cands[np.arange(sel.size), choice].astype(np.int64)
 
-        def pick(occ_w, sel):
-            mn = occ_w.min(axis=1, keepdims=True)
-            tied = occ_w == mn
-            ties = tied.sum(axis=1)
-            j = np.minimum((u[sel] * ties).astype(np.int64), ties - 1)
-            pos = np.cumsum(tied, axis=1) - 1
-            return (tied & (pos == j[:, None])).argmax(axis=1)
-
-        if not prog.sequential:
-            choice = pick(occ, rows)
-            return cands[rows, choice].astype(np.int64)
-
-        group = run[fwd].astype(np.int64) * prog.R + r
+    def _waves(self, run, router, hops, u_rank, fwd):
+        """Rank the events ``fwd`` within their ``(run, router)`` group
+        by their pre-drawn per-run uniform: the wave number emulates the
+        order a sequential allocator would serve same-cycle decisions
+        in, randomly yet batch-composition independently."""
+        prog = self.program
+        group = run[fwd].astype(np.int64) * prog.R + router[fwd]
         order = np.lexsort((u_rank[fwd, hops[fwd]], group))
         g_sorted = group[order]
         starts = np.r_[True, g_sorted[1:] != g_sorted[:-1]]
         start_idx = np.flatnonzero(starts)
         seg = np.cumsum(starts) - 1
-        wave = np.arange(m) - start_idx[seg]
-        wave_of = np.empty(m, dtype=np.int64)
+        wave = np.arange(fwd.size) - start_idx[seg]
+        wave_of = np.empty(fwd.size, dtype=np.int64)
         wave_of[order] = wave
+        return wave_of
+
+    def _route_table(self, run, router, dst, hops, u_route, u_rank, fwd,
+                     next_free, Q, t, occ_grace):
+        """Table-program routing (DOR / dest-tag / MIN AD /
+        clos-adaptive).
+
+        For sequential-allocator algorithms (clos-adaptive), same-cycle
+        decisions at one router must see each other's debits — each
+        earlier pick makes its uplink one flit deeper.  That is
+        emulated by routing in *waves* (:meth:`_waves`): wave ``w``
+        routes with the debits of waves ``< w`` added in.  Within one
+        wave every group contributes at most one event and no two
+        groups share an output channel, so the scatter-add is
+        conflict-free.
+        """
+        prog = self.program
+        if (
+            not prog.sequential
+            or not prog.adaptive
+            or prog.cand.shape[2] == 1
+        ):
+            return self._pick_table(
+                run, router, dst, hops, u_route, fwd, next_free, Q, t,
+                occ_grace, None,
+            )
+        wave_of = self._waves(run, router, hops, u_rank, fwd)
         wmax = int(wave_of.max())
         if wmax == 0:
-            choice = pick(occ, rows)
-            return cands[rows, choice].astype(np.int64)
-        chan = np.empty(m, dtype=np.int64)
+            return self._pick_table(
+                run, router, dst, hops, u_route, fwd, next_free, Q, t,
+                occ_grace, None,
+            )
+        chan = np.empty(fwd.size, dtype=np.int64)
         debit_arr = np.zeros(next_free.size, dtype=np.int64)
         period = self.config.channel_period
+        runs64 = run[fwd].astype(np.int64)
         for w in range(wmax + 1):
-            sel = np.flatnonzero(wave_of == w)
-            occ_w = occ[sel] + np.where(
-                valid[sel], debit_arr[qidx[sel]], 0
+            sel_local = np.flatnonzero(wave_of == w)
+            picked = self._pick_table(
+                run, router, dst, hops, u_route, fwd[sel_local],
+                next_free, Q, t, occ_grace, debit_arr,
             )
-            choice = pick(occ_w, sel)
-            picked = cands[sel, choice].astype(np.int64)
-            chan[sel] = picked
-            debit_arr[run[fwd[sel]].astype(np.int64) * Q + picked] += period
+            chan[sel_local] = picked
+            debit_arr[runs64[sel_local] * Q + picked] += period
+        return chan
+
+    def _decide(self, run, router, dst, imd, mode, sel, next_free, Q, t,
+                occ_grace, debit_arr):
+        """Resolve the undecided UGAL packets ``sel`` in one vectorized
+        compare — the twin of ``UGAL._decide`` at the source router.
+
+        ``q_min`` is the best occupancy estimate over the minimal
+        candidate set, ``h_min`` the minimal hop count; ``q_val`` is
+        the estimate of the DOR channel toward the pre-drawn
+        intermediate and ``h_val`` the two-phase hop count.  A
+        degenerate intermediate (source or destination router)
+        collapses onto the minimal path, exactly as in the event
+        kernel.  The packet routes minimally iff ``q_min * h_min <=
+        q_val * h_val + threshold``; the occupancies include the
+        sequential allocator's same-cycle debits when ``debit_arr`` is
+        given (UGAL-S)."""
+        prog = self.program
+        runs64 = run[sel].astype(np.int64)
+        r = router[sel].astype(np.int64)
+        dst_r = prog.ej_router[dst[sel]].astype(np.int64)
+        im = imd[sel].astype(np.int64)
+
+        cands = prog.cand[router[sel], prog.key_of_dst[dst[sel]]]
+        valid = cands >= 0
+        qidx = runs64[:, None] * Q + np.where(valid, cands, 0)
+        occ = next_free[qidx] - (t - occ_grace)
+        np.clip(occ, 0, None, out=occ)
+        if debit_arr is not None:
+            occ += np.where(valid, debit_arr[qidx], 0)
+        occ[~valid] = _OCC_INF
+        q_min = occ.min(axis=1)
+        h_min = prog.hops_rr[r, dst_r]
+
+        degen = (im == r) | (im == dst_r)
+        safe_im = np.where(degen, dst_r, im)
+        h_val = prog.hops_rr[r, safe_im] + prog.hops_rr[safe_im, dst_r]
+        vq = runs64 * Q + prog.dor_chan[r, safe_im].astype(np.int64)
+        q_val = next_free[vq] - (t - occ_grace)
+        np.clip(q_val, 0, None, out=q_val)
+        if debit_arr is not None:
+            q_val += debit_arr[vq]
+        minimal = degen | (q_min * h_min <= q_val * h_val + prog.threshold)
+        mode[sel] = np.where(minimal, MODE_TABLE, MODE_VAL0).astype(np.int8)
+
+    def _modal_channels(self, run, router, dst, hops, imd, mode, u_route,
+                        sel, next_free, Q, t, occ_grace, debit_arr):
+        """Channel choice for the (decided) events ``sel`` by mode:
+        phase-0 packets take the DOR hop toward their intermediate,
+        phase-1 packets the DOR hop toward their destination, and
+        minimal (``MODE_TABLE``) packets MIN AD's adaptive pick."""
+        prog = self.program
+        chan = np.empty(sel.size, dtype=np.int64)
+        md = mode[sel]
+        r = router[sel]
+        v0 = md == MODE_VAL0
+        if v0.any():
+            chan[v0] = prog.dor_chan[r[v0], imd[sel[v0]]]
+        v1 = md == MODE_VAL1
+        if v1.any():
+            s1 = sel[v1]
+            chan[v1] = prog.dor_chan[r[v1], prog.ej_router[dst[s1]]]
+        tb = md == MODE_TABLE
+        if tb.any():
+            chan[tb] = self._pick_table(
+                run, router, dst, hops, u_route, sel[tb], next_free, Q,
+                t, occ_grace, debit_arr,
+            )
+        return chan
+
+    def _route_nonminimal(self, run, router, dst, hops, imd, mode,
+                          u_route, u_rank, fwd, next_free, Q, t,
+                          occ_grace):
+        """VAL / UGAL routing: decide the undecided, then route by mode.
+
+        UGAL-S wraps both steps in the wave-ranked sequential emulation
+        (every routed packet debits its channel, matching the event
+        kernel's SequentialAllocator, which records oblivious hops
+        too), so a later same-cycle decision at the same router sees
+        the earlier packets' picks."""
+        prog = self.program
+        if not prog.sequential:
+            if prog.kind == "ugal":
+                und = fwd[mode[fwd] == MODE_UNDEC]
+                if und.size:
+                    self._decide(run, router, dst, imd, mode, und,
+                                 next_free, Q, t, occ_grace, None)
+            return self._modal_channels(
+                run, router, dst, hops, imd, mode, u_route, fwd,
+                next_free, Q, t, occ_grace, None,
+            )
+        wave_of = self._waves(run, router, hops, u_rank, fwd)
+        wmax = int(wave_of.max())
+        if wmax == 0:
+            und = fwd[mode[fwd] == MODE_UNDEC]
+            if und.size:
+                self._decide(run, router, dst, imd, mode, und, next_free,
+                             Q, t, occ_grace, None)
+            return self._modal_channels(
+                run, router, dst, hops, imd, mode, u_route, fwd,
+                next_free, Q, t, occ_grace, None,
+            )
+        chan = np.empty(fwd.size, dtype=np.int64)
+        debit_arr = np.zeros(next_free.size, dtype=np.int64)
+        period = self.config.channel_period
+        runs64 = run[fwd].astype(np.int64)
+        for w in range(wmax + 1):
+            sel_local = np.flatnonzero(wave_of == w)
+            sel = fwd[sel_local]
+            und = sel[mode[sel] == MODE_UNDEC]
+            if und.size:
+                self._decide(run, router, dst, imd, mode, und, next_free,
+                             Q, t, occ_grace, debit_arr)
+            picked = self._modal_channels(
+                run, router, dst, hops, imd, mode, u_route, sel,
+                next_free, Q, t, occ_grace, debit_arr,
+            )
+            chan[sel_local] = picked
+            debit_arr[runs64[sel_local] * Q + picked] += period
         return chan
 
     @staticmethod
@@ -738,8 +1184,8 @@ class BatchBackend:
         rec_hops.append(hops[labeled])
 
     @staticmethod
-    def _push(cal, arrival, run, router, dst, born, hops, u_route,
-              u_rank) -> None:
+    def _push(cal, arrival, run, router, dst, born, hops, imd, mode,
+              u_route, u_rank) -> None:
         """File forwarded events into the calendar, grouped by arrival
         cycle."""
         order = np.argsort(arrival, kind="stable")
@@ -752,16 +1198,15 @@ class BatchBackend:
             cycle = int(a_sorted[start])
             cal.setdefault(cycle, []).append((
                 run[sel], router[sel], dst[sel], born[sel], hops[sel],
-                u_route[sel], u_rank[sel],
+                imd[sel], mode[sel], u_route[sel], u_rank[sel],
             ))
 
     # ------------------------------------------------------------------
-    def _finalize(self, load, seeds, warmup, measure, drain_max, cycles,
-                  saturated, frozen_created, frozen_delivered,
-                  labeled_created, win_ejects, n_events, n_routes,
-                  rec_run, rec_created, rec_dep, rec_hops,
-                  wall) -> BatchRunResult:
-        B = len(seeds)
+    def _finalize(self, load_of_run, measure, cycles, saturated,
+                  labeled_created, frozen_delivered, win_ejects, n_events,
+                  n_routes, rec_run, rec_created, rec_dep, rec_hops,
+                  wall) -> List[OpenLoopResult]:
+        B = load_of_run.size
         T = self.program.T
         if rec_run:
             all_run = np.concatenate(rec_run)
@@ -789,7 +1234,7 @@ class BatchBackend:
                 route_calls=int(n_routes[b]),
             )
             results.append(OpenLoopResult(
-                offered_load=load,
+                offered_load=float(load_of_run[b]),
                 accepted_throughput=float(win_ejects[b]) / (measure * T),
                 latency=summary,
                 network_latency=LatencySummary.from_samples(lat),
@@ -805,21 +1250,7 @@ class BatchBackend:
                 packets_undeliverable=0,
                 kernel=stats,
             ))
-        return BatchRunResult(
-            offered_load=load,
-            seeds=tuple(int(s) for s in seeds),
-            warmup=warmup,
-            measure=measure,
-            drain_max=drain_max,
-            results=results,
-            packets_created=tuple(int(v) for v in frozen_created),
-            packets_delivered=tuple(int(v) for v in frozen_delivered),
-            packets_in_flight=tuple(
-                int(c - d) for c, d in zip(frozen_created, frozen_delivered)
-            ),
-            packets_dropped=(0,) * B,
-            wall_seconds=wall,
-        )
+        return results
 
 
 def batch_seeds(config: SimulationConfig, replicas: int) -> Tuple[int, ...]:

@@ -39,7 +39,7 @@ import os
 import random
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.routing.base import RoutingAlgorithm
 from ..profiling import PhaseProfile, profiling_enabled
@@ -1435,6 +1435,28 @@ class Simulator:
         run_seeds = self._batch_seeds(replicas, seeds)
         return self._batch_backend().run_open_loop(
             load, run_seeds, warmup=warmup, measure=measure,
+            drain_max=drain_max,
+        )
+
+    def run_open_loop_grid(
+        self,
+        loads: Sequence[float],
+        replicas: Optional[int] = None,
+        seeds: Optional[Tuple[int, ...]] = None,
+        warmup: int = 1000,
+        measure: int = 1000,
+        drain_max: int = 100_000,
+    ):
+        """Whole-curve :meth:`run_open_loop_batch`: every ``(load,
+        seed)`` pair advances in lockstep as one array program, and the
+        result is one :class:`repro.network.batch.BatchRunResult` per
+        load — element ``i`` bit-identical to
+        ``run_open_loop_batch(loads[i], seeds=...)`` (per-run purity),
+        so per-point cache keys and downstream consumers are
+        unaffected by the grid batching."""
+        run_seeds = self._batch_seeds(replicas, seeds)
+        return self._batch_backend().run_load_grid(
+            loads, run_seeds, warmup=warmup, measure=measure,
             drain_max=drain_max,
         )
 

@@ -22,7 +22,9 @@ are immutable after construction.
 """
 
 from .cache import CACHE_VERSION, ResultCache, describe, job_key
+from .grid import run_batch_grid
 from .jobs import (
+    BatchGridJob,
     BatchJob,
     BatchOpenLoopJob,
     BatchSaturationJob,
@@ -45,6 +47,7 @@ from .jobs import (
 from .sweep import SweepReport, SweepRunner, resolve_jobs, stderr_progress
 
 __all__ = [
+    "BatchGridJob",
     "BatchJob",
     "BatchOpenLoopJob",
     "BatchSaturationJob",
@@ -65,6 +68,7 @@ __all__ = [
     "init_worker",
     "job_key",
     "resolve_jobs",
+    "run_batch_grid",
     "sim_build_count",
     "stderr_progress",
     "topology_build_count",

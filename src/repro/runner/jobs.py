@@ -299,6 +299,23 @@ class BatchOpenLoopJob:
 
 
 @dataclass(frozen=True)
+class BatchGridJob:
+    """A whole ``(load x seed)`` grid of open-loop replicas, executed
+    as one lockstep array program by the vectorized backend (the spec
+    must build a ``kernel="batch"`` simulator).  Returns a list of
+    :class:`~repro.network.batch.BatchRunResult`, one per load, each
+    bit-identical to the corresponding :class:`BatchOpenLoopJob`
+    result (per-run purity), so per-point cache entries stay valid."""
+
+    spec: SimSpec
+    loads: Tuple[float, ...]
+    seeds: Tuple[int, ...]
+    warmup: int
+    measure: int
+    drain_max: int
+
+
+@dataclass(frozen=True)
 class BatchSaturationJob:
     """A batch of saturation-throughput replicas (offered load 1.0)
     executed in lockstep; returns one float per seed."""
@@ -349,6 +366,11 @@ def execute_job(job):
     if isinstance(job, BatchOpenLoopJob):
         return job.spec.build().run_open_loop_batch(
             job.load, seeds=job.seeds, warmup=job.warmup,
+            measure=job.measure, drain_max=job.drain_max,
+        )
+    if isinstance(job, BatchGridJob):
+        return job.spec.build().run_open_loop_grid(
+            list(job.loads), seeds=job.seeds, warmup=job.warmup,
             measure=job.measure, drain_max=job.drain_max,
         )
     if isinstance(job, BatchSaturationJob):

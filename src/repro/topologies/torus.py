@@ -126,6 +126,30 @@ class Torus(DirectTopology):
         return f"Torus{self.dims}"
 
 
+def torus_dor_next_channel(topology: "Torus", current: int, target: int):
+    """Next dimension-order hop from ``current`` towards ``target`` on a
+    torus and the number of inter-router hops remaining (including this
+    one): the minimal ring direction (ties go +1, matching
+    :meth:`Torus.ring_direction`) in the first differing dimension.
+
+    This is the channel :class:`TorusDOR` picks, with the virtual-channel
+    dateline state factored out — the choice of physical channel is a
+    pure function of ``(current, target)``, which is what the shared
+    route table and the batch backend's dense export need.
+    """
+    remaining = topology.min_router_hops(current, target)
+    for d in range(1, topology.num_dims + 1):
+        own = topology.coord_digit(current, d)
+        want = topology.coord_digit(target, d)
+        if own == want:
+            continue
+        nxt = topology.neighbor(
+            current, d, topology.ring_direction(d, own, want)
+        )
+        return topology.channels_between(current, nxt)[0], remaining
+    raise ValueError(f"router {current} is already the target")
+
+
 class TorusDOR(RoutingAlgorithm):
     """Dimension-order routing on a torus with two virtual channels.
 

@@ -17,7 +17,14 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.core import DimensionOrder, MinimalAdaptive, UGAL
+from repro.core import (
+    ClosAD,
+    DimensionOrder,
+    MinimalAdaptive,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
 from repro.core.flattened_butterfly import FlattenedButterfly
 from repro.experiments import ext_resilience
 from repro.faults import FaultModel
@@ -28,7 +35,13 @@ from repro.network import (
     replica_seeds,
     resolve_kernel,
 )
-from repro.network.batch import BatchBackend, BatchRunResult, batch_seeds
+from repro.network.batch import (
+    BatchBackend,
+    BatchRunResult,
+    batch_seeds,
+    supported_algorithms,
+    unsupported_reason,
+)
 from repro.network.config import derive_seed
 from repro.topologies import Butterfly, FoldedClos
 from repro.topologies.routing import DestinationTag, FoldedClosAdaptive
@@ -45,12 +58,20 @@ N_REPLICAS = 20
 WARMUP, MEASURE, DRAIN = 300, 400, 4000
 
 #: The equivalence matrix: every supported algorithm family on its
-#: home topology, below saturation.
+#: home topology, below saturation.  The non-minimal families (UGAL at
+#: three loads spanning quiet to near-knee, UGAL-S, VAL) exercise the
+#: vectorized Valiant-intermediate draw, the credit-lagged UGAL
+#: compare, and the sequential-wave emulation.
 MATRIX = [
     ("dor-fb", lambda: FlattenedButterfly(4, 2), DimensionOrder, 0.3),
     ("minad-fb", lambda: FlattenedButterfly(4, 3), MinimalAdaptive, 0.3),
     ("dtag-butterfly", lambda: Butterfly(4, 2), DestinationTag, 0.3),
     ("clos-ad", lambda: FoldedClos(16, 4), FoldedClosAdaptive, 0.3),
+    ("ugal-fb-quiet", lambda: FlattenedButterfly(4, 2), UGAL, 0.15),
+    ("ugal-fb-mid", lambda: FlattenedButterfly(4, 2), UGAL, 0.3),
+    ("ugal-fb-busy", lambda: FlattenedButterfly(4, 2), UGAL, 0.45),
+    ("ugal-s-fb", lambda: FlattenedButterfly(4, 2), UGALSequential, 0.3),
+    ("val-fb", lambda: FlattenedButterfly(4, 2), Valiant, 0.2),
 ]
 
 
@@ -243,12 +264,40 @@ class TestUnsupportedFeatures:
             kernel="batch",
         )
 
-    def test_ugal_raises_cleanly(self):
-        sim = self._sim(algorithm=UGAL())
-        with pytest.raises(NotImplementedError, match="UGAL"):
+    def test_clos_ad_raises_cleanly(self):
+        # The core two-phase CLOS AD is the one remaining fig04
+        # algorithm without a dense-array program; its refusal must
+        # name the registry-derived supported set and the fallback.
+        sim = self._sim(algorithm=ClosAD())
+        with pytest.raises(NotImplementedError) as excinfo:
             sim.run_open_loop_batch(
                 0.2, replicas=2, warmup=50, measure=50, drain_max=1000
             )
+        message = str(excinfo.value)
+        assert "CLOS AD" in message
+        assert "use kernel='event'" in message
+        for name in supported_algorithms():
+            assert name in message
+
+    def test_supported_algorithms_derived_from_registry(self):
+        names = supported_algorithms()
+        assert names == tuple(sorted(names))
+        for name in ("DOR", "MIN AD", "UGAL", "UGAL-S", "VAL"):
+            assert name in names
+
+    def test_unsupported_reason_probe(self):
+        # The sweep-layer probe agrees with what run time raises,
+        # without compiling anything.
+        assert unsupported_reason(algorithm=UGAL()) is None
+        assert unsupported_reason(pattern=UniformRandom()) is None
+        reason = unsupported_reason(algorithm=ClosAD())
+        assert "use kernel='event'" in reason
+        reason = unsupported_reason(pattern=RandomPermutation())
+        assert "use kernel='event'" in reason
+        reason = unsupported_reason(
+            config=SimulationConfig(seed=1, packet_size=2)
+        )
+        assert "single-flit" in reason
 
     def test_multiflit_packets_raise(self):
         sim = self._sim(config=SimulationConfig(seed=1, packet_size=4))
@@ -337,3 +386,105 @@ class TestKernelSelection:
                                    drain_max=1000)
         assert result.kernel.kernel == "batch"
         assert result.latency.count > 0
+
+
+# ----------------------------------------------------------------------
+# Whole-load-grid lockstep stepping
+# ----------------------------------------------------------------------
+
+GRID_LOADS = (0.1, 0.3, 0.5)
+GRID_SEEDS = replica_seeds(21, 4)
+
+
+def _grid_sim(algorithm_cls):
+    return Simulator(
+        FlattenedButterfly(4, 2), algorithm_cls(), UniformRandom(),
+        SimulationConfig(seed=GRID_SEEDS[0]), kernel="batch",
+    )
+
+
+def _fingerprint(result):
+    """Every observable of one per-seed OpenLoopResult, exactly."""
+    return (
+        result.offered_load,
+        result.accepted_throughput,
+        result.latency.mean,
+        result.latency.count,
+        result.mean_hops,
+        result.saturated,
+        result.cycles,
+        result.packets_labeled,
+        result.packets_delivered,
+    )
+
+
+class TestLoadGrid:
+    @pytest.mark.parametrize(
+        "algorithm_cls", [DimensionOrder, UGAL, UGALSequential, Valiant],
+        ids=["dor", "ugal", "ugal-s", "val"],
+    )
+    def test_grid_bit_identical_to_pointwise(self, algorithm_cls):
+        """Per-run state and RNG streams are fully independent across
+        the batch axis, so one (load x seed) lockstep grid must be
+        bit-identical to running each load as its own batch."""
+        grid = _grid_sim(algorithm_cls).run_open_loop_grid(
+            list(GRID_LOADS), seeds=GRID_SEEDS,
+            warmup=WARMUP, measure=MEASURE, drain_max=DRAIN,
+        )
+        assert len(grid) == len(GRID_LOADS)
+        for load, batch in zip(GRID_LOADS, grid):
+            pointwise = _grid_sim(algorithm_cls).run_open_loop_batch(
+                load, seeds=GRID_SEEDS,
+                warmup=WARMUP, measure=MEASURE, drain_max=DRAIN,
+            )
+            assert batch.offered_load == load
+            assert batch.seeds == GRID_SEEDS
+            assert len(batch.results) == len(GRID_SEEDS)
+            for a, b in zip(batch.results, pointwise.results):
+                assert _fingerprint(a) == _fingerprint(b)
+
+    def test_grid_metadata(self):
+        grid = _grid_sim(DimensionOrder).run_open_loop_grid(
+            [0.2, 0.4], seeds=GRID_SEEDS[:2],
+            warmup=50, measure=80, drain_max=1000,
+        )
+        assert [b.offered_load for b in grid] == [0.2, 0.4]
+        for b in grid:
+            assert (b.warmup, b.measure) == (50, 80)
+            assert b.wall_seconds > 0
+
+    def test_grid_cache_interchangeable_with_pointwise(self, tmp_path):
+        """run_batch_grid fills the same per-point BatchOpenLoopJob
+        cache entries a pointwise sweep would: after one grid run,
+        every per-point probe is a hit, and a re-run executes no
+        jobs."""
+        from repro.runner import (
+            BatchOpenLoopJob,
+            ResultCache,
+            SimSpec,
+            SweepRunner,
+            run_batch_grid,
+        )
+
+        spec = SimSpec.of(_grid_sim, UGAL)
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(jobs=1, cache=cache)
+        first = run_batch_grid(
+            spec, GRID_LOADS, GRID_SEEDS, WARMUP, MEASURE, DRAIN,
+            runner=runner,
+        )
+        for load, batch in zip(GRID_LOADS, first):
+            job = BatchOpenLoopJob(
+                spec, load, GRID_SEEDS, WARMUP, MEASURE, DRAIN
+            )
+            hit, value = cache.get(job)
+            assert hit
+            for a, b in zip(value.results, batch.results):
+                assert _fingerprint(a) == _fingerprint(b)
+        again = run_batch_grid(
+            spec, GRID_LOADS, GRID_SEEDS, WARMUP, MEASURE, DRAIN,
+            runner=SweepRunner(jobs=1, cache=cache),
+        )
+        for a, b in zip(first, again):
+            for ra, rb in zip(a.results, b.results):
+                assert _fingerprint(ra) == _fingerprint(rb)

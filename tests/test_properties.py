@@ -106,7 +106,16 @@ def test_flit_conservation(algorithm_cls, seed, packet_size):
 
 #: Algorithm families the batch kernel implements (see
 #: ``repro.network.batch``); sampled over small flattened butterflies.
-BATCH_ALGORITHMS = [MinimalAdaptive, DimensionOrder]
+#: Includes the vectorized non-minimal programs so run-axis purity
+#: (permutation invariance, embedded-run bit-equality) covers the
+#: intermediate draw and mode columns too.
+BATCH_ALGORITHMS = [
+    MinimalAdaptive,
+    DimensionOrder,
+    Valiant,
+    UGAL,
+    UGALSequential,
+]
 
 batch_algorithm_st = st.sampled_from(BATCH_ALGORITHMS)
 

@@ -14,6 +14,7 @@ from repro.network import SimulationConfig, Simulator
 from repro.network.packet import Packet
 from repro.topologies import Butterfly
 from repro.topologies.hyperx import HyperX
+from repro.topologies.torus import Torus, TorusDOR, torus_dor_next_channel
 from repro.traffic import UniformRandom
 
 
@@ -319,6 +320,112 @@ class TestRouteArraysRoundTrip:
         synthesized = dict(table.ensure_ports())
         sim = Simulator(
             topo, MinimalAdaptive(), UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        bound = {}
+        for engine in sim.engines:
+            bound.update(engine._port_of_channel)
+        assert synthesized == bound
+
+    @pytest.mark.parametrize("name", ["fb4", "fb2x3", "hx2222"])
+    def test_valiant_walk_matches_hops(self, name):
+        """The non-minimal export is path-complete: from any source,
+        walking ``dor_channel[., m]`` to the intermediate and then
+        ``dor_channel[., b]`` to the destination reaches ``b`` in
+        exactly ``hops[a, m] + hops[m, b]`` channel hops — the Valiant
+        path length the batch kernel's UGAL compare multiplies against
+        the phase-0 queue occupancy."""
+        pytest.importorskip("numpy")
+        topo = HYPERX_TOPOLOGIES[name]()
+        table = shared_route_table(topo)
+        arrays = table.as_arrays()
+        R = topo.num_routers
+
+        def walk(start, target):
+            at, steps = start, 0
+            while at != target:
+                channel = topo.channels[int(arrays.dor_channel[at, target])]
+                assert channel.src == at
+                at = channel.dst
+                steps += 1
+                assert steps <= R  # no cycles
+            return steps
+
+        for a in range(R):
+            for m in range(R):
+                for b in range(R):
+                    expect = int(arrays.hops[a, m]) + int(arrays.hops[m, b])
+                    assert walk(a, m) + walk(m, b) == expect
+
+
+# ----------------------------------------------------------------------
+# Torus dimension-order export round-trip
+# ----------------------------------------------------------------------
+
+TORUS_TOPOLOGIES = {
+    "ring5": lambda: Torus((5,)),
+    "t33": lambda: Torus((3, 3)),
+    "t234": lambda: Torus((2, 3, 4)),
+}
+
+
+class TestTorusRouteArraysRoundTrip:
+    """The torus ``dor_*`` export must re-encode the hop
+    :func:`torus_dor_next_channel` produces (the VC/dateline state of
+    :class:`TorusDOR` is deliberately factored out) and be
+    path-complete under the same walk the batch kernel performs."""
+
+    @pytest.mark.parametrize("name", sorted(TORUS_TOPOLOGIES))
+    def test_dor_export_round_trip(self, name):
+        pytest.importorskip("numpy")
+        topo = TORUS_TOPOLOGIES[name]()
+        table = shared_route_table(topo)
+        arrays = table.as_arrays()
+        R = topo.num_routers
+        assert arrays.num_routers == R
+        assert arrays.num_channels == len(topo.channels)
+        assert arrays.minimal_channel is None  # oblivious family only
+        ports = dict(table.ensure_ports())
+        for a in range(R):
+            for b in range(R):
+                if a == b:
+                    assert arrays.hops[a, b] == 0
+                    continue
+                channel, remaining = torus_dor_next_channel(topo, a, b)
+                assert arrays.dor_channel[a, b] == channel.index
+                assert arrays.dor_port[a, b] == ports[channel.index]
+                assert arrays.dor_hops[a, b] == remaining
+                # dor_hops counts the full remaining walk, and the
+                # topology's hop metric agrees with it.
+                assert arrays.hops[a, b] == remaining
+                nxt = channel.dst
+                if nxt != b:
+                    assert arrays.dor_hops[nxt, b] == remaining - 1
+
+    @pytest.mark.parametrize("name", sorted(TORUS_TOPOLOGIES))
+    def test_walk_terminates(self, name):
+        pytest.importorskip("numpy")
+        topo = TORUS_TOPOLOGIES[name]()
+        arrays = shared_route_table(topo).as_arrays()
+        R = topo.num_routers
+        for a in range(R):
+            for b in range(R):
+                at, steps = a, 0
+                while at != b:
+                    at = topo.channels[int(arrays.dor_channel[at, b])].dst
+                    steps += 1
+                    assert steps <= R
+                assert steps == int(arrays.hops[a, b])
+
+    def test_ports_match_bound_engines(self):
+        """ensure_ports' synthesized map agrees with real bound engines
+        on a torus simulator too."""
+        pytest.importorskip("numpy")
+        topo = Torus((3, 3))
+        table = shared_route_table(topo)
+        synthesized = dict(table.ensure_ports())
+        sim = Simulator(
+            topo, TorusDOR(), UniformRandom(),
             SimulationConfig(seed=1),
         )
         bound = {}
