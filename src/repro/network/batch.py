@@ -80,8 +80,9 @@ this module without numpy works, using the backend raises.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import SimulationConfig, replica_seeds
@@ -109,6 +110,29 @@ MODE_TABLE = 0
 MODE_VAL0 = 1
 MODE_VAL1 = 2
 MODE_UNDEC = 3
+
+#: Recognized batch execution engines.  Both interpret the same
+#: pre-drawn random program (see :class:`_ChunkProgram`) and are
+#: bit-identical; ``"jit"`` needs numba (``pip install repro[jit]``).
+ENGINES = ("numpy", "jit")
+
+#: Environment variable selecting the batch execution engine.
+ENGINE_ENV = "REPRO_BATCH_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Engine name: explicit argument, else ``$REPRO_BATCH_ENGINE``,
+    else the numpy engine.  The engine is an execution detail — both
+    engines produce element-for-element identical results — so it is
+    deliberately *not* part of any cache key or job identity."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "numpy"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown batch engine {engine!r}; pick one of "
+            f"{', '.join(ENGINES)}"
+        )
+    return engine
 
 
 def _require_numpy() -> None:
@@ -140,7 +164,14 @@ class BatchRunResult:
     packets_delivered: Tuple[int, ...]
     packets_in_flight: Tuple[int, ...]
     packets_dropped: Tuple[int, ...]
-    wall_seconds: float
+    wall_seconds: float = field(compare=False)
+    #: Execution-engine counters (engine name, compile seconds, numpy
+    #: scratch reuse/alloc counts).  Timing-like, so excluded from
+    #: equality: two engines producing bit-identical results compare
+    #: equal even though their counters differ.
+    stats: Optional[Dict[str, object]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.results)
@@ -457,6 +488,354 @@ def _build_program(topology, algorithm, table) -> _Program:
     )
 
 
+@dataclass
+class _ChunkProgram:
+    """One chunk's pre-drawn random program, shared by both engines.
+
+    Every injection with cycle in ``[c0, c1)`` across the whole batch,
+    flattened into parallel arrays sorted by ``(cycle, run,
+    terminal)`` — exactly the order the cycle loop consumes them in —
+    with ``offsets[t - c0] : offsets[t - c0 + 1]`` slicing out cycle
+    ``t``'s packets.  All randomness (gaps, destinations, tie-break
+    uniforms, Valiant intermediates) is drawn here by the numpy
+    predraw pass in the canonical per-run stream order, so an engine
+    never touches a generator: it only *interprets* this program,
+    which is what makes the engines bit-identical.
+    """
+
+    c0: int
+    c1: int
+    t: "np.ndarray"  # [N] int64 injection cycle
+    run: "np.ndarray"  # [N] int32
+    router: "np.ndarray"  # [N] int32 injection router
+    dst: "np.ndarray"  # [N] int32 destination terminal
+    imd: "np.ndarray"  # [N] int32 Valiant intermediate
+    u_route: "np.ndarray"  # [N, ucols] float32 adaptive tie-breaks
+    u_rank: "np.ndarray"  # [N, ucols] float32 FIFO/wave ranks
+    offsets: "np.ndarray"  # [c1 - c0 + 1] int64 per-cycle slice bounds
+
+
+class _Scratch:
+    """Keyed, geometrically grown scratch buffers for the numpy
+    engine's per-cycle step: each request returns a view of a
+    persistent buffer, so steady-state cycles allocate nothing.  The
+    ``allocs``/``reuses`` counters are surfaced through
+    ``BatchRunResult.stats`` so the benchmark can assert the
+    allocation pass actually holds."""
+
+    __slots__ = ("_bufs", "_arange", "allocs", "reuses")
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, "np.ndarray"] = {}
+        self._arange: Optional["np.ndarray"] = None
+        self.allocs = 0
+        self.reuses = 0
+
+    def get(self, key: str, n: int, dtype, cols: Optional[int] = None):
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape[0] < n:
+            cap = max(64, n, 0 if buf is None else 2 * buf.shape[0])
+            shape = cap if cols is None else (cap, cols)
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+            self.allocs += 1
+        else:
+            self.reuses += 1
+        return buf[:n]
+
+    def arange(self, n: int) -> "np.ndarray":
+        a = self._arange
+        if a is None or a.size < n:
+            cap = max(64, n, 0 if a is None else 2 * a.size)
+            self._arange = a = np.arange(cap, dtype=np.int64)
+            self.allocs += 1
+        else:
+            self.reuses += 1
+        return a[:n]
+
+
+class _RunState:
+    """All mutable state of one batched run, shared between the
+    predraw pass (which owns the generators and the pending-injection
+    calendar) and whichever engine steps the cycles."""
+
+    def __init__(self, backend: "BatchBackend", load_of_run, seeds,
+                 warmup: int, measure: int, drain_max: int,
+                 drain: bool) -> None:
+        prog = backend.program
+        cfg = backend.config
+        B = len(seeds)
+        T, C = prog.T, prog.C
+        Q = C + T  # channel queues then per-terminal ejection queues
+        self.B, self.T, self.C, self.Q = B, T, C, Q
+        self.warmup = warmup
+        self.end = warmup + measure
+        self.drain_max = drain_max
+        self.drain = drain
+        self.rates = load_of_run.astype(float)  # packet_size == 1
+        self.ucols = prog.hmax + 1
+
+        self.gens = [np.random.default_rng(int(seed)) for seed in seeds]
+
+        # Virtual-service-time state, flattened over (run, queue).
+        self.next_free = np.zeros(B * Q, dtype=np.int64)
+        period_q = np.ones(Q, dtype=np.int64)
+        period_q[:C] = cfg.channel_period
+        self.period_flat = np.tile(period_q, B)
+        self.occ_grace = cfg.channel_latency + cfg.credit_latency - 1
+
+        # Pending next injection time per (run, terminal): the
+        # geometric-gap calendar of BernoulliInjection, vectorized.
+        self.next_inj = np.empty((B, T), dtype=np.int64)
+        for b, gen in enumerate(self.gens):
+            self.next_inj[b] = -1 + gen.geometric(self.rates[b], size=T)
+
+        # In-flight event calendar: cycle -> list of array blocks
+        # (numpy engine; the jit engine keeps its own packet pool).
+        self.cal: Dict[int, list] = {}
+
+        self.done = np.zeros(B, dtype=bool)
+        self.saturated = np.zeros(B, dtype=bool)
+        self.cycles = np.zeros(B, dtype=np.int64)
+        self.created = np.zeros(B, dtype=np.int64)
+        self.delivered = np.zeros(B, dtype=np.int64)
+        self.frozen_created = np.zeros(B, dtype=np.int64)
+        self.frozen_delivered = np.zeros(B, dtype=np.int64)
+        self.labeled_created = np.zeros(B, dtype=np.int64)
+        self.labeled_done = np.zeros(B, dtype=np.int64)
+        self.win_ejects = np.zeros(B, dtype=np.int64)
+        self.n_events = np.zeros(B, dtype=np.int64)
+        self.n_routes = np.zeros(B, dtype=np.int64)
+        self.eject_at: Dict[int, "np.ndarray"] = {}
+        self.labeled_eject_at: Dict[int, "np.ndarray"] = {}
+
+        # Labeled-ejection records for latency/hops summaries.
+        self.rec_run: List["np.ndarray"] = []
+        self.rec_created: List["np.ndarray"] = []
+        self.rec_dep: List["np.ndarray"] = []
+        self.rec_hops: List["np.ndarray"] = []
+
+
+class _NumpyStepper:
+    """The numpy engine: interprets the pre-drawn chunk program with
+    the per-cycle vector step, reusing :class:`_Scratch` buffers so
+    the steady-state loop allocates almost nothing."""
+
+    def __init__(self, backend: "BatchBackend", state: _RunState) -> None:
+        self.backend = backend
+        self.state = state
+        self.scratch = _Scratch()
+        self.chunk: Optional[_ChunkProgram] = None
+
+    def prepare(self) -> float:
+        return 0.0  # nothing to compile
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "scratch_allocs": self.scratch.allocs,
+            "scratch_reuses": self.scratch.reuses,
+        }
+
+    def load_chunk(self, chunk: _ChunkProgram) -> None:
+        self.chunk = chunk
+
+    # ------------------------------------------------------------------
+    def step_until(self, t: int, t1: int) -> int:
+        """Advance cycles ``t .. t1-1``, stopping early once every run
+        is done; returns the next cycle to execute."""
+        backend = self.backend
+        state = self.state
+        scratch = self.scratch
+        prog = backend.program
+        cfg = backend.config
+        cp = self.chunk
+        B, C, Q = state.B, state.C, state.Q
+        warmup, end = state.warmup, state.end
+        next_free = state.next_free
+        period_flat = state.period_flat
+        occ_grace = state.occ_grace
+        done = state.done
+        nonmin = prog.kind != "table"
+
+        while t < t1:
+            blocks = state.cal.pop(t, [])
+            lo = int(cp.offsets[t - cp.c0])
+            hi = int(cp.offsets[t - cp.c0 + 1])
+            if hi > lo:
+                runs = cp.run[lo:hi]
+                dmask = done[runs]
+                if not dmask.any():
+                    i_run = runs
+                    i_router = cp.router[lo:hi]
+                    i_dst = cp.dst[lo:hi]
+                    i_imd = cp.imd[lo:hi]
+                    i_ur = cp.u_route[lo:hi]
+                    i_uk = cp.u_rank[lo:hi]
+                else:
+                    keep = ~dmask
+                    i_run = runs[keep]
+                    i_router = cp.router[lo:hi][keep]
+                    i_dst = cp.dst[lo:hi][keep]
+                    i_imd = cp.imd[lo:hi][keep]
+                    i_ur = cp.u_route[lo:hi][keep]
+                    i_uk = cp.u_rank[lo:hi][keep]
+                n = i_run.size
+                if n:
+                    counts = np.bincount(i_run, minlength=B)
+                    state.created += counts
+                    if warmup <= t < end:
+                        state.labeled_created += counts
+                    born0 = scratch.get("i_born", n, np.int64)
+                    born0[:] = t
+                    hops0 = scratch.get("i_hops", n, np.int16)
+                    hops0[:] = 0
+                    mode0 = scratch.get("i_mode", n, np.int8)
+                    mode0[:] = prog.mode0
+                    blocks.append((
+                        i_run, i_router, i_dst, born0, hops0, i_imd,
+                        mode0, i_ur, i_uk,
+                    ))
+
+            if blocks:
+                if len(blocks) == 1:
+                    (run, router, dst, born, hops, imd, mode, u_route,
+                     u_rank) = blocks[0]
+                    m = run.size
+                else:
+                    m = sum(blk[0].size for blk in blocks)
+                    run = np.concatenate(
+                        [blk[0] for blk in blocks],
+                        out=scratch.get("run", m, np.int32),
+                    )
+                    router = np.concatenate(
+                        [blk[1] for blk in blocks],
+                        out=scratch.get("router", m, np.int32),
+                    )
+                    dst = np.concatenate(
+                        [blk[2] for blk in blocks],
+                        out=scratch.get("dst", m, np.int32),
+                    )
+                    born = np.concatenate(
+                        [blk[3] for blk in blocks],
+                        out=scratch.get("born", m, np.int64),
+                    )
+                    hops = np.concatenate(
+                        [blk[4] for blk in blocks],
+                        out=scratch.get("hops", m, np.int16),
+                    )
+                    imd = np.concatenate(
+                        [blk[5] for blk in blocks],
+                        out=scratch.get("imd", m, np.int32),
+                    )
+                    mode = np.concatenate(
+                        [blk[6] for blk in blocks],
+                        out=scratch.get("mode", m, np.int8),
+                    )
+                    u_route = np.concatenate(
+                        [blk[7] for blk in blocks],
+                        out=scratch.get(
+                            "u_route", m, np.float32, cols=state.ucols
+                        ),
+                    )
+                    u_rank = np.concatenate(
+                        [blk[8] for blk in blocks],
+                        out=scratch.get(
+                            "u_rank", m, np.float32, cols=state.ucols
+                        ),
+                    )
+                state.n_events += np.bincount(run, minlength=B)
+
+                ej = prog.ej_router[dst] == router
+                if nonmin:
+                    # Event-kernel route() order: the VAL0 -> VAL1 flip
+                    # at the intermediate happens *before* the ejection
+                    # test, and phase-0 packets pass through their
+                    # destination router (inline_eject = False).
+                    flip = (mode == MODE_VAL0) & (imd == router)
+                    if flip.any():
+                        mode[flip] = MODE_VAL1
+                    ej &= mode != MODE_VAL0
+                fwd = np.flatnonzero(~ej)
+                ej = np.flatnonzero(ej)
+
+                # Queue choice: ejection port of dst, or a routed channel.
+                q = scratch.get("q", m, np.int64)
+                q[ej] = run[ej].astype(np.int64) * Q + C + dst[ej]
+                if fwd.size:
+                    chan = backend._route(
+                        run, router, dst, hops, imd, mode, u_route,
+                        u_rank, fwd, next_free, Q, t, occ_grace,
+                    )
+                    state.n_routes += np.bincount(run[fwd], minlength=B)
+                    q[fwd] = run[fwd].astype(np.int64) * Q + chan
+
+                # FIFO service: rank same-cycle arrivals per queue by
+                # their pre-drawn per-run tie-break value, then serve at
+                # one flit per period.
+                rank_u = u_rank[scratch.arange(m), hops]
+                order = np.lexsort((rank_u, q))
+                sq = q[order]
+                starts = scratch.get("starts", m, bool)
+                starts[0] = True
+                np.not_equal(sq[1:], sq[:-1], out=starts[1:])
+                start_idx = np.flatnonzero(starts)
+                seg = np.cumsum(starts) - 1
+                rank = scratch.arange(m) - start_idx[seg]
+                base = np.maximum(t, next_free[sq[start_idx]])
+                dep_sorted = base[seg] + rank * period_flat[sq]
+                counts = np.diff(np.append(start_idx, m))
+                next_free[sq[start_idx]] = (
+                    base + counts * period_flat[sq[start_idx]]
+                )
+                dep = scratch.get("dep", m, np.int64)
+                dep[order] = dep_sorted
+
+                if ej.size:
+                    backend._record_ejections(
+                        run[ej], born[ej], dep[ej], hops[ej], warmup, end,
+                        B, state.win_ejects, state.eject_at,
+                        state.labeled_eject_at, state.rec_run,
+                        state.rec_created, state.rec_dep, state.rec_hops,
+                    )
+                if fwd.size:
+                    arrival = dep[fwd] + cfg.channel_latency
+                    backend._push(
+                        state.cal, arrival, run[fwd],
+                        prog.channel_dst[chan], dst[fwd], born[fwd],
+                        (hops[fwd] + 1).astype(np.int16), imd[fwd],
+                        mode[fwd], u_route[fwd], u_rank[fwd],
+                    )
+
+            arr = state.eject_at.pop(t, None)
+            if arr is not None:
+                state.delivered += arr
+            arr = state.labeled_eject_at.pop(t, None)
+            if arr is not None:
+                state.labeled_done += arr
+
+            now = t + 1
+            if state.drain:
+                newly = (
+                    (~done)
+                    & (now >= end)
+                    & (state.labeled_done >= state.labeled_created)
+                )
+                cut = (~done) & (~newly) & (now >= state.drain_max)
+                state.saturated |= cut
+                newly |= cut
+            else:
+                newly = (~done) & (now >= end)
+            if newly.any():
+                state.cycles[newly] = now
+                state.frozen_created[newly] = state.created[newly]
+                state.frozen_delivered[newly] = state.delivered[newly]
+                done |= newly
+            t += 1
+            if done.all():
+                break
+        return t
+
+
 class BatchBackend:
     """A compiled batch simulator for one ``(topology, algorithm,
     pattern, config)`` combination; run methods take the batch's seed
@@ -468,6 +847,7 @@ class BatchBackend:
         algorithm,
         pattern,
         config: Optional[SimulationConfig] = None,
+        engine: Optional[str] = None,
     ) -> None:
         _require_numpy()
         self.topology = topology
@@ -475,6 +855,11 @@ class BatchBackend:
         self.pattern = pattern
         self.config = config or SimulationConfig()
         _validate_config(self.config)
+        self.engine = resolve_engine(engine)
+        if self.engine == "jit":
+            from .batch_jit import require_jit
+
+            require_jit()  # fail fast with the install hint
         pattern.bind(topology)
         self._pattern_mode = self._compile_pattern(pattern)
         from ..core.routing.table import shared_route_table
@@ -543,12 +928,12 @@ class BatchBackend:
         seeds = tuple(seeds)
         self._check_window(warmup, measure, drain_max)
         load_of_run = np.full(len(seeds) or 1, float(load))
-        results, created, delivered, wall = self._run(
+        results, created, delivered, wall, stats = self._run(
             load_of_run, seeds, warmup, measure, drain_max, True
         )
         return self._wrap(
             float(load), seeds, warmup, measure, drain_max,
-            results, created, delivered, wall,
+            results, created, delivered, wall, stats,
         )
 
     def run_load_grid(
@@ -575,7 +960,7 @@ class BatchBackend:
         S = len(seeds) or 1
         load_of_run = np.repeat(np.asarray(loads), S)
         all_seeds = seeds * len(loads)
-        results, created, delivered, wall = self._run(
+        results, created, delivered, wall, stats = self._run(
             load_of_run, all_seeds, warmup, measure, drain_max, True
         )
         out = []
@@ -584,7 +969,7 @@ class BatchBackend:
             out.append(self._wrap(
                 load, seeds, warmup, measure, drain_max,
                 results[cut], created[cut], delivered[cut],
-                wall / len(loads),
+                wall / len(loads), dict(stats),
             ))
         return out
 
@@ -598,7 +983,7 @@ class BatchBackend:
         (batched :meth:`Simulator.measure_saturation_throughput`)."""
         seeds = tuple(seeds)
         load_of_run = np.ones(len(seeds) or 1)
-        results, _created, _delivered, _wall = self._run(
+        results, _created, _delivered, _wall, _stats = self._run(
             load_of_run, seeds, warmup, measure, warmup + measure, False
         )
         return [r.accepted_throughput for r in results]
@@ -615,7 +1000,7 @@ class BatchBackend:
             )
 
     def _wrap(self, load, seeds, warmup, measure, drain_max, results,
-              created, delivered, wall) -> BatchRunResult:
+              created, delivered, wall, stats) -> BatchRunResult:
         B = len(results)
         return BatchRunResult(
             offered_load=load,
@@ -631,6 +1016,7 @@ class BatchBackend:
             ),
             packets_dropped=(0,) * B,
             wall_seconds=wall,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -654,206 +1040,121 @@ class BatchBackend:
             raise ValueError("need at least one seed")
         self._consume()
         started = time.perf_counter()
-        prog = self.program
-        cfg = self.config
-        B = len(seeds)
-        T, C = prog.T, prog.C
-        Q = C + T  # channel queues then per-terminal ejection queues
-        end = warmup + measure
-        rates = load_of_run.astype(float)  # packet_size == 1
-        ucols = prog.hmax + 1
-        nonmin = prog.kind != "table"
+        state = _RunState(
+            self, load_of_run, seeds, warmup, measure, drain_max, drain
+        )
+        if self.engine == "jit":
+            from .batch_jit import JitStepper
 
-        gens = [np.random.default_rng(int(seed)) for seed in seeds]
+            stepper = JitStepper(self, state)
+        else:
+            stepper = _NumpyStepper(self, state)
+        compile_seconds = stepper.prepare()
 
-        # Virtual-service-time state, flattened over (run, queue).
-        next_free = np.zeros(B * Q, dtype=np.int64)
-        period_q = np.ones(Q, dtype=np.int64)
-        period_q[:C] = cfg.channel_period
-        period_flat = np.tile(period_q, B)
-        occ_grace = cfg.channel_latency + cfg.credit_latency - 1
-
-        # Pending next injection time per (run, terminal): the
-        # geometric-gap calendar of BernoulliInjection, vectorized.
-        next_inj = np.empty((B, T), dtype=np.int64)
-        for b, gen in enumerate(gens):
-            next_inj[b] = -1 + gen.geometric(rates[b], size=T)
-
-        # Event calendars: cycle -> list of array blocks.
-        cal: Dict[int, list] = {}
-        inj_cal: Dict[int, list] = {}
-
-        done = np.zeros(B, dtype=bool)
-        saturated = np.zeros(B, dtype=bool)
-        cycles = np.zeros(B, dtype=np.int64)
-        created = np.zeros(B, dtype=np.int64)
-        delivered = np.zeros(B, dtype=np.int64)
-        frozen_created = np.zeros(B, dtype=np.int64)
-        frozen_delivered = np.zeros(B, dtype=np.int64)
-        labeled_created = np.zeros(B, dtype=np.int64)
-        labeled_done = np.zeros(B, dtype=np.int64)
-        win_ejects = np.zeros(B, dtype=np.int64)
-        n_events = np.zeros(B, dtype=np.int64)
-        n_routes = np.zeros(B, dtype=np.int64)
-        eject_at: Dict[int, "np.ndarray"] = {}
-        labeled_eject_at: Dict[int, "np.ndarray"] = {}
-
-        # Labeled-ejection records for latency/hops summaries.
-        rec_run: List["np.ndarray"] = []
-        rec_created: List["np.ndarray"] = []
-        rec_dep: List["np.ndarray"] = []
-        rec_hops: List["np.ndarray"] = []
-
-        chunk_end = 0
+        # The driver: alternate the numpy predraw pass (which owns all
+        # randomness) with the selected engine's fused cycle loop.  The
+        # predraw cadence is load-bearing for bit-compatibility: chunk
+        # ``[c, c+INJECTION_CHUNK)`` is drawn exactly when the loop
+        # reaches ``c``, only for runs still live at that moment, so
+        # each run consumes its generator stream precisely as the
+        # original monolithic loop did.
         t = 0
-        while not done.all():
+        chunk_end = 0
+        while not state.done.all():
             if t >= chunk_end:
                 c1 = chunk_end + INJECTION_CHUNK
-                for b, gen in enumerate(gens):
-                    if not done[b]:
-                        self._gen_chunk(b, gen, rates[b], c1, next_inj,
-                                        inj_cal, ucols)
+                stepper.load_chunk(
+                    self._predraw_chunk(state, chunk_end, c1)
+                )
                 chunk_end = c1
-
-            blocks = cal.pop(t, [])
-            for blk in inj_cal.pop(t, ()):
-                b = blk[0]
-                if done[b]:
-                    continue
-                routers, dsts, imds, u_route, u_rank = blk[1:]
-                n = routers.size
-                created[b] += n
-                if warmup <= t < end:
-                    labeled_created[b] += n
-                blocks.append((
-                    np.full(n, b, dtype=np.int32),
-                    routers,
-                    dsts,
-                    np.full(n, t, dtype=np.int64),
-                    np.zeros(n, dtype=np.int16),
-                    imds,
-                    np.full(n, prog.mode0, dtype=np.int8),
-                    u_route,
-                    u_rank,
-                ))
-
-            if blocks:
-                if len(blocks) == 1:
-                    (run, router, dst, born, hops, imd, mode, u_route,
-                     u_rank) = blocks[0]
-                else:
-                    run = np.concatenate([blk[0] for blk in blocks])
-                    router = np.concatenate([blk[1] for blk in blocks])
-                    dst = np.concatenate([blk[2] for blk in blocks])
-                    born = np.concatenate([blk[3] for blk in blocks])
-                    hops = np.concatenate([blk[4] for blk in blocks])
-                    imd = np.concatenate([blk[5] for blk in blocks])
-                    mode = np.concatenate([blk[6] for blk in blocks])
-                    u_route = np.concatenate([blk[7] for blk in blocks])
-                    u_rank = np.concatenate([blk[8] for blk in blocks])
-                n_events += np.bincount(run, minlength=B)
-
-                ej = prog.ej_router[dst] == router
-                if nonmin:
-                    # Event-kernel route() order: the VAL0 -> VAL1 flip
-                    # at the intermediate happens *before* the ejection
-                    # test, and phase-0 packets pass through their
-                    # destination router (inline_eject = False).
-                    flip = (mode == MODE_VAL0) & (imd == router)
-                    if flip.any():
-                        mode[flip] = MODE_VAL1
-                    ej &= mode != MODE_VAL0
-                fwd = np.flatnonzero(~ej)
-                ej = np.flatnonzero(ej)
-
-                # Queue choice: ejection port of dst, or a routed channel.
-                q = np.empty(run.size, dtype=np.int64)
-                q[ej] = run[ej].astype(np.int64) * Q + C + dst[ej]
-                if fwd.size:
-                    chan = self._route(
-                        run, router, dst, hops, imd, mode, u_route,
-                        u_rank, fwd, next_free, Q, t, occ_grace,
-                    )
-                    n_routes += np.bincount(run[fwd], minlength=B)
-                    q[fwd] = run[fwd].astype(np.int64) * Q + chan
-
-                # FIFO service: rank same-cycle arrivals per queue by
-                # their pre-drawn per-run tie-break value, then serve at
-                # one flit per period.
-                rank_u = u_rank[np.arange(run.size), hops]
-                order = np.lexsort((rank_u, q))
-                sq = q[order]
-                starts = np.empty(sq.size, dtype=bool)
-                starts[0] = True
-                np.not_equal(sq[1:], sq[:-1], out=starts[1:])
-                start_idx = np.flatnonzero(starts)
-                seg = np.cumsum(starts) - 1
-                rank = np.arange(sq.size) - start_idx[seg]
-                base = np.maximum(t, next_free[sq[start_idx]])
-                dep_sorted = base[seg] + rank * period_flat[sq]
-                counts = np.diff(np.append(start_idx, sq.size))
-                next_free[sq[start_idx]] = (
-                    base + counts * period_flat[sq[start_idx]]
-                )
-                dep = np.empty_like(dep_sorted)
-                dep[order] = dep_sorted
-
-                if ej.size:
-                    self._record_ejections(
-                        run[ej], born[ej], dep[ej], hops[ej], warmup, end,
-                        B, win_ejects, eject_at, labeled_eject_at,
-                        rec_run, rec_created, rec_dep, rec_hops,
-                    )
-                if fwd.size:
-                    arrival = dep[fwd] + cfg.channel_latency
-                    self._push(
-                        cal, arrival, run[fwd], prog.channel_dst[chan],
-                        dst[fwd], born[fwd], (hops[fwd] + 1).astype(np.int16),
-                        imd[fwd], mode[fwd], u_route[fwd], u_rank[fwd],
-                    )
-
-            arr = eject_at.pop(t, None)
-            if arr is not None:
-                delivered += arr
-            arr = labeled_eject_at.pop(t, None)
-            if arr is not None:
-                labeled_done += arr
-
-            now = t + 1
-            if drain:
-                newly = (
-                    (~done)
-                    & (now >= end)
-                    & (labeled_done >= labeled_created)
-                )
-                cut = (~done) & (~newly) & (now >= drain_max)
-                saturated |= cut
-                newly |= cut
-            else:
-                newly = (~done) & (now >= end)
-            if newly.any():
-                cycles[newly] = now
-                frozen_created[newly] = created[newly]
-                frozen_delivered[newly] = delivered[newly]
-                done |= newly
-            t += 1
+            t = stepper.step_until(t, chunk_end)
 
         wall = time.perf_counter() - started
         results = self._finalize(
-            load_of_run, measure, cycles, saturated, labeled_created,
-            frozen_delivered, win_ejects, n_events, n_routes, rec_run,
-            rec_created, rec_dep, rec_hops, wall,
+            load_of_run, measure, state.cycles, state.saturated,
+            state.labeled_created, state.frozen_delivered,
+            state.win_ejects, state.n_events, state.n_routes,
+            state.rec_run, state.rec_created, state.rec_dep,
+            state.rec_hops, wall,
         )
-        return results, frozen_created, frozen_delivered, wall
+        stats: Dict[str, object] = {
+            "engine": self.engine,
+            "compile_seconds": compile_seconds,
+        }
+        stats.update(stepper.counters())
+        return (
+            results, state.frozen_created, state.frozen_delivered, wall,
+            stats,
+        )
 
     # ------------------------------------------------------------------
-    def _gen_chunk(self, b, gen, rate, c1, next_inj, inj_cal, ucols) -> None:
-        """Generate run ``b``'s injections with cycle < ``c1`` into
-        ``inj_cal`` (vectorized geometric gaps continuing the per-run
-        calendar), together with each packet's destination, pre-drawn
-        tie-break uniforms, and (non-minimal algorithms) Valiant
-        intermediate, all from run ``b``'s own generator in a canonical
-        (cycle, terminal) order."""
+    # The predraw pass (all randomness lives here)
+    # ------------------------------------------------------------------
+    def _predraw_chunk(self, state: _RunState, c0: int,
+                       c1: int) -> _ChunkProgram:
+        """Draw every live run's injections with cycle in ``[c0, c1)``
+        and merge them into one flat :class:`_ChunkProgram` sorted by
+        ``(cycle, run, terminal)`` — the exact order the cycle loop
+        consumes injections in."""
+        parts = []
+        for b, gen in enumerate(state.gens):
+            if state.done[b]:
+                continue
+            part = self._draw_run_chunk(
+                b, gen, state.rates[b], c1, state.next_inj, state.ucols
+            )
+            if part is not None:
+                parts.append((b,) + part)
+        span = c1 - c0
+        if not parts:
+            empty_f = np.zeros((0, state.ucols), dtype=np.float32)
+            return _ChunkProgram(
+                c0=c0, c1=c1,
+                t=np.zeros(0, dtype=np.int64),
+                run=np.zeros(0, dtype=np.int32),
+                router=np.zeros(0, dtype=np.int32),
+                dst=np.zeros(0, dtype=np.int32),
+                imd=np.zeros(0, dtype=np.int32),
+                u_route=empty_f, u_rank=empty_f,
+                offsets=np.zeros(span + 1, dtype=np.int64),
+            )
+        t_all = np.concatenate([p[1] for p in parts])
+        b_all = np.concatenate([
+            np.full(p[1].size, p[0], dtype=np.int32) for p in parts
+        ])
+        j_all = np.concatenate([p[2] for p in parts])
+        dst = np.concatenate([p[3] for p in parts])
+        imd = np.concatenate([p[4] for p in parts])
+        u_route = np.concatenate([p[5] for p in parts])
+        u_rank = np.concatenate([p[6] for p in parts])
+        order = np.lexsort((j_all, b_all, t_all))
+        t_all = t_all[order]
+        b_all = b_all[order]
+        j_all = j_all[order]
+        offsets = np.searchsorted(
+            t_all, np.arange(c0, c1 + 1, dtype=np.int64)
+        ).astype(np.int64)
+        return _ChunkProgram(
+            c0=c0, c1=c1,
+            t=t_all,
+            run=b_all,
+            router=self.program.inj_router[j_all],
+            dst=dst[order],
+            imd=imd[order],
+            u_route=u_route[order],
+            u_rank=u_rank[order],
+            offsets=offsets,
+        )
+
+    def _draw_run_chunk(self, b, gen, rate, c1, next_inj, ucols):
+        """Draw run ``b``'s injections with cycle < ``c1`` (vectorized
+        geometric gaps continuing the per-run calendar ``next_inj``),
+        together with each packet's destination, pre-drawn tie-break
+        uniforms, and (non-minimal algorithms) Valiant intermediate,
+        all from run ``b``'s own generator in a canonical (cycle,
+        terminal) order.  Returns ``(t, terminal, dst, imd, u_route,
+        u_rank)`` arrays, or ``None`` when the chunk has no
+        injections."""
         nt = next_inj[b]
         times_parts: List["np.ndarray"] = []
         terms_parts: List["np.ndarray"] = []
@@ -885,7 +1186,7 @@ class BatchBackend:
                     rate, size=rem.size
                 )
         if not times_parts:
-            return
+            return None
         t_all = np.concatenate(times_parts)
         j_all = np.concatenate(terms_parts)
         order = np.lexsort((j_all, t_all))
@@ -906,22 +1207,7 @@ class BatchBackend:
             imds = gen.integers(0, prog.R, size=n).astype(np.int32)
         else:
             imds = np.zeros(n, dtype=np.int32)
-        routers = prog.inj_router[j_all]
-        cuts = np.flatnonzero(
-            np.r_[True, t_all[1:] != t_all[:-1]]
-        )
-        bounds = np.append(cuts, n)
-        for i, start in enumerate(cuts):
-            stop = bounds[i + 1]
-            cycle = int(t_all[start])
-            inj_cal.setdefault(cycle, []).append((
-                b,
-                routers[start:stop],
-                dsts[start:stop],
-                imds[start:stop],
-                u_route[start:stop],
-                u_rank[start:stop],
-            ))
+        return t_all, j_all, dsts, imds, u_route, u_rank
 
     # ------------------------------------------------------------------
     # Routing

@@ -1,0 +1,790 @@
+"""The jit batch engine (``engine="jit"``): one fused cycle loop.
+
+Compiles the batch kernel's entire warmup/measure/drain cycle loop —
+injection advance, route-table indexing, mode/phase switching for
+VAL/UGAL/UGAL-S, the wave-ranked allocator emulation, wire, and
+deliver — into a single nopython call per
+:data:`repro.network.batch.INJECTION_CHUNK` cycles, eliminating
+per-cycle Python dispatch and temporary allocation entirely.
+
+**Bit-identity contract.**  The engine draws no randomness: it
+interprets the same pre-drawn :class:`repro.network.batch._ChunkProgram`
+the numpy engine does (destinations, tie-break uniforms, Valiant
+intermediates, geometric injection gaps, all drawn by the numpy
+predraw pass in canonical per-run stream order).  Every ordering the
+numpy engine realizes with stable vectorized sorts is reproduced here
+with explicitly stable scalar equivalents:
+
+* FIFO service order ``lexsort((u_rank, q))`` becomes two chained
+  stable mergesort ``argsort`` passes.
+* The wave-ranked sequential allocator (``UGAL-S``, clos-adaptive)
+  becomes *group-sequential* processing in ``lexsort((u_rank, run * R
+  + router))`` order with running same-cycle debits — equivalent
+  because all queues one decision reads or debits emanate from its own
+  router, so debits never alias across ``(run, router)`` groups and
+  wave ``w``'s view (debits of waves ``< w``) equals the running view.
+* The adaptive tie-break ``(float32 u * int64 ties).astype(int64)``
+  is replicated as a float64 multiply truncated toward zero.
+
+In-flight packets live in a structure-of-arrays **packet pool** (grown
+geometrically between chunk calls, so slot indices stay stable) and a
+linked-list calendar keyed by arrival cycle; deliveries are counted by
+pseudo-events scheduled at the departure cycle (same-cycle departures
+count inline), matching the numpy engine's end-of-cycle ejection
+counters exactly.
+
+numba is an optional extra (``pip install repro[jit]``); importing
+this module without it works, selecting ``engine="jit"`` raises a
+clean ``ImportError`` — unless ``$REPRO_BATCH_JIT_PURE`` is set, which
+runs the very same step function uncompiled (pure Python, slow; it
+exists so the bit-parity suite can run without numba).  When numba is
+present the kernel compiles with ``cache=True`` into a writable cache
+directory under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-flatbfly/numba``), so pool workers and fabric hosts
+pay compilation once per machine, not once per process;
+:func:`ensure_compiled` warms it and reports the compile seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+#: Environment variable: run the jit engine's step program uncompiled
+#: (pure Python) when numba is absent.  Testing only — it is the same
+#: code path numba compiles, just interpreted.
+PURE_ENV = "REPRO_BATCH_JIT_PURE"
+
+
+def _numba_cache_dir() -> str:
+    """Writable numba cache dir under the repro cache root.
+
+    Mirrors :func:`repro.runner.cache.default_cache_dir` without
+    importing the runner package (the network layer must not depend on
+    it)."""
+    root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-flatbfly"
+    )
+    return os.path.join(root, "numba")
+
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+    HAVE_NUMPY = False
+
+if "NUMBA_CACHE_DIR" not in os.environ:
+    os.environ["NUMBA_CACHE_DIR"] = _numba_cache_dir()
+try:
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+from .batch import (  # noqa: E402 - needs the numba gate above
+    MODE_TABLE,
+    MODE_UNDEC,
+    MODE_VAL0,
+    MODE_VAL1,
+    _OCC_INF,
+    _ChunkProgram,
+    _RunState,
+)
+
+#: ``_Program.kind`` encoded for nopython dispatch.
+_KIND_TABLE = 0
+_KIND_VAL = 1
+_KIND_UGAL = 2
+
+
+def pure_mode() -> bool:
+    """True when ``$REPRO_BATCH_JIT_PURE`` requests the uncompiled
+    step program (parity testing without numba)."""
+    return os.environ.get(PURE_ENV, "") not in ("", "0")
+
+
+def require_jit() -> None:
+    """Raise a clean ``ImportError`` when ``engine='jit'`` cannot run:
+    numba absent and pure mode not requested."""
+    if HAVE_NUMBA or pure_mode():
+        return
+    raise ImportError(
+        "engine='jit' requires numba; install the jit extra "
+        "(pip install repro[jit]).  To run the jit engine's step "
+        "program uncompiled for testing, set REPRO_BATCH_JIT_PURE=1."
+    )
+
+
+# ----------------------------------------------------------------------
+# The fused kernel
+# ----------------------------------------------------------------------
+def _step_chunk_impl(
+    t0, t1, c0,
+    # scalars: geometry / program
+    B, C, Q, R, W,
+    kind, adaptive, seq_eff, mode0, threshold,
+    # scalars: window / timing
+    warmup, end, drain_max, drain,
+    channel_latency, channel_period, occ_grace,
+    # program arrays
+    ej_router, key_of_dst, cand, channel_dst, dor_chan, hops_rr,
+    # chunk program (pre-drawn injections, sorted by (cycle, run, term))
+    cp_run, cp_router, cp_dst, cp_imd, cp_uroute, cp_urank, offsets,
+    # per-run state
+    next_free, period_flat, done, saturated, cycles,
+    created, delivered, frozen_created, frozen_delivered,
+    labeled_created, labeled_done, win_ejects, n_events, n_routes,
+    # packet pool + linked-list calendar
+    pk_run, pk_router, pk_dst, pk_born, pk_hops, pk_imd, pk_mode,
+    pk_kind, pk_uroute, pk_urank, pk_next, pool_meta, head, tail,
+    # per-cycle scratch (capacity >= any cycle's event count)
+    ev_run, ev_router, ev_dst, ev_born, ev_hops, ev_imd, ev_mode,
+    ev_src, ev_uroute, ev_urank, ev_ej, ev_q, ev_chan, ev_dep,
+    sort_key, debit, touched,
+    # labeled-ejection record output
+    rec_run, rec_born, rec_dep, rec_hops,
+):
+    occw = np.empty(W, dtype=np.int64)
+    rec_n = 0
+    t = t0
+    while t < t1:
+        # -- gather: calendar events (push order), then injections ----
+        m = 0
+        if t in head:
+            s = head[t]
+            del head[t]
+            del tail[t]
+            while s != -1:
+                nxt = pk_next[s]
+                if pk_kind[s] == 1:
+                    # Delivery pseudo-event: the numpy engine's
+                    # end-of-cycle ejection counter, per packet.
+                    b = pk_run[s]
+                    delivered[b] += 1
+                    if pk_born[s] == 1:
+                        labeled_done[b] += 1
+                    pk_next[s] = pool_meta[0]
+                    pool_meta[0] = s
+                    pool_meta[1] += 1
+                else:
+                    ev_run[m] = pk_run[s]
+                    ev_router[m] = pk_router[s]
+                    ev_dst[m] = pk_dst[s]
+                    ev_born[m] = pk_born[s]
+                    ev_hops[m] = pk_hops[s]
+                    ev_imd[m] = pk_imd[s]
+                    ev_mode[m] = pk_mode[s]
+                    ev_src[m] = s
+                    h = pk_hops[s]
+                    ev_uroute[m] = pk_uroute[s, h]
+                    ev_urank[m] = pk_urank[s, h]
+                    n_events[pk_run[s]] += 1
+                    m += 1
+                s = nxt
+        lo = offsets[t - c0]
+        hi = offsets[t - c0 + 1]
+        for i in range(lo, hi):
+            b = cp_run[i]
+            if done[b]:
+                continue
+            ev_run[m] = b
+            ev_router[m] = cp_router[i]
+            ev_dst[m] = cp_dst[i]
+            ev_born[m] = t
+            ev_hops[m] = 0
+            ev_imd[m] = cp_imd[i]
+            ev_mode[m] = mode0
+            ev_src[m] = -np.int64(i) - 1
+            ev_uroute[m] = cp_uroute[i, 0]
+            ev_urank[m] = cp_urank[i, 0]
+            created[b] += 1
+            if warmup <= t < end:
+                labeled_created[b] += 1
+            n_events[b] += 1
+            m += 1
+
+        if m > 0:
+            # -- VAL0 -> VAL1 flip, then the ejection test -------------
+            for e in range(m):
+                r = ev_router[e]
+                if kind != _KIND_TABLE:
+                    if ev_mode[e] == MODE_VAL0 and ev_imd[e] == r:
+                        ev_mode[e] = MODE_VAL1
+                is_ej = ej_router[ev_dst[e]] == r
+                if kind != _KIND_TABLE and ev_mode[e] == MODE_VAL0:
+                    is_ej = False
+                ev_ej[e] = is_ej
+                if is_ej:
+                    ev_q[e] = (
+                        np.int64(ev_run[e]) * Q + C + np.int64(ev_dst[e])
+                    )
+
+            # -- routing ----------------------------------------------
+            if not seq_eff:
+                for e in range(m):
+                    if ev_ej[e]:
+                        continue
+                    b = np.int64(ev_run[e])
+                    r = np.int64(ev_router[e])
+                    d = np.int64(ev_dst[e])
+                    md = ev_mode[e]
+                    if kind == _KIND_UGAL and md == MODE_UNDEC:
+                        # UGAL source decision (no same-cycle debits).
+                        dst_r = np.int64(ej_router[d])
+                        im = np.int64(ev_imd[e])
+                        key = key_of_dst[d]
+                        q_min = _OCC_INF
+                        for w in range(W):
+                            ch = cand[r, key, w]
+                            if ch < 0:
+                                continue
+                            qi = b * Q + ch
+                            occ = next_free[qi] - (t - occ_grace)
+                            if occ < 0:
+                                occ = 0
+                            if occ < q_min:
+                                q_min = occ
+                        h_min = hops_rr[r, dst_r]
+                        degen = im == r or im == dst_r
+                        safe_im = dst_r if degen else im
+                        h_val = (
+                            hops_rr[r, safe_im] + hops_rr[safe_im, dst_r]
+                        )
+                        vq = b * Q + np.int64(dor_chan[r, safe_im])
+                        q_val = next_free[vq] - (t - occ_grace)
+                        if q_val < 0:
+                            q_val = 0
+                        if degen or (
+                            q_min * h_min <= q_val * h_val + threshold
+                        ):
+                            md = MODE_TABLE
+                        else:
+                            md = MODE_VAL0
+                        ev_mode[e] = md
+                    # channel by mode
+                    if kind != _KIND_TABLE and md == MODE_VAL0:
+                        chn = np.int64(dor_chan[r, np.int64(ev_imd[e])])
+                    elif kind != _KIND_TABLE and md == MODE_VAL1:
+                        chn = np.int64(dor_chan[r, np.int64(ej_router[d])])
+                    else:
+                        key = key_of_dst[d]
+                        if not adaptive or W == 1:
+                            chn = np.int64(cand[r, key, 0])
+                        else:
+                            best = _OCC_INF
+                            for w in range(W):
+                                ch = cand[r, key, w]
+                                if ch < 0:
+                                    occ = _OCC_INF
+                                else:
+                                    qi = b * Q + ch
+                                    occ = next_free[qi] - (t - occ_grace)
+                                    if occ < 0:
+                                        occ = 0
+                                occw[w] = occ
+                                if occ < best:
+                                    best = occ
+                            ties = np.int64(0)
+                            for w in range(W):
+                                if occw[w] == best:
+                                    ties += 1
+                            j = np.int64(
+                                np.float64(ev_uroute[e]) * np.float64(ties)
+                            )
+                            if j > ties - 1:
+                                j = ties - 1
+                            cnt = np.int64(0)
+                            chn = np.int64(-1)
+                            for w in range(W):
+                                if occw[w] == best:
+                                    if cnt == j:
+                                        chn = np.int64(cand[r, key, w])
+                                        break
+                                    cnt += 1
+                    ev_chan[e] = chn
+                    ev_q[e] = b * Q + chn
+                    n_routes[b] += 1
+            else:
+                # Group-sequential allocator emulation: process the
+                # forwarded events in lexsort((u_rank, run * R +
+                # router)) order with running same-cycle debits.
+                mf = 0
+                for e in range(m):
+                    if ev_ej[e]:
+                        continue
+                    touched[mf] = e  # borrow as fwd index list
+                    sort_key[mf] = (
+                        np.int64(ev_run[e]) * R + np.int64(ev_router[e])
+                    )
+                    mf += 1
+                if mf > 0:
+                    ukey = np.empty(mf, dtype=np.float32)
+                    for ii in range(mf):
+                        ukey[ii] = ev_urank[touched[ii]]
+                    o1 = np.argsort(ukey, kind="mergesort")
+                    gkey = np.empty(mf, dtype=np.int64)
+                    for ii in range(mf):
+                        gkey[ii] = sort_key[o1[ii]]
+                    o2 = np.argsort(gkey, kind="mergesort")
+                    fwd_order = np.empty(mf, dtype=np.int64)
+                    for ii in range(mf):
+                        fwd_order[ii] = touched[o1[o2[ii]]]
+                    n_touch = 0
+                    for ii in range(mf):
+                        e = fwd_order[ii]
+                        b = np.int64(ev_run[e])
+                        r = np.int64(ev_router[e])
+                        d = np.int64(ev_dst[e])
+                        md = ev_mode[e]
+                        if kind == _KIND_UGAL and md == MODE_UNDEC:
+                            dst_r = np.int64(ej_router[d])
+                            im = np.int64(ev_imd[e])
+                            key = key_of_dst[d]
+                            q_min = _OCC_INF
+                            for w in range(W):
+                                ch = cand[r, key, w]
+                                if ch < 0:
+                                    continue
+                                qi = b * Q + ch
+                                occ = next_free[qi] - (t - occ_grace)
+                                if occ < 0:
+                                    occ = 0
+                                occ += debit[qi]
+                                if occ < q_min:
+                                    q_min = occ
+                            h_min = hops_rr[r, dst_r]
+                            degen = im == r or im == dst_r
+                            safe_im = dst_r if degen else im
+                            h_val = (
+                                hops_rr[r, safe_im]
+                                + hops_rr[safe_im, dst_r]
+                            )
+                            vq = b * Q + np.int64(dor_chan[r, safe_im])
+                            q_val = next_free[vq] - (t - occ_grace)
+                            if q_val < 0:
+                                q_val = 0
+                            q_val += debit[vq]
+                            if degen or (
+                                q_min * h_min <= q_val * h_val + threshold
+                            ):
+                                md = MODE_TABLE
+                            else:
+                                md = MODE_VAL0
+                            ev_mode[e] = md
+                        if kind != _KIND_TABLE and md == MODE_VAL0:
+                            chn = np.int64(
+                                dor_chan[r, np.int64(ev_imd[e])]
+                            )
+                        elif kind != _KIND_TABLE and md == MODE_VAL1:
+                            chn = np.int64(
+                                dor_chan[r, np.int64(ej_router[d])]
+                            )
+                        else:
+                            key = key_of_dst[d]
+                            if not adaptive or W == 1:
+                                chn = np.int64(cand[r, key, 0])
+                            else:
+                                best = _OCC_INF
+                                for w in range(W):
+                                    ch = cand[r, key, w]
+                                    if ch < 0:
+                                        occ = _OCC_INF
+                                    else:
+                                        qi = b * Q + ch
+                                        occ = (
+                                            next_free[qi] - (t - occ_grace)
+                                        )
+                                        if occ < 0:
+                                            occ = 0
+                                        occ += debit[qi]
+                                    occw[w] = occ
+                                    if occ < best:
+                                        best = occ
+                                ties = np.int64(0)
+                                for w in range(W):
+                                    if occw[w] == best:
+                                        ties += 1
+                                j = np.int64(
+                                    np.float64(ev_uroute[e])
+                                    * np.float64(ties)
+                                )
+                                if j > ties - 1:
+                                    j = ties - 1
+                                cnt = np.int64(0)
+                                chn = np.int64(-1)
+                                for w in range(W):
+                                    if occw[w] == best:
+                                        if cnt == j:
+                                            chn = np.int64(cand[r, key, w])
+                                            break
+                                        cnt += 1
+                        ev_chan[e] = chn
+                        qi = b * Q + chn
+                        ev_q[e] = qi
+                        n_routes[b] += 1
+                        if debit[qi] == 0:
+                            touched[n_touch] = qi
+                            n_touch += 1
+                        debit[qi] += channel_period
+                    for k in range(n_touch):
+                        debit[touched[k]] = 0
+
+            # -- FIFO service: lexsort((u_rank, q)) as two stable
+            #    mergesort passes, then per-queue virtual service -----
+            o1 = np.argsort(ev_urank[:m], kind="mergesort")
+            for ii in range(m):
+                sort_key[ii] = ev_q[o1[ii]]
+            o2 = np.argsort(sort_key[:m], kind="mergesort")
+            prev_q = np.int64(-1)
+            base = np.int64(0)
+            cnt = np.int64(0)
+            for ii in range(m):
+                idx = o1[o2[ii]]
+                qq = ev_q[idx]
+                if qq != prev_q:
+                    if prev_q >= 0:
+                        next_free[prev_q] = (
+                            base + cnt * period_flat[prev_q]
+                        )
+                    nf = next_free[qq]
+                    base = t if t > nf else nf
+                    cnt = 0
+                    prev_q = qq
+                ev_dep[idx] = base + cnt * period_flat[qq]
+                cnt += 1
+            if prev_q >= 0:
+                next_free[prev_q] = base + cnt * period_flat[prev_q]
+
+            # -- record ejections / push forwards, in event order -----
+            for e in range(m):
+                b = ev_run[e]
+                dep = ev_dep[e]
+                s = ev_src[e]
+                if ev_ej[e]:
+                    if warmup <= dep < end:
+                        win_ejects[b] += 1
+                    labeled = warmup <= ev_born[e] < end
+                    if labeled:
+                        rec_run[rec_n] = b
+                        rec_born[rec_n] = ev_born[e]
+                        rec_dep[rec_n] = dep
+                        rec_hops[rec_n] = ev_hops[e]
+                        rec_n += 1
+                    if dep == t:
+                        delivered[b] += 1
+                        if labeled:
+                            labeled_done[b] += 1
+                        if s >= 0:
+                            pk_next[s] = pool_meta[0]
+                            pool_meta[0] = s
+                            pool_meta[1] += 1
+                    else:
+                        if s < 0:
+                            s = pool_meta[0]
+                            pool_meta[0] = pk_next[s]
+                            pool_meta[1] -= 1
+                        pk_kind[s] = 1
+                        pk_run[s] = b
+                        pk_born[s] = 1 if labeled else 0
+                        pk_next[s] = -1
+                        if dep in head:
+                            pk_next[tail[dep]] = s
+                        else:
+                            head[dep] = s
+                        tail[dep] = s
+                else:
+                    arrival = dep + channel_latency
+                    if s < 0:
+                        i = -s - 1
+                        s = pool_meta[0]
+                        pool_meta[0] = pk_next[s]
+                        pool_meta[1] -= 1
+                        for u in range(pk_uroute.shape[1]):
+                            pk_uroute[s, u] = cp_uroute[i, u]
+                            pk_urank[s, u] = cp_urank[i, u]
+                    pk_kind[s] = 0
+                    pk_run[s] = b
+                    pk_router[s] = channel_dst[ev_chan[e]]
+                    pk_dst[s] = ev_dst[e]
+                    pk_born[s] = ev_born[e]
+                    pk_hops[s] = ev_hops[e] + 1
+                    pk_imd[s] = ev_imd[e]
+                    pk_mode[s] = ev_mode[e]
+                    pk_next[s] = -1
+                    if arrival in head:
+                        pk_next[tail[arrival]] = s
+                    else:
+                        head[arrival] = s
+                    tail[arrival] = s
+
+        # -- end-of-cycle window / drain bookkeeping ------------------
+        now = t + 1
+        all_done = True
+        for b in range(B):
+            if done[b]:
+                continue
+            if drain:
+                newly = (
+                    now >= end and labeled_done[b] >= labeled_created[b]
+                )
+                if not newly and now >= drain_max:
+                    saturated[b] = True
+                    newly = True
+            else:
+                newly = now >= end
+            if newly:
+                cycles[b] = now
+                frozen_created[b] = created[b]
+                frozen_delivered[b] = delivered[b]
+                done[b] = True
+            else:
+                all_done = False
+        t += 1
+        if all_done:
+            break
+    return t, rec_n
+
+
+if HAVE_NUMBA:
+    _step_chunk = numba.njit(cache=True, nogil=True)(_step_chunk_impl)
+else:
+    _step_chunk = _step_chunk_impl
+
+_COMPILED = False
+
+
+def _make_calendar():
+    """A fresh empty calendar map: numba typed Dict when compiled,
+    plain dict in pure mode (same operations, same semantics)."""
+    if HAVE_NUMBA:
+        from numba import types
+        from numba.typed import Dict as TypedDict
+
+        return TypedDict.empty(types.int64, types.int64)
+    return {}
+
+
+def ensure_compiled() -> float:
+    """Compile (or cache-load) the fused kernel and return the seconds
+    it took; 0.0 when already compiled in-process or in pure mode.
+
+    Calls the kernel on a zero-cycle window over dummy state, so only
+    compilation happens.  With ``cache=True`` and the shared
+    ``NUMBA_CACHE_DIR``, warm processes (fabric/pool workers) load the
+    machine-code cache instead of recompiling."""
+    global _COMPILED
+    if not HAVE_NUMBA or _COMPILED:
+        return 0.0
+    started = time.perf_counter()
+    i8 = np.int64
+    z8 = np.zeros(1, dtype=np.int64)
+    z4 = np.zeros(1, dtype=np.int32)
+    z2 = np.zeros(1, dtype=np.int16)
+    z1 = np.zeros(1, dtype=np.int8)
+    zb = np.zeros(1, dtype=np.bool_)
+    zf = np.zeros((1, 1), dtype=np.float32)
+    zf1 = np.zeros(1, dtype=np.float32)
+    z44 = np.zeros((1, 1), dtype=np.int32)
+    z88 = np.zeros((1, 1), dtype=np.int64)
+    z444 = np.zeros((1, 1, 1), dtype=np.int32)
+    _step_chunk(
+        i8(0), i8(0), i8(0),
+        i8(1), i8(1), i8(2), i8(1), i8(1),
+        i8(0), False, False, i8(0), i8(0),
+        i8(0), i8(0), i8(1), True,
+        i8(1), i8(1), i8(1),
+        z4, z4, z444, z4, z44, z88,
+        z4, z4, z4, z4, zf, zf, z8,
+        z8, z8, zb, zb, z8,
+        z8, z8, z8, z8,
+        z8, z8, z8, z8, z8,
+        z4, z4, z4, z8, z2, z4, z1,
+        z1, zf, zf, np.full(1, -1, dtype=np.int64), z8.copy(),
+        _make_calendar(), _make_calendar(),
+        z4, z4, z4, z8, z2, z4, z1,
+        z8, zf1, zf1, zb, z8, z8, z8,
+        z8, z8, z8,
+        z4, z8, z8, z2,
+    )
+    _COMPILED = True
+    return time.perf_counter() - started
+
+
+class JitStepper:
+    """Driver-facing stepper for the jit engine: owns the packet pool,
+    linked-list calendar, and scratch buffers, and hands each chunk to
+    the fused kernel.  Interchangeable with
+    :class:`repro.network.batch._NumpyStepper`."""
+
+    def __init__(self, backend, state: _RunState) -> None:
+        require_jit()
+        self.backend = backend
+        self.state = state
+        prog = backend.program
+        cfg = backend.config
+        self._kind = {"table": _KIND_TABLE, "val": _KIND_VAL,
+                      "ugal": _KIND_UGAL}[prog.kind]
+        W = prog.cand.shape[2]
+        if prog.kind == "table":
+            self._seq_eff = bool(
+                prog.sequential and prog.adaptive and W > 1
+            )
+        else:
+            self._seq_eff = bool(prog.sequential)
+        self._W = W
+        self._cand = np.ascontiguousarray(prog.cand, dtype=np.int32)
+        self._ej_router = np.ascontiguousarray(
+            prog.ej_router, dtype=np.int32
+        )
+        self._key_of_dst = np.ascontiguousarray(
+            prog.key_of_dst, dtype=np.int32
+        )
+        self._channel_dst = np.ascontiguousarray(
+            prog.channel_dst, dtype=np.int32
+        )
+        if prog.dor_chan is not None:
+            self._dor_chan = np.ascontiguousarray(
+                prog.dor_chan, dtype=np.int32
+            )
+            self._hops_rr = np.ascontiguousarray(
+                prog.hops_rr, dtype=np.int64
+            )
+        else:
+            self._dor_chan = np.zeros((1, 1), dtype=np.int32)
+            self._hops_rr = np.zeros((1, 1), dtype=np.int64)
+        self._channel_latency = int(cfg.channel_latency)
+        self._channel_period = int(cfg.channel_period)
+
+        self._head = _make_calendar()
+        self._tail = _make_calendar()
+        self._debit = np.zeros(state.B * state.Q, dtype=np.int64)
+        self._capacity = 0
+        self._grows = 0
+        self._alloc_pool(1024)
+        self.chunk: Optional[_ChunkProgram] = None
+
+    # ------------------------------------------------------------------
+    def _alloc_pool(self, capacity: int) -> None:
+        """Grow the packet pool (and capacity-sized scratch) to
+        ``capacity`` slots; existing slot indices stay valid, so the
+        calendar's linked lists survive the growth untouched."""
+        old = self._capacity
+        ucols = self.state.ucols
+
+        def grow1(name, dtype):
+            buf = np.empty(capacity, dtype=dtype)
+            if old:
+                buf[:old] = getattr(self, name)
+            setattr(self, name, buf)
+
+        grow1("_pk_run", np.int32)
+        grow1("_pk_router", np.int32)
+        grow1("_pk_dst", np.int32)
+        grow1("_pk_born", np.int64)
+        grow1("_pk_hops", np.int16)
+        grow1("_pk_imd", np.int32)
+        grow1("_pk_mode", np.int8)
+        grow1("_pk_kind", np.int8)
+        grow1("_pk_next", np.int64)
+        u = np.empty((capacity, ucols), dtype=np.float32)
+        k = np.empty((capacity, ucols), dtype=np.float32)
+        if old:
+            u[:old] = self._pk_uroute
+            k[:old] = self._pk_urank
+        self._pk_uroute = u
+        self._pk_urank = k
+        # Chain the new slots onto the free list.
+        self._pk_next[old:capacity] = np.arange(
+            old + 1, capacity + 1, dtype=np.int64
+        )
+        if old == 0:
+            self._pool_meta = np.array([0, capacity], dtype=np.int64)
+            self._pk_next[capacity - 1] = -1
+        else:
+            self._pk_next[capacity - 1] = self._pool_meta[0]
+            self._pool_meta[0] = old
+            self._pool_meta[1] += capacity - old
+            self._grows += 1
+        # Per-cycle scratch and record buffers, capacity-sized.
+        for name, dtype in (
+            ("_ev_run", np.int32), ("_ev_router", np.int32),
+            ("_ev_dst", np.int32), ("_ev_born", np.int64),
+            ("_ev_hops", np.int16), ("_ev_imd", np.int32),
+            ("_ev_mode", np.int8), ("_ev_src", np.int64),
+            ("_ev_uroute", np.float32), ("_ev_urank", np.float32),
+            ("_ev_ej", np.bool_), ("_ev_q", np.int64),
+            ("_ev_chan", np.int64), ("_ev_dep", np.int64),
+            ("_sort_key", np.int64), ("_touched", np.int64),
+            ("_rec_run", np.int32), ("_rec_born", np.int64),
+            ("_rec_dep", np.int64), ("_rec_hops", np.int16),
+        ):
+            setattr(self, name, np.empty(capacity, dtype=dtype))
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> float:
+        return ensure_compiled()
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "pool_capacity": self._capacity,
+            "pool_grows": self._grows,
+        }
+
+    def load_chunk(self, chunk: _ChunkProgram) -> None:
+        self.chunk = chunk
+        used = self._capacity - int(self._pool_meta[1])
+        need = used + chunk.run.size
+        if need > self._capacity:
+            self._alloc_pool(max(2 * self._capacity, need))
+
+    # ------------------------------------------------------------------
+    def step_until(self, t: int, t1: int) -> int:
+        state = self.state
+        cp = self.chunk
+        prog = self.backend.program
+        t_out, rec_n = _step_chunk(
+            np.int64(t), np.int64(t1), np.int64(cp.c0),
+            np.int64(state.B), np.int64(state.C), np.int64(state.Q),
+            np.int64(prog.R), np.int64(self._W),
+            np.int64(self._kind), bool(prog.adaptive),
+            bool(self._seq_eff), np.int64(prog.mode0),
+            np.int64(prog.threshold),
+            np.int64(state.warmup), np.int64(state.end),
+            np.int64(state.drain_max), bool(state.drain),
+            np.int64(self._channel_latency),
+            np.int64(self._channel_period), np.int64(state.occ_grace),
+            self._ej_router, self._key_of_dst, self._cand,
+            self._channel_dst, self._dor_chan, self._hops_rr,
+            cp.run, cp.router, cp.dst, cp.imd, cp.u_route, cp.u_rank,
+            cp.offsets,
+            state.next_free, state.period_flat, state.done,
+            state.saturated, state.cycles,
+            state.created, state.delivered, state.frozen_created,
+            state.frozen_delivered, state.labeled_created,
+            state.labeled_done, state.win_ejects, state.n_events,
+            state.n_routes,
+            self._pk_run, self._pk_router, self._pk_dst, self._pk_born,
+            self._pk_hops, self._pk_imd, self._pk_mode, self._pk_kind,
+            self._pk_uroute, self._pk_urank, self._pk_next,
+            self._pool_meta, self._head, self._tail,
+            self._ev_run, self._ev_router, self._ev_dst, self._ev_born,
+            self._ev_hops, self._ev_imd, self._ev_mode, self._ev_src,
+            self._ev_uroute, self._ev_urank, self._ev_ej, self._ev_q,
+            self._ev_chan, self._ev_dep,
+            self._sort_key, self._debit, self._touched,
+            self._rec_run, self._rec_born, self._rec_dep,
+            self._rec_hops,
+        )
+        if rec_n:
+            state.rec_run.append(self._rec_run[:rec_n].copy())
+            state.rec_created.append(self._rec_born[:rec_n].copy())
+            state.rec_dep.append(self._rec_dep[:rec_n].copy())
+            state.rec_hops.append(self._rec_hops[:rec_n].copy())
+        return int(t_out)

@@ -1,0 +1,257 @@
+"""Bit-parity and plumbing tests for the jit batch engine.
+
+The jit engine (``repro.network.batch_jit``) must be **bit-identical**
+to the numpy engine: both interpret the same pre-drawn RNG program
+(see ``docs/BATCH.md``), so every ``BatchRunResult`` field that takes
+part in equality — per-run latency summaries, throughput, hop means,
+conservation counts — must match element for element, not just
+statistically.  The matrix here compares the engines directly across
+every supported algorithm family, pointwise and as whole load grids.
+
+The compiled path needs numba (``pip install repro[jit]``), which the
+base and test installs deliberately omit.  To keep the parity matrix
+meaningful everywhere, the jit engine can run its exact step program
+uncompiled (``$REPRO_BATCH_JIT_PURE=1``) — same code, no numba — and
+the fixture below turns that on automatically when numba is absent.
+With numba installed the same tests exercise the real nopython kernel.
+"""
+
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import (
+    DimensionOrder,
+    MinimalAdaptive,
+    UGAL,
+    UGALSequential,
+    Valiant,
+)
+from repro.core.flattened_butterfly import FlattenedButterfly
+from repro.network import (
+    ENGINE_ENV,
+    ENGINES,
+    SimulationConfig,
+    Simulator,
+    replica_seeds,
+    resolve_engine,
+)
+from repro.network import batch_jit
+from repro.network.batch import BatchBackend
+from repro.network.batch_jit import (
+    HAVE_NUMBA,
+    PURE_ENV,
+    ensure_compiled,
+    pure_mode,
+    require_jit,
+)
+from repro.topologies import Butterfly, FoldedClos
+from repro.topologies.routing import DestinationTag, FoldedClosAdaptive
+from repro.traffic import UniformRandom
+
+#: Short windows: parity is exact, so there is no statistical noise to
+#: average away — a few hundred cycles exercise every code path
+#: (injection, adaptive decisions, FIFO ties, drain) just as well.
+WARMUP, MEASURE, DRAIN = 60, 80, 1200
+SEEDS = replica_seeds(1234, 4)
+
+#: Every supported algorithm family on its home topology (same cells
+#: as the statistical matrix in test_batch_kernel.py, tighter loads so
+#: the short windows stay below saturation).
+MATRIX = [
+    ("dor-fb", lambda: FlattenedButterfly(4, 2), DimensionOrder, 0.4),
+    ("minad-fb", lambda: FlattenedButterfly(4, 3), MinimalAdaptive, 0.3),
+    ("dtag-butterfly", lambda: Butterfly(4, 2), DestinationTag, 0.3),
+    ("clos-ad", lambda: FoldedClos(16, 4), FoldedClosAdaptive, 0.3),
+    ("ugal-fb", lambda: FlattenedButterfly(4, 2), UGAL, 0.45),
+    ("ugal-s-fb", lambda: FlattenedButterfly(4, 2), UGALSequential, 0.3),
+    ("val-fb", lambda: FlattenedButterfly(4, 2), Valiant, 0.2),
+]
+
+MATRIX_IDS = [row[0] for row in MATRIX]
+
+
+@pytest.fixture
+def jit_runnable(monkeypatch):
+    """Make engine='jit' runnable in this environment: compiled when
+    numba is installed, otherwise the uncompiled pure-python step
+    program (identical code, so parity still means something)."""
+    if not HAVE_NUMBA:
+        monkeypatch.setenv(PURE_ENV, "1")
+    yield
+
+
+def _sim(make_topo, algorithm_cls):
+    return Simulator(
+        make_topo(), algorithm_cls(), UniformRandom(),
+        SimulationConfig(seed=SEEDS[0]), kernel="batch",
+    )
+
+
+class TestBitParityMatrix:
+    @pytest.mark.parametrize(
+        "name,make_topo,algorithm_cls,load", MATRIX, ids=MATRIX_IDS
+    )
+    def test_pointwise(self, jit_runnable, name, make_topo,
+                       algorithm_cls, load):
+        kwargs = dict(
+            seeds=SEEDS, warmup=WARMUP, measure=MEASURE, drain_max=DRAIN
+        )
+        a = _sim(make_topo, algorithm_cls).run_open_loop_batch(
+            load, engine="numpy", **kwargs
+        )
+        b = _sim(make_topo, algorithm_cls).run_open_loop_batch(
+            load, engine="jit", **kwargs
+        )
+        assert a.stats["engine"] == "numpy"
+        assert b.stats["engine"] == "jit"
+        # Dataclass equality covers every compared field of every
+        # per-run OpenLoopResult (latency summary, throughput, hops,
+        # windows) plus the conservation tuples; wall_seconds and
+        # stats are compare=False.
+        assert a == b, f"{name}: engines diverged"
+
+    @pytest.mark.parametrize(
+        "name,make_topo,algorithm_cls,load", MATRIX, ids=MATRIX_IDS
+    )
+    def test_grid(self, jit_runnable, name, make_topo, algorithm_cls, load):
+        loads = [load / 3, 2 * load / 3, load]
+        kwargs = dict(
+            seeds=SEEDS, warmup=WARMUP, measure=MEASURE, drain_max=DRAIN
+        )
+        a = _sim(make_topo, algorithm_cls).run_open_loop_grid(
+            loads, engine="numpy", **kwargs
+        )
+        b = _sim(make_topo, algorithm_cls).run_open_loop_grid(
+            loads, engine="jit", **kwargs
+        )
+        assert len(a) == len(b) == len(loads)
+        for la, ra, rb in zip(loads, a, b):
+            assert ra == rb, f"{name}: grid engines diverged at load {la}"
+
+
+class TestBitParityEdges:
+    def test_saturation(self, jit_runnable):
+        kwargs = dict(seeds=replica_seeds(9, 3), warmup=80, measure=120)
+        sim_a = _sim(lambda: FlattenedButterfly(4, 2), UGAL)
+        sim_b = _sim(lambda: FlattenedButterfly(4, 2), UGAL)
+        a = sim_a.measure_saturation_throughput_batch(engine="numpy", **kwargs)
+        b = sim_b.measure_saturation_throughput_batch(engine="jit", **kwargs)
+        assert a == b
+
+    def test_saturated_drain_cutoff(self, jit_runnable):
+        # Overload with a tight drain_max so runs end saturated: the
+        # cutoff path (frozen conservation counts, saturated flags)
+        # must match too.
+        kwargs = dict(
+            seeds=replica_seeds(7, 3), warmup=60, measure=80, drain_max=160
+        )
+        a = _sim(lambda: FlattenedButterfly(4, 2), UGAL
+                 ).run_open_loop_batch(0.9, engine="numpy", **kwargs)
+        b = _sim(lambda: FlattenedButterfly(4, 2), UGAL
+                 ).run_open_loop_batch(0.9, engine="jit", **kwargs)
+        assert any(r.saturated for r in a.results)
+        assert a == b
+
+
+class TestEngineSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine() == "numpy"
+        assert resolve_engine(None) == "numpy"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "jit")
+        assert resolve_engine() == "jit"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "jit")
+        assert resolve_engine("numpy") == "numpy"
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "")
+        assert resolve_engine() == "numpy"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        with pytest.raises(ValueError, match="unknown batch engine"):
+            resolve_engine("cuda")
+        monkeypatch.setenv(ENGINE_ENV, "cuda")
+        with pytest.raises(ValueError, match="unknown batch engine"):
+            resolve_engine()
+
+    def test_engines_registry(self):
+        assert ENGINES == ("numpy", "jit")
+
+    def test_backend_env_plumbing(self, monkeypatch, jit_runnable):
+        monkeypatch.setenv(ENGINE_ENV, "jit")
+        backend = BatchBackend(
+            FlattenedButterfly(4, 2), DimensionOrder(), UniformRandom(),
+            SimulationConfig(seed=1),
+        )
+        assert backend.engine == "jit"
+
+
+class TestMissingNumba:
+    def test_import_error_names_extra(self, monkeypatch):
+        monkeypatch.setattr(batch_jit, "HAVE_NUMBA", False)
+        monkeypatch.delenv(PURE_ENV, raising=False)
+        with pytest.raises(ImportError, match=r"pip install repro\[jit\]"):
+            require_jit()
+
+    def test_backend_raises_at_construction(self, monkeypatch):
+        monkeypatch.setattr(batch_jit, "HAVE_NUMBA", False)
+        monkeypatch.delenv(PURE_ENV, raising=False)
+        with pytest.raises(ImportError, match=r"pip install repro\[jit\]"):
+            BatchBackend(
+                FlattenedButterfly(4, 2), DimensionOrder(), UniformRandom(),
+                SimulationConfig(seed=1), engine="jit",
+            )
+
+    def test_pure_env_unlocks(self, monkeypatch):
+        monkeypatch.setattr(batch_jit, "HAVE_NUMBA", False)
+        monkeypatch.setenv(PURE_ENV, "1")
+        assert pure_mode()
+        require_jit()  # must not raise
+
+    def test_pure_env_zero_is_off(self, monkeypatch):
+        monkeypatch.setenv(PURE_ENV, "0")
+        assert not pure_mode()
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestCompileCache:
+    def test_warm_compile_is_memoized(self):
+        first = ensure_compiled()
+        assert first >= 0.0
+        # The process-level memo makes repeat calls free; with the
+        # persistent on-disk cache (NUMBA_CACHE_DIR under the repro
+        # cache dir) even the first call in a fresh process is a cache
+        # load, not a compile.
+        assert ensure_compiled() == 0.0
+
+    def test_cache_dir_is_configured(self):
+        assert "NUMBA_CACHE_DIR" in os.environ
+
+
+class TestEngineStats:
+    def test_numpy_scratch_counters(self, jit_runnable):
+        a = _sim(lambda: FlattenedButterfly(4, 2), UGAL).run_open_loop_batch(
+            0.3, seeds=SEEDS, warmup=WARMUP, measure=MEASURE,
+            drain_max=DRAIN, engine="numpy",
+        )
+        # The allocation pass reuses per-cycle scratch: after the first
+        # few cycles every step hits preallocated buffers, so reuses
+        # must dwarf allocations.
+        assert a.stats["scratch_reuses"] > a.stats["scratch_allocs"]
+        assert a.stats["compile_seconds"] == 0.0
+
+    def test_jit_pool_counters(self, jit_runnable):
+        b = _sim(lambda: FlattenedButterfly(4, 2), UGAL).run_open_loop_batch(
+            0.3, seeds=SEEDS, warmup=WARMUP, measure=MEASURE,
+            drain_max=DRAIN, engine="jit",
+        )
+        assert b.stats["pool_capacity"] >= 1024
+        assert b.stats["compile_seconds"] >= 0.0
